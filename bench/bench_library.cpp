@@ -1,0 +1,53 @@
+// Reproduces paper Table 1: the simple-module library with areas and
+// cycle counts at the reference operating point (5 V, 20 ns clock), plus
+// the Vdd scaling behavior the clock/Vdd-selection loops rely on.
+#include <cstdio>
+
+#include "library/library.h"
+#include "util/fmt.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hsyn;
+  const Library lib = default_library();
+  const OpPoint ref{5.0, 20.0};
+
+  std::printf("=== Table 1: functional unit and register properties ===\n");
+  std::printf("(reference operating point: Vdd 5 V, clock 20 ns)\n\n");
+  TextTable t;
+  t.row({"module", "ops", "area", "delay (ns)", "cycles", "cap_sw",
+         "chain depth"});
+  t.rule();
+  for (int i = 0; i < lib.num_fu_types(); ++i) {
+    const FuType& fu = lib.fu(i);
+    std::string ops;
+    for (const Op op : fu.ops) {
+      ops += std::string(ops.empty() ? "" : ",") + op_name(op);
+    }
+    t.row({fu.name, ops, fixed(fu.area, 0), fixed(fu.delay_ns, 0),
+           std::to_string(lib.cycles(i, ref)), fixed(fu.cap_sw, 1),
+           std::to_string(fu.chain_depth)});
+  }
+  t.row({lib.reg().name, "storage", fixed(lib.reg().area, 0), "-", "-",
+         fixed(lib.reg().cap_sw, 1), "-"});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("=== Vdd scaling (delay factor / energy factor) ===\n");
+  TextTable v;
+  v.row({"Vdd (V)", "delay x", "energy x", "mult1 cycles @20ns"});
+  v.rule();
+  for (const double vdd : default_vdds()) {
+    v.row({fixed(vdd, 1), fixed(delay_scale(vdd), 2),
+           fixed(energy_scale(vdd), 2),
+           std::to_string(cycles_at(55, vdd, 20))});
+  }
+  std::printf("%s\n", v.render().c_str());
+
+  std::printf("=== Pruned clock candidates at 5 V ===\n");
+  std::string clks;
+  for (const double c : candidate_clocks(lib.fus(), 5.0)) {
+    clks += strf("%.1f ", c);
+  }
+  std::printf("%s ns\n", clks.c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Physical-model validation: for every benchmark, compares the RTL-level
+// area model against the gate-level expansion and the floorplan, i.e.
+// checks that the substitutions documented in DESIGN.md (SIS/MSU ->
+// gate builders, OCTTOOLS -> floorplanner) order architectures the same
+// way the optimization-time estimates do.
+#include <cstdio>
+
+#include "benchmarks/benchmarks.h"
+#include "gates/gate_expand.h"
+#include "place/floorplan.h"
+#include "rtl/cost.h"
+#include "synth/synthesizer.h"
+#include "util/fmt.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hsyn;
+  const Library lib = default_library();
+  SynthOptions opts;
+  opts.max_passes = 4;
+
+  std::printf("=== RTL model vs gate-level vs floorplan ===\n");
+  std::printf("(area-opt and power-opt architectures per circuit at L.F. "
+              "2.2; the RTL\nmodel must order the pair the same way gates "
+              "and wirelength do)\n\n");
+
+  TextTable t;
+  t.row({"circuit", "objective", "RTL area", "gates", "gate area", "HPWL",
+         "bbox"});
+  t.rule();
+
+  int rtl_gate_agree = 0, rtl_hpwl_agree = 0, pairs = 0;
+  for (const std::string& name : benchmark_names()) {
+    const Benchmark bench = make_benchmark(name, lib);
+    const double ts = 2.2 * min_sample_period_ns(bench.design, lib);
+    double rtl_area[2] = {0, 0};
+    double gate_area[2] = {0, 0};
+    double hpwl[2] = {0, 0};
+    bool ok = true;
+    int k = 0;
+    for (const Objective obj : {Objective::Area, Objective::Power}) {
+      const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts, obj,
+                                       Mode::Hierarchical, opts);
+      if (!r.ok) {
+        ok = false;
+        break;
+      }
+      const gates::ModuleGates g = gates::expand_datapath(r.dp, lib);
+      const place::Floorplan fp = place::floorplan(r.dp, lib);
+      rtl_area[k] = r.area;
+      gate_area[k] = g.total_area();
+      hpwl[k] = fp.hpwl();
+      t.row({name, objective_name(obj), fixed(r.area, 0),
+             std::to_string(g.total_gates()), fixed(g.total_area(), 0),
+             fixed(fp.hpwl(), 0), fixed(fp.bbox_area(), 0)});
+      ++k;
+    }
+    if (!ok) continue;
+    t.rule();
+    ++pairs;
+    // Does the cheaper-by-RTL design stay cheaper at the gate level / in
+    // wiring?
+    const bool rtl_says = rtl_area[0] < rtl_area[1];
+    rtl_gate_agree += (gate_area[0] < gate_area[1]) == rtl_says ? 1 : 0;
+    rtl_hpwl_agree += (hpwl[0] < hpwl[1]) == rtl_says ? 1 : 0;
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("ordering agreement with the RTL area model: gate level %d/%d, "
+              "wirelength %d/%d\n",
+              rtl_gate_agree, pairs, rtl_hpwl_agree, pairs);
+  return 0;
+}

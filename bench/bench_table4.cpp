@@ -1,0 +1,80 @@
+// Reproduces paper Table 4: per-laxity-factor averages over the whole
+// benchmark suite -- area ratio of power-optimized circuits, power ratio
+// vs area-optimized at 5 V and vs Vdd-scaled area-optimized, and
+// synthesis CPU time, for flattened (Fl) and hierarchical (Hi)
+// synthesis.
+//
+// Set HSYN_QUICK=1 for a reduced smoke sweep.
+#include <cstdio>
+
+#include "table_common.h"
+#include "util/fmt.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hsyn;
+  using namespace hsyn::tables;
+  const Library lib = default_library();
+  const auto circuits = sweep_circuits();
+  const auto lfs = sweep_laxities();
+
+  std::printf("=== Table 4: summary of area (ratio), power (ratio) and "
+              "synthesis time ===\n\n");
+  TextTable t;
+  t.row({"L.F.", "Area Fl", "Area Hi", "Pow5V Fl", "Pow5V Hi", "PowVsc Fl",
+         "PowVsc Hi", "Time Fl (s)", "Time Hi (s)"});
+  t.rule();
+
+  double total_fl_time = 0, total_hi_time = 0;
+  double sum_hier_p = 0, sum_flat_p = 0;
+  double sum_hier_a = 0, sum_flat_a_of_areaopt = 0;
+  int n_pts = 0;
+
+  for (const double lf : lfs) {
+    double area_fl = 0, area_hi = 0;
+    double p5_fl = 0, p5_hi = 0;
+    double psc_fl = 0, psc_hi = 0;
+    double sec_fl = 0, sec_hi = 0;
+    int n = 0;
+    for (const std::string& name : circuits) {
+      const CircuitLfResult r = run_point(name, lf, lib);
+      if (!r.ok) continue;
+      ++n;
+      area_fl += r.flat_p.area;
+      area_hi += r.hier_p.area;
+      p5_fl += r.flat_p.power;
+      p5_hi += r.hier_p.power;
+      // "Vdd-sc": power-optimized vs the Vdd-scaled area-optimized design.
+      psc_fl += r.flat_p.power / r.flat_a_scaled_power;
+      psc_hi += r.hier_p.power / r.hier_a_scaled_power;
+      sec_fl += r.flat_seconds;
+      sec_hi += r.hier_seconds;
+      sum_hier_p += r.hier_p.power;
+      sum_flat_p += r.flat_p.power;
+      sum_hier_a += r.hier_a.area;
+      sum_flat_a_of_areaopt += 1.0;
+      ++n_pts;
+    }
+    if (n == 0) continue;
+    t.row({fixed(lf, 1), fixed(area_fl / n, 2), fixed(area_hi / n, 2),
+           fixed(p5_fl / n, 2), fixed(p5_hi / n, 2), fixed(psc_fl / n, 2),
+           fixed(psc_hi / n, 2), fixed(sec_fl / n, 1), fixed(sec_hi / n, 1)});
+    total_fl_time += sec_fl;
+    total_hi_time += sec_hi;
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  if (n_pts > 0 && total_hi_time > 0) {
+    std::printf("Aggregate checks (paper Section 5):\n");
+    std::printf("  hierarchical power-opt designs consume %.1f%% %s power "
+                "than flattened power-opt on average (paper: 13.3%% less)\n",
+                100.0 * std::abs(1.0 - sum_hier_p / sum_flat_p),
+                sum_hier_p <= sum_flat_p ? "less" : "more");
+    std::printf("  hierarchical area-opt overhead over flattened area-opt: "
+                "%.1f%% (paper: 5.6%%)\n",
+                100.0 * (sum_hier_a / sum_flat_a_of_areaopt - 1.0));
+    std::printf("  synthesis-time ratio flat/hier: %.1fx (paper: ~2.6-3.3x)\n",
+                total_fl_time / total_hi_time);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "benchmarks/benchmarks.h"
+
+#include "benchmarks/detail.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+
+std::vector<std::string> benchmark_names() {
+  return {"avenhaus_cascade", "lat", "dct", "iir", "hier_paulin", "test1"};
+}
+
+Benchmark make_benchmark(const std::string& name, const Library& lib) {
+  Benchmark b;
+  b.name = name;
+  if (name == "hier_paulin") {
+    b.design = bench_detail::make_hier_paulin_design();
+  } else if (name == "dct") {
+    b.design = bench_detail::make_dct_design();
+  } else if (name == "iir") {
+    b.design = bench_detail::make_iir_design();
+  } else if (name == "lat") {
+    b.design = bench_detail::make_lat_design();
+  } else if (name == "avenhaus_cascade") {
+    b.design = bench_detail::make_avenhaus_design();
+  } else if (name == "test1") {
+    b.design = bench_detail::make_test1_design();
+  } else if (name == "fir16") {
+    b.design = bench_detail::make_fir16_design();
+  } else if (name == "dct2d") {
+    b.design = bench_detail::make_dct2d_design();
+  } else {
+    check(false, "unknown benchmark " + name);
+  }
+  // Templates reference DFGs stored in b.design's node-based map, so the
+  // pointers stay valid for the Benchmark's lifetime (it is move-only).
+  b.clib = default_complex_library(b.design, lib);
+  return b;
+}
+
+}  // namespace hsyn

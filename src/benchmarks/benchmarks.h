@@ -1,0 +1,96 @@
+// Benchmark designs of the paper's experimental section, reconstructed
+// from the open literature (see DESIGN.md, substitutions table):
+//
+//   * test1            -- the hierarchical DFG of Fig. 1(a), with the
+//                         complex-module library of Fig. 2 (C1..C5),
+//   * hier_paulin      -- the Paulin/HAL differential-equation solver,
+//                         unrolled with one hierarchical node per
+//                         iteration (plus flat `paulin`),
+//   * dct              -- 8-point DCT built from butterfly and rotation
+//                         building blocks,
+//   * iir              -- cascade of direct-form-II-transposed biquads,
+//   * lat              -- lattice filter stages,
+//   * avenhaus_cascade -- Avenhaus filter as a cascade of second-order
+//                         sections (direct form I, with state
+//                         pass-throughs).
+//
+// Loop-carried filter state is modeled as (state-in, state-out) primary
+// I/O pairs for one sample iteration, the standard HLS formulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/design.h"
+#include "library/library.h"
+#include "rtl/complex_library.h"
+
+namespace hsyn {
+
+struct Benchmark {
+  std::string name;
+  Design design;
+  ComplexLibrary clib;  ///< templates reference DFGs owned by `design`
+
+  Benchmark() = default;
+  Benchmark(Benchmark&&) = default;
+  Benchmark& operator=(Benchmark&&) = default;
+  // Templates hold pointers into `design`; copying would dangle.
+  Benchmark(const Benchmark&) = delete;
+  Benchmark& operator=(const Benchmark&) = delete;
+};
+
+/// Names accepted by make_benchmark (the paper's Table 3 rows).
+std::vector<std::string> benchmark_names();
+
+/// Build a benchmark (design + complex library) by name.
+Benchmark make_benchmark(const std::string& name, const Library& lib);
+
+// ---- Building-block DFG constructors (exposed for tests) -----------------
+
+/// One Paulin/HAL diffeq iteration: inputs x,y,u,dx,a,three ->
+/// outputs x1,y1,u1,cond.
+Dfg make_paulin_iter(const std::string& name = "paulin_iter");
+
+/// Butterfly: (a,b) -> (a+b, a-b).
+Dfg make_butterfly(const std::string& name = "butterfly");
+
+/// Plane rotation: (a,b,c1,c2) -> (a*c1 + b*c2, b*c1 - a*c2).
+Dfg make_rotation(const std::string& name = "rot");
+
+/// Direct-form-II-transposed biquad:
+/// (x,s1,s2,b0,b1,b2,a1,a2) -> (y, s1', s2').
+Dfg make_biquad(const std::string& name = "biquad");
+
+/// Direct-form-I second-order section with state pass-throughs.
+Dfg make_sos(const std::string& name = "sos");
+
+/// Two-multiplier lattice stage: (f,g,k) -> (f', g').
+Dfg make_lattice_stage(const std::string& name = "latstage");
+
+/// Four-term dot product as a balanced multiply-add tree.
+Dfg make_dot4(const std::string& name = "dot4");
+
+/// The same dot product as a sequential MAC chain (declared equivalent).
+Dfg make_dot4_seq(const std::string& name = "dot4_seq");
+
+// ---- Template builders (exposed for tests and examples) ------------------
+
+/// Fully parallel fastest-unit module for `dfg` (power-friendly at high
+/// speed; the style of the paper's C1).
+Datapath make_template_fast(const Dfg& dfg, const Library& lib);
+
+/// Fully parallel module built from the lowest switched-capacitance unit
+/// types (slower, low power; the style the paper's move B discovers).
+Datapath make_template_lowpower(const Dfg& dfg, const Library& lib);
+
+/// Area-optimized module: iterative improvement under a relaxed deadline
+/// (deadline = `laxity` x critical path at the reference point).
+Datapath make_template_compact(const Dfg& dfg, const Design& design,
+                               const Library& lib, double laxity = 3.0);
+
+/// Fast/low-power/compact templates for every non-top behavior of
+/// `design`.
+ComplexLibrary default_complex_library(const Design& design, const Library& lib);
+
+}  // namespace hsyn

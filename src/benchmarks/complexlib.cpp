@@ -1,0 +1,223 @@
+// Complex-module template builders (paper Fig. 2 style libraries).
+//
+// Three styles per behavior, mirroring the trade-offs the paper's library
+// exposes: `fast` (fully parallel, fastest units -- think C1), `lowpower`
+// (fully parallel, lowest switched-capacitance units -- what move B's
+// resynthesis discovers, e.g. mult2 for mult1), and `compact`
+// (area-optimized by iterative improvement under a relaxed deadline).
+// A fourth builder maps pure operation chains onto chained units (C5).
+#include <limits>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/analysis.h"
+#include "sched/scheduler.h"
+#include "synth/improve.h"
+#include "synth/initial.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRefPoint{5.0, 20.0};
+
+SynthContext template_context(const Design& design, const Library& lib) {
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.clib = nullptr;
+  cx.pt = kRefPoint;
+  cx.deadline = kNoDeadline;
+  cx.obj = Objective::Area;
+  cx.opts.max_passes = 4;
+  cx.opts.max_candidates = 16;
+  return cx;
+}
+
+/// Fully parallel module with one unit per op chosen by `pick_type`.
+Datapath parallel_module(const Dfg& dfg,
+                         const std::function<int(Op)>& pick_type) {
+  check(!dfg.has_hierarchy(), "template builders take flat building blocks");
+  Datapath dp(dfg.name() + "_dp");
+  BehaviorImpl bi;
+  bi.behavior = dfg.name();
+  bi.dfg = &dfg;
+  bi.node_inv.assign(dfg.nodes().size(), -1);
+  bi.edge_reg.assign(dfg.edges().size(), -1);
+  bi.input_arrival.assign(static_cast<std::size_t>(dfg.num_inputs()), 0);
+  for (const Node& n : dfg.nodes()) {
+    const int type = pick_type(n.op);
+    check(type >= 0, strf("no unit type for %s", op_name(n.op)));
+    Invocation inv;
+    inv.nodes = {n.id};
+    inv.unit = {UnitRef::Kind::Fu, static_cast<int>(dp.fus.size())};
+    dp.fus.push_back({type, n.label});
+    bi.node_inv[static_cast<std::size_t>(n.id)] = static_cast<int>(bi.invs.size());
+    bi.invs.push_back(std::move(inv));
+  }
+  for (const Edge& e : dfg.edges()) {
+    bi.edge_reg[static_cast<std::size_t>(e.id)] = static_cast<int>(dp.regs.size());
+    dp.regs.push_back({e.label});
+  }
+  dp.behaviors.push_back(std::move(bi));
+  return dp;
+}
+
+/// Lowest switched-capacitance type supporting `op`.
+int lowest_cap_type(const Library& lib, Op op) {
+  int best = -1;
+  double best_cap = std::numeric_limits<double>::max();
+  for (int t = 0; t < lib.num_fu_types(); ++t) {
+    const FuType& ft = lib.fu(t);
+    if (!ft.supports(op) || ft.chain_depth > 1) continue;
+    if (ft.cap_sw < best_cap) {
+      best_cap = ft.cap_sw;
+      best = t;
+    }
+  }
+  return best;
+}
+
+/// True when `dfg` is a single dependence chain of identical ops whose
+/// intermediate values have no other consumers.
+bool is_pure_chain(const Dfg& dfg, std::vector<int>& chain_nodes) {
+  chain_nodes.clear();
+  for (const int nid : dfg.topo_order()) {
+    const Node& n = dfg.node(nid);
+    if (n.is_hier()) return false;
+    if (!chain_nodes.empty()) {
+      if (n.op != dfg.node(chain_nodes.front()).op) return false;
+      const int prev = chain_nodes.back();
+      const int e = dfg.output_edge(prev, 0);
+      const Edge& edge = dfg.edge(e);
+      if (edge.dsts.size() != 1 || edge.dsts[0].node != nid) return false;
+    }
+    chain_nodes.push_back(nid);
+  }
+  return chain_nodes.size() >= 2;
+}
+
+}  // namespace
+
+Datapath make_template_fast(const Dfg& dfg, const Library& lib) {
+  return parallel_module(dfg, [&lib](Op op) {
+    return lib.fastest_for(op, kRefPoint);
+  });
+}
+
+Datapath make_template_lowpower(const Dfg& dfg, const Library& lib) {
+  return parallel_module(dfg, [&lib](Op op) {
+    return lowest_cap_type(lib, op);
+  });
+}
+
+Datapath make_template_compact(const Dfg& dfg, const Design& design,
+                               const Library& lib, double laxity) {
+  SynthContext cx = template_context(design, lib);
+  const LatencyFn lat = [&](const Node& n) {
+    return lib.cycles(lib.fastest_for(n.op, kRefPoint), kRefPoint);
+  };
+  cx.deadline = std::max(1, static_cast<int>(critical_path(dfg, lat) * laxity));
+  Datapath init = initial_solution(dfg, dfg.name(), cx);
+  const SchedResult sr = schedule_datapath(init, lib, cx.pt, cx.deadline);
+  check(sr.ok, "template scheduling failed for " + dfg.name());
+  return improve(std::move(init), cx);
+}
+
+namespace {
+
+/// Deepest-enough cheapest chained unit for `chain`; -1 when the library
+/// has none (e.g. multiplier chains).
+int chain_unit_type(const Dfg& dfg, const std::vector<int>& chain,
+                    const Library& lib) {
+  const Op op = dfg.node(chain.front()).op;
+  int best = -1;
+  double best_area = std::numeric_limits<double>::max();
+  for (int t = 0; t < lib.num_fu_types(); ++t) {
+    const FuType& ft = lib.fu(t);
+    if (!ft.supports(op) || ft.chain_depth < static_cast<int>(chain.size())) {
+      continue;
+    }
+    if (ft.area < best_area) {
+      best_area = ft.area;
+      best = t;
+    }
+  }
+  return best;
+}
+
+/// Chain module: the whole DFG as one invocation of a chained unit.
+Datapath make_template_chain(const Dfg& dfg, const Library& lib) {
+  std::vector<int> chain;
+  check(is_pure_chain(dfg, chain), dfg.name() + " is not a pure chain");
+  const int best = chain_unit_type(dfg, chain, lib);
+  check(best >= 0, "no chained unit deep enough for " + dfg.name());
+
+  Datapath dp(dfg.name() + "_chain");
+  BehaviorImpl bi;
+  bi.behavior = dfg.name();
+  bi.dfg = &dfg;
+  bi.node_inv.assign(dfg.nodes().size(), -1);
+  bi.edge_reg.assign(dfg.edges().size(), -1);
+  bi.input_arrival.assign(static_cast<std::size_t>(dfg.num_inputs()), 0);
+  Invocation inv;
+  inv.nodes = chain;
+  inv.unit = {UnitRef::Kind::Fu, 0};
+  dp.fus.push_back({best, "chain"});
+  for (const int nid : chain) {
+    bi.node_inv[static_cast<std::size_t>(nid)] = 0;
+  }
+  bi.invs.push_back(std::move(inv));
+  for (const Edge& e : dfg.edges()) {
+    // Chain-internal edges stay unregistered.
+    const bool internal =
+        e.src.node >= 0 && e.dsts.size() == 1 && e.dsts[0].node >= 0;
+    if (internal) continue;
+    bi.edge_reg[static_cast<std::size_t>(e.id)] = static_cast<int>(dp.regs.size());
+    dp.regs.push_back({e.label});
+  }
+  dp.behaviors.push_back(std::move(bi));
+  return dp;
+}
+
+}  // namespace
+
+ComplexLibrary default_complex_library(const Design& design, const Library& lib) {
+  ComplexLibrary clib;
+  for (const std::string& name : design.behavior_names()) {
+    if (name == design.top_name()) continue;
+    const Dfg& dfg = design.behavior(name);
+    if (dfg.has_hierarchy()) continue;  // templates are leaf modules
+    {
+      ComplexLibrary::Template t;
+      t.name = name + "_fast";
+      t.implements = name;
+      t.impl = make_template_fast(dfg, lib);
+      clib.add(std::move(t));
+    }
+    {
+      ComplexLibrary::Template t;
+      t.name = name + "_lp";
+      t.implements = name;
+      t.impl = make_template_lowpower(dfg, lib);
+      clib.add(std::move(t));
+    }
+    {
+      ComplexLibrary::Template t;
+      t.name = name + "_compact";
+      t.implements = name;
+      t.impl = make_template_compact(dfg, design, lib);
+      clib.add(std::move(t));
+    }
+    std::vector<int> chain;
+    if (is_pure_chain(dfg, chain) && chain_unit_type(dfg, chain, lib) >= 0) {
+      ComplexLibrary::Template t;
+      t.name = name + "_chain";
+      t.implements = name;
+      t.impl = make_template_chain(dfg, lib);
+      clib.add(std::move(t));
+    }
+  }
+  return clib;
+}
+
+}  // namespace hsyn

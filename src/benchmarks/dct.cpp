@@ -1,0 +1,152 @@
+// 8-point DCT built hierarchically from butterfly and plane-rotation
+// building blocks (the decomposition style of the fast-DCT literature the
+// HYPER benchmarks draw on).
+#include "benchmarks/benchmarks.h"
+#include "benchmarks/detail.h"
+#include "benchmarks/dfg_build.h"
+
+namespace hsyn {
+
+Dfg make_butterfly(const std::string& name) {
+  using namespace dfg_build;
+  Dfg d(name, 2, 2);
+  const int a = in(d, 0), b = in(d, 1);
+  out(d, op2(d, Op::Add, a, b, "sum"), 0);
+  out(d, op2(d, Op::Sub, a, b, "diff"), 1);
+  d.validate();
+  return d;
+}
+
+Dfg make_rotation(const std::string& name) {
+  using namespace dfg_build;
+  // (a, b, c1, c2) -> (a*c1 + b*c2, b*c1 - a*c2)
+  Dfg d(name, 4, 2);
+  const int a = in(d, 0), b = in(d, 1), c1 = in(d, 2), c2 = in(d, 3);
+  const int p1 = op2(d, Op::Mult, a, c1, "a.c1");
+  const int p2 = op2(d, Op::Mult, b, c2, "b.c2");
+  const int p3 = op2(d, Op::Mult, b, c1, "b.c1");
+  const int p4 = op2(d, Op::Mult, a, c2, "a.c2");
+  out(d, op2(d, Op::Add, p1, p2, "re"), 0);
+  out(d, op2(d, Op::Sub, p3, p4, "im"), 1);
+  d.validate();
+  return d;
+}
+
+namespace {
+
+Dfg make_dct8_top() {
+  using namespace dfg_build;
+  // inputs: x0..x7, cosine constants c0..c3; outputs: X0..X7.
+  Dfg d("dct", 12, 8);
+  int x[8];
+  for (int i = 0; i < 8; ++i) x[i] = in(d, i);
+  const int c0 = in(d, 8), c1 = in(d, 9), c2 = in(d, 10), c3 = in(d, 11);
+
+  // Stage 1: butterflies on (x0,x7) (x1,x6) (x2,x5) (x3,x4).
+  const auto b0 = hier(d, "butterfly", {x[0], x[7]}, 2, "bf0");
+  const auto b1 = hier(d, "butterfly", {x[1], x[6]}, 2, "bf1");
+  const auto b2 = hier(d, "butterfly", {x[2], x[5]}, 2, "bf2");
+  const auto b3 = hier(d, "butterfly", {x[3], x[4]}, 2, "bf3");
+
+  // Even half: butterflies then a rotation.
+  const auto e0 = hier(d, "butterfly", {b0[0], b3[0]}, 2, "bf4");
+  const auto e1 = hier(d, "butterfly", {b1[0], b2[0]}, 2, "bf5");
+  const auto r0 = hier(d, "rot", {e0[0], e1[0], c0, c0}, 2, "rot0");
+  const auto r1 = hier(d, "rot", {e0[1], e1[1], c1, c3}, 2, "rot1");
+
+  // Odd half: two rotations and a final butterfly.
+  const auto r2 = hier(d, "rot", {b0[1], b3[1], c1, c2}, 2, "rot2");
+  const auto r3 = hier(d, "rot", {b1[1], b2[1], c3, c2}, 2, "rot3");
+  const auto o0 = hier(d, "butterfly", {r2[0], r3[0]}, 2, "bf6");
+  const auto o1 = hier(d, "butterfly", {r2[1], r3[1]}, 2, "bf7");
+
+  out(d, r0[0], 0);
+  out(d, r1[0], 2);
+  out(d, r0[1], 4);
+  out(d, r1[1], 6);
+  out(d, o0[0], 1);
+  out(d, o1[0], 3);
+  out(d, o1[1], 5);
+  out(d, o0[1], 7);
+  d.validate();
+  return d;
+}
+
+/// 4-point DCT from butterflies and one rotation -- itself hierarchical,
+/// so dct2d below is a depth-2 hierarchy.
+Dfg make_dct4() {
+  using namespace dfg_build;
+  // inputs: x0..x3, c0, c1; outputs: X0..X3.
+  Dfg d("dct4", 6, 4);
+  const int x0 = in(d, 0), x1 = in(d, 1), x2 = in(d, 2), x3 = in(d, 3);
+  const int c0 = in(d, 4), c1 = in(d, 5);
+  const auto b0 = hier(d, "butterfly", {x0, x3}, 2, "bf0");
+  const auto b1 = hier(d, "butterfly", {x1, x2}, 2, "bf1");
+  const auto e = hier(d, "butterfly", {b0[0], b1[0]}, 2, "bf2");
+  const auto r = hier(d, "rot", {b0[1], b1[1], c0, c1}, 2, "rot0");
+  out(d, e[0], 0);
+  out(d, r[0], 1);
+  out(d, e[1], 2);
+  out(d, r[1], 3);
+  d.validate();
+  return d;
+}
+
+/// 2-D DCT on a 4x4 block by row-column decomposition: four row
+/// transforms feeding four column transforms (16 data inputs + 2 shared
+/// cosine constants).
+Dfg make_dct2d_top() {
+  using namespace dfg_build;
+  Dfg d("dct2d", 18, 16);
+  const int c0 = in(d, 16), c1 = in(d, 17);
+  int row_out[4][4];
+  for (int r = 0; r < 4; ++r) {
+    std::vector<int> ins;
+    for (int c = 0; c < 4; ++c) ins.push_back(in(d, 4 * r + c));
+    ins.push_back(c0);
+    ins.push_back(c1);
+    const auto outs = hier(d, "dct4", ins, 4, "row" + std::to_string(r));
+    for (int c = 0; c < 4; ++c) row_out[r][c] = outs[static_cast<std::size_t>(c)];
+  }
+  for (int c = 0; c < 4; ++c) {
+    std::vector<int> ins;
+    for (int r = 0; r < 4; ++r) ins.push_back(row_out[r][c]);
+    ins.push_back(c0);
+    ins.push_back(c1);
+    const auto outs = hier(d, "dct4", ins, 4, "col" + std::to_string(c));
+    for (int r = 0; r < 4; ++r) {
+      out(d, outs[static_cast<std::size_t>(r)], 4 * r + c);
+    }
+  }
+  d.validate();
+  return d;
+}
+
+}  // namespace
+
+namespace bench_detail {
+
+Design make_dct_design() {
+  Design design;
+  design.add_behavior(make_butterfly());
+  design.add_behavior(make_rotation());
+  design.add_behavior(make_dct8_top());
+  design.set_top("dct");
+  design.validate();
+  return design;
+}
+
+Design make_dct2d_design() {
+  Design design;
+  design.add_behavior(make_butterfly());
+  design.add_behavior(make_rotation());
+  design.add_behavior(make_dct4());
+  design.add_behavior(make_dct2d_top());
+  design.set_top("dct2d");
+  design.validate();
+  return design;
+}
+
+}  // namespace bench_detail
+
+}  // namespace hsyn

@@ -1,0 +1,17 @@
+// Internal: per-file design constructors wired together by benchmarks.cpp.
+#pragma once
+
+#include "dfg/design.h"
+
+namespace hsyn::bench_detail {
+
+Design make_hier_paulin_design();
+Design make_dct_design();
+Design make_iir_design();
+Design make_lat_design();
+Design make_avenhaus_design();
+Design make_test1_design();
+Design make_fir16_design();
+Design make_dct2d_design();
+
+}  // namespace hsyn::bench_detail

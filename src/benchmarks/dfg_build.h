@@ -1,0 +1,47 @@
+// Internal helpers for terse DFG construction in the benchmark builders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace hsyn::dfg_build {
+
+/// Edge from primary input `k`.
+inline int in(Dfg& d, int k) { return d.connect({kPrimaryIn, k}, {}); }
+
+/// Route edge `e` to primary output `k`.
+inline void out(Dfg& d, int e, int k) { d.add_consumer(e, {kPrimaryOut, k}); }
+
+/// Binary operation node consuming edges `ea`, `eb`; returns output edge.
+inline int op2(Dfg& d, Op op, int ea, int eb, std::string label = {}) {
+  const int n = d.add_node(op, std::move(label));
+  d.add_consumer(ea, {n, 0});
+  d.add_consumer(eb, {n, 1});
+  return d.connect({n, 0}, {});
+}
+
+/// Unary operation node.
+inline int op1(Dfg& d, Op op, int ea, std::string label = {}) {
+  const int n = d.add_node(op, std::move(label));
+  d.add_consumer(ea, {n, 0});
+  return d.connect({n, 0}, {});
+}
+
+/// Hierarchical node executing `behavior`; returns its output edges.
+inline std::vector<int> hier(Dfg& d, const std::string& behavior,
+                             const std::vector<int>& ins, int nouts,
+                             std::string label = {}) {
+  const int n = d.add_hier_node(behavior, static_cast<int>(ins.size()), nouts,
+                                std::move(label));
+  for (std::size_t p = 0; p < ins.size(); ++p) {
+    d.add_consumer(ins[p], {n, static_cast<int>(p)});
+  }
+  std::vector<int> outs;
+  outs.reserve(static_cast<std::size_t>(nouts));
+  for (int p = 0; p < nouts; ++p) outs.push_back(d.connect({n, p}, {}));
+  return outs;
+}
+
+}  // namespace hsyn::dfg_build

@@ -1,0 +1,170 @@
+// Filter benchmarks: iir (biquad cascade), lat (lattice filter) and
+// avenhaus_cascade (cascade of direct-form-I second-order sections).
+// Loop-carried state enters/leaves as primary I/O for one sample
+// iteration (see benchmarks.h).
+#include "benchmarks/benchmarks.h"
+#include "benchmarks/detail.h"
+#include "benchmarks/dfg_build.h"
+
+namespace hsyn {
+
+Dfg make_biquad(const std::string& name) {
+  using namespace dfg_build;
+  // Direct form II transposed:
+  //   y   = b0*x + s1
+  //   s1' = b1*x + s2 - a1*y
+  //   s2' = b2*x - a2*y
+  // inputs: 0:x 1:s1 2:s2 3:b0 4:b1 5:b2 6:a1 7:a2; outputs: y, s1', s2'.
+  Dfg d(name, 8, 3);
+  const int x = in(d, 0), s1 = in(d, 1), s2 = in(d, 2);
+  const int b0 = in(d, 3), b1 = in(d, 4), b2 = in(d, 5);
+  const int a1 = in(d, 6), a2 = in(d, 7);
+  const int y = op2(d, Op::Add, op2(d, Op::Mult, b0, x, "b0x"), s1, "y");
+  const int t1 = op2(d, Op::Add, op2(d, Op::Mult, b1, x, "b1x"), s2, "b1x+s2");
+  const int s1n = op2(d, Op::Sub, t1, op2(d, Op::Mult, a1, y, "a1y"), "s1n");
+  const int s2n = op2(d, Op::Sub, op2(d, Op::Mult, b2, x, "b2x"),
+                      op2(d, Op::Mult, a2, y, "a2y"), "s2n");
+  out(d, y, 0);
+  out(d, s1n, 1);
+  out(d, s2n, 2);
+  d.validate();
+  return d;
+}
+
+Dfg make_sos(const std::string& name) {
+  using namespace dfg_build;
+  // Direct form I with explicit delay-line pass-throughs:
+  //   y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2
+  //   x1' = x, x2' = x1, y1' = y, y2' = y1
+  // inputs: 0:x 1:x1 2:x2 3:y1 4:y2 5:b0 6:b1 7:b2 8:a1 9:a2
+  // outputs: 0:y 1:x1' 2:x2' 3:y1' 4:y2'
+  Dfg d(name, 10, 5);
+  const int x = in(d, 0), x1 = in(d, 1), x2 = in(d, 2);
+  const int y1 = in(d, 3), y2 = in(d, 4);
+  const int b0 = in(d, 5), b1 = in(d, 6), b2 = in(d, 7);
+  const int a1 = in(d, 8), a2 = in(d, 9);
+  const int ff = op2(d, Op::Add,
+                     op2(d, Op::Add, op2(d, Op::Mult, b0, x, "b0x"),
+                         op2(d, Op::Mult, b1, x1, "b1x1"), "ff1"),
+                     op2(d, Op::Mult, b2, x2, "b2x2"), "ff");
+  const int fb = op2(d, Op::Add, op2(d, Op::Mult, a1, y1, "a1y1"),
+                     op2(d, Op::Mult, a2, y2, "a2y2"), "fb");
+  const int y = op2(d, Op::Sub, ff, fb, "y");
+  out(d, y, 0);
+  out(d, x, 1);   // x1' = x (pass-through)
+  out(d, x1, 2);  // x2' = x1
+  out(d, y, 3);   // y1' = y
+  out(d, y1, 4);  // y2' = y1
+  d.validate();
+  return d;
+}
+
+Dfg make_lattice_stage(const std::string& name) {
+  using namespace dfg_build;
+  // Two-multiplier lattice stage:
+  //   f' = f - k*g
+  //   g' = g + k*f'
+  // inputs: 0:f 1:g 2:k; outputs: 0:f' 1:g'.
+  Dfg d(name, 3, 2);
+  const int f = in(d, 0), g = in(d, 1), k = in(d, 2);
+  const int fp = op2(d, Op::Sub, f, op2(d, Op::Mult, k, g, "kg"), "f'");
+  const int gp = op2(d, Op::Add, g, op2(d, Op::Mult, k, fp, "kf'"), "g'");
+  out(d, fp, 0);
+  out(d, gp, 1);
+  d.validate();
+  return d;
+}
+
+namespace {
+
+Dfg make_iir_top(int stages) {
+  using namespace dfg_build;
+  // inputs: x, then per stage: s1,s2,b0,b1,b2,a1,a2 (7 each)
+  // outputs: y, then per stage: s1', s2'.
+  Dfg d("iir", 1 + 7 * stages, 1 + 2 * stages);
+  int x = in(d, 0);
+  for (int k = 0; k < stages; ++k) {
+    const int base = 1 + 7 * k;
+    std::vector<int> ins = {x};
+    for (int p = 0; p < 7; ++p) ins.push_back(in(d, base + p));
+    const auto outs = hier(d, "biquad", ins, 3, "bq" + std::to_string(k));
+    x = outs[0];
+    out(d, outs[1], 1 + 2 * k);
+    out(d, outs[2], 2 + 2 * k);
+  }
+  out(d, x, 0);
+  d.validate();
+  return d;
+}
+
+Dfg make_lat_top(int stages) {
+  using namespace dfg_build;
+  // inputs: f, then per stage: g_k (delay state), k_k; outputs: f_out and
+  // per stage the updated state g'_k.
+  Dfg d("lat", 1 + 2 * stages, 1 + stages);
+  int f = in(d, 0);
+  for (int k = 0; k < stages; ++k) {
+    const int g = in(d, 1 + 2 * k);
+    const int kk = in(d, 2 + 2 * k);
+    const auto outs = hier(d, "latstage", {f, g, kk}, 2, "st" + std::to_string(k));
+    f = outs[0];
+    out(d, outs[1], 1 + k);
+  }
+  out(d, f, 0);
+  d.validate();
+  return d;
+}
+
+Dfg make_avenhaus_top(int sections) {
+  using namespace dfg_build;
+  // inputs: x, then per section: x1,x2,y1,y2,b0,b1,b2,a1,a2 (9 each)
+  // outputs: y, then per section the four updated delay-line states.
+  Dfg d("avenhaus_cascade", 1 + 9 * sections, 1 + 4 * sections);
+  int x = in(d, 0);
+  for (int k = 0; k < sections; ++k) {
+    const int base = 1 + 9 * k;
+    std::vector<int> ins = {x};
+    for (int p = 0; p < 9; ++p) ins.push_back(in(d, base + p));
+    const auto outs = hier(d, "sos", ins, 5, "sos" + std::to_string(k));
+    x = outs[0];
+    for (int p = 0; p < 4; ++p) out(d, outs[1 + p], 1 + 4 * k + p);
+  }
+  out(d, x, 0);
+  d.validate();
+  return d;
+}
+
+}  // namespace
+
+namespace bench_detail {
+
+Design make_iir_design() {
+  Design design;
+  design.add_behavior(make_biquad());
+  design.add_behavior(make_iir_top(3));
+  design.set_top("iir");
+  design.validate();
+  return design;
+}
+
+Design make_lat_design() {
+  Design design;
+  design.add_behavior(make_lattice_stage());
+  design.add_behavior(make_lat_top(5));
+  design.set_top("lat");
+  design.validate();
+  return design;
+}
+
+Design make_avenhaus_design() {
+  Design design;
+  design.add_behavior(make_sos());
+  design.add_behavior(make_avenhaus_top(4));
+  design.set_top("avenhaus_cascade");
+  design.validate();
+  return design;
+}
+
+}  // namespace bench_detail
+
+}  // namespace hsyn

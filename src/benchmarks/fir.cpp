@@ -1,0 +1,75 @@
+// fir16: a 16-tap FIR filter assembled from dot-product building blocks
+// ("many hierarchical DFGs are constructed out of several commonly-used
+// building blocks like dot-product, butterfly, etc." -- paper, Section 3).
+// Two equivalent dot-product DFG variants are registered: a balanced
+// multiply-add tree (dot4) and a sequential MAC chain (dot4_seq), giving
+// move A a genuine anisomorphic-DFG swap beyond the paper's original six
+// circuits.
+#include "benchmarks/benchmarks.h"
+#include "benchmarks/detail.h"
+#include "benchmarks/dfg_build.h"
+
+namespace hsyn {
+
+Dfg make_dot4(const std::string& name) {
+  using namespace dfg_build;
+  // (x0..x3, c0..c3) -> x0*c0 + x1*c1 + x2*c2 + x3*c3, balanced tree.
+  Dfg d(name, 8, 1);
+  int p[4];
+  for (int i = 0; i < 4; ++i) {
+    p[i] = op2(d, Op::Mult, in(d, i), in(d, 4 + i), "m" + std::to_string(i));
+  }
+  out(d, op2(d, Op::Add, op2(d, Op::Add, p[0], p[1], "s0"),
+             op2(d, Op::Add, p[2], p[3], "s1"), "s2"),
+      0);
+  d.validate();
+  return d;
+}
+
+Dfg make_dot4_seq(const std::string& name) {
+  using namespace dfg_build;
+  // Same function as a sequential MAC chain ((m0+m1)+m2)+m3.
+  Dfg d(name, 8, 1);
+  int acc = -1;
+  for (int i = 0; i < 4; ++i) {
+    const int p =
+        op2(d, Op::Mult, in(d, i), in(d, 4 + i), "m" + std::to_string(i));
+    acc = i == 0 ? p : op2(d, Op::Add, acc, p, "acc" + std::to_string(i));
+  }
+  out(d, acc, 0);
+  d.validate();
+  return d;
+}
+
+namespace bench_detail {
+
+Design make_fir16_design() {
+  using namespace dfg_build;
+  Design design;
+  design.add_behavior(make_dot4());
+  design.add_behavior(make_dot4_seq());
+
+  // Top level: four dot-products over tap groups, summed by a tree.
+  // inputs: x0..x15 then c0..c15; output: the filtered sample.
+  Dfg d("fir16", 32, 1);
+  int partial[4];
+  for (int g = 0; g < 4; ++g) {
+    std::vector<int> ins;
+    for (int i = 0; i < 4; ++i) ins.push_back(in(d, 4 * g + i));
+    for (int i = 0; i < 4; ++i) ins.push_back(in(d, 16 + 4 * g + i));
+    partial[g] = hier(d, "dot4", ins, 1, "dp" + std::to_string(g))[0];
+  }
+  out(d, op2(d, Op::Add, op2(d, Op::Add, partial[0], partial[1], "t0"),
+             op2(d, Op::Add, partial[2], partial[3], "t1"), "y"),
+      0);
+  d.validate();
+  design.add_behavior(std::move(d));
+  design.declare_equivalent("dot4", "dot4_seq");
+  design.set_top("fir16");
+  design.validate();
+  return design;
+}
+
+}  // namespace bench_detail
+
+}  // namespace hsyn

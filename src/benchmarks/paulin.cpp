@@ -1,0 +1,81 @@
+// The Paulin/HAL differential-equation benchmark and its unrolled
+// hierarchical variant `hier_paulin` (paper: "a hierarchical DFG obtained
+// by unrolling the well-known benchmark, Paulin").
+//
+// One Euler iteration of y'' + 3xy' + 3y = 0:
+//   x1   = x + dx
+//   y1   = y + u*dx
+//   u1   = u - (3*x)*(u*dx) - (3*y)*dx
+//   cond = x1 < a
+// Constants (3, a) enter as primary inputs so the datapath stays pure.
+#include "benchmarks/benchmarks.h"
+#include "benchmarks/dfg_build.h"
+
+namespace hsyn {
+
+Dfg make_paulin_iter(const std::string& name) {
+  using namespace dfg_build;
+  // inputs: 0:x 1:y 2:u 3:dx 4:a 5:three
+  // outputs: 0:x1 1:y1 2:u1 3:cond
+  Dfg d(name, 6, 4);
+  const int x = in(d, 0), y = in(d, 1), u = in(d, 2), dx = in(d, 3),
+            a = in(d, 4), three = in(d, 5);
+  const int m1 = op2(d, Op::Mult, three, x, "3x");
+  const int m2 = op2(d, Op::Mult, u, dx, "u.dx");
+  const int m3 = op2(d, Op::Mult, m1, m2, "3x.u.dx");
+  const int m4 = op2(d, Op::Mult, three, y, "3y");
+  const int m5 = op2(d, Op::Mult, m4, dx, "3y.dx");
+  const int s1 = op2(d, Op::Sub, u, m3, "u-3xudx");
+  const int u1 = op2(d, Op::Sub, s1, m5, "u1");
+  const int y1 = op2(d, Op::Add, y, m2, "y1");
+  const int x1 = op2(d, Op::Add, x, dx, "x1");
+  const int cond = op2(d, Op::Cmp, x1, a, "x1<a");
+  out(d, x1, 0);
+  out(d, y1, 1);
+  out(d, u1, 2);
+  out(d, cond, 3);
+  d.validate();
+  return d;
+}
+
+namespace {
+
+/// Top-level of hier_paulin: `iters` chained iteration nodes.
+Dfg make_hier_paulin_top(int iters) {
+  using namespace dfg_build;
+  // inputs: x,y,u,dx,a,three; outputs: x,y,u of the last iteration plus
+  // the termination flag of each iteration.
+  Dfg d("hier_paulin", 6, 3 + iters);
+  int x = in(d, 0), y = in(d, 1), u = in(d, 2);
+  const int dx = in(d, 3), a = in(d, 4), three = in(d, 5);
+  for (int k = 0; k < iters; ++k) {
+    const auto outs = hier(d, "paulin_iter", {x, y, u, dx, a, three}, 4,
+                           "iter" + std::to_string(k));
+    x = outs[0];
+    y = outs[1];
+    u = outs[2];
+    out(d, outs[3], 3 + k);
+  }
+  out(d, x, 0);
+  out(d, y, 1);
+  out(d, u, 2);
+  d.validate();
+  return d;
+}
+
+}  // namespace
+
+namespace bench_detail {
+
+Design make_hier_paulin_design() {
+  Design design;
+  design.add_behavior(make_paulin_iter());
+  design.add_behavior(make_hier_paulin_top(3));
+  design.set_top("hier_paulin");
+  design.validate();
+  return design;
+}
+
+}  // namespace bench_detail
+
+}  // namespace hsyn

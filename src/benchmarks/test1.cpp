@@ -1,0 +1,137 @@
+// `test1`: the hierarchical DFG of the paper's Fig. 1(a), reconstructed
+// from the textual description (Examples 1 and 2), together with the
+// building-block behaviors its hierarchical nodes execute and the
+// functional equivalences move A exploits:
+//
+//   * b3mul / b3mul_alt   -- triple product under two factorizations
+//                            (the paper's "C1 and C2 implement
+//                            functionally equivalent behavior"),
+//   * maddpair            -- two multipliers + adder, two outputs (the
+//                            module whose resynthesis swaps mult1 for
+//                            mult2 in Example 2),
+//   * seqmac              -- sequential add-mult-add with a staggered
+//                            input profile (the paper's RTL3, profile
+//                            {0,0,2,4,7}),
+//   * addtree/addtree_seq -- 4-input addition as a balanced tree vs a
+//                            chain (chainable onto chained_add3, the
+//                            paper's C5).
+#include "benchmarks/benchmarks.h"
+#include "benchmarks/detail.h"
+#include "benchmarks/dfg_build.h"
+
+namespace hsyn {
+namespace {
+
+Dfg make_b3mul() {
+  using namespace dfg_build;
+  Dfg d("b3mul", 4, 1);
+  const int a = in(d, 0), b = in(d, 1), c = in(d, 2), e = in(d, 3);
+  const int p = op2(d, Op::Mult, a, b, "M1");
+  const int q = op2(d, Op::Mult, c, e, "M2");
+  out(d, op2(d, Op::Mult, p, q, "M3"), 0);
+  d.validate();
+  return d;
+}
+
+Dfg make_b3mul_alt() {
+  using namespace dfg_build;
+  // ((a*b)*c)*e -- same function over wrap-around arithmetic, different
+  // DFG shape (deeper, but one value live at a time).
+  Dfg d("b3mul_alt", 4, 1);
+  const int a = in(d, 0), b = in(d, 1), c = in(d, 2), e = in(d, 3);
+  const int p = op2(d, Op::Mult, a, b, "M1");
+  const int q = op2(d, Op::Mult, p, c, "M2");
+  out(d, op2(d, Op::Mult, q, e, "M3"), 0);
+  d.validate();
+  return d;
+}
+
+Dfg make_maddpair() {
+  using namespace dfg_build;
+  // out0 = a*b + c*e ; out1 = a*b
+  Dfg d("maddpair", 4, 2);
+  const int a = in(d, 0), b = in(d, 1), c = in(d, 2), e = in(d, 3);
+  const int m4 = op2(d, Op::Mult, a, b, "M4");
+  const int m5 = op2(d, Op::Mult, c, e, "M5");
+  out(d, op2(d, Op::Add, m4, m5, "A1"), 0);
+  out(d, m4, 1);
+  d.validate();
+  return d;
+}
+
+Dfg make_seqmac() {
+  using namespace dfg_build;
+  // ((i0 + i1) * i2) + i3 -- inputs wanted progressively later, giving
+  // the staggered profile of the paper's RTL3.
+  Dfg d("seqmac", 4, 1);
+  const int i0 = in(d, 0), i1 = in(d, 1), i2 = in(d, 2), i3 = in(d, 3);
+  const int t1 = op2(d, Op::Add, i0, i1, "A1");
+  const int t2 = op2(d, Op::Mult, t1, i2, "M1");
+  out(d, op2(d, Op::Add, t2, i3, "A2"), 0);
+  d.validate();
+  return d;
+}
+
+Dfg make_addtree() {
+  using namespace dfg_build;
+  Dfg d("addtree", 4, 1);
+  const int a = in(d, 0), b = in(d, 1), c = in(d, 2), e = in(d, 3);
+  out(d, op2(d, Op::Add, op2(d, Op::Add, a, b, "+1"),
+             op2(d, Op::Add, c, e, "+2"), "+3"),
+      0);
+  d.validate();
+  return d;
+}
+
+Dfg make_addtree_seq() {
+  using namespace dfg_build;
+  // ((a+b)+c)+e -- a pure chain, implementable on one chained_add3.
+  Dfg d("addtree_seq", 4, 1);
+  const int a = in(d, 0), b = in(d, 1), c = in(d, 2), e = in(d, 3);
+  out(d, op2(d, Op::Add, op2(d, Op::Add, op2(d, Op::Add, a, b, "+1"), c, "+2"),
+             e, "+3"),
+      0);
+  d.validate();
+  return d;
+}
+
+Dfg make_test1_top() {
+  using namespace dfg_build;
+  Dfg d("test1", 8, 2);
+  int x[8];
+  for (int i = 0; i < 8; ++i) x[i] = in(d, i);
+  const auto n1 = hier(d, "b3mul", {x[0], x[1], x[2], x[3]}, 1, "DFG1");
+  const auto n2 = hier(d, "maddpair", {x[2], x[3], x[4], x[5]}, 2, "DFG2");
+  const auto n3 = hier(d, "seqmac", {x[4], x[5], x[6], x[7]}, 1, "DFG3");
+  const auto n4 =
+      hier(d, "addtree", {n1[0], n2[0], n2[1], n3[0]}, 1, "DFG4");
+  const auto n5 = hier(d, "addtree", {n4[0], x[0], x[6], x[7]}, 1, "DFG5");
+  out(d, n5[0], 0);
+  out(d, n3[0], 1);
+  d.validate();
+  return d;
+}
+
+}  // namespace
+
+namespace bench_detail {
+
+Design make_test1_design() {
+  Design design;
+  design.add_behavior(make_b3mul());
+  design.add_behavior(make_b3mul_alt());
+  design.add_behavior(make_maddpair());
+  design.add_behavior(make_seqmac());
+  design.add_behavior(make_addtree());
+  design.add_behavior(make_addtree_seq());
+  design.add_behavior(make_test1_top());
+  design.declare_equivalent("b3mul", "b3mul_alt");
+  design.declare_equivalent("addtree", "addtree_seq");
+  design.set_top("test1");
+  design.validate();
+  return design;
+}
+
+}  // namespace bench_detail
+
+}  // namespace hsyn

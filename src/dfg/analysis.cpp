@@ -1,0 +1,75 @@
+#include "dfg/analysis.h"
+
+#include <algorithm>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+AsapResult asap(const Dfg& dfg, const LatencyFn& latency) {
+  check(dfg.validated(), "asap: dfg must be validated");
+  const auto n = dfg.nodes().size();
+  AsapResult r;
+  r.start.assign(n, 0);
+  r.finish.assign(n, 0);
+  for (const int nid : dfg.topo_order()) {
+    const Node& node = dfg.node(nid);
+    int s = 0;
+    for (int p = 0; p < node.num_inputs; ++p) {
+      const Edge& e = dfg.edge(dfg.input_edge(nid, p));
+      if (e.src.node >= 0) {
+        s = std::max(s, r.finish[static_cast<std::size_t>(e.src.node)]);
+      }
+    }
+    r.start[static_cast<std::size_t>(nid)] = s;
+    r.finish[static_cast<std::size_t>(nid)] = s + latency(node);
+  }
+  for (int o = 0; o < dfg.num_outputs(); ++o) {
+    const Edge& e = dfg.edge(dfg.primary_output_edge(o));
+    if (e.src.node >= 0) {
+      r.makespan = std::max(r.makespan, r.finish[static_cast<std::size_t>(e.src.node)]);
+    }
+  }
+  return r;
+}
+
+AlapResult alap(const Dfg& dfg, const LatencyFn& latency, int deadline) {
+  check(dfg.validated(), "alap: dfg must be validated");
+  const auto n = dfg.nodes().size();
+  AlapResult r;
+  r.start.assign(n, deadline);
+  r.finish.assign(n, deadline);
+  const auto& topo = dfg.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int nid = *it;
+    const Node& node = dfg.node(nid);
+    int f = deadline;
+    for (int p = 0; p < node.num_outputs; ++p) {
+      const int eid = dfg.output_edge(nid, p);
+      if (eid < 0) continue;
+      for (const PortRef& d : dfg.edge(eid).dsts) {
+        if (d.node >= 0) {
+          f = std::min(f, r.start[static_cast<std::size_t>(d.node)]);
+        }
+        // Primary-output consumers impose the deadline itself.
+      }
+    }
+    r.finish[static_cast<std::size_t>(nid)] = f;
+    r.start[static_cast<std::size_t>(nid)] = f - latency(node);
+  }
+  return r;
+}
+
+int critical_path(const Dfg& dfg, const LatencyFn& latency) {
+  return asap(dfg, latency).makespan;
+}
+
+std::vector<int> mobility(const Dfg& dfg, const LatencyFn& latency, int deadline) {
+  const AsapResult a = asap(dfg, latency);
+  const AlapResult l = alap(dfg, latency, deadline);
+  std::vector<int> m(dfg.nodes().size());
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = l.start[i] - a.start[i];
+  return m;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,41 @@
+// Resource-unconstrained timing analysis of DFGs: ASAP / ALAP schedules
+// and critical-path length. Used to compute the minimum sampling period
+// (denominator of the paper's laxity factor) and the mobility windows that
+// drive constraint derivation (Fig. 5, middle box).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace hsyn {
+
+/// Latency oracle: cycles consumed by a node (operation or hierarchical).
+using LatencyFn = std::function<int(const Node&)>;
+
+struct AsapResult {
+  std::vector<int> start;   ///< per node id, earliest start cycle
+  std::vector<int> finish;  ///< per node id, earliest finish cycle
+  int makespan = 0;         ///< earliest completion of all primary outputs
+};
+
+struct AlapResult {
+  std::vector<int> start;   ///< per node id, latest start cycle
+  std::vector<int> finish;  ///< per node id, latest finish cycle
+};
+
+/// ASAP schedule assuming unlimited resources; primary inputs arrive at 0.
+AsapResult asap(const Dfg& dfg, const LatencyFn& latency);
+
+/// ALAP schedule against `deadline` cycles.
+AlapResult alap(const Dfg& dfg, const LatencyFn& latency, int deadline);
+
+/// Critical path length in cycles = minimum achievable sampling period
+/// with unlimited resources.
+int critical_path(const Dfg& dfg, const LatencyFn& latency);
+
+/// Per-node mobility (ALAP start - ASAP start) against `deadline`.
+std::vector<int> mobility(const Dfg& dfg, const LatencyFn& latency, int deadline);
+
+}  // namespace hsyn

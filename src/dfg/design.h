@@ -1,0 +1,63 @@
+// A Design groups the top-level DFG with every behavior it references,
+// plus the user-declared functional-equivalence classes that move A uses
+// to swap anisomorphic DFGs for the same hierarchical node (paper,
+// Example 2: "C1 and C2 implement functionally equivalent behavior").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace hsyn {
+
+class Design {
+ public:
+  Design() = default;
+
+  /// Register a behavior. Its Dfg::name() is the key. Validates the DFG.
+  void add_behavior(Dfg dfg);
+
+  /// Mark two already-registered behaviors as functionally equivalent
+  /// (user-supplied knowledge; transitively closed).
+  void declare_equivalent(const std::string& a, const std::string& b);
+
+  /// Set/get the name of the top-level behavior.
+  void set_top(std::string name) { top_ = std::move(name); }
+  const std::string& top_name() const { return top_; }
+  const Dfg& top() const { return behavior(top_); }
+
+  bool has_behavior(const std::string& name) const { return behaviors_.count(name) != 0; }
+  const Dfg& behavior(const std::string& name) const;
+  Dfg& behavior_mut(const std::string& name);
+
+  /// All behavior names, in insertion order.
+  const std::vector<std::string>& behavior_names() const { return order_; }
+
+  /// All behaviors equivalent to `name`, including `name` itself.
+  std::vector<std::string> equivalents(const std::string& name) const;
+
+  /// Check that every hierarchical node references a registered behavior
+  /// with matching port counts, that equivalent behaviors have identical
+  /// I/O signatures, and that the hierarchy is non-recursive.
+  /// Throws std::logic_error on violation.
+  void validate() const;
+
+  /// Total operation-node count of `name` with all hierarchy inlined.
+  int flattened_size(const std::string& name) const;
+
+  /// Maximum hierarchy depth below `name` (0 for a flat behavior).
+  int depth(const std::string& name) const;
+
+ private:
+  int find_class(const std::string& name) const;
+
+  std::map<std::string, Dfg> behaviors_;
+  std::vector<std::string> order_;
+  std::string top_;
+  // Union-find over behavior names for equivalence classes.
+  std::map<std::string, std::string> eq_parent_;
+};
+
+}  // namespace hsyn

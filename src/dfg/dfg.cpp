@@ -1,0 +1,238 @@
+#include "dfg/dfg.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mult: return "mult";
+    case Op::ShiftL: return "shl";
+    case Op::ShiftR: return "shr";
+    case Op::Cmp: return "cmp";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Neg: return "neg";
+    case Op::Hier: return "hier";
+  }
+  return "?";
+}
+
+int op_arity(Op op) {
+  switch (op) {
+    case Op::Neg: return 1;
+    case Op::Hier: return -1;  // carried by node
+    default: return 2;
+  }
+}
+
+int Dfg::add_node(Op op, std::string label) {
+  check(op != Op::Hier, "use add_hier_node for hierarchical nodes");
+  Node n;
+  n.id = static_cast<int>(nodes_.size());
+  n.op = op;
+  n.label = std::move(label);
+  n.num_inputs = op_arity(op);
+  n.num_outputs = 1;
+  nodes_.push_back(std::move(n));
+  invalidate();
+  return nodes_.back().id;
+}
+
+int Dfg::add_hier_node(std::string behavior, int num_inputs, int num_outputs,
+                       std::string label) {
+  Node n;
+  n.id = static_cast<int>(nodes_.size());
+  n.op = Op::Hier;
+  n.behavior = std::move(behavior);
+  n.label = std::move(label);
+  n.num_inputs = num_inputs;
+  n.num_outputs = num_outputs;
+  nodes_.push_back(std::move(n));
+  invalidate();
+  return nodes_.back().id;
+}
+
+int Dfg::connect(PortRef src, std::vector<PortRef> dsts, std::string label) {
+  Edge e;
+  e.id = static_cast<int>(edges_.size());
+  e.src = src;
+  e.dsts = std::move(dsts);
+  e.label = std::move(label);
+  edges_.push_back(std::move(e));
+  invalidate();
+  return edges_.back().id;
+}
+
+void Dfg::add_consumer(int edge_id, PortRef dst) {
+  edge_mut(edge_id).dsts.push_back(dst);
+  invalidate();
+}
+
+int Dfg::input_edge(int node_id, int port) const {
+  check(validated_, "Dfg::input_edge requires validate()");
+  return node_in_[static_cast<std::size_t>(node_id)][static_cast<std::size_t>(port)];
+}
+
+int Dfg::output_edge(int node_id, int port) const {
+  check(validated_, "Dfg::output_edge requires validate()");
+  return node_out_[static_cast<std::size_t>(node_id)][static_cast<std::size_t>(port)];
+}
+
+int Dfg::primary_input_edge(int idx) const {
+  check(validated_, "Dfg::primary_input_edge requires validate()");
+  return pin_edge_[static_cast<std::size_t>(idx)];
+}
+
+int Dfg::primary_output_edge(int idx) const {
+  check(validated_, "Dfg::primary_output_edge requires validate()");
+  return pout_edge_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<int> Dfg::node_input_edges(int node_id) const {
+  check(validated_, "Dfg::node_input_edges requires validate()");
+  return node_in_[static_cast<std::size_t>(node_id)];
+}
+
+std::vector<int> Dfg::node_output_edges(int node_id) const {
+  check(validated_, "Dfg::node_output_edges requires validate()");
+  return node_out_[static_cast<std::size_t>(node_id)];
+}
+
+bool Dfg::has_hierarchy() const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [](const Node& n) { return n.is_hier(); });
+}
+
+int Dfg::num_operation_nodes() const {
+  return static_cast<int>(std::count_if(
+      nodes_.begin(), nodes_.end(), [](const Node& n) { return !n.is_hier(); }));
+}
+
+void Dfg::build_tables() {
+  node_in_.assign(nodes_.size(), {});
+  node_out_.assign(nodes_.size(), {});
+  for (const Node& n : nodes_) {
+    node_in_[static_cast<std::size_t>(n.id)].assign(
+        static_cast<std::size_t>(n.num_inputs), -1);
+    node_out_[static_cast<std::size_t>(n.id)].assign(
+        static_cast<std::size_t>(n.num_outputs), -1);
+  }
+  pin_edge_.assign(static_cast<std::size_t>(num_inputs_), -1);
+  pout_edge_.assign(static_cast<std::size_t>(num_outputs_), -1);
+
+  for (const Edge& e : edges_) {
+    if (e.src.node == kPrimaryIn) {
+      check(e.src.port >= 0 && e.src.port < num_inputs_,
+            strf("dfg %s: edge %d primary input %d out of range", name_.c_str(),
+                 e.id, e.src.port));
+      check(pin_edge_[static_cast<std::size_t>(e.src.port)] == -1,
+            strf("dfg %s: primary input %d driven twice", name_.c_str(), e.src.port));
+      pin_edge_[static_cast<std::size_t>(e.src.port)] = e.id;
+    } else {
+      check(e.src.node >= 0 && e.src.node < static_cast<int>(nodes_.size()),
+            strf("dfg %s: edge %d source node out of range", name_.c_str(), e.id));
+      const Node& src = node(e.src.node);
+      check(e.src.port >= 0 && e.src.port < src.num_outputs,
+            strf("dfg %s: edge %d source port out of range", name_.c_str(), e.id));
+      auto& slot = node_out_[static_cast<std::size_t>(e.src.node)]
+                            [static_cast<std::size_t>(e.src.port)];
+      check(slot == -1, strf("dfg %s: node %d output %d driven twice", name_.c_str(),
+                             e.src.node, e.src.port));
+      slot = e.id;
+    }
+    for (const PortRef& d : e.dsts) {
+      if (d.node == kPrimaryOut) {
+        check(d.port >= 0 && d.port < num_outputs_,
+              strf("dfg %s: edge %d primary output %d out of range", name_.c_str(),
+                   e.id, d.port));
+        check(pout_edge_[static_cast<std::size_t>(d.port)] == -1,
+              strf("dfg %s: primary output %d driven twice", name_.c_str(), d.port));
+        pout_edge_[static_cast<std::size_t>(d.port)] = e.id;
+      } else {
+        check(d.node >= 0 && d.node < static_cast<int>(nodes_.size()),
+              strf("dfg %s: edge %d dst node out of range", name_.c_str(), e.id));
+        const Node& dst = node(d.node);
+        check(d.port >= 0 && d.port < dst.num_inputs,
+              strf("dfg %s: edge %d dst port %d out of range on node %d",
+                   name_.c_str(), e.id, d.port, d.node));
+        auto& slot = node_in_[static_cast<std::size_t>(d.node)]
+                             [static_cast<std::size_t>(d.port)];
+        check(slot == -1, strf("dfg %s: node %d input %d driven twice", name_.c_str(),
+                               d.node, d.port));
+        slot = e.id;
+      }
+    }
+  }
+
+  // Completeness: every node input port must be driven; every primary
+  // output must be produced.
+  for (const Node& n : nodes_) {
+    for (int p = 0; p < n.num_inputs; ++p) {
+      check(node_in_[static_cast<std::size_t>(n.id)][static_cast<std::size_t>(p)] != -1,
+            strf("dfg %s: node %d (%s) input %d undriven", name_.c_str(), n.id,
+                 n.label.empty() ? op_name(n.op) : n.label.c_str(), p));
+    }
+  }
+  for (int p = 0; p < num_outputs_; ++p) {
+    check(pout_edge_[static_cast<std::size_t>(p)] != -1,
+          strf("dfg %s: primary output %d undriven", name_.c_str(), p));
+  }
+}
+
+void Dfg::compute_topo() {
+  const auto n = nodes_.size();
+  std::vector<int> indeg(n, 0);
+  for (const Edge& e : edges_) {
+    if (e.src.node < 0) continue;
+    // Count node-to-node dependencies once per (edge, dst) pair.
+    for (const PortRef& d : e.dsts) {
+      if (d.node >= 0) indeg[static_cast<std::size_t>(d.node)]++;
+    }
+  }
+  // Inputs fed by primary inputs don't add in-degree, so adjust: we counted
+  // only node-sourced edges above. Recompute from node_in_ for correctness.
+  std::fill(indeg.begin(), indeg.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int eid : node_in_[i]) {
+      if (eid >= 0 && edges_[static_cast<std::size_t>(eid)].src.node >= 0) {
+        indeg[i]++;
+      }
+    }
+  }
+  std::queue<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push(static_cast<int>(i));
+  }
+  topo_.clear();
+  topo_.reserve(n);
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop();
+    topo_.push_back(u);
+    for (int eid : node_out_[static_cast<std::size_t>(u)]) {
+      if (eid < 0) continue;
+      for (const PortRef& d : edges_[static_cast<std::size_t>(eid)].dsts) {
+        if (d.node < 0) continue;
+        if (--indeg[static_cast<std::size_t>(d.node)] == 0) ready.push(d.node);
+      }
+    }
+  }
+  check(topo_.size() == n, strf("dfg %s: cycle detected (topological sort visited "
+                                "%zu of %zu nodes)",
+                                name_.c_str(), topo_.size(), n));
+}
+
+void Dfg::validate() {
+  build_tables();
+  compute_topo();
+  validated_ = true;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,38 @@
+#include "dfg/dot.h"
+
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+std::string dfg_to_dot(const Dfg& dfg) {
+  std::ostringstream out;
+  out << "digraph \"" << dfg.name() << "\" {\n  rankdir=TB;\n";
+  for (int i = 0; i < dfg.num_inputs(); ++i) {
+    out << strf("  pi%d [shape=plaintext,label=\"in%d\"];\n", i, i);
+  }
+  for (int o = 0; o < dfg.num_outputs(); ++o) {
+    out << strf("  po%d [shape=plaintext,label=\"out%d\"];\n", o, o);
+  }
+  for (const Node& n : dfg.nodes()) {
+    const std::string label = n.label.empty()
+                                  ? (n.is_hier() ? n.behavior : op_name(n.op))
+                                  : n.label;
+    out << strf("  n%d [shape=%s,label=\"%s\"];\n", n.id,
+                n.is_hier() ? "box" : "circle", label.c_str());
+  }
+  for (const Edge& e : dfg.edges()) {
+    const std::string src = e.src.node == kPrimaryIn ? strf("pi%d", e.src.port)
+                                                     : strf("n%d", e.src.node);
+    for (const PortRef& d : e.dsts) {
+      const std::string dst =
+          d.node == kPrimaryOut ? strf("po%d", d.port) : strf("n%d", d.node);
+      out << strf("  %s -> %s [label=\"%d\"];\n", src.c_str(), dst.c_str(), d.port);
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hsyn

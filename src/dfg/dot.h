@@ -1,0 +1,13 @@
+// Graphviz export of DFGs for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.h"
+
+namespace hsyn {
+
+/// Render a single DFG as a Graphviz digraph.
+std::string dfg_to_dot(const Dfg& dfg);
+
+}  // namespace hsyn

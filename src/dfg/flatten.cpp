@@ -1,0 +1,93 @@
+#include "dfg/flatten.h"
+
+#include <functional>
+#include <map>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+/// Recursive inliner. `input_edges[i]` is the edge id in `out` that feeds
+/// primary input i of the behavior being inlined; returns the edge ids in
+/// `out` corresponding to the behavior's primary outputs.
+std::vector<int> inline_behavior(const Design& design, const std::string& name,
+                                 const std::vector<int>& input_edges,
+                                 const std::string& prefix, Dfg& out) {
+  const Dfg& src = design.behavior(name);
+  check(static_cast<int>(input_edges.size()) == src.num_inputs(),
+        "inline_behavior: input arity mismatch for " + name);
+
+  // Edge id in `src` -> edge id in `out`. Primary-input edges of `src`
+  // map onto the provided input edges.
+  std::map<int, int> edge_map;
+  for (int i = 0; i < src.num_inputs(); ++i) {
+    const int eid = src.primary_input_edge(i);
+    if (eid >= 0) edge_map[eid] = input_edges[static_cast<std::size_t>(i)];
+  }
+
+  // Process nodes in topological order; each non-hier node is copied,
+  // each hier node recursively inlined. Output edges of each node are
+  // created in `out` as they are produced.
+  for (const int nid : src.topo_order()) {
+    const Node& n = src.node(nid);
+    std::vector<int> ins;
+    ins.reserve(static_cast<std::size_t>(n.num_inputs));
+    for (int p = 0; p < n.num_inputs; ++p) {
+      const int se = src.input_edge(nid, p);
+      check(edge_map.count(se) != 0, "inline_behavior: dangling input edge");
+      ins.push_back(edge_map.at(se));
+    }
+    std::vector<int> outs;
+    if (n.is_hier()) {
+      outs = inline_behavior(design, n.behavior, ins,
+                             prefix + (n.label.empty() ? n.behavior : n.label) + "/",
+                             out);
+    } else {
+      const int new_id = out.add_node(n.op, prefix + (n.label.empty()
+                                                          ? op_name(n.op)
+                                                          : n.label));
+      for (int p = 0; p < n.num_inputs; ++p) {
+        out.add_consumer(ins[static_cast<std::size_t>(p)], PortRef{new_id, p});
+      }
+      for (int p = 0; p < n.num_outputs; ++p) {
+        outs.push_back(out.connect(PortRef{new_id, p}, {}));
+      }
+    }
+    // Record produced edges under the source edge ids.
+    for (int p = 0; p < n.num_outputs; ++p) {
+      const int se = src.output_edge(nid, p);
+      if (se >= 0) edge_map[se] = outs[static_cast<std::size_t>(p)];
+    }
+  }
+
+  std::vector<int> result;
+  result.reserve(static_cast<std::size_t>(src.num_outputs()));
+  for (int o = 0; o < src.num_outputs(); ++o) {
+    const int se = src.primary_output_edge(o);
+    check(edge_map.count(se) != 0, "inline_behavior: unproduced primary output");
+    result.push_back(edge_map.at(se));
+  }
+  return result;
+}
+
+}  // namespace
+
+Dfg flatten(const Design& design, const std::string& name) {
+  const Dfg& src = design.behavior(name);
+  Dfg out(src.name() + "_flat", src.num_inputs(), src.num_outputs());
+
+  std::vector<int> input_edges;
+  input_edges.reserve(static_cast<std::size_t>(src.num_inputs()));
+  for (int i = 0; i < src.num_inputs(); ++i) {
+    input_edges.push_back(out.connect(PortRef{kPrimaryIn, i}, {}));
+  }
+  const std::vector<int> outs = inline_behavior(design, name, input_edges, "", out);
+  for (int o = 0; o < src.num_outputs(); ++o) {
+    out.add_consumer(outs[static_cast<std::size_t>(o)], PortRef{kPrimaryOut, o});
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,22 @@
+// Hierarchy flattening: recursively inline every hierarchical node.
+//
+// The flattened comparator of the paper ("the flattened version of the
+// same algorithm [10]") runs the identical synthesis engine on the output
+// of this pass, so flattening must preserve exact dataflow semantics.
+#pragma once
+
+#include <string>
+
+#include "dfg/design.h"
+
+namespace hsyn {
+
+/// Return a fully flat (operations only) DFG equivalent to behavior
+/// `name` of `design`. Node labels are prefixed with their hierarchical
+/// path (e.g. "DFG1/+1") for traceability.
+Dfg flatten(const Design& design, const std::string& name);
+
+/// Convenience: flatten the design's top behavior.
+inline Dfg flatten_top(const Design& design) { return flatten(design, design.top_name()); }
+
+}  // namespace hsyn

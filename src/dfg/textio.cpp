@@ -1,0 +1,176 @@
+#include "dfg/textio.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+Op op_from_name(const std::string& s, int line) {
+  static const std::map<std::string, Op> table = {
+      {"add", Op::Add}, {"sub", Op::Sub},   {"mult", Op::Mult}, {"shl", Op::ShiftL},
+      {"shr", Op::ShiftR}, {"cmp", Op::Cmp}, {"and", Op::And},  {"or", Op::Or},
+      {"xor", Op::Xor}, {"neg", Op::Neg}};
+  auto it = table.find(s);
+  check(it != table.end(), strf("line %d: unknown op '%s'", line, s.c_str()));
+  return it->second;
+}
+
+std::string ref_to_text(const PortRef& r, bool is_src) {
+  if (r.node == kPrimaryIn) return strf("in:%d", r.port);
+  if (r.node == kPrimaryOut) return strf("out:%d", r.port);
+  (void)is_src;
+  return strf("%d.%d", r.node, r.port);
+}
+
+PortRef ref_from_text(const std::string& s, int line) {
+  PortRef r;
+  if (s.rfind("in:", 0) == 0) {
+    r.node = kPrimaryIn;
+    r.port = std::stoi(s.substr(3));
+    return r;
+  }
+  if (s.rfind("out:", 0) == 0) {
+    r.node = kPrimaryOut;
+    r.port = std::stoi(s.substr(4));
+    return r;
+  }
+  const auto dot = s.find('.');
+  check(dot != std::string::npos, strf("line %d: bad port ref '%s'", line, s.c_str()));
+  r.node = std::stoi(s.substr(0, dot));
+  r.port = std::stoi(s.substr(dot + 1));
+  return r;
+}
+
+// Extract an optional trailing `label=TOKEN` from a token list.
+std::string take_label(std::vector<std::string>& toks) {
+  if (!toks.empty() && toks.back().rfind("label=", 0) == 0) {
+    std::string l = toks.back().substr(6);
+    toks.pop_back();
+    return l;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string design_to_text(const Design& design) {
+  std::ostringstream out;
+  out << "# hsyn hierarchical DFG design\n";
+  for (const std::string& name : design.behavior_names()) {
+    const Dfg& d = design.behavior(name);
+    out << strf("dfg %s inputs %d outputs %d\n", name.c_str(), d.num_inputs(),
+                d.num_outputs());
+    for (const Node& n : d.nodes()) {
+      if (n.is_hier()) {
+        out << strf("  hier %d %s %d %d", n.id, n.behavior.c_str(), n.num_inputs,
+                    n.num_outputs);
+      } else {
+        out << strf("  node %d %s", n.id, op_name(n.op));
+      }
+      if (!n.label.empty()) out << " label=" << n.label;
+      out << "\n";
+    }
+    for (const Edge& e : d.edges()) {
+      out << "  edge " << ref_to_text(e.src, true) << " ->";
+      for (const PortRef& dst : e.dsts) out << ' ' << ref_to_text(dst, false);
+      if (!e.label.empty()) out << " label=" << e.label;
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  // Equivalence classes: emit pairwise declarations against the class head.
+  std::set<std::string> emitted;
+  for (const std::string& name : design.behavior_names()) {
+    if (emitted.count(name)) continue;
+    const auto eq = design.equivalents(name);
+    for (const std::string& other : eq) emitted.insert(other);
+    for (std::size_t i = 1; i < eq.size(); ++i) {
+      out << strf("equiv %s %s\n", eq[0].c_str(), eq[i].c_str());
+    }
+  }
+  if (!design.top_name().empty()) out << "top " << design.top_name() << "\n";
+  return out.str();
+}
+
+Design design_from_text(const std::string& text) {
+  Design design;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  Dfg cur;
+  bool in_dfg = false;
+  int expected_next_node = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> toks;
+    for (std::string t; ls >> t;) toks.push_back(t);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+
+    if (kw == "dfg") {
+      check(!in_dfg, strf("line %d: nested dfg", lineno));
+      check(toks.size() == 6 && toks[2] == "inputs" && toks[4] == "outputs",
+            strf("line %d: expected 'dfg NAME inputs N outputs M'", lineno));
+      cur = Dfg(toks[1], std::stoi(toks[3]), std::stoi(toks[5]));
+      in_dfg = true;
+      expected_next_node = 0;
+    } else if (kw == "node") {
+      check(in_dfg, strf("line %d: node outside dfg", lineno));
+      std::string label = take_label(toks);
+      check(toks.size() == 3, strf("line %d: expected 'node ID OP'", lineno));
+      check(std::stoi(toks[1]) == expected_next_node,
+            strf("line %d: node ids must be dense and ordered", lineno));
+      cur.add_node(op_from_name(toks[2], lineno), std::move(label));
+      ++expected_next_node;
+    } else if (kw == "hier") {
+      check(in_dfg, strf("line %d: hier outside dfg", lineno));
+      std::string label = take_label(toks);
+      check(toks.size() == 5, strf("line %d: expected 'hier ID BEHAVIOR INS OUTS'",
+                                   lineno));
+      check(std::stoi(toks[1]) == expected_next_node,
+            strf("line %d: node ids must be dense and ordered", lineno));
+      cur.add_hier_node(toks[2], std::stoi(toks[3]), std::stoi(toks[4]),
+                        std::move(label));
+      ++expected_next_node;
+    } else if (kw == "edge") {
+      check(in_dfg, strf("line %d: edge outside dfg", lineno));
+      std::string label = take_label(toks);
+      check(toks.size() >= 4 && toks[2] == "->",
+            strf("line %d: expected 'edge SRC -> DST...'", lineno));
+      const PortRef src = ref_from_text(toks[1], lineno);
+      std::vector<PortRef> dsts;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        dsts.push_back(ref_from_text(toks[i], lineno));
+      }
+      cur.connect(src, std::move(dsts), std::move(label));
+    } else if (kw == "end") {
+      check(in_dfg, strf("line %d: stray end", lineno));
+      design.add_behavior(std::move(cur));
+      cur = Dfg();
+      in_dfg = false;
+    } else if (kw == "equiv") {
+      check(toks.size() == 3, strf("line %d: expected 'equiv A B'", lineno));
+      design.declare_equivalent(toks[1], toks[2]);
+    } else if (kw == "top") {
+      check(toks.size() == 2, strf("line %d: expected 'top NAME'", lineno));
+      design.set_top(toks[1]);
+    } else {
+      check(false, strf("line %d: unknown keyword '%s'", lineno, kw.c_str()));
+    }
+  }
+  check(!in_dfg, "unterminated dfg block");
+  design.validate();
+  return design;
+}
+
+}  // namespace hsyn

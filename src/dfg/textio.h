@@ -1,0 +1,33 @@
+// Textual reader/writer for hierarchical DFG designs.
+//
+// The paper's H-SYN "reads in a textual description of the hierarchical
+// DFG"; this module provides an equivalent round-trippable format:
+//
+//   # comment
+//   dfg NAME inputs N outputs M
+//     node ID OP [label=TOKEN]
+//     hier ID BEHAVIOR INS OUTS [label=TOKEN]
+//     edge SRC -> DST [DST ...] [label=TOKEN]
+//   end
+//   ...
+//   equiv A B
+//   top NAME
+//
+// where SRC is `in:K` or `NODE.PORT` and DST is `out:K` or `NODE.PORT`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/design.h"
+
+namespace hsyn {
+
+/// Serialize a whole design (all behaviors, equivalences, top marker).
+std::string design_to_text(const Design& design);
+
+/// Parse a design from text. Throws std::logic_error with a line-numbered
+/// message on malformed input. The returned design is validated.
+Design design_from_text(const std::string& text);
+
+}  // namespace hsyn

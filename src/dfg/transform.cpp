@@ -1,0 +1,403 @@
+#include "dfg/transform.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+bool is_commutative(Op op) {
+  switch (op) {
+    case Op::Add:
+    case Op::Mult:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: return true;
+    default: return false;
+  }
+}
+
+/// Copy helper: rebuilds a DFG from a keep-set, preserving structure.
+/// `keep[nid]` false drops the node; every consumer of a dropped node
+/// must itself be dropped (caller guarantees).
+Dfg rebuild_subset(const Dfg& src, const std::vector<char>& keep,
+                   const std::string& name) {
+  Dfg out(name, src.num_inputs(), src.num_outputs());
+  std::map<int, int> node_map;
+  for (const int nid : src.topo_order()) {
+    if (!keep[static_cast<std::size_t>(nid)]) continue;
+    const Node& n = src.node(nid);
+    const int new_id =
+        n.is_hier()
+            ? out.add_hier_node(n.behavior, n.num_inputs, n.num_outputs, n.label)
+            : out.add_node(n.op, n.label);
+    node_map[nid] = new_id;
+  }
+  // Edges: one per original edge whose producer survives (or primary
+  // input), with surviving consumers only.
+  for (const Edge& e : src.edges()) {
+    PortRef new_src = e.src;
+    if (e.src.node >= 0) {
+      auto it = node_map.find(e.src.node);
+      if (it == node_map.end()) continue;  // producer dropped
+      new_src.node = it->second;
+    }
+    std::vector<PortRef> dsts;
+    for (const PortRef& d : e.dsts) {
+      if (d.node == kPrimaryOut) {
+        dsts.push_back(d);
+      } else if (auto it = node_map.find(d.node); it != node_map.end()) {
+        dsts.push_back({it->second, d.port});
+      }
+    }
+    if (dsts.empty() && e.src.node >= 0) continue;  // dead value
+    if (dsts.empty() && e.src.node == kPrimaryIn) continue;  // unused input
+    out.connect(new_src, std::move(dsts), e.label);
+  }
+  out.validate();
+  return out;
+}
+
+/// Structural signature ignoring the graph's name (for variant dedup).
+std::string structure_signature(const Dfg& d) {
+  std::ostringstream s;
+  s << d.num_inputs() << '/' << d.num_outputs() << ';';
+  for (const Node& n : d.nodes()) {
+    s << op_name(n.op) << (n.is_hier() ? n.behavior : "") << ',';
+  }
+  for (const Edge& e : d.edges()) {
+    s << e.src.node << '.' << e.src.port << ':';
+    for (const PortRef& dst : e.dsts) s << dst.node << '.' << dst.port << ' ';
+    s << ';';
+  }
+  return s.str();
+}
+
+}  // namespace
+
+Dfg eliminate_dead_nodes(const Dfg& dfg) {
+  check(dfg.validated(), "eliminate_dead_nodes: validate first");
+  std::vector<char> live(dfg.nodes().size(), 0);
+  // Seed with producers of primary outputs, walk backwards.
+  std::vector<int> stack;
+  for (int o = 0; o < dfg.num_outputs(); ++o) {
+    const Edge& e = dfg.edge(dfg.primary_output_edge(o));
+    if (e.src.node >= 0 && !live[static_cast<std::size_t>(e.src.node)]) {
+      live[static_cast<std::size_t>(e.src.node)] = 1;
+      stack.push_back(e.src.node);
+    }
+  }
+  while (!stack.empty()) {
+    const int nid = stack.back();
+    stack.pop_back();
+    const Node& n = dfg.node(nid);
+    for (int p = 0; p < n.num_inputs; ++p) {
+      const Edge& e = dfg.edge(dfg.input_edge(nid, p));
+      if (e.src.node >= 0 && !live[static_cast<std::size_t>(e.src.node)]) {
+        live[static_cast<std::size_t>(e.src.node)] = 1;
+        stack.push_back(e.src.node);
+      }
+    }
+  }
+  return rebuild_subset(dfg, live, dfg.name());
+}
+
+Dfg eliminate_common_subexpressions(const Dfg& dfg) {
+  check(dfg.validated(), "cse: validate first");
+  // Canonical value id per edge; nodes with identical (op, operand ids)
+  // share one representative.
+  std::map<int, std::string> edge_value;  // edge id -> canonical value id
+  for (int i = 0; i < dfg.num_inputs(); ++i) {
+    const int e = dfg.primary_input_edge(i);
+    if (e >= 0) edge_value[e] = strf("in%d", i);
+  }
+  std::map<std::string, int> repr;         // value key -> representative node
+  std::vector<int> replacement(dfg.nodes().size());
+  std::vector<char> keep(dfg.nodes().size(), 1);
+  for (const int nid : dfg.topo_order()) {
+    const Node& n = dfg.node(nid);
+    replacement[static_cast<std::size_t>(nid)] = nid;
+    if (n.is_hier()) {
+      // Hierarchical nodes are not deduplicated (their modules may be
+      // customized independently); still give their outputs value ids.
+      for (int p = 0; p < n.num_outputs; ++p) {
+        const int e = dfg.output_edge(nid, p);
+        if (e >= 0) edge_value[e] = strf("h%d.%d", nid, p);
+      }
+      continue;
+    }
+    std::vector<std::string> operands;
+    for (int p = 0; p < n.num_inputs; ++p) {
+      operands.push_back(edge_value.at(dfg.input_edge(nid, p)));
+    }
+    if (is_commutative(n.op)) std::sort(operands.begin(), operands.end());
+    std::string key = op_name(n.op);
+    for (const std::string& o : operands) key += "(" + o + ")";
+    auto [it, inserted] = repr.emplace(key, nid);
+    if (!inserted) {
+      keep[static_cast<std::size_t>(nid)] = 0;
+      replacement[static_cast<std::size_t>(nid)] = it->second;
+    }
+    const int e = dfg.output_edge(nid, 0);
+    if (e >= 0) edge_value[e] = key;
+  }
+
+  // Rebuild with consumers rerouted to representatives.
+  Dfg out(dfg.name(), dfg.num_inputs(), dfg.num_outputs());
+  std::map<int, int> node_map;
+  for (const int nid : dfg.topo_order()) {
+    if (!keep[static_cast<std::size_t>(nid)]) continue;
+    const Node& n = dfg.node(nid);
+    node_map[nid] = n.is_hier()
+                        ? out.add_hier_node(n.behavior, n.num_inputs,
+                                            n.num_outputs, n.label)
+                        : out.add_node(n.op, n.label);
+  }
+  // One new edge per (representative terminal); gather consumers.
+  std::map<std::string, int> new_edges;  // terminal key -> new edge id
+  auto terminal_key = [](const PortRef& r) {
+    return strf("%d.%d", r.node, r.port);
+  };
+  auto edge_for = [&](PortRef src) {
+    if (src.node >= 0) {
+      src.node = node_map.at(
+          replacement[static_cast<std::size_t>(src.node)]);
+    }
+    const std::string key =
+        (src.node == kPrimaryIn ? "in" : "n") + terminal_key(src);
+    auto it = new_edges.find(key);
+    if (it == new_edges.end()) {
+      it = new_edges.emplace(key, out.connect(src, {})).first;
+    }
+    return it->second;
+  };
+  for (const Edge& e : dfg.edges()) {
+    if (e.src.node >= 0 &&
+        (!keep[static_cast<std::size_t>(e.src.node)] ||
+         replacement[static_cast<std::size_t>(e.src.node)] != e.src.node)) {
+      continue;  // folded into a representative's edge
+    }
+    const int ne = edge_for(e.src);
+    for (const PortRef& d : e.dsts) {
+      if (d.node == kPrimaryOut) {
+        out.add_consumer(ne, d);
+      } else if (keep[static_cast<std::size_t>(d.node)]) {
+        out.add_consumer(ne, {node_map.at(d.node), d.port});
+      }
+    }
+  }
+  // Reroute edges whose producer was deduplicated: their consumers attach
+  // to the representative's edge instead.
+  for (const Edge& e : dfg.edges()) {
+    if (e.src.node < 0 || keep[static_cast<std::size_t>(e.src.node)]) continue;
+    const int rep = replacement[static_cast<std::size_t>(e.src.node)];
+    const int ne = edge_for({rep, e.src.port});
+    for (const PortRef& d : e.dsts) {
+      if (d.node == kPrimaryOut) {
+        out.add_consumer(ne, d);
+      } else if (keep[static_cast<std::size_t>(d.node)]) {
+        out.add_consumer(ne, {node_map.at(d.node), d.port});
+      }
+    }
+  }
+  out.validate();
+  return eliminate_dead_nodes(out);
+}
+
+Dfg reshape_reductions(const Dfg& dfg, TreeShape shape) {
+  check(dfg.validated(), "reshape_reductions: validate first");
+
+  // A node is tree-interior when it is Add/Mult and its single output
+  // edge feeds exactly one consumer of the same op (and no primary
+  // output).
+  auto same_op_single_consumer = [&](int nid) -> int {
+    const Node& n = dfg.node(nid);
+    if (n.op != Op::Add && n.op != Op::Mult) return -1;
+    const int e = dfg.output_edge(nid, 0);
+    if (e < 0) return -1;
+    const Edge& edge = dfg.edge(e);
+    if (edge.dsts.size() != 1 || edge.dsts[0].node < 0) return -1;
+    const Node& c = dfg.node(edge.dsts[0].node);
+    return c.op == n.op ? edge.dsts[0].node : -1;
+  };
+
+  std::vector<char> interior(dfg.nodes().size(), 0);
+  for (const Node& n : dfg.nodes()) {
+    if (!n.is_hier() && same_op_single_consumer(n.id) >= 0) {
+      interior[static_cast<std::size_t>(n.id)] = 1;
+    }
+  }
+  // Roots: Add/Mult nodes that are not interior but have interior
+  // producers (trees of size >= 2).
+  auto gather_leaves = [&](int root, std::vector<int>& leaves) {
+    // DFS in operand order, collecting external feeding edges.
+    std::vector<int> stack = {root};
+    std::vector<int> order;
+    // Manual recursion preserving left-to-right operand order.
+    std::function<void(int)> walk = [&](int nid) {
+      const Node& n = dfg.node(nid);
+      for (int p = 0; p < n.num_inputs; ++p) {
+        const int e = dfg.input_edge(nid, p);
+        const Edge& edge = dfg.edge(e);
+        if (edge.src.node >= 0 &&
+            interior[static_cast<std::size_t>(edge.src.node)] &&
+            dfg.node(edge.src.node).op == n.op) {
+          walk(edge.src.node);
+        } else {
+          leaves.push_back(e);
+        }
+      }
+    };
+    walk(root);
+    (void)stack;
+    (void)order;
+  };
+
+  Dfg out(dfg.name(), dfg.num_inputs(), dfg.num_outputs());
+  std::map<int, int> node_map;    // surviving original node -> new node
+  std::map<int, int> edge_map;    // original edge -> new edge
+  auto new_edge_for = [&](int orig_edge) -> int {
+    auto it = edge_map.find(orig_edge);
+    if (it != edge_map.end()) return it->second;
+    const Edge& e = dfg.edge(orig_edge);
+    PortRef src = e.src;
+    if (src.node >= 0) {
+      src.node = node_map.at(src.node);
+    }
+    const int ne = out.connect(src, {}, e.label);
+    edge_map[orig_edge] = ne;
+    return ne;
+  };
+
+  for (const int nid : dfg.topo_order()) {
+    if (interior[static_cast<std::size_t>(nid)]) continue;  // absorbed
+    const Node& n = dfg.node(nid);
+    const bool is_root =
+        !n.is_hier() && (n.op == Op::Add || n.op == Op::Mult) &&
+        [&] {
+          for (int p = 0; p < n.num_inputs; ++p) {
+            const Edge& e = dfg.edge(dfg.input_edge(nid, p));
+            if (e.src.node >= 0 &&
+                interior[static_cast<std::size_t>(e.src.node)]) {
+              return true;
+            }
+          }
+          return false;
+        }();
+    if (!is_root) {
+      // Plain copy.
+      const int new_id =
+          n.is_hier()
+              ? out.add_hier_node(n.behavior, n.num_inputs, n.num_outputs,
+                                  n.label)
+              : out.add_node(n.op, n.label);
+      node_map[nid] = new_id;
+      for (int p = 0; p < n.num_inputs; ++p) {
+        out.add_consumer(new_edge_for(dfg.input_edge(nid, p)), {new_id, p});
+      }
+      continue;
+    }
+    // Restructure the tree rooted here.
+    std::vector<int> leaf_edges;
+    gather_leaves(nid, leaf_edges);
+    std::vector<int> operands;
+    operands.reserve(leaf_edges.size());
+    for (const int e : leaf_edges) operands.push_back(new_edge_for(e));
+    const Op op = n.op;
+    auto combine = [&](int ea, int eb) {
+      const int id = out.add_node(op);
+      out.add_consumer(ea, {id, 0});
+      out.add_consumer(eb, {id, 1});
+      return out.connect({id, 0}, {});
+    };
+    int result;
+    int last_node;
+    if (shape == TreeShape::Chain) {
+      int acc = operands[0];
+      for (std::size_t k = 1; k < operands.size(); ++k) {
+        acc = combine(acc, operands[k]);
+      }
+      result = acc;
+    } else {
+      std::vector<int> level = operands;
+      while (level.size() > 1) {
+        std::vector<int> next;
+        for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+          next.push_back(combine(level[k], level[k + 1]));
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+      }
+      result = level[0];
+    }
+    // The tree's result edge replaces the root's output edge; map the
+    // root node to the producer of `result`.
+    last_node = out.edge(result).src.node;
+    node_map[nid] = last_node;
+    edge_map[dfg.output_edge(nid, 0)] = result;
+  }
+
+  // Consumers: attach every original edge's destinations.
+  for (const Edge& e : dfg.edges()) {
+    if (e.src.node >= 0 && interior[static_cast<std::size_t>(e.src.node)]) {
+      continue;  // interior values no longer exist
+    }
+    bool feeds_output = false;
+    for (const PortRef& d : e.dsts) feeds_output |= d.node == kPrimaryOut;
+    auto it = edge_map.find(e.id);
+    if (it == edge_map.end()) {
+      if (!feeds_output) continue;  // never referenced (dead value)
+      // Pass-through (e.g. primary input straight to a primary output).
+      it = edge_map.find(e.id);
+      const int ne = new_edge_for(e.id);
+      it = edge_map.find(e.id);
+      (void)ne;
+    }
+    for (const PortRef& d : e.dsts) {
+      if (d.node == kPrimaryOut) {
+        out.add_consumer(it->second, d);
+      }
+      // Node consumers were attached during node construction.
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::vector<Dfg> generate_variants(const Dfg& dfg) {
+  const Dfg base = eliminate_common_subexpressions(dfg);
+  const std::string orig_sig = structure_signature(dfg);
+  std::vector<Dfg> variants;
+  std::set<std::string> seen = {orig_sig};
+  for (const TreeShape shape : {TreeShape::Balanced, TreeShape::Chain}) {
+    Dfg v = reshape_reductions(base, shape);
+    const std::string sig = structure_signature(v);
+    if (seen.insert(sig).second) {
+      v.set_name(dfg.name() +
+                 (shape == TreeShape::Balanced ? "__bal" : "__chain"));
+      variants.push_back(std::move(v));
+    }
+  }
+  return variants;
+}
+
+int register_variants(Design& design, const std::string& name) {
+  check(design.has_behavior(name), "register_variants: unknown behavior");
+  std::vector<Dfg> variants = generate_variants(design.behavior(name));
+  int added = 0;
+  for (Dfg& v : variants) {
+    if (design.has_behavior(v.name())) continue;
+    const std::string vname = v.name();
+    design.add_behavior(std::move(v));
+    design.declare_equivalent(name, vname);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace hsyn

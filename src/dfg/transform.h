@@ -1,0 +1,54 @@
+// Behavioral transformations on DFGs.
+//
+// The paper's related work ([4], HYPER) optimizes power with behavioral
+// transformations; its own move A exploits *user-supplied* functionally
+// equivalent DFG variants. This module supplies both: semantics-
+// preserving rewrites (common-subexpression elimination, dead-node
+// elimination) and associativity-based restructuring of add/mult
+// reduction trees, which is also used to generate equivalent variants
+// automatically -- a balanced tree (minimum depth, maximum parallelism)
+// and a serial chain (minimum liveness, chainable onto chained_addN
+// units) -- and register them with a Design's equivalence classes so
+// move A can swap them without any user annotation.
+//
+// All transformations are exact under the datapath's wrap-around 16-bit
+// arithmetic (addition and multiplication are associative and
+// commutative modulo 2^16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/design.h"
+
+namespace hsyn {
+
+/// Rebuild `dfg` without nodes whose results never reach a primary
+/// output. Returns the new graph (unchanged copy when nothing is dead).
+Dfg eliminate_dead_nodes(const Dfg& dfg);
+
+/// Common-subexpression elimination: operation nodes with identical
+/// (op, input edges) collapse into one (commutative ops match either
+/// operand order).
+Dfg eliminate_common_subexpressions(const Dfg& dfg);
+
+/// How to restructure associative reduction trees.
+enum class TreeShape {
+  Balanced,  ///< minimum depth: maximum parallelism
+  Chain,     ///< serial: minimum register pressure, chainable
+};
+
+/// Restructure every maximal same-op tree of Add or Mult nodes (whose
+/// intermediate values have no other consumers) into the given shape.
+Dfg reshape_reductions(const Dfg& dfg, TreeShape shape);
+
+/// Generate distinct equivalent variants of `dfg` (balanced / chain
+/// reshapes after CSE), named `<name>__bal` / `<name>__chain`. Variants
+/// identical to the input are omitted.
+std::vector<Dfg> generate_variants(const Dfg& dfg);
+
+/// Generate variants of behavior `name` and register them in `design`
+/// as functional equivalents. Returns the number of variants added.
+int register_variants(Design& design, const std::string& name);
+
+}  // namespace hsyn

@@ -1,0 +1,67 @@
+// RTL embedding (paper Section 3, Example 3, Table 2).
+//
+// Merges two RTL modules into a single module able to execute every
+// behavior of both, *preserving the original schedules and assignments
+// verbatim*: the merged module simply provides a component set into which
+// both source modules embed. Functional units are matched pairwise when a
+// library type exists that covers both sides' operations at identical
+// cycle counts (so neither schedule shifts); registers are matched
+// freely (behaviors never execute concurrently). The minimum-area
+// matching, including a multiplexer/interconnect measure, is found with
+// the Hungarian algorithm. Nested complex modules are carried over
+// unmatched.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// Correspondence between merged components and their sources, the
+/// paper's Table 2 ("Labeling the new RTL module to implement DFG1 and
+/// DFG2").
+struct EmbedCorrespondence {
+  struct Entry {
+    std::string merged;    ///< component name in the merged module
+    std::string from_a;    ///< source component in module A ("-" if none)
+    std::string from_b;    ///< source component in module B ("-" if none)
+    std::string lib_type;  ///< library element implementing the component
+    double area = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Embed modules `a` and `b` into a new module. Returns nullopt when the
+/// two modules implement overlapping behavior sets (plain instance
+/// sharing applies instead). The result is unscheduled; callers must
+/// reschedule (every move is validated by scheduling).
+std::optional<Datapath> embed_modules(const Datapath& a, const Datapath& b,
+                                      const Library& lib, const OpPoint& pt,
+                                      EmbedCorrespondence* corr = nullptr);
+
+/// How a module uses one of its functional units, aggregated over all
+/// behaviors: the ops executed, the longest chain, and the cycle count
+/// its current type provides. Shared-unit compatibility (both for
+/// embedding and for plain functional-unit merging in move C) is decided
+/// on this summary.
+struct FuMergeUsage {
+  std::set<Op> ops;
+  int max_chain = 1;
+  int cycles = 1;
+  bool pipelined = false;
+};
+
+/// Usage summary of functional unit `fu_idx` of `dp`.
+FuMergeUsage fu_merge_usage(const Datapath& dp, int fu_idx, const Library& lib,
+                            const OpPoint& pt);
+
+/// Cheapest library type able to host both usages at unchanged cycle
+/// counts (so neither source schedule shifts); -1 when none exists.
+int merged_fu_type(const FuMergeUsage& a, const FuMergeUsage& b,
+                   const Library& lib, const OpPoint& pt);
+
+}  // namespace hsyn

@@ -1,0 +1,72 @@
+#include "embed/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+// Classic potentials-based implementation (Jonker-style), O(n^3).
+AssignmentResult solve_assignment(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  for (const auto& row : cost) {
+    check(row.size() == n, "solve_assignment: matrix must be square");
+  }
+  if (n == 0) return {{}, 0};
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // 1-indexed internals.
+  std::vector<double> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, inf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = inf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult res;
+  res.row_to_col.assign(n, -1);
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0) res.row_to_col[p[j] - 1] = static_cast<int>(j) - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    res.cost += cost[i][static_cast<std::size_t>(res.row_to_col[i])];
+  }
+  return res;
+}
+
+}  // namespace hsyn

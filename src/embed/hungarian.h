@@ -1,0 +1,26 @@
+// Rectangular min-cost assignment (Hungarian algorithm, O(n^3)).
+//
+// Used by the RTL embedder to pick the minimum-area component matching
+// between two RTL modules, the optimization at the heart of the paper's
+// "fast and efficient algorithm for mapping multiple behaviors onto the
+// same RTL module".
+#pragma once
+
+#include <vector>
+
+namespace hsyn {
+
+/// A large cost marking an infeasible pairing.
+inline constexpr double kInfeasible = 1e18;
+
+struct AssignmentResult {
+  std::vector<int> row_to_col;  ///< per row, assigned column
+  double cost = 0;
+};
+
+/// Solve min-cost perfect assignment on a square cost matrix.
+/// Infeasible cells should carry kInfeasible; the solver still returns a
+/// complete matching (callers treat cells >= kInfeasible/2 as unmatched).
+AssignmentResult solve_assignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace hsyn

@@ -1,0 +1,185 @@
+#include "gates/gate_builders.h"
+
+#include "util/fmt.h"
+
+namespace hsyn::gates {
+namespace {
+
+/// Full adder; returns {sum, carry}.
+std::pair<int, int> full_adder(GateNetlist& net, int a, int b, int cin) {
+  const int axb = net.add(GateKind::Xor, a, b);
+  const int sum = net.add(GateKind::Xor, axb, cin);
+  const int t1 = net.add(GateKind::And, a, b);
+  const int t2 = net.add(GateKind::And, axb, cin);
+  const int carry = net.add(GateKind::Or, t1, t2);
+  return {sum, carry};
+}
+
+}  // namespace
+
+Word input_word(GateNetlist& net, const std::string& label) {
+  Word w;
+  w.reserve(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    w.push_back(net.add_input(strf("%s[%d]", label.c_str(), i)));
+  }
+  return w;
+}
+
+Word ripple_adder(GateNetlist& net, const Word& a, const Word& b, int cin) {
+  check(a.size() == kWordBits && b.size() == kWordBits, "adder arity");
+  Word sum(kWordBits);
+  int carry = cin >= 0 ? cin : net.const0();
+  for (int i = 0; i < kWordBits; ++i) {
+    const auto [s, c] = full_adder(net, a[static_cast<std::size_t>(i)],
+                                   b[static_cast<std::size_t>(i)], carry);
+    sum[static_cast<std::size_t>(i)] = s;
+    carry = c;
+  }
+  return sum;
+}
+
+Word subtractor(GateNetlist& net, const Word& a, const Word& b) {
+  Word nb(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    nb[static_cast<std::size_t>(i)] =
+        net.add(GateKind::Not, b[static_cast<std::size_t>(i)]);
+  }
+  return ripple_adder(net, a, nb, net.const1());
+}
+
+Word array_multiplier(GateNetlist& net, const Word& a, const Word& b) {
+  check(a.size() == kWordBits && b.size() == kWordBits, "multiplier arity");
+  // Row accumulation of AND partial products; only the low word is kept
+  // (two's-complement wrap-around makes unsigned low-word multiplication
+  // correct for signed operands).
+  Word acc(kWordBits, net.const0());
+  for (int row = 0; row < kWordBits; ++row) {
+    // Partial product row: a << row, masked by b[row], truncated to the
+    // low word.
+    Word pp(kWordBits, net.const0());
+    for (int i = row; i < kWordBits; ++i) {
+      pp[static_cast<std::size_t>(i)] =
+          net.add(GateKind::And, a[static_cast<std::size_t>(i - row)],
+                  b[static_cast<std::size_t>(row)]);
+    }
+    acc = ripple_adder(net, acc, pp);
+  }
+  return acc;
+}
+
+Word less_than(GateNetlist& net, const Word& a, const Word& b) {
+  // a < b  <=>  sign(a - b) xor overflow(a - b). With d = a - b:
+  // lt = (a15 ^ b15) ? a15 : d15.
+  const Word d = subtractor(net, a, b);
+  const int a15 = a[kWordBits - 1];
+  const int b15 = b[kWordBits - 1];
+  const int diff_sign = net.add(GateKind::Xor, a15, b15);
+  const int lt = net.add(GateKind::Mux2, d[kWordBits - 1], a15, diff_sign);
+  Word out(kWordBits, net.const0());
+  out[0] = lt;
+  return out;
+}
+
+Word bitwise(GateNetlist& net, Op op, const Word& a, const Word& b) {
+  GateKind kind = GateKind::And;
+  if (op == Op::Or) kind = GateKind::Or;
+  if (op == Op::Xor) kind = GateKind::Xor;
+  Word out(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        net.add(kind, a[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Word negate(GateNetlist& net, const Word& a) {
+  Word na(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    na[static_cast<std::size_t>(i)] =
+        net.add(GateKind::Not, a[static_cast<std::size_t>(i)]);
+  }
+  Word zero(kWordBits, net.const0());
+  return ripple_adder(net, na, zero, net.const1());
+}
+
+Word barrel_shift(GateNetlist& net, const Word& a, const Word& sh, bool right) {
+  Word cur = a;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int amount = 1 << stage;
+    const int sel = sh[static_cast<std::size_t>(stage)];
+    Word shifted(kWordBits);
+    for (int i = 0; i < kWordBits; ++i) {
+      int src;
+      if (right) {
+        const int from = i + amount;
+        src = from < kWordBits ? cur[static_cast<std::size_t>(from)]
+                               : cur[kWordBits - 1];  // arithmetic fill
+      } else {
+        const int from = i - amount;
+        src = from >= 0 ? cur[static_cast<std::size_t>(from)] : net.const0();
+      }
+      shifted[static_cast<std::size_t>(i)] = src;
+    }
+    Word next(kWordBits);
+    for (int i = 0; i < kWordBits; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          net.add(GateKind::Mux2, cur[static_cast<std::size_t>(i)],
+                  shifted[static_cast<std::size_t>(i)], sel);
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+Word mux_word(GateNetlist& net, int sel, const Word& a, const Word& b) {
+  Word out(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        net.add(GateKind::Mux2, a[static_cast<std::size_t>(i)],
+                b[static_cast<std::size_t>(i)], sel);
+  }
+  return out;
+}
+
+Word register_word(GateNetlist& net, const Word& d, const std::string& label) {
+  Word q(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    q[static_cast<std::size_t>(i)] =
+        net.add(GateKind::Dff, d[static_cast<std::size_t>(i)], -1, -1,
+                strf("%s[%d]", label.c_str(), i));
+  }
+  return q;
+}
+
+FuNetwork build_fu(Op op) {
+  FuNetwork fu;
+  fu.a = input_word(fu.net, "a");
+  fu.b = input_word(fu.net, "b");
+  switch (op) {
+    case Op::Add: fu.out = ripple_adder(fu.net, fu.a, fu.b); break;
+    case Op::Sub: fu.out = subtractor(fu.net, fu.a, fu.b); break;
+    case Op::Mult: fu.out = array_multiplier(fu.net, fu.a, fu.b); break;
+    case Op::Cmp: fu.out = less_than(fu.net, fu.a, fu.b); break;
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: fu.out = bitwise(fu.net, op, fu.a, fu.b); break;
+    case Op::Neg: fu.out = negate(fu.net, fu.a); break;
+    case Op::ShiftL: fu.out = barrel_shift(fu.net, fu.a, fu.b, false); break;
+    case Op::ShiftR: fu.out = barrel_shift(fu.net, fu.a, fu.b, true); break;
+    case Op::Hier: check(false, "build_fu on hierarchical op"); break;
+  }
+  for (int i = 0; i < kWordBits; ++i) {
+    fu.net.mark_output(fu.out[static_cast<std::size_t>(i)],
+                       strf("out[%d]", i));
+  }
+  return fu;
+}
+
+GateCost gate_cost(Op op) {
+  const FuNetwork fu = build_fu(op);
+  return {fu.net.gate_count(), fu.net.area(), fu.net.depth()};
+}
+
+}  // namespace hsyn::gates

@@ -1,0 +1,66 @@
+// Word-level gate-network builders: the MSU-standard-cell-style
+// implementations of the library's functional units.
+//
+//   * ripple-carry adder / subtractor (two's complement),
+//   * array multiplier (AND partial-product matrix + ripple reduction,
+//     low 16 bits kept -- the datapath's wrap-around semantics),
+//   * signed less-than comparator,
+//   * logic ops, barrel shifter, 2:1 word mux trees,
+//   * 16-bit register banks (D flip-flops).
+#pragma once
+
+#include "dfg/dfg.h"
+#include "gates/gate_netlist.h"
+
+namespace hsyn::gates {
+
+inline constexpr int kWordBits = 16;
+
+/// Fresh 16-bit primary-input word.
+Word input_word(GateNetlist& net, const std::string& label);
+
+/// sum = a + b (+cin), ripple carry; returns the 16-bit sum word.
+Word ripple_adder(GateNetlist& net, const Word& a, const Word& b, int cin = -1);
+
+/// a - b via complement-and-add.
+Word subtractor(GateNetlist& net, const Word& a, const Word& b);
+
+/// Low 16 bits of a * b (array multiplier).
+Word array_multiplier(GateNetlist& net, const Word& a, const Word& b);
+
+/// Word of all-equal bit: (signed a < signed b) ? 1 : 0.
+Word less_than(GateNetlist& net, const Word& a, const Word& b);
+
+/// Bitwise and/or/xor.
+Word bitwise(GateNetlist& net, Op op, const Word& a, const Word& b);
+
+/// Two's-complement negation.
+Word negate(GateNetlist& net, const Word& a);
+
+/// Barrel shifter: a shifted by the low 4 bits of `sh`. Arithmetic right
+/// shift when `right`, logical left otherwise.
+Word barrel_shift(GateNetlist& net, const Word& a, const Word& sh, bool right);
+
+/// sel ? b : a, per bit.
+Word mux_word(GateNetlist& net, int sel, const Word& a, const Word& b);
+
+/// 16 D flip-flops capturing `d`; returns the stored word.
+Word register_word(GateNetlist& net, const Word& d, const std::string& label);
+
+/// Gate network computing `op` on two input words (the functional-unit
+/// datapath of the matching library element).
+struct FuNetwork {
+  GateNetlist net;
+  Word a, b, out;
+};
+FuNetwork build_fu(Op op);
+
+/// Gate-level cost summary of one operation's hardware.
+struct GateCost {
+  int gates = 0;
+  double area = 0;
+  int depth = 0;
+};
+GateCost gate_cost(Op op);
+
+}  // namespace hsyn::gates

@@ -1,0 +1,210 @@
+#include "gates/gate_datapath.h"
+
+#include <map>
+
+#include "util/fmt.h"
+
+namespace hsyn::gates {
+namespace {
+
+/// Combinational expression for one (possibly chained) invocation over
+/// operand words keyed by external edge id.
+Word invocation_expr(GateNetlist& net, const Datapath& dp, int b, int i,
+                     const std::map<int, Word>& operand) {
+  const BehaviorImpl& bi = dp.behaviors[static_cast<std::size_t>(b)];
+  const Dfg& dfg = *bi.dfg;
+  const Invocation& inv = bi.invs[static_cast<std::size_t>(i)];
+  std::map<int, Word> local;
+  Word result;
+  for (const int nid : inv.nodes) {
+    const Node& n = dfg.node(nid);
+    auto word_for = [&](int port) -> const Word& {
+      const int e = dfg.input_edge(nid, port);
+      auto it = local.find(e);
+      if (it != local.end()) return it->second;
+      return operand.at(e);
+    };
+    switch (n.op) {
+      case Op::Add: result = ripple_adder(net, word_for(0), word_for(1)); break;
+      case Op::Sub: result = subtractor(net, word_for(0), word_for(1)); break;
+      case Op::Mult:
+        result = array_multiplier(net, word_for(0), word_for(1));
+        break;
+      case Op::Cmp: result = less_than(net, word_for(0), word_for(1)); break;
+      case Op::And:
+      case Op::Or:
+      case Op::Xor: result = bitwise(net, n.op, word_for(0), word_for(1)); break;
+      case Op::Neg: result = negate(net, word_for(0)); break;
+      case Op::ShiftL:
+        result = barrel_shift(net, word_for(0), word_for(1), false);
+        break;
+      case Op::ShiftR:
+        result = barrel_shift(net, word_for(0), word_for(1), true);
+        break;
+      case Op::Hier: check(false, "gate datapath: hierarchical node"); break;
+    }
+    const int oe = dfg.output_edge(nid, 0);
+    if (oe >= 0) local[oe] = result;
+  }
+  return result;
+}
+
+}  // namespace
+
+GateDatapath build_gate_datapath(const Datapath& dp, int b, const Library& lib,
+                                 const OpPoint& pt) {
+  check(dp.children.empty(), "gate datapath supports flat datapaths only");
+  const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
+  check(bi.scheduled, "gate datapath: behavior must be scheduled");
+  const Dfg& dfg = *bi.dfg;
+
+  GateDatapath g;
+  GateNetlist& net = g.net;
+
+  // ---- Primary input ports and start pulse. ------------------------------
+  g.start = net.add_input("start");
+  for (int i = 0; i < dfg.num_inputs(); ++i) {
+    g.input_ports.push_back(input_word(net, strf("in%d", i)));
+  }
+
+  // ---- One-hot FSM state ring: state[k] high during cycle k. -------------
+  const int nstates = bi.makespan + 1;
+  std::vector<int> state(static_cast<std::size_t>(nstates));
+  int prev = g.start;
+  for (int k = 0; k < nstates; ++k) {
+    state[static_cast<std::size_t>(k)] =
+        net.add(GateKind::Dff, prev, -1, -1, strf("state%d", k));
+    prev = state[static_cast<std::size_t>(k)];
+  }
+
+  // ---- Register words as Dff placeholders (inputs patched below). --------
+  std::vector<Word> reg_q(dp.regs.size());
+  for (std::size_t r = 0; r < dp.regs.size(); ++r) {
+    Word q(static_cast<std::size_t>(kWordBits));
+    for (int bit = 0; bit < kWordBits; ++bit) {
+      q[static_cast<std::size_t>(bit)] =
+          net.add_dff_placeholder(strf("r%zu[%d]", r, bit));
+    }
+    reg_q[r] = std::move(q);
+  }
+  auto word_of_edge = [&](int e) -> const Word& {
+    const int r = bi.edge_reg.at(static_cast<std::size_t>(e));
+    check(r >= 0, "gate datapath: unregistered external edge");
+    return reg_q[static_cast<std::size_t>(r)];
+  };
+
+  // ---- Per-register write lists. -----------------------------------------
+  struct Write {
+    int cond;   ///< state signal (or start) gating the write
+    Word value;
+  };
+  std::vector<std::vector<Write>> writes(dp.regs.size());
+
+  // Primary inputs latch on start.
+  for (int i = 0; i < dfg.num_inputs(); ++i) {
+    const int e = dfg.primary_input_edge(i);
+    if (e < 0) continue;
+    const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+    if (r >= 0) {
+      writes[static_cast<std::size_t>(r)].push_back(
+          {g.start, g.input_ports[static_cast<std::size_t>(i)]});
+    }
+  }
+
+  // Invocations: operand capture for multicycle, result write at ready.
+  for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+    const Invocation& inv = bi.invs[i];
+    const int start_cyc = bi.inv_start[i];
+    const int lat =
+        lib.cycles(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type, pt);
+    const std::vector<int> ins =
+        dp.inv_input_edges(b, static_cast<int>(i));
+
+    std::map<int, Word> operand;
+    if (lat < 2) {
+      for (const int e : ins) operand[e] = word_of_edge(e);
+    } else {
+      // Capture words: d = state[start] ? q_src : hold.
+      for (const int e : ins) {
+        const Word& src = word_of_edge(e);
+        Word cap(static_cast<std::size_t>(kWordBits));
+        for (int bit = 0; bit < kWordBits; ++bit) {
+          cap[static_cast<std::size_t>(bit)] = net.add_dff_placeholder(
+              strf("t_i%zu_e%d[%d]", i, e, bit));
+        }
+        for (int bit = 0; bit < kWordBits; ++bit) {
+          const int d = net.add(
+              GateKind::Mux2, cap[static_cast<std::size_t>(bit)],
+              src[static_cast<std::size_t>(bit)],
+              state[static_cast<std::size_t>(start_cyc)]);
+          net.set_dff_input(cap[static_cast<std::size_t>(bit)], d);
+        }
+        operand[e] = std::move(cap);
+      }
+    }
+    const Word result = invocation_expr(net, dp, b, static_cast<int>(i),
+                                        operand);
+    const int ready = start_cyc + lat;
+    const int cond = state[static_cast<std::size_t>(
+        lat < 2 ? start_cyc : ready - 1)];
+    for (const int e : dp.inv_output_edges(b, static_cast<int>(i))) {
+      const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+      if (r >= 0) writes[static_cast<std::size_t>(r)].push_back({cond, result});
+    }
+  }
+
+  // ---- Patch register inputs: priority mux chain over the writes. --------
+  for (std::size_t r = 0; r < dp.regs.size(); ++r) {
+    for (int bit = 0; bit < kWordBits; ++bit) {
+      int d = reg_q[r][static_cast<std::size_t>(bit)];  // hold
+      for (const Write& w : writes[r]) {
+        d = net.add(GateKind::Mux2, d, w.value[static_cast<std::size_t>(bit)],
+                    w.cond);
+      }
+      net.set_dff_input(reg_q[r][static_cast<std::size_t>(bit)], d);
+    }
+  }
+
+  // ---- Outputs. -----------------------------------------------------------
+  for (int o = 0; o < dfg.num_outputs(); ++o) {
+    const int e = dfg.primary_output_edge(o);
+    const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+    check(r >= 0, "gate datapath: unregistered primary output");
+    g.output_words.push_back(reg_q[static_cast<std::size_t>(r)]);
+    for (int bit = 0; bit < kWordBits; ++bit) {
+      net.mark_output(reg_q[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(bit)],
+                      strf("out%d[%d]", o, bit));
+    }
+  }
+  g.cycles_per_sample = nstates + 1;
+  return g;
+}
+
+std::vector<Sample> run_gate_datapath(GateDatapath& g, const Trace& trace) {
+  std::vector<Sample> out;
+  out.reserve(trace.size());
+  for (const Sample& s : trace) {
+    check(s.size() == g.input_ports.size(), "gate datapath: trace arity");
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      g.net.set_word(g.input_ports[i], s[i]);
+    }
+    g.net.set_input(0, true);  // start is the first input created
+    g.net.eval();
+    g.net.clock();
+    g.net.set_input(0, false);
+    for (int c = 0; c < g.cycles_per_sample; ++c) {
+      g.net.eval();
+      g.net.clock();
+    }
+    Sample result;
+    result.reserve(g.output_words.size());
+    for (const Word& w : g.output_words) {
+      result.push_back(g.net.read_word(w));
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace hsyn::gates

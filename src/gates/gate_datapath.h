@@ -1,0 +1,40 @@
+// Full gate-level construction of a synthesized (flat) datapath:
+// one-hot FSM state ring, D-flip-flop register words with write-mux
+// networks, combinational functional-unit expressions (chains inlined)
+// with operand-capture registers for multicycle units.
+//
+// This closes the verification chain at the lowest level the repo
+// models: the same architecture can be executed by the behavioral
+// evaluator, the cycle-accurate RTL simulator, and this gate network,
+// and all three must agree bit-for-bit. It also measures switch-level-
+// style toggle counts for whole datapaths (the IRSIM-fidelity end of the
+// power-model cross-check).
+//
+// Hierarchical datapaths are not expanded here (children would need
+// interface glue); flatten first or build per module.
+#pragma once
+
+#include "gates/gate_builders.h"
+#include "power/trace.h"
+#include "rtl/datapath.h"
+
+namespace hsyn::gates {
+
+struct GateDatapath {
+  GateNetlist net;
+  std::vector<Word> input_ports;   ///< primary-input input signals
+  std::vector<Word> output_words;  ///< register words of primary outputs
+  int start = -1;                  ///< start pulse input signal
+  int cycles_per_sample = 0;       ///< clocks to run after the start pulse
+};
+
+/// Build behavior `b` of `dp` (children unsupported) as a gate network.
+GateDatapath build_gate_datapath(const Datapath& dp, int b, const Library& lib,
+                                 const OpPoint& pt);
+
+/// Execute the network over `trace`: per sample, drive inputs, pulse
+/// start, clock through the schedule, read outputs. Toggle counters on
+/// `g.net` accumulate across the whole run.
+std::vector<Sample> run_gate_datapath(GateDatapath& g, const Trace& trace);
+
+}  // namespace hsyn::gates

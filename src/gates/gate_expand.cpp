@@ -1,0 +1,98 @@
+#include "gates/gate_expand.h"
+
+#include <map>
+#include <sstream>
+
+#include "rtl/cost.h"
+#include "util/fmt.h"
+
+namespace hsyn::gates {
+namespace {
+
+/// Gate cost of a functional-unit type: the union of its operations'
+/// networks (a multifunction ALU pays for each function plus a result
+/// mux), chained types pay per element.
+GateCost fu_gate_cost(const FuType& t) {
+  static std::map<Op, GateCost> memo;
+  GateCost total;
+  for (const Op op : t.ops) {
+    auto it = memo.find(op);
+    if (it == memo.end()) it = memo.emplace(op, gate_cost(op)).first;
+    total.gates += it->second.gates;
+    total.area += it->second.area;
+    total.depth = std::max(total.depth, it->second.depth);
+  }
+  if (t.ops.size() > 1) {
+    // Result selection mux per extra function.
+    const int mux_gates = kWordBits * static_cast<int>(t.ops.size() - 1);
+    total.gates += mux_gates;
+    total.area += mux_gates * gate_area(GateKind::Mux2);
+  }
+  total.gates *= t.chain_depth;
+  total.area *= t.chain_depth;
+  return total;
+}
+
+}  // namespace
+
+int ModuleGates::total_gates() const {
+  int n = fu_gates + reg_gates + mux_gates + ctrl_gates;
+  for (const ModuleGates& c : children) n += c.total_gates();
+  return n;
+}
+
+double ModuleGates::total_area() const {
+  double a = area;
+  for (const ModuleGates& c : children) a += c.total_area();
+  return a;
+}
+
+ModuleGates expand_datapath(const Datapath& dp, const Library& lib) {
+  ModuleGates m;
+  m.name = dp.name.empty() ? "datapath" : dp.name;
+
+  for (const FuUnit& fu : dp.fus) {
+    const GateCost c = fu_gate_cost(lib.fu(fu.type));
+    m.fu_gates += c.gates;
+    m.area += c.area;
+  }
+  m.reg_gates = static_cast<int>(dp.regs.size()) * kWordBits;
+  m.area += m.reg_gates * gate_area(GateKind::Dff);
+
+  // Muxes from binding-derived connectivity: a k-input word mux is
+  // (k-1) x 16 Mux2 gates.
+  const Connectivity conn = connectivity_of(dp);
+  m.mux_gates = conn.mux_inputs() * kWordBits;
+  m.area += m.mux_gates * gate_area(GateKind::Mux2);
+
+  // Controller: state counter (log2 states DFFs + increment adder bits)
+  // plus one decode AND per control signal per asserting state
+  // (estimate: 2 gates per signal).
+  const int states = controller_states(dp);
+  int sbits = 1;
+  while ((1 << sbits) < states + 1) ++sbits;
+  m.ctrl_gates = sbits * 6 + conn.control_signals() * 2;
+  m.area += sbits * (gate_area(GateKind::Dff) + 2.0) +
+            conn.control_signals() * 2.0;
+
+  for (const ChildUnit& c : dp.children) {
+    m.children.push_back(expand_datapath(*c.impl, lib));
+  }
+  return m;
+}
+
+std::string gates_report(const ModuleGates& m, int indent) {
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad
+      << strf("%s: %d gates (fu %d, reg %d, mux %d, ctrl %d), gate-area %.0f",
+              m.name.c_str(), m.total_gates(), m.fu_gates, m.reg_gates,
+              m.mux_gates, m.ctrl_gates, m.total_area())
+      << "\n";
+  for (const ModuleGates& c : m.children) {
+    out << gates_report(c, indent + 1);
+  }
+  return out.str();
+}
+
+}  // namespace hsyn::gates

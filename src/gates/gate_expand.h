@@ -1,0 +1,42 @@
+// Expansion of a synthesized datapath into gate-level statistics: the
+// "logic synthesis" step of the paper's flow (SIS + MSU cells),
+// reproduced as direct technology mapping of each RTL component onto the
+// gate builders. Produces per-module gate counts and areas that can be
+// cross-checked against the RTL-level area model, plus totals for the
+// floorplanner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/gate_builders.h"
+#include "rtl/datapath.h"
+
+namespace hsyn::gates {
+
+/// Gate-level accounting of one datapath level.
+struct ModuleGates {
+  std::string name;
+  int fu_gates = 0;
+  int reg_gates = 0;
+  int mux_gates = 0;
+  int ctrl_gates = 0;
+  double area = 0;
+  std::vector<ModuleGates> children;
+
+  /// Total gate count including children.
+  [[nodiscard]] int total_gates() const;
+
+  /// Total gate area including children.
+  [[nodiscard]] double total_area() const;
+};
+
+/// Expand every component of `dp` (functional units by their supported
+/// op set, registers as DFF words, muxes from the binding-derived
+/// connectivity, the controller as a state counter + decode estimate).
+ModuleGates expand_datapath(const Datapath& dp, const Library& lib);
+
+/// Human-readable expansion report.
+std::string gates_report(const ModuleGates& m, int indent = 0);
+
+}  // namespace hsyn::gates

@@ -1,0 +1,225 @@
+#include "gates/gate_netlist.h"
+
+#include <algorithm>
+
+#include "util/fmt.h"
+
+namespace hsyn::gates {
+
+double gate_area(GateKind kind) {
+  switch (kind) {
+    case GateKind::Const0:
+    case GateKind::Const1:
+    case GateKind::Input: return 0;
+    case GateKind::And:
+    case GateKind::Or: return 1.0;
+    case GateKind::Xor: return 1.5;
+    case GateKind::Not: return 0.5;
+    case GateKind::Mux2: return 1.75;
+    case GateKind::Dff: return 4.0;
+  }
+  return 0;
+}
+
+double gate_cap(GateKind kind) {
+  switch (kind) {
+    case GateKind::Const0:
+    case GateKind::Const1:
+    case GateKind::Input: return 0;
+    case GateKind::And:
+    case GateKind::Or: return 1.0;
+    case GateKind::Xor: return 1.6;
+    case GateKind::Not: return 0.5;
+    case GateKind::Mux2: return 1.8;
+    case GateKind::Dff: return 3.0;
+  }
+  return 0;
+}
+
+GateNetlist::GateNetlist() {
+  gates_.push_back({GateKind::Const0, -1, -1, -1, "0"});
+  gates_.push_back({GateKind::Const1, -1, -1, -1, "1"});
+  values_ = {0, 1};
+  dff_state_ = {0, 0};
+}
+
+int GateNetlist::add_input(std::string label) {
+  const int sig = static_cast<int>(gates_.size());
+  gates_.push_back({GateKind::Input, -1, -1, -1, std::move(label)});
+  values_.push_back(0);
+  dff_state_.push_back(0);
+  inputs_.push_back(sig);
+  return sig;
+}
+
+int GateNetlist::add(GateKind kind, int a, int b, int s, std::string label) {
+  check(kind != GateKind::Input && kind != GateKind::Const0 &&
+            kind != GateKind::Const1,
+        "use add_input / const0 / const1");
+  const int self = static_cast<int>(gates_.size());
+  check(a >= 0 && a < self, "gate input a out of range");
+  check(kind == GateKind::Not || kind == GateKind::Dff ||
+            (b >= 0 && b < self),
+        "gate input b out of range");
+  check(kind != GateKind::Mux2 || (s >= 0 && s < self),
+        "mux select out of range");
+  gates_.push_back({kind, a, b, s, std::move(label)});
+  values_.push_back(0);
+  dff_state_.push_back(0);
+  return self;
+}
+
+int GateNetlist::add_dff_placeholder(std::string label) {
+  const int self = static_cast<int>(gates_.size());
+  gates_.push_back({GateKind::Dff, 0, -1, -1, std::move(label)});
+  values_.push_back(0);
+  dff_state_.push_back(0);
+  return self;
+}
+
+void GateNetlist::set_dff_input(int dff_sig, int a) {
+  check(dff_sig >= 0 && dff_sig < static_cast<int>(gates_.size()) &&
+            gates_[static_cast<std::size_t>(dff_sig)].kind == GateKind::Dff,
+        "set_dff_input: not a Dff");
+  check(a >= 0 && a < static_cast<int>(gates_.size()),
+        "set_dff_input: input out of range");
+  gates_[static_cast<std::size_t>(dff_sig)].a = a;
+}
+
+void GateNetlist::mark_output(int sig, std::string label) {
+  check(sig >= 0 && sig < static_cast<int>(gates_.size()), "bad output signal");
+  outputs_.push_back({sig, std::move(label)});
+}
+
+std::map<GateKind, int> GateNetlist::histogram() const {
+  std::map<GateKind, int> h;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::Input || g.kind == GateKind::Const0 ||
+        g.kind == GateKind::Const1) {
+      continue;
+    }
+    h[g.kind]++;
+  }
+  return h;
+}
+
+int GateNetlist::gate_count() const {
+  int n = 0;
+  for (const auto& [kind, c] : histogram()) {
+    (void)kind;
+    n += c;
+  }
+  return n;
+}
+
+double GateNetlist::area() const {
+  double a = 0;
+  for (const Gate& g : gates_) a += gate_area(g.kind);
+  return a;
+}
+
+int GateNetlist::depth() const {
+  std::vector<int> d(gates_.size(), 0);
+  int worst = 0;
+  for (std::size_t i = 2; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind == GateKind::Input || g.kind == GateKind::Dff) {
+      d[i] = 0;
+      continue;
+    }
+    int in = 0;
+    if (g.a >= 0) in = std::max(in, d[static_cast<std::size_t>(g.a)]);
+    if (g.b >= 0) in = std::max(in, d[static_cast<std::size_t>(g.b)]);
+    if (g.s >= 0) in = std::max(in, d[static_cast<std::size_t>(g.s)]);
+    d[i] = in + 1;
+    worst = std::max(worst, d[i]);
+  }
+  return worst;
+}
+
+void GateNetlist::set_input(int idx, bool value) {
+  const int sig = inputs_.at(static_cast<std::size_t>(idx));
+  values_[static_cast<std::size_t>(sig)] = value ? 1 : 0;
+}
+
+void GateNetlist::set_word(const std::vector<int>& sigs, std::int32_t value) {
+  for (std::size_t bit = 0; bit < sigs.size(); ++bit) {
+    const int sig = sigs[bit];
+    check(gates_[static_cast<std::size_t>(sig)].kind == GateKind::Input,
+          "set_word expects input signals");
+    values_[static_cast<std::size_t>(sig)] =
+        ((static_cast<std::uint32_t>(value) >> bit) & 1u) != 0 ? 1 : 0;
+  }
+}
+
+bool GateNetlist::compute(const Gate& g) const {
+  auto v = [&](int sig) {
+    return values_[static_cast<std::size_t>(sig)] != 0;
+  };
+  switch (g.kind) {
+    case GateKind::Const0: return false;
+    case GateKind::Const1: return true;
+    case GateKind::Input: return v(&g - gates_.data());
+    case GateKind::And: return v(g.a) && v(g.b);
+    case GateKind::Or: return v(g.a) || v(g.b);
+    case GateKind::Xor: return v(g.a) != v(g.b);
+    case GateKind::Not: return !v(g.a);
+    case GateKind::Mux2: return v(g.s) ? v(g.b) : v(g.a);
+    case GateKind::Dff: return false;  // handled in eval()
+  }
+  return false;
+}
+
+void GateNetlist::eval() {
+  for (std::size_t i = 2; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    bool nv;
+    if (g.kind == GateKind::Input) {
+      nv = values_[i] != 0;  // driven externally
+    } else if (g.kind == GateKind::Dff) {
+      nv = dff_state_[i] != 0;
+    } else {
+      nv = compute(g);
+    }
+    if (!first_eval_ && (values_[i] != 0) != nv) {
+      ++toggles_;
+      switched_cap_ += gate_cap(g.kind);
+    }
+    values_[i] = nv ? 1 : 0;
+  }
+  first_eval_ = false;
+}
+
+void GateNetlist::clock() {
+  for (std::size_t i = 2; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind != GateKind::Dff) continue;
+    const bool nv = values_[static_cast<std::size_t>(g.a)] != 0;
+    if ((dff_state_[i] != 0) != nv) {
+      ++toggles_;
+      switched_cap_ += gate_cap(GateKind::Dff);
+    }
+    dff_state_[i] = nv ? 1 : 0;
+  }
+  eval();
+}
+
+std::int32_t GateNetlist::read_word(const std::vector<int>& sigs) const {
+  std::uint32_t v = 0;
+  for (std::size_t bit = 0; bit < sigs.size(); ++bit) {
+    if (values_[static_cast<std::size_t>(sigs[bit])] != 0) {
+      v |= 1u << bit;
+    }
+  }
+  if (sigs.size() >= 16 && (v & 0x8000u) != 0) {
+    return static_cast<std::int32_t>(v | 0xFFFF0000u);
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+void GateNetlist::reset_counters() {
+  toggles_ = 0;
+  switched_cap_ = 0;
+}
+
+}  // namespace hsyn::gates

@@ -1,0 +1,138 @@
+// Gate-level netlist substrate (the repo's substitute for the paper's
+// SIS + MSU-standard-cell mapping; see DESIGN.md).
+//
+// RTL components expand into networks of 2-input gates, 2:1 muxes and D
+// flip-flops. The netlist supports evaluation with per-gate toggle
+// counting, which is the switch-level-style measurement used to validate
+// the RTL power model's switched-capacitance ratios (e.g. that an array
+// multiplier really toggles an order of magnitude more capacitance per
+// evaluation than a ripple-carry adder).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hsyn::gates {
+
+enum class GateKind {
+  Const0,
+  Const1,
+  Input,  ///< primary input signal
+  And,
+  Or,
+  Xor,
+  Not,
+  Mux2,  ///< s ? b : a
+  Dff,   ///< captures `a` on clock(); holds otherwise
+};
+
+/// Per-gate area weights in the same arbitrary units as the RTL model
+/// (roughly: gate-equivalents).
+double gate_area(GateKind kind);
+
+/// Per-gate switched capacitance per output toggle.
+double gate_cap(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::And;
+  int a = -1;  ///< input signal (gate index)
+  int b = -1;
+  int s = -1;  ///< select input for Mux2
+  std::string label;
+};
+
+/// A gate network. Signals are gate indices; gate 0 and 1 are the
+/// constants. Combinational evaluation is in creation order, which the
+/// builders guarantee to be topological.
+class GateNetlist {
+ public:
+  GateNetlist();
+
+  int const0() const { return 0; }
+  int const1() const { return 1; }
+
+  /// New primary input; returns its signal.
+  int add_input(std::string label = {});
+
+  /// New gate; returns its output signal. Inputs must already exist.
+  int add(GateKind kind, int a, int b = -1, int s = -1, std::string label = {});
+
+  /// New Dff whose data input is wired later (set_dff_input); used to
+  /// break the register <- logic <- register cycles of full datapaths.
+  int add_dff_placeholder(std::string label = {});
+
+  /// Patch the data input of a Dff created by add_dff_placeholder.
+  void set_dff_input(int dff_sig, int a);
+
+  /// Mark a signal as a primary output.
+  void mark_output(int sig, std::string label = {});
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<std::pair<int, std::string>>& outputs() const {
+    return outputs_;
+  }
+
+  /// Number of gates of each kind (constants and inputs excluded).
+  std::map<GateKind, int> histogram() const;
+
+  /// Total combinational + sequential gate count (excludes constants and
+  /// inputs).
+  int gate_count() const;
+
+  /// Area under the per-kind weights.
+  double area() const;
+
+  /// Logic depth (max gates on an input-to-output path, Dffs cut paths).
+  int depth() const;
+
+  // ---- Evaluation with toggle accounting --------------------------------
+
+  /// Set a primary input value (by position in inputs()).
+  void set_input(int idx, bool value);
+
+  /// Convenience: drive a 16-bit two's-complement word onto input
+  /// signals `sigs` (low bit first).
+  void set_word(const std::vector<int>& sigs, std::int32_t value);
+
+  /// Propagate combinational logic; counts toggles on every gate output
+  /// against the previous evaluation. Dffs keep their stored state.
+  void eval();
+
+  /// Clock edge: Dffs capture their inputs (counts their toggles), then
+  /// combinational logic re-propagates.
+  void clock();
+
+  /// Current value of a signal.
+  bool value(int sig) const { return values_[static_cast<std::size_t>(sig)]; }
+
+  /// Read a word (low bit first) as a sign-extended 16-bit value.
+  std::int32_t read_word(const std::vector<int>& sigs) const;
+
+  /// Toggles accumulated since construction / reset_counters().
+  std::uint64_t toggle_count() const { return toggles_; }
+
+  /// Capacitance-weighted toggles.
+  double switched_cap() const { return switched_cap_; }
+
+  void reset_counters();
+
+ private:
+  bool compute(const Gate& g) const;
+
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;
+  std::vector<std::pair<int, std::string>> outputs_;
+  std::vector<char> values_;
+  std::vector<char> dff_state_;
+  std::uint64_t toggles_ = 0;
+  double switched_cap_ = 0;
+  bool first_eval_ = true;
+};
+
+/// A 16-bit word as gate signals, low bit first.
+using Word = std::vector<int>;
+
+}  // namespace hsyn::gates

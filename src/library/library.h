@@ -1,0 +1,73 @@
+// The simple-module library: functional-unit types, the register type and
+// derived-structure cost coefficients, with operating-point queries.
+//
+// The default library reproduces the paper's Table 1 at its reference
+// operating point (5 V, 20 ns clock): add1 = 1 cycle / area 30,
+// add2 = 2 cycles / area 20, chained_add2 and chained_add3 = 1 cycle,
+// mult1 = 3 cycles / area 150, mult2 = 5 cycles / area 100, reg = 10.
+// mult2 "consumes much less power than mult1" -- its switched capacitance
+// is roughly half. Additional subtractor / ALU / comparator / shifter
+// types round out the library for the filter and DCT benchmarks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "library/module_types.h"
+#include "library/vdd.h"
+
+namespace hsyn {
+
+/// An operating point for synthesis: supply voltage and clock period.
+struct OpPoint {
+  double vdd = 5.0;
+  double clk_ns = 20.0;
+
+  friend bool operator==(const OpPoint&, const OpPoint&) = default;
+};
+
+class Library {
+ public:
+  /// Register a functional-unit type; returns its type id.
+  int add_fu(FuType fu);
+
+  const std::vector<FuType>& fus() const { return fus_; }
+  const FuType& fu(int type_id) const { return fus_.at(static_cast<std::size_t>(type_id)); }
+  int num_fu_types() const { return static_cast<int>(fus_.size()); }
+
+  /// Type id by name; -1 when absent.
+  int find_fu(const std::string& name) const;
+
+  const RegType& reg() const { return reg_; }
+  void set_reg(RegType r) { reg_ = r; }
+
+  const StructureCosts& costs() const { return costs_; }
+  StructureCosts& costs_mut() { return costs_; }
+
+  /// Ids of all types that can execute `op`.
+  std::vector<int> types_for(Op op) const;
+
+  /// Cycles taken by type `type_id` at operating point `pt`.
+  int cycles(int type_id, const OpPoint& pt) const;
+
+  /// Fastest (fewest cycles, area as tie-break) type for `op` at `pt`;
+  /// -1 when no type supports the op. Chained types are only considered
+  /// when `allow_chained`.
+  int fastest_for(Op op, const OpPoint& pt, bool allow_chained = false) const;
+
+  /// Minimum delay in ns at 5 V over the types supporting `op`
+  /// (per-element delay for chained types). Used for critical-path and
+  /// Vdd-pruning estimates.
+  double min_delay_ns(Op op) const;
+
+ private:
+  std::vector<FuType> fus_;
+  RegType reg_;
+  StructureCosts costs_;
+};
+
+/// Build the default library described above.
+Library default_library();
+
+}  // namespace hsyn

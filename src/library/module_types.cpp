@@ -1,0 +1,11 @@
+#include "library/module_types.h"
+
+#include <algorithm>
+
+namespace hsyn {
+
+bool FuType::supports(Op op) const {
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+}  // namespace hsyn

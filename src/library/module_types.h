@@ -1,0 +1,64 @@
+// Simple RTL module (functional unit) and register type descriptions.
+//
+// Delay is stored in nanoseconds at the 5 V reference supply; the cycle
+// count of a unit at a given (Vdd, clock period) operating point is
+// derived via the Vdd scaling model in library/vdd.h, which is how the
+// paper's Table 1 cycle counts arise at its reference clock.
+//
+// Energy is modeled as effective switched capacitance: one evaluation of
+// the unit dissipates cap_sw * activity * Vdd^2 (arbitrary capacitance
+// units), where activity in [0,1] is the measured input toggle density.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace hsyn {
+
+/// A simple functional-unit type from the module library. Multifunction
+/// ALUs list several ops; chained units (chain_depth > 1) execute a chain
+/// of dependent operations of the same kind in a single invocation.
+struct FuType {
+  std::string name;
+  std::vector<Op> ops;        ///< operations this unit can execute
+  int chain_depth = 1;        ///< max dependent ops fused per invocation
+  double area = 0;            ///< area units
+  double delay_ns = 0;        ///< propagation delay at 5 V (whole chain)
+  double cap_sw = 0;          ///< effective switched capacitance per eval
+  bool pipelined = false;     ///< can accept new inputs every cycle
+
+  [[nodiscard]] bool supports(Op op) const;
+};
+
+/// Register type (the paper's `reg1`).
+struct RegType {
+  std::string name = "reg1";
+  double area = 10;
+  double cap_sw = 2;  ///< per write
+};
+
+/// Cost coefficients of structures that are derived rather than selected:
+/// multiplexers, wiring and the FSM controller. Interconnect inside a
+/// complex RTL module is local and cheaper than top-level (global)
+/// interconnect -- the locality benefit hierarchical synthesis exploits.
+struct StructureCosts {
+  double mux_area_per_input = 8;     ///< (k-1) of these per k-input mux
+  double mux_cap_per_input = 0.8;    ///< switched cap per traversal
+  double wire_area_local = 1.0;      ///< per net sink, inside a module
+  double wire_area_global = 3.0;     ///< per net sink, at the top level
+  double wire_cap_local = 0.3;       ///< switched cap per transfer, local
+  double wire_cap_global = 1.6;      ///< switched cap per transfer, global
+  double ctrl_area_per_state = 3.0;
+  double ctrl_area_per_signal = 1.5;
+  double ctrl_cap_per_cycle = 1.0;   ///< controller switching per clock
+  /// Clock-pin capacitance switched per register per clocked cycle.
+  /// Complex RTL modules are clock-gated: their registers are clocked
+  /// only during an invocation -- a genuine power advantage of
+  /// hierarchical designs (locality), and the reason power optimization
+  /// still shares registers when lifetimes allow.
+  double clock_cap_per_reg = 0.35;
+};
+
+}  // namespace hsyn

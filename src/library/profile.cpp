@@ -1,0 +1,44 @@
+#include "library/profile.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+int Profile::start_time(const std::vector<int>& arrivals) const {
+  check(arrivals.size() == in.size(), "profile/arrival arity mismatch");
+  int s = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    s = std::max(s, arrivals[i] - in[i]);
+  }
+  return s;
+}
+
+std::vector<int> Profile::output_times(const std::vector<int>& arrivals) const {
+  const int s = start_time(arrivals);
+  std::vector<int> t(out.size());
+  for (std::size_t j = 0; j < out.size(); ++j) t[j] = s + out[j];
+  return t;
+}
+
+int Profile::makespan() const {
+  int m = 0;
+  for (int o : out) m = std::max(m, o);
+  return m;
+}
+
+bool Environment::admits(const Profile& p) const { return slack(p) >= 0; }
+
+int Environment::slack(const Profile& p) const {
+  check(deadline.size() == p.out.size(), "environment/profile arity mismatch");
+  const std::vector<int> t = p.output_times(arrival);
+  int s = std::numeric_limits<int>::max();
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    s = std::min(s, deadline[j] - t[j]);
+  }
+  return t.empty() ? 0 : s;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,51 @@
+// Profiles and environments of RTL modules (paper Section 2, Example 1).
+//
+// The *profile* of an RTL module for a behavior is the ordered set of
+// expected input arrival times followed by output production times,
+// relative to the module's own start. The *environment* is the actual
+// input arrival times and output consumption deadlines imposed by the
+// surrounding scheduled circuit. A module fits an environment when,
+// started at the time its profile and the arrivals dictate, every output
+// is produced no later than its consumption deadline.
+#pragma once
+
+#include <vector>
+
+namespace hsyn {
+
+/// Profile: expected input arrival offsets and output production offsets,
+/// in cycles, relative to invocation start.
+struct Profile {
+  std::vector<int> in;   ///< per input port, expected arrival offset
+  std::vector<int> out;  ///< per output port, production offset
+
+  /// Earliest start given actual arrival times: max_i(arrival_i - in_i),
+  /// clamped at 0 (Example 1: arrivals {2,5,3,7} against {0,0,2,4} -> 5).
+  [[nodiscard]] int start_time(const std::vector<int>& arrivals) const;
+
+  /// Output times for given arrivals: start_time(arrivals) + out[j].
+  [[nodiscard]] std::vector<int> output_times(const std::vector<int>& arrivals) const;
+
+  /// Total span in cycles (max output offset); the busy time of a
+  /// non-pipelined module per invocation.
+  [[nodiscard]] int makespan() const;
+
+  friend bool operator==(const Profile&, const Profile&) = default;
+};
+
+/// Environment: actual input arrival times and output consumption
+/// deadlines in the surrounding schedule (absolute cycles).
+struct Environment {
+  std::vector<int> arrival;   ///< per input port
+  std::vector<int> deadline;  ///< per output port
+
+  /// True if a module with `p` started per its profile meets every
+  /// output deadline.
+  [[nodiscard]] bool admits(const Profile& p) const;
+
+  /// Slack of the profile in this environment: min over outputs of
+  /// (deadline - production time). Negative when the profile is too slow.
+  [[nodiscard]] int slack(const Profile& p) const;
+};
+
+}  // namespace hsyn

@@ -1,0 +1,169 @@
+#include "library/textio.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+const std::map<std::string, Op>& op_table() {
+  static const std::map<std::string, Op> table = {
+      {"add", Op::Add}, {"sub", Op::Sub},   {"mult", Op::Mult},
+      {"shl", Op::ShiftL}, {"shr", Op::ShiftR}, {"cmp", Op::Cmp},
+      {"and", Op::And}, {"or", Op::Or},     {"xor", Op::Xor},
+      {"neg", Op::Neg}};
+  return table;
+}
+
+std::string ops_to_text(const std::vector<Op>& ops) {
+  std::string out;
+  for (const Op op : ops) {
+    out += std::string(out.empty() ? "" : ",") + op_name(op);
+  }
+  return out;
+}
+
+/// Split "key=value" (value may be empty for flags).
+std::pair<std::string, std::string> split_kv(const std::string& tok) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos) return {tok, ""};
+  return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+double parse_num(const std::string& v, int line, const std::string& key) {
+  check(!v.empty(), strf("line %d: %s needs a value", line, key.c_str()));
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  check(end && *end == '\0', strf("line %d: bad number for %s", line, key.c_str()));
+  return d;
+}
+
+}  // namespace
+
+std::string library_to_text(const Library& lib) {
+  std::ostringstream out;
+  out << "# hsyn module library\n";
+  for (int i = 0; i < lib.num_fu_types(); ++i) {
+    const FuType& fu = lib.fu(i);
+    out << strf("fu %s ops=%s area=%g delay=%g cap=%g", fu.name.c_str(),
+                ops_to_text(fu.ops).c_str(), fu.area, fu.delay_ns, fu.cap_sw);
+    if (fu.chain_depth > 1) out << strf(" chain=%d", fu.chain_depth);
+    if (fu.pipelined) out << " pipelined";
+    out << "\n";
+  }
+  out << strf("reg %s area=%g cap=%g\n", lib.reg().name.c_str(), lib.reg().area,
+              lib.reg().cap_sw);
+  const StructureCosts& c = lib.costs();
+  out << strf("costs mux_area=%g mux_cap=%g wire_area_local=%g "
+              "wire_area_global=%g wire_cap_local=%g wire_cap_global=%g "
+              "ctrl_state=%g ctrl_signal=%g ctrl_cap=%g clock_cap=%g\n",
+              c.mux_area_per_input, c.mux_cap_per_input, c.wire_area_local,
+              c.wire_area_global, c.wire_cap_local, c.wire_cap_global,
+              c.ctrl_area_per_state, c.ctrl_area_per_signal,
+              c.ctrl_cap_per_cycle, c.clock_cap_per_reg);
+  return out.str();
+}
+
+Library library_from_text(const std::string& text) {
+  Library lib;
+  bool have_fu = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> toks;
+    for (std::string t; ls >> t;) toks.push_back(t);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "fu") {
+      check(toks.size() >= 2, strf("line %d: fu needs a name", lineno));
+      FuType fu;
+      fu.name = toks[1];
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const auto [key, value] = split_kv(toks[i]);
+        if (key == "ops") {
+          std::istringstream os(value);
+          for (std::string op; std::getline(os, op, ',');) {
+            auto it = op_table().find(op);
+            check(it != op_table().end(),
+                  strf("line %d: unknown op '%s'", lineno, op.c_str()));
+            fu.ops.push_back(it->second);
+          }
+        } else if (key == "area") {
+          fu.area = parse_num(value, lineno, key);
+        } else if (key == "delay") {
+          fu.delay_ns = parse_num(value, lineno, key);
+        } else if (key == "cap") {
+          fu.cap_sw = parse_num(value, lineno, key);
+        } else if (key == "chain") {
+          fu.chain_depth = static_cast<int>(parse_num(value, lineno, key));
+        } else if (key == "pipelined") {
+          fu.pipelined = true;
+        } else {
+          check(false, strf("line %d: unknown fu key '%s'", lineno, key.c_str()));
+        }
+      }
+      lib.add_fu(std::move(fu));
+      have_fu = true;
+    } else if (toks[0] == "reg") {
+      check(toks.size() >= 2, strf("line %d: reg needs a name", lineno));
+      RegType r;
+      r.name = toks[1];
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const auto [key, value] = split_kv(toks[i]);
+        if (key == "area") {
+          r.area = parse_num(value, lineno, key);
+        } else if (key == "cap") {
+          r.cap_sw = parse_num(value, lineno, key);
+        } else {
+          check(false, strf("line %d: unknown reg key '%s'", lineno, key.c_str()));
+        }
+      }
+      lib.set_reg(r);
+    } else if (toks[0] == "costs") {
+      StructureCosts& c = lib.costs_mut();
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto [key, value] = split_kv(toks[i]);
+        const double v = parse_num(value, lineno, key);
+        if (key == "mux_area") {
+          c.mux_area_per_input = v;
+        } else if (key == "mux_cap") {
+          c.mux_cap_per_input = v;
+        } else if (key == "wire_area_local") {
+          c.wire_area_local = v;
+        } else if (key == "wire_area_global") {
+          c.wire_area_global = v;
+        } else if (key == "wire_cap_local") {
+          c.wire_cap_local = v;
+        } else if (key == "wire_cap_global") {
+          c.wire_cap_global = v;
+        } else if (key == "ctrl_state") {
+          c.ctrl_area_per_state = v;
+        } else if (key == "ctrl_signal") {
+          c.ctrl_area_per_signal = v;
+        } else if (key == "ctrl_cap") {
+          c.ctrl_cap_per_cycle = v;
+        } else if (key == "clock_cap") {
+          c.clock_cap_per_reg = v;
+        } else {
+          check(false,
+                strf("line %d: unknown cost key '%s'", lineno, key.c_str()));
+        }
+      }
+    } else {
+      check(false, strf("line %d: unknown keyword '%s'", lineno,
+                        toks[0].c_str()));
+    }
+  }
+  check(have_fu, "library has no functional units");
+  return lib;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,31 @@
+// Textual module-library format.
+//
+// The paper's H-SYN takes "a library of modules" as an input; this
+// reader/writer makes the simple-module library a first-class textual
+// artifact (the complex-module library is built from DFGs and templates
+// at run time):
+//
+//   # comment
+//   fu NAME ops=add,sub area=30 delay=20 cap=9 [chain=3] [pipelined]
+//   reg NAME area=10 cap=2
+//   costs mux_area=8 mux_cap=0.8 wire_area_local=1 wire_area_global=3
+//         wire_cap_local=0.3 wire_cap_global=1.6 ctrl_state=3
+//         ctrl_signal=1.5 ctrl_cap=1 clock_cap=0.35
+//
+// Unknown cost keys are rejected; omitted ones keep their defaults.
+#pragma once
+
+#include <string>
+
+#include "library/library.h"
+
+namespace hsyn {
+
+/// Serialize a library (round-trips through library_from_text).
+std::string library_to_text(const Library& lib);
+
+/// Parse a library. Throws std::logic_error with a line-numbered message
+/// on malformed input.
+Library library_from_text(const std::string& text);
+
+}  // namespace hsyn

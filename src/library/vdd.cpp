@@ -1,0 +1,64 @@
+#include "library/vdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+double delay_scale(double vdd) {
+  check(vdd > kVt, "Vdd must exceed Vt");
+  const double ref = kVref / std::pow(kVref - kVt, kAlpha);
+  const double cur = vdd / std::pow(vdd - kVt, kAlpha);
+  return cur / ref;
+}
+
+double energy_scale(double vdd) { return (vdd * vdd) / (kVref * kVref); }
+
+int cycles_at(double delay_ns, double vdd, double clk_ns) {
+  check(clk_ns > 0, "clock period must be positive");
+  const double d = delay_ns * delay_scale(vdd);
+  return std::max(1, static_cast<int>(std::ceil(d / clk_ns - 1e-9)));
+}
+
+std::vector<double> candidate_clocks(const std::vector<FuType>& fus, double vdd,
+                                     double min_clk, double max_clk) {
+  std::vector<double> raw;
+  for (const FuType& fu : fus) {
+    const double d = fu.delay_ns * delay_scale(vdd);
+    for (int div = 1; div <= 3; ++div) {
+      const double c = d / div;
+      if (c >= min_clk && c <= max_clk) raw.push_back(c);
+    }
+  }
+  std::sort(raw.begin(), raw.end(), std::greater<>());
+  // Deduplicate by cycle-count signature: two clocks that induce the same
+  // cycle count for every library type are interchangeable; keep the
+  // longer one (less controller switching for identical schedules).
+  std::map<std::vector<int>, double> seen;
+  std::vector<double> out;
+  for (double c : raw) {
+    std::vector<int> sig;
+    sig.reserve(fus.size());
+    for (const FuType& fu : fus) sig.push_back(cycles_at(fu.delay_ns, vdd, c));
+    if (seen.emplace(std::move(sig), c).second) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<double> default_vdds() {
+  return {5.0, 4.0, 3.3, 2.9, 2.4, 1.9, 1.5};
+}
+
+std::vector<double> prune_vdds(const std::vector<double>& vdds, double critical_ns,
+                               double sample_period_ns) {
+  std::vector<double> out;
+  for (double v : vdds) {
+    if (critical_ns * delay_scale(v) <= sample_period_ns + 1e-9) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hsyn

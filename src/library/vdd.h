@@ -1,0 +1,57 @@
+// Supply-voltage scaling model and candidate-set generation/pruning.
+//
+// Delay follows Sakurai-Newton's alpha-power law, the model the
+// low-power HLS literature of the paper's era uses ([10]); with velocity
+// saturation alpha is well below 2:
+//
+//   delay(Vdd) = delay(Vref) * [Vdd/(Vdd-Vt)^a] / [Vref/(Vref-Vt)^a],
+//   a = 1.4, Vref = 5 V, Vt = 0.8 V.
+//
+// Dynamic energy scales as Vdd^2. At a = 1.4 a 3.3 V supply costs ~36%
+// speed for 2.3x energy savings -- the trade that makes the paper's
+// voltage scaling profitable even at small laxity factors.
+//
+// The paper prunes the Vdd and clock-period sets "using a procedure from
+// [10] to obtain the subset that needs to be considered"; we reproduce
+// that: Vdds that cannot meet the sampling period even with the fastest
+// library configuration are dropped, and candidate clock periods are the
+// distinct unit delays and their integer fractions, deduplicated by their
+// cycle-count signature across the library.
+#pragma once
+
+#include <vector>
+
+#include "library/module_types.h"
+
+namespace hsyn {
+
+inline constexpr double kVref = 5.0;
+inline constexpr double kVt = 0.8;
+inline constexpr double kAlpha = 1.4;  ///< velocity-saturation exponent
+
+/// Multiplicative delay factor at `vdd` relative to 5 V (1.0 at 5 V).
+double delay_scale(double vdd);
+
+/// Energy factor at `vdd` relative to 5 V (Vdd^2 law; 1.0 at 5 V).
+double energy_scale(double vdd);
+
+/// Cycles a delay of `delay_ns` (referenced to 5 V) takes at the given
+/// operating point; at least 1.
+int cycles_at(double delay_ns, double vdd, double clk_ns);
+
+/// Candidate clock periods (ns) for a library at a given Vdd: scaled unit
+/// delays and their /2, /3 fractions, clamped to [min_clk, max_clk] and
+/// deduplicated by the vector of per-type cycle counts they induce.
+std::vector<double> candidate_clocks(const std::vector<FuType>& fus, double vdd,
+                                     double min_clk = 5.0, double max_clk = 120.0);
+
+/// The default candidate supply set of the paper's technology era.
+std::vector<double> default_vdds();
+
+/// Prune `vdds`: keep only supplies at which `critical_ns` (the 5 V
+/// critical path in ns through the fastest units) still fits in
+/// `sample_period_ns`.
+std::vector<double> prune_vdds(const std::vector<double>& vdds, double critical_ns,
+                               double sample_period_ns);
+
+}  // namespace hsyn

@@ -1,0 +1,172 @@
+#include "place/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rtl/cost.h"
+#include "util/fmt.h"
+
+namespace hsyn::place {
+namespace {
+
+/// Block index space: functional units, then registers, then children.
+int fu_block(int i) { return i; }
+int reg_block(const Datapath& dp, int r) {
+  return static_cast<int>(dp.fus.size()) + r;
+}
+int child_block(const Datapath& dp, int c) {
+  return static_cast<int>(dp.fus.size() + dp.regs.size()) + c;
+}
+
+}  // namespace
+
+double Floorplan::hpwl() const {
+  double total = 0;
+  for (const Net& n : nets) {
+    if (n.blocks.size() < 2) continue;
+    double x0 = std::numeric_limits<double>::max(), x1 = 0;
+    double y0 = std::numeric_limits<double>::max(), y1 = 0;
+    for (const int b : n.blocks) {
+      const Block& blk = blocks[static_cast<std::size_t>(b)];
+      const double cx = blk.x + blk.w / 2;
+      const double cy = blk.y + blk.h / 2;
+      x0 = std::min(x0, cx);
+      x1 = std::max(x1, cx);
+      y0 = std::min(y0, cy);
+      y1 = std::max(y1, cy);
+    }
+    total += (x1 - x0) + (y1 - y0);
+  }
+  return total;
+}
+
+double Floorplan::cell_area() const {
+  double a = 0;
+  for (const Block& b : blocks) a += b.w * b.h;
+  return a;
+}
+
+Floorplan floorplan(const Datapath& dp, const Library& lib) {
+  Floorplan fp;
+
+  // ---- Blocks. -----------------------------------------------------------
+  for (std::size_t i = 0; i < dp.fus.size(); ++i) {
+    const FuType& t = lib.fu(dp.fus[i].type);
+    const double side = std::sqrt(t.area);
+    fp.blocks.push_back({dp.fus[i].name.empty() ? strf("fu%zu", i)
+                                                : dp.fus[i].name,
+                         side, side, 0, 0});
+  }
+  for (std::size_t r = 0; r < dp.regs.size(); ++r) {
+    const double side = std::sqrt(lib.reg().area);
+    fp.blocks.push_back({strf("r%zu", r), side, side, 0, 0});
+  }
+  for (std::size_t c = 0; c < dp.children.size(); ++c) {
+    const double area = area_of(*dp.children[c].impl, lib, false).total();
+    const double side = std::sqrt(area);
+    fp.blocks.push_back({dp.children[c].name.empty() ? strf("child%zu", c)
+                                                     : dp.children[c].name,
+                         side, side, 0, 0});
+  }
+
+  // ---- Nets from the binding: one net per register, connecting it to
+  // every unit that reads or writes it. ------------------------------------
+  std::vector<std::set<int>> reg_net(dp.regs.size());
+  for (std::size_t b = 0; b < dp.behaviors.size(); ++b) {
+    const BehaviorImpl& bi = dp.behaviors[b];
+    for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+      const Invocation& inv = bi.invs[i];
+      const int ublock = inv.unit.kind == UnitRef::Kind::Fu
+                             ? fu_block(inv.unit.idx)
+                             : child_block(dp, inv.unit.idx);
+      for (const int e : dp.inv_input_edges(static_cast<int>(b),
+                                            static_cast<int>(i))) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+        if (r >= 0) reg_net[static_cast<std::size_t>(r)].insert(ublock);
+      }
+      for (const int e : dp.inv_output_edges(static_cast<int>(b),
+                                             static_cast<int>(i))) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+        if (r >= 0) reg_net[static_cast<std::size_t>(r)].insert(ublock);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < dp.regs.size(); ++r) {
+    Net n;
+    n.blocks.push_back(reg_block(dp, static_cast<int>(r)));
+    n.blocks.insert(n.blocks.end(), reg_net[r].begin(), reg_net[r].end());
+    fp.nets.push_back(std::move(n));
+  }
+
+  // ---- Greedy connectivity-driven row placement. --------------------------
+  // Connectivity degree per block.
+  std::vector<int> degree(fp.blocks.size(), 0);
+  for (const Net& n : fp.nets) {
+    for (const int b : n.blocks) degree[static_cast<std::size_t>(b)]++;
+  }
+  std::vector<int> order(fp.blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (degree[static_cast<std::size_t>(a)] != degree[static_cast<std::size_t>(b)]) {
+      return degree[static_cast<std::size_t>(a)] > degree[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+
+  // Row width targets a roughly square floorplan.
+  const double total = fp.cell_area();
+  const double target_w = std::max(1.0, std::sqrt(total) * 1.15);
+  double x = 0, y = 0, row_h = 0;
+  for (const int bi : order) {
+    Block& blk = fp.blocks[static_cast<std::size_t>(bi)];
+    if (x > 0 && x + blk.w > target_w) {
+      x = 0;
+      y += row_h;
+      row_h = 0;
+    }
+    blk.x = x;
+    blk.y = y;
+    x += blk.w;
+    row_h = std::max(row_h, blk.h);
+    fp.width = std::max(fp.width, blk.x + blk.w);
+    fp.height = std::max(fp.height, blk.y + blk.h);
+  }
+  return fp;
+}
+
+std::string floorplan_report(const Floorplan& fp) {
+  std::ostringstream out;
+  out << strf("floorplan: %zu blocks, %zu nets, %.1f x %.1f (cell area %.1f, "
+              "packing %.0f%%), HPWL %.1f\n",
+              fp.blocks.size(), fp.nets.size(), fp.width, fp.height,
+              fp.cell_area(),
+              fp.bbox_area() > 0 ? 100.0 * fp.cell_area() / fp.bbox_area() : 0,
+              fp.hpwl());
+  // Coarse ASCII map (24 columns).
+  constexpr int kCols = 48, kRows = 16;
+  std::vector<std::string> canvas(kRows, std::string(kCols, '.'));
+  for (std::size_t i = 0; i < fp.blocks.size(); ++i) {
+    const Block& b = fp.blocks[i];
+    if (fp.width <= 0 || fp.height <= 0) break;
+    const int c0 = static_cast<int>(b.x / fp.width * (kCols - 1));
+    const int c1 = static_cast<int>((b.x + b.w) / fp.width * (kCols - 1));
+    const int r0 = static_cast<int>(b.y / fp.height * (kRows - 1));
+    const int r1 = static_cast<int>((b.y + b.h) / fp.height * (kRows - 1));
+    const char mark = static_cast<char>('A' + static_cast<int>(i % 26));
+    for (int r = r0; r <= r1 && r < kRows; ++r) {
+      for (int c = c0; c <= c1 && c < kCols; ++c) {
+        canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+      }
+    }
+  }
+  for (auto it = canvas.rbegin(); it != canvas.rend(); ++it) {
+    out << "  " << *it << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hsyn::place

@@ -1,0 +1,54 @@
+// Floorplanning and wirelength estimation: the repo's substitute for the
+// paper's OCTTOOLS placement (Puppy) and routing (Mosaico) step.
+//
+// Components of a datapath level (functional units, registers, child
+// module blocks) become rectangular blocks whose areas come from the RTL
+// area model. Blocks are placed on a row-based floorplan by a greedy
+// connectivity-driven ordering (most-connected next, closest free slot),
+// and wirelength is measured as half-perimeter (HPWL) over the nets the
+// binding implies. The resulting wirelength feeds back nothing -- like
+// the paper, layout is a *measurement* of architecture quality -- but it
+// lets experiments confirm that the RTL wire model orders architectures
+// the same way a physical estimate does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace hsyn::place {
+
+struct Block {
+  std::string name;
+  double w = 0, h = 0;  ///< dimensions (area from the RTL model, aspect ~1)
+  double x = 0, y = 0;  ///< placed lower-left corner
+};
+
+struct Net {
+  std::vector<int> blocks;  ///< indices into Floorplan::blocks
+};
+
+struct Floorplan {
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+  double width = 0, height = 0;
+
+  /// Half-perimeter wirelength over all nets.
+  [[nodiscard]] double hpwl() const;
+
+  /// Bounding-box area of the placement.
+  [[nodiscard]] double bbox_area() const { return width * height; }
+
+  /// Sum of block areas (lower bound on bbox_area; the ratio is the
+  /// packing efficiency).
+  [[nodiscard]] double cell_area() const;
+};
+
+/// Place one level of `dp` (children as opaque blocks).
+Floorplan floorplan(const Datapath& dp, const Library& lib);
+
+/// Render a small ASCII picture plus the statistics.
+std::string floorplan_report(const Floorplan& fp);
+
+}  // namespace hsyn::place

@@ -1,0 +1,296 @@
+#include "power/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+
+#include "rtl/cost.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+void collect_behaviors(const Datapath& dp,
+                       std::map<std::string, const Dfg*>& out) {
+  for (const ChildUnit& c : dp.children) {
+    for (const BehaviorImpl& bi : c.impl->behaviors) {
+      out.emplace(bi.behavior, bi.dfg);
+    }
+    collect_behaviors(*c.impl, out);
+  }
+}
+
+/// Hamming distance between two operand tuples, in bits, plus the number
+/// of bits compared (for normalization). Mismatched arity is padded.
+std::pair<int, int> tuple_toggles(const std::vector<std::int32_t>& a,
+                                  const std::vector<std::int32_t>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  int ham = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t va = i < a.size() ? a[i] : 0;
+    const std::int32_t vb = i < b.size() ? b[i] : 0;
+    ham += hamming16(va, vb);
+  }
+  return {ham, static_cast<int>(n) * 16};
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Structural fingerprint of everything the energy of `dp` depends on:
+/// unit types, bindings, schedules, register assignment, nested children.
+std::uint64_t structure_fingerprint(const Datapath& dp) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const FuUnit& fu : dp.fus) h = mix(h, static_cast<std::uint64_t>(fu.type));
+  h = mix(h, dp.regs.size());
+  for (const BehaviorImpl& bi : dp.behaviors) {
+    h = mix(h, reinterpret_cast<std::uintptr_t>(bi.dfg));
+    // Guard against allocator address reuse: mix in the DFG's content
+    // (two transformed variants can share an address, a name and sizes).
+    h = mix(h, bi.dfg->nodes().size());
+    h = mix(h, bi.dfg->edges().size());
+    for (const char ch : bi.dfg->name()) {
+      h = mix(h, static_cast<unsigned char>(ch));
+    }
+    for (const Node& n : bi.dfg->nodes()) {
+      h = mix(h, static_cast<std::uint64_t>(n.op));
+    }
+    for (const Edge& e : bi.dfg->edges()) {
+      h = mix(h, static_cast<std::uint64_t>(e.src.node + 3) * 64 +
+                     static_cast<std::uint64_t>(e.src.port));
+      for (const PortRef& d : e.dsts) {
+        h = mix(h, static_cast<std::uint64_t>(d.node + 3) * 64 +
+                       static_cast<std::uint64_t>(d.port));
+      }
+    }
+    for (const Invocation& inv : bi.invs) {
+      h = mix(h, static_cast<std::uint64_t>(inv.unit.idx) * 4 +
+                     static_cast<std::uint64_t>(inv.unit.kind));
+      for (const int n : inv.nodes) h = mix(h, static_cast<std::uint64_t>(n));
+    }
+    for (const int r : bi.edge_reg) h = mix(h, static_cast<std::uint64_t>(r + 1));
+    for (const int st : bi.inv_start) h = mix(h, static_cast<std::uint64_t>(st));
+    for (const int a : bi.input_arrival) h = mix(h, static_cast<std::uint64_t>(a));
+  }
+  for (const ChildUnit& c : dp.children) {
+    h = mix(h, structure_fingerprint(*c.impl));
+  }
+  return h;
+}
+
+std::uint64_t trace_fp(const Trace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = mix(h, t.size());
+  for (const Sample& smp : t) {
+    h = mix(h, smp.size());
+    for (const std::int32_t v : smp) h = mix(h, static_cast<std::uint32_t>(v));
+  }
+  return h;
+}
+
+// Move evaluation calls energy_of thousands of times per pass, usually on
+// candidates whose children are untouched; memoizing on the structural
+// fingerprint makes hierarchical power synthesis as cheap per candidate
+// as flattened synthesis.
+thread_local std::map<std::uint64_t, EnergyBreakdown> g_energy_cache;
+
+}  // namespace
+
+BehaviorResolver resolver_of(const Datapath& dp) {
+  auto map = std::make_shared<std::map<std::string, const Dfg*>>();
+  collect_behaviors(dp, *map);
+  return [map](const std::string& name) -> const Dfg* {
+    auto it = map->find(name);
+    return it == map->end() ? nullptr : it->second;
+  };
+}
+
+EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
+                          const Library& lib, const OpPoint& pt, bool top_level) {
+  EnergyBreakdown eb;
+  if (trace.empty()) return eb;
+  const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
+  check(bi.scheduled, "energy_of: behavior not scheduled");
+
+  std::uint64_t key = structure_fingerprint(dp);
+  key = mix(key, static_cast<std::uint64_t>(b));
+  key = mix(key, trace_fp(trace));
+  key = mix(key, static_cast<std::uint64_t>(pt.vdd * 4096));
+  key = mix(key, static_cast<std::uint64_t>(pt.clk_ns * 4096));
+  key = mix(key, top_level ? 1 : 2);
+  key = mix(key, reinterpret_cast<std::uintptr_t>(&lib));
+  if (auto cached = g_energy_cache.find(key); cached != g_energy_cache.end()) {
+    return cached->second;
+  }
+
+  const Dfg& dfg = *bi.dfg;
+  const StructureCosts& sc = lib.costs();
+  const double escale = energy_scale(pt.vdd);
+  // Average wire length -- and hence wire/mux capacitance -- grows with
+  // the layout's linear dimension (~sqrt(area)). This couples power to
+  // area the way placed-and-routed designs experience it, and is what
+  // stops the power objective from inflating the datapath without bound.
+  const double layout = area_of(dp, lib, top_level).total();
+  const double wire_scale = std::clamp(std::sqrt(layout / 1500.0), 0.7, 2.5);
+  const double wire_cap =
+      (top_level ? sc.wire_cap_global : sc.wire_cap_local) * wire_scale;
+  const double mux_cap = sc.mux_cap_per_input * wire_scale;
+  const std::size_t T = trace.size();
+
+  const auto edge_vals = eval_dfg_edges(dfg, resolver_of(dp), trace);
+  const Connectivity conn = connectivity_of(dp);
+
+  // Invocation order within a sample: by start cycle then index.
+  std::vector<int> order(bi.invs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int c) {
+    const int sa = bi.inv_start[static_cast<std::size_t>(a)];
+    const int sb = bi.inv_start[static_cast<std::size_t>(c)];
+    return sa != sb ? sa < sb : a < c;
+  });
+
+  // ---- Functional-unit streams, mux and wire deliveries. ----------------
+  struct FuState {
+    bool has_prev = false;
+    std::vector<std::int32_t> prev;
+    int prev_opbits = 0;
+  };
+  std::vector<FuState> fu_state(dp.fus.size());
+  // Per (unit kind, unit idx, port): previously delivered value.
+  std::map<std::tuple<int, int, int>, std::int32_t> port_prev;
+
+  // Cached input-edge lists per invocation.
+  std::vector<std::vector<int>> inv_ins(bi.invs.size());
+  for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+    inv_ins[i] = dp.inv_input_edges(b, static_cast<int>(i));
+  }
+
+  // Child traces: per (child idx, behavior name) in first-seen order.
+  std::map<std::pair<int, std::string>, Trace> child_traces;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const auto& ev = edge_vals[t];
+    for (const int i : order) {
+      const Invocation& inv = bi.invs[static_cast<std::size_t>(i)];
+      const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(i)];
+      std::vector<std::int32_t> operands;
+      operands.reserve(ins.size());
+      for (const int e : ins) operands.push_back(ev[static_cast<std::size_t>(e)]);
+
+      // Mux + wire energy per operand delivery.
+      const int ukind = static_cast<int>(inv.unit.kind);
+      const auto& ports = inv.unit.kind == UnitRef::Kind::Fu
+                              ? conn.fu_port_srcs[static_cast<std::size_t>(inv.unit.idx)]
+                              : conn.child_port_srcs[static_cast<std::size_t>(inv.unit.idx)];
+      for (std::size_t p = 0; p < operands.size(); ++p) {
+        auto key = std::make_tuple(ukind, inv.unit.idx, static_cast<int>(p));
+        auto it = port_prev.find(key);
+        if (it != port_prev.end()) {
+          const double act = hamming16(it->second, operands[p]) / 16.0;
+          const bool muxed = p < ports.size() && ports[p].size() > 1;
+          eb.wire += wire_cap * act * escale;
+          if (muxed) eb.mux += mux_cap * act * escale;
+          it->second = operands[p];
+        } else {
+          port_prev.emplace(key, operands[p]);
+        }
+      }
+
+      if (inv.unit.kind == UnitRef::Kind::Fu) {
+        FuState& st = fu_state[static_cast<std::size_t>(inv.unit.idx)];
+        int opbits = 0;
+        for (const int nid : inv.nodes) opbits = opbits * 16 + static_cast<int>(dfg.node(nid).op);
+        if (st.has_prev) {
+          const auto [ham, bits] = tuple_toggles(st.prev, operands);
+          const double opflip = st.prev_opbits == opbits ? 0.0 : 4.0;
+          const double act = (ham + opflip) / (bits + 4);
+          const FuType& ft = lib.fu(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type);
+          eb.fu += ft.cap_sw * act * escale;
+        } else {
+          // First evaluation of this unit: charge half-activity startup.
+          const FuType& ft = lib.fu(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type);
+          eb.fu += ft.cap_sw * 0.5 * escale;
+        }
+        st.prev = std::move(operands);
+        st.prev_opbits = opbits;
+        st.has_prev = true;
+      } else {
+        const Node& n = dfg.node(inv.nodes.front());
+        child_traces[{inv.unit.idx, n.behavior}].push_back(std::move(operands));
+      }
+    }
+  }
+
+  // ---- Register write streams. ------------------------------------------
+  // Writes per register ordered by ready time within a sample.
+  std::map<int, std::vector<int>> reg_edges;  // reg -> edge ids
+  for (const Edge& e : dfg.edges()) {
+    const int r = bi.edge_reg[static_cast<std::size_t>(e.id)];
+    if (r >= 0) reg_edges[r].push_back(e.id);
+  }
+  for (auto& [r, eids] : reg_edges) {
+    std::sort(eids.begin(), eids.end(), [&](int a, int c) {
+      const int ta = dp.edge_ready_time(b, a, lib, pt);
+      const int tc = dp.edge_ready_time(b, c, lib, pt);
+      return ta != tc ? ta < tc : a < c;
+    });
+    bool has_prev = false;
+    std::int32_t prev = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      for (const int e : eids) {
+        const std::int32_t v = edge_vals[t][static_cast<std::size_t>(e)];
+        if (has_prev) {
+          eb.reg += lib.reg().cap_sw * (hamming16(prev, v) / 16.0) * escale;
+        } else {
+          eb.reg += lib.reg().cap_sw * 0.5 * escale;
+        }
+        prev = v;
+        has_prev = true;
+      }
+    }
+  }
+
+  // ---- Controller and register clock tree. -------------------------------
+  // This level's registers are clocked for the behavior's active window
+  // (modules are clock-gated, so a child's registers burn clock power
+  // only during its invocations -- accounted in the recursive call).
+  eb.ctrl += sc.ctrl_cap_per_cycle * (bi.makespan + 1) * escale *
+             static_cast<double>(T);
+  eb.reg += sc.clock_cap_per_reg * static_cast<double>(dp.regs.size()) *
+            (bi.makespan + 1) * escale * static_cast<double>(T);
+
+  // ---- Children (recursive). ---------------------------------------------
+  for (const auto& [key, ctrace] : child_traces) {
+    const Datapath& child = *dp.children[static_cast<std::size_t>(key.first)].impl;
+    const int cb = child.find_behavior(key.second);
+    check(cb >= 0, "energy_of: child lacks behavior " + key.second);
+    const EnergyBreakdown ce =
+        energy_of(child, cb, ctrace, lib, pt, /*top_level=*/false);
+    // ce.total() is average per child invocation; ctrace has
+    // T x (invocations per sample) entries.
+    eb.children += ce.total() * (static_cast<double>(ctrace.size()) / T);
+  }
+
+  // Normalize to energy per sample (except children, already normalized).
+  const double inv_T = 1.0 / static_cast<double>(T);
+  eb.fu *= inv_T;
+  eb.reg *= inv_T;
+  eb.mux *= inv_T;
+  eb.wire *= inv_T;
+  eb.ctrl *= inv_T;
+  if (g_energy_cache.size() > 8192) g_energy_cache.clear();
+  g_energy_cache.emplace(key, eb);
+  return eb;
+}
+
+double power_of(const Datapath& dp, int b, const Trace& trace, const Library& lib,
+                const OpPoint& pt, double sample_period_ns) {
+  check(sample_period_ns > 0, "power_of: sample period must be positive");
+  return energy_of(dp, b, trace, lib, pt).total() / sample_period_ns;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,49 @@
+// Trace-driven switched-capacitance power estimation (paper [8,10] style).
+//
+// Energy of one behavior execution is accumulated per structure:
+//   * functional units: cap_sw x (input-tuple Hamming activity),
+//   * registers: write toggles,
+//   * muxes and wires: per-delivery toggles (global wires at the top
+//     level, cheaper local wires inside complex modules),
+//   * controller: per-cycle switching,
+// all scaled by Vdd^2. Streams follow the schedule, so *sharing* a unit
+// between weakly correlated computations raises its activity -- the
+// mechanism behind the paper's observation that power optimization often
+// prefers NOT to share (Example 2 / reference [9]).
+//
+// This estimator is the fast inner-loop cost; the cycle-accurate RTL
+// simulator (power/rtlsim.h) is the reporting-grade reference.
+#pragma once
+
+#include "power/trace.h"
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+struct EnergyBreakdown {
+  double fu = 0;
+  double reg = 0;
+  double mux = 0;
+  double wire = 0;
+  double ctrl = 0;
+  double children = 0;
+
+  [[nodiscard]] double total() const { return fu + reg + mux + wire + ctrl + children; }
+};
+
+/// Behavior resolver backed by the datapath tree: resolves any behavior
+/// implemented by any descendant module (used for value evaluation).
+BehaviorResolver resolver_of(const Datapath& dp);
+
+/// Average energy per execution of behavior `b` of `dp`, driven by
+/// `trace` at its primary inputs (cap x V^2 units). Children included
+/// recursively. Requires the datapath to be fully scheduled.
+EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
+                          const Library& lib, const OpPoint& pt,
+                          bool top_level = true);
+
+/// Average power: energy per sample / sampling period (ns).
+double power_of(const Datapath& dp, int b, const Trace& trace, const Library& lib,
+                const OpPoint& pt, double sample_period_ns);
+
+}  // namespace hsyn

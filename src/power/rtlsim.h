@@ -1,0 +1,36 @@
+// Cycle-accurate RTL simulation of a synthesized datapath.
+//
+// This is the repo's substitute for the paper's switch-level (IRSIM)
+// simulation of the extracted layout (see DESIGN.md). The simulator
+// executes the bound datapath cycle by cycle under its schedule:
+// registers hold real values across cycles (and samples), functional
+// units evaluate on their scheduled start cycles, and every operand read
+// is checked against the value the behavior requires -- so it both
+// *verifies* the architecture (binding/schedule hazards, functional
+// equivalence with the DFG) and *measures* switched capacitance at
+// transfer granularity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/estimator.h"
+#include "power/trace.h"
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+struct RtlSimResult {
+  bool ok = false;                      ///< no violations, outputs match
+  std::vector<std::string> violations;  ///< hazard / mismatch descriptions
+  std::vector<Sample> outputs;          ///< per sample, primary outputs
+  EnergyBreakdown energy;               ///< per-sample average
+};
+
+/// Simulate behavior `b` of `dp` over `trace`. Children are verified
+/// recursively on the input streams their invocations observed.
+RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
+                          const Library& lib, const OpPoint& pt,
+                          bool top_level = true);
+
+}  // namespace hsyn

@@ -1,0 +1,175 @@
+#include "power/trace.h"
+
+#include <bit>
+#include <map>
+
+#include "util/fmt.h"
+#include "util/rng.h"
+
+namespace hsyn {
+
+std::int32_t mask16(std::int64_t x) {
+  const std::uint32_t u = static_cast<std::uint32_t>(x) & 0xFFFFu;
+  return (u & 0x8000u) ? static_cast<std::int32_t>(u) - 0x10000 :
+                         static_cast<std::int32_t>(u);
+}
+
+int hamming16(std::int32_t a, std::int32_t b) {
+  const std::uint32_t d = (static_cast<std::uint32_t>(a) ^
+                           static_cast<std::uint32_t>(b)) & 0xFFFFu;
+  return std::popcount(d);
+}
+
+std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b) {
+  switch (op) {
+    case Op::Add: return mask16(static_cast<std::int64_t>(a) + b);
+    case Op::Sub: return mask16(static_cast<std::int64_t>(a) - b);
+    case Op::Mult: return mask16(static_cast<std::int64_t>(a) * b);
+    case Op::ShiftL: return mask16(static_cast<std::int64_t>(a) << (b & 15));
+    case Op::ShiftR: return mask16(a >> (b & 15));
+    case Op::Cmp: return a < b ? 1 : 0;
+    case Op::And: return mask16(a & b);
+    case Op::Or: return mask16(a | b);
+    case Op::Xor: return mask16(a ^ b);
+    case Op::Neg: return mask16(-static_cast<std::int64_t>(a));
+    case Op::Hier: break;
+  }
+  check(false, "eval_op on hierarchical node");
+  return 0;
+}
+
+Trace make_trace(int num_inputs, int num_samples, std::uint64_t seed,
+                 double step_fraction) {
+  Rng rng(seed);
+  Trace trace(static_cast<std::size_t>(num_samples));
+  Sample cur(static_cast<std::size_t>(num_inputs));
+  for (auto& v : cur) v = mask16(rng.range(-32768, 32767));
+  const int max_step = std::max(1, static_cast<int>(65536 * step_fraction / 2));
+  for (int t = 0; t < num_samples; ++t) {
+    for (auto& v : cur) {
+      v = mask16(v + static_cast<std::int32_t>(rng.range(-max_step, max_step)));
+    }
+    trace[static_cast<std::size_t>(t)] = cur;
+  }
+  return trace;
+}
+
+namespace {
+
+/// FNV-1a over the trace contents, mixed with the channel count.
+std::uint64_t trace_fingerprint(const Trace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(t.size());
+  for (const Sample& s : t) {
+    mix(s.size());
+    for (const std::int32_t v : s) mix(static_cast<std::uint32_t>(v));
+  }
+  return h;
+}
+
+struct EvalCacheEntry {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::vector<std::int32_t>> values;
+};
+
+// Value evaluation is binding-independent, so the move engine asks for
+// the same (dfg, trace) combination thousands of times per pass; a
+// single-slot-per-DFG memo removes almost all of that work.
+thread_local std::map<const Dfg*, EvalCacheEntry> g_eval_cache;
+
+}  // namespace
+
+std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
+                                                      const BehaviorResolver& res,
+                                                      const Trace& inputs) {
+  check(dfg.validated(), "eval_dfg_edges: dfg must be validated");
+  std::uint64_t fp = trace_fingerprint(inputs);
+  // Mix in the full DFG structure so a recycled allocation at the same
+  // address (e.g. a different transformed variant of the same graph)
+  // cannot alias a stale entry.
+  auto mixin = [&fp](std::uint64_t v) {
+    fp ^= v + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
+  };
+  mixin(dfg.nodes().size());
+  mixin(dfg.edges().size());
+  for (const char c : dfg.name()) mixin(static_cast<unsigned char>(c));
+  for (const Node& n : dfg.nodes()) {
+    mixin(static_cast<std::uint64_t>(n.op));
+    for (const char c : n.behavior) mixin(static_cast<unsigned char>(c));
+  }
+  for (const Edge& e : dfg.edges()) {
+    mixin(static_cast<std::uint64_t>(e.src.node + 3) * 64 +
+          static_cast<std::uint64_t>(e.src.port));
+    for (const PortRef& d : e.dsts) {
+      mixin(static_cast<std::uint64_t>(d.node + 3) * 64 +
+            static_cast<std::uint64_t>(d.port));
+    }
+  }
+  if (auto it = g_eval_cache.find(&dfg);
+      it != g_eval_cache.end() && it->second.fingerprint == fp) {
+    return it->second.values;
+  }
+  std::vector<std::vector<std::int32_t>> vals(
+      inputs.size(), std::vector<std::int32_t>(dfg.edges().size(), 0));
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const Sample& in = inputs[t];
+    check(static_cast<int>(in.size()) == dfg.num_inputs(),
+          "eval_dfg_edges: input arity mismatch");
+    auto& ev = vals[t];
+    for (int i = 0; i < dfg.num_inputs(); ++i) {
+      const int eid = dfg.primary_input_edge(i);
+      if (eid >= 0) ev[static_cast<std::size_t>(eid)] = in[static_cast<std::size_t>(i)];
+    }
+    for (const int nid : dfg.topo_order()) {
+      const Node& n = dfg.node(nid);
+      if (n.is_hier()) {
+        const Dfg* child = res(n.behavior);
+        check(child != nullptr, "unresolved behavior " + n.behavior);
+        Trace cin(1);
+        cin[0].resize(static_cast<std::size_t>(n.num_inputs));
+        for (int p = 0; p < n.num_inputs; ++p) {
+          cin[0][static_cast<std::size_t>(p)] =
+              ev[static_cast<std::size_t>(dfg.input_edge(nid, p))];
+        }
+        const std::vector<Sample> outs = eval_dfg(*child, res, cin);
+        for (int p = 0; p < n.num_outputs; ++p) {
+          const int eid = dfg.output_edge(nid, p);
+          if (eid >= 0) {
+            ev[static_cast<std::size_t>(eid)] = outs[0][static_cast<std::size_t>(p)];
+          }
+        }
+      } else {
+        const std::int32_t a =
+            ev[static_cast<std::size_t>(dfg.input_edge(nid, 0))];
+        const std::int32_t b =
+            n.num_inputs > 1 ? ev[static_cast<std::size_t>(dfg.input_edge(nid, 1))]
+                             : 0;
+        const int eid = dfg.output_edge(nid, 0);
+        if (eid >= 0) ev[static_cast<std::size_t>(eid)] = eval_op(n.op, a, b);
+      }
+    }
+  }
+  if (g_eval_cache.size() > 256) g_eval_cache.clear();
+  g_eval_cache[&dfg] = {fp, vals};
+  return vals;
+}
+
+std::vector<Sample> eval_dfg(const Dfg& dfg, const BehaviorResolver& res,
+                             const Trace& inputs) {
+  const auto edge_vals = eval_dfg_edges(dfg, res, inputs);
+  std::vector<Sample> out(inputs.size(),
+                          Sample(static_cast<std::size_t>(dfg.num_outputs())));
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    for (int o = 0; o < dfg.num_outputs(); ++o) {
+      out[t][static_cast<std::size_t>(o)] =
+          edge_vals[t][static_cast<std::size_t>(dfg.primary_output_edge(o))];
+    }
+  }
+  return out;
+}
+
+}  // namespace hsyn

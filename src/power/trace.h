@@ -1,0 +1,54 @@
+// Typical input traces and functional DFG evaluation.
+//
+// Power estimation in the paper is driven by "typical input traces". We
+// generate correlated 16-bit streams (random-walk per input, the standard
+// DSP-signal model used by the switched-capacitance literature [8,10]):
+// consecutive samples differ by a bounded step, so resource *sharing*
+// interleaves weakly correlated streams and visibly raises switching
+// activity -- the effect Example 2 discusses.
+//
+// All arithmetic is 16-bit two's complement (wrap-around), the datapath
+// width of the synthesized circuits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+
+namespace hsyn {
+
+using Sample = std::vector<std::int32_t>;  ///< one value per primary input
+using Trace = std::vector<Sample>;
+
+/// Sign-extend the low 16 bits (datapath width) of x.
+std::int32_t mask16(std::int64_t x);
+
+/// Hamming distance between the low 16 bits of a and b.
+int hamming16(std::int32_t a, std::int32_t b);
+
+/// Evaluate one operation on 16-bit operands.
+std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b);
+
+/// Correlated random-walk trace: `num_samples` samples of `num_inputs`
+/// channels; each channel steps by roughly `step_fraction` of full scale.
+Trace make_trace(int num_inputs, int num_samples, std::uint64_t seed,
+                 double step_fraction = 0.05);
+
+/// Resolves a hierarchical behavior name to a DFG implementing it
+/// (any functionally equivalent variant produces the same values).
+using BehaviorResolver = std::function<const Dfg*(const std::string&)>;
+
+/// Per-sample value of every edge of `dfg` under `inputs`.
+/// result[sample][edge_id].
+std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
+                                                      const BehaviorResolver& res,
+                                                      const Trace& inputs);
+
+/// Primary-output values per sample.
+std::vector<Sample> eval_dfg(const Dfg& dfg, const BehaviorResolver& res,
+                             const Trace& inputs);
+
+}  // namespace hsyn

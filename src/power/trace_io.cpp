@@ -1,0 +1,50 @@
+#include "power/trace_io.h"
+
+#include <sstream>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+std::string trace_to_text(const Trace& trace) {
+  std::ostringstream out;
+  out << "# hsyn input trace: one sample per line\n";
+  for (const Sample& s : trace) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      out << (i ? " " : "") << s[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Trace trace_from_text(const std::string& text, int num_inputs) {
+  Trace trace;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    Sample s;
+    for (std::string tok; ls >> tok;) {
+      char* end = nullptr;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      check(end && *end == '\0',
+            strf("line %d: '%s' is not an integer", lineno, tok.c_str()));
+      s.push_back(mask16(v));
+    }
+    if (s.empty()) continue;
+    if (num_inputs == 0) num_inputs = static_cast<int>(s.size());
+    check(static_cast<int>(s.size()) == num_inputs,
+          strf("line %d: expected %d values, got %zu", lineno, num_inputs,
+               s.size()));
+    trace.push_back(std::move(s));
+  }
+  check(!trace.empty(), "trace has no samples");
+  return trace;
+}
+
+}  // namespace hsyn

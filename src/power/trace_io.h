@@ -1,0 +1,21 @@
+// Trace file I/O: "typical input traces to aid power estimation" are an
+// input of the paper's H-SYN; this reader/writer stores one sample per
+// line (whitespace-separated 16-bit values, one column per primary
+// input; `#` comments allowed).
+#pragma once
+
+#include <string>
+
+#include "power/trace.h"
+
+namespace hsyn {
+
+/// Serialize a trace (round-trips through trace_from_text).
+std::string trace_to_text(const Trace& trace);
+
+/// Parse a trace; every sample must have `num_inputs` values (pass 0 to
+/// accept the first line's width). Values are wrapped to 16 bits.
+/// Throws std::logic_error with a line-numbered message on bad input.
+Trace trace_from_text(const std::string& text, int num_inputs = 0);
+
+}  // namespace hsyn

@@ -1,0 +1,87 @@
+#include "rtl/controller.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rtl/cost.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+
+Controller build_controller(const Datapath& dp, const Library& lib,
+                            const OpPoint& pt) {
+  Controller c;
+  std::set<std::string> signals;
+  for (std::size_t b = 0; b < dp.behaviors.size(); ++b) {
+    const BehaviorImpl& bi = dp.behaviors[b];
+    check(bi.scheduled, "build_controller: behavior not scheduled");
+    const int base = static_cast<int>(c.states.size());
+    for (int cyc = 0; cyc <= bi.makespan; ++cyc) {
+      FsmState st;
+      st.id = base + cyc;
+      st.behavior = bi.behavior;
+      st.cycle = cyc;
+      c.states.push_back(std::move(st));
+    }
+    for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+      const Invocation& inv = bi.invs[i];
+      const int start = bi.inv_start[i];
+      FsmState& st = c.states[static_cast<std::size_t>(base + start)];
+      const std::string uname =
+          inv.unit.kind == UnitRef::Kind::Fu
+              ? strf("fu%d", inv.unit.idx)
+              : strf("child%d", inv.unit.idx);
+      st.asserts.push_back(
+          {ControlAssert::Kind::UnitStart, "fu:" + uname,
+           strf("inv%zu", i)});
+      signals.insert("start:" + uname);
+      const std::vector<int> ins = dp.inv_input_edges(static_cast<int>(b),
+                                                      static_cast<int>(i));
+      for (std::size_t p = 0; p < ins.size(); ++p) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(ins[p])];
+        if (r < 0) continue;
+        const std::string mux = strf("mux:%s.p%zu", uname.c_str(), p);
+        st.asserts.push_back(
+            {ControlAssert::Kind::MuxSelect, mux, strf("r%d", r)});
+        signals.insert(mux);
+      }
+      // Register loads at output-ready times.
+      for (const int e : dp.inv_output_edges(static_cast<int>(b),
+                                             static_cast<int>(i))) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+        if (r < 0) continue;
+        const int ready =
+            dp.edge_ready_time(static_cast<int>(b), e, lib, pt);
+        if (ready >= 0 && ready <= bi.makespan) {
+          FsmState& wst = c.states[static_cast<std::size_t>(base + ready)];
+          wst.asserts.push_back(
+              {ControlAssert::Kind::RegLoad, strf("reg:r%d", r),
+               strf("edge%d", e)});
+          signals.insert(strf("load:r%d", r));
+        }
+      }
+    }
+  }
+  c.num_signals = static_cast<int>(signals.size());
+  return c;
+}
+
+std::string controller_to_text(const Controller& c) {
+  std::ostringstream out;
+  out << strf("fsm: %zu states, %d signals\n", c.states.size(), c.num_signals);
+  for (const FsmState& st : c.states) {
+    out << strf("state %3d (%s cycle %d):", st.id, st.behavior.c_str(), st.cycle);
+    if (st.asserts.empty()) out << " -";
+    for (const ControlAssert& a : st.asserts) {
+      const char* k = a.kind == ControlAssert::Kind::MuxSelect ? "sel"
+                      : a.kind == ControlAssert::Kind::RegLoad ? "load"
+                                                               : "start";
+      out << strf(" %s(%s<=%s)", k, a.target.c_str(), a.detail.c_str());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hsyn

@@ -1,0 +1,45 @@
+// FSM controller generation.
+//
+// H-SYN's output is "a datapath netlist and a finite-state machine
+// description of the controller". This module derives the FSM from the
+// schedule and binding: one state per cycle per behavior (behaviors of a
+// merged module time-share the FSM via disjoint state ranges), and per
+// state the asserted control signals: mux selects for every operand
+// steering and register load enables for every write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// One asserted control signal in a state.
+struct ControlAssert {
+  enum class Kind { MuxSelect, RegLoad, UnitStart };
+  Kind kind = Kind::UnitStart;
+  std::string target;  ///< e.g. "mux:fu3.p1", "reg:r2", "fu:fu3"
+  std::string detail;  ///< e.g. selected source, loaded edge
+};
+
+struct FsmState {
+  int id = 0;
+  std::string behavior;
+  int cycle = 0;
+  std::vector<ControlAssert> asserts;
+};
+
+struct Controller {
+  std::vector<FsmState> states;
+  int num_signals = 0;
+};
+
+/// Derive the controller of (all behaviors of) a scheduled datapath.
+Controller build_controller(const Datapath& dp, const Library& lib,
+                            const OpPoint& pt);
+
+/// Human-readable FSM table.
+std::string controller_to_text(const Controller& c);
+
+}  // namespace hsyn

@@ -1,0 +1,128 @@
+#include "rtl/cost.h"
+
+#include <algorithm>
+
+#include "util/fmt.h"
+
+namespace hsyn {
+
+int Connectivity::mux_inputs() const {
+  int total = 0;
+  auto count = [&total](const std::vector<std::set<int>>& ports) {
+    for (const auto& srcs : ports) {
+      total += std::max(0, static_cast<int>(srcs.size()) - 1);
+    }
+  };
+  for (const auto& ports : fu_port_srcs) count(ports);
+  for (const auto& ports : child_port_srcs) count(ports);
+  for (const auto& srcs : reg_srcs) {
+    total += std::max(0, static_cast<int>(srcs.size()) - 1);
+  }
+  return total;
+}
+
+int Connectivity::net_sinks() const {
+  int total = 0;
+  for (const auto& ports : fu_port_srcs) {
+    for (const auto& srcs : ports) total += static_cast<int>(srcs.size());
+  }
+  for (const auto& ports : child_port_srcs) {
+    for (const auto& srcs : ports) total += static_cast<int>(srcs.size());
+  }
+  for (const auto& srcs : reg_srcs) total += static_cast<int>(srcs.size());
+  return total;
+}
+
+int Connectivity::control_signals() const {
+  int total = 0;
+  auto muxed = [&total](const std::vector<std::set<int>>& ports) {
+    for (const auto& srcs : ports) {
+      if (srcs.size() > 1) ++total;  // one select bundle per muxed port
+    }
+  };
+  for (const auto& ports : fu_port_srcs) muxed(ports);
+  for (const auto& ports : child_port_srcs) muxed(ports);
+  for (const auto& srcs : reg_srcs) {
+    if (srcs.size() > 1) ++total;
+  }
+  total += static_cast<int>(reg_srcs.size());  // one enable per register
+  return total;
+}
+
+namespace {
+
+SourceKey edge_source(const Datapath& dp, const BehaviorImpl& bi, int eid) {
+  const Edge& e = bi.dfg->edge(eid);
+  if (e.src.node == kPrimaryIn) return {3, e.src.port, 0};
+  const int i = bi.inv_of(e.src.node);
+  const Invocation& inv = bi.invs[static_cast<std::size_t>(i)];
+  (void)dp;
+  if (inv.unit.kind == UnitRef::Kind::Fu) return {1, inv.unit.idx, 0};
+  return {2, inv.unit.idx, e.src.port};
+}
+
+}  // namespace
+
+Connectivity connectivity_of(const Datapath& dp) {
+  Connectivity c;
+  c.fu_port_srcs.resize(dp.fus.size());
+  c.child_port_srcs.resize(dp.children.size());
+  c.reg_srcs.resize(dp.regs.size());
+
+  for (std::size_t b = 0; b < dp.behaviors.size(); ++b) {
+    const BehaviorImpl& bi = dp.behaviors[b];
+    for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+      const Invocation& inv = bi.invs[i];
+      const std::vector<int> ins = dp.inv_input_edges(static_cast<int>(b),
+                                                      static_cast<int>(i));
+      auto& ports = inv.unit.kind == UnitRef::Kind::Fu
+                        ? c.fu_port_srcs[static_cast<std::size_t>(inv.unit.idx)]
+                        : c.child_port_srcs[static_cast<std::size_t>(inv.unit.idx)];
+      if (ports.size() < ins.size()) ports.resize(ins.size());
+      for (std::size_t p = 0; p < ins.size(); ++p) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(ins[p])];
+        // Chain-internal edges never appear here (excluded by
+        // inv_input_edges); unregistered external edges would be a
+        // validation error.
+        if (r >= 0) ports[p].insert(r);
+      }
+    }
+    for (const Edge& e : bi.dfg->edges()) {
+      const int r = bi.edge_reg[static_cast<std::size_t>(e.id)];
+      if (r < 0) continue;
+      c.reg_srcs[static_cast<std::size_t>(r)].insert(edge_source(dp, bi, e.id));
+    }
+  }
+  return c;
+}
+
+int controller_states(const Datapath& dp) {
+  int states = 0;
+  for (const BehaviorImpl& bi : dp.behaviors) {
+    check(bi.scheduled, "controller_states: behavior not scheduled");
+    states += bi.makespan + 1;
+  }
+  return states;
+}
+
+AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level) {
+  const StructureCosts& sc = lib.costs();
+  AreaBreakdown a;
+  for (const FuUnit& fu : dp.fus) {
+    a.fu += lib.fu(fu.type).area;
+  }
+  a.reg = static_cast<double>(dp.regs.size()) * lib.reg().area;
+
+  const Connectivity conn = connectivity_of(dp);
+  a.mux = sc.mux_area_per_input * conn.mux_inputs();
+  a.wire = (top_level ? sc.wire_area_global : sc.wire_area_local) * conn.net_sinks();
+  a.ctrl = sc.ctrl_area_per_state * controller_states(dp) +
+           sc.ctrl_area_per_signal * conn.control_signals();
+
+  for (const ChildUnit& ch : dp.children) {
+    a.children += area_of(*ch.impl, lib, /*top_level=*/false).total();
+  }
+  return a;
+}
+
+}  // namespace hsyn

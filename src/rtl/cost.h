@@ -1,0 +1,70 @@
+// Area model and structural connectivity analysis of datapaths.
+//
+// Substitution for the paper's MSU-standard-cell + OCTTOOLS layout flow
+// (see DESIGN.md): area is estimated at the RTL level as the sum of
+// component areas, derived multiplexers (one (k-1)-slice cost per k-input
+// port), interconnect (per net sink; *global* at the top level, *local*
+// inside complex modules -- the locality advantage hierarchy buys), and
+// FSM controller area proportional to states and control signals.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// A data source feeding a port: a register, another unit's output, or a
+/// primary input. Encoded for set-keying.
+struct SourceKey {
+  int kind = 0;  ///< 0 = reg, 1 = fu out, 2 = child out, 3 = primary input
+  int idx = 0;
+  int port = 0;
+
+  friend auto operator<=>(const SourceKey&, const SourceKey&) = default;
+};
+
+/// Structural connectivity of one datapath level (children summarized,
+/// not expanded): which sources feed every unit input port and register.
+struct Connectivity {
+  /// [fu][port] -> distinct register sources.
+  std::vector<std::vector<std::set<int>>> fu_port_srcs;
+  /// [child][port] -> distinct register sources.
+  std::vector<std::vector<std::set<int>>> child_port_srcs;
+  /// [reg] -> distinct producing sources.
+  std::vector<std::set<SourceKey>> reg_srcs;
+
+  /// Total mux data inputs: sum over ports of max(0, |sources| - 1).
+  [[nodiscard]] int mux_inputs() const;
+
+  /// Total point-to-point connections (net sinks).
+  [[nodiscard]] int net_sinks() const;
+
+  /// Number of mux select / register enable control signals.
+  [[nodiscard]] int control_signals() const;
+};
+
+/// Compute connectivity across all behaviors of `dp` (this level only).
+Connectivity connectivity_of(const Datapath& dp);
+
+struct AreaBreakdown {
+  double fu = 0;
+  double reg = 0;
+  double mux = 0;
+  double wire = 0;
+  double ctrl = 0;
+  double children = 0;
+
+  [[nodiscard]] double total() const { return fu + reg + mux + wire + ctrl + children; }
+};
+
+/// Recursive area of a datapath. `top_level` selects global wire pricing
+/// at this level; nested levels always price wires locally.
+AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level = true);
+
+/// Number of controller states at this level: behaviors time-share one
+/// FSM, so states add up across behaviors.
+int controller_states(const Datapath& dp);
+
+}  // namespace hsyn

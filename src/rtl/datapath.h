@@ -1,0 +1,160 @@
+// RTL datapath intermediate representation -- the "solution" the
+// iterative-improvement engine manipulates.
+//
+// A Datapath is a set of physical components (simple functional units,
+// registers, and nested child datapaths = complex RTL module instances)
+// together with one or more *behavior implementations* bound onto those
+// components. A single-behavior Datapath is an ordinary synthesized
+// circuit; a multi-behavior Datapath is exactly the paper's merged RTL
+// module produced by RTL embedding (Example 3): several DFGs time-share
+// one component set, each keeping its own schedule and binding.
+//
+// The same recursive type therefore represents:
+//   * the top-level solution under synthesis,
+//   * complex library module templates (paper Fig. 2, C1..C5),
+//   * customized modules produced by move B (resynthesis), and
+//   * merged modules produced by move C (RTL embedding).
+//
+// DFG pointers are non-owning; the Design (and any flattened DFG held by
+// the synthesizer) must outlive every Datapath referencing them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "library/library.h"
+#include "library/profile.h"
+
+namespace hsyn {
+
+/// Reference to a component able to execute invocations.
+struct UnitRef {
+  enum class Kind { Fu, Child };
+  Kind kind = Kind::Fu;
+  int idx = -1;
+
+  friend bool operator==(const UnitRef&, const UnitRef&) = default;
+};
+
+/// One invocation: the atomic unit of scheduling. A simple-operation
+/// invocation carries one node; a *chained* invocation carries a chain of
+/// dependent same-op nodes executed combinationally in one pass through a
+/// chained unit (paper: "chains of functional units", module C5); a
+/// hierarchical invocation carries one hier node executed on a child.
+struct Invocation {
+  UnitRef unit;
+  std::vector<int> nodes;  ///< DFG node ids; >1 only for chained groups
+};
+
+/// Binding + schedule of one behavior onto the component set.
+struct BehaviorImpl {
+  std::string behavior;      ///< interface behavior name (hier nodes bind by this)
+  const Dfg* dfg = nullptr;  ///< DFG variant actually implemented
+  std::vector<Invocation> invs;
+  std::vector<int> node_inv;        ///< node id -> invocation index
+  std::vector<int> edge_reg;        ///< edge id -> register unit (-1: chain-internal)
+  std::vector<int> input_arrival;   ///< assumed primary-input arrival cycles
+  // Filled in by the scheduler:
+  std::vector<int> inv_start;       ///< invocation start cycles
+  int makespan = 0;                 ///< completion cycle of all primary outputs
+  bool scheduled = false;
+
+  /// Invocation index executing `node` (checked).
+  [[nodiscard]] int inv_of(int node) const;
+};
+
+/// A simple functional-unit instance.
+struct FuUnit {
+  int type = -1;  ///< index into Library::fus()
+  std::string name;
+};
+
+/// A register instance.
+struct RegUnit {
+  std::string name;
+};
+
+class Datapath;
+
+/// A complex RTL module instance: an owned nested datapath.
+struct ChildUnit {
+  std::unique_ptr<Datapath> impl;
+  std::string name;
+  bool sealed = false;  ///< internal description may not be altered (no move B)
+
+  ChildUnit() = default;
+  ChildUnit(const ChildUnit& other);
+  ChildUnit& operator=(const ChildUnit& other);
+  ChildUnit(ChildUnit&&) noexcept = default;
+  ChildUnit& operator=(ChildUnit&&) noexcept = default;
+  ~ChildUnit();
+};
+
+class Datapath {
+ public:
+  std::string name;
+  std::vector<FuUnit> fus;
+  std::vector<RegUnit> regs;
+  std::vector<ChildUnit> children;
+  std::vector<BehaviorImpl> behaviors;
+
+  Datapath() = default;
+  explicit Datapath(std::string n) : name(std::move(n)) {}
+
+  // ---- Behavior queries -------------------------------------------------
+
+  /// Index of the implementation of `behavior`; -1 when absent.
+  [[nodiscard]] int find_behavior(const std::string& behavior) const;
+
+  /// Profile of this module for behavior index `b` (requires scheduled).
+  /// in[i] = assumed arrival of primary input i; out[j] = production cycle
+  /// of primary output j.
+  [[nodiscard]] Profile profile(int b, const Library& lib, const OpPoint& pt) const;
+
+  /// Busy time per invocation of behavior `b` = its scheduled makespan
+  /// (the module is non-pipelined across behaviors).
+  [[nodiscard]] int busy_cycles(int b) const;
+
+  // ---- Structural queries ------------------------------------------------
+
+  /// Latency in cycles of one invocation on this datapath's unit `u` for
+  /// behavior `b`'s invocation `i` (fu cycles or child makespan).
+  [[nodiscard]] int inv_latency(int b, int i, const Library& lib,
+                                const OpPoint& pt) const;
+
+  /// Number of invocations bound to a unit across all behaviors.
+  [[nodiscard]] int unit_load(const UnitRef& u) const;
+
+  /// Number of variables bound to register `r` across all behaviors.
+  [[nodiscard]] int reg_load(int r) const;
+
+  /// External input edges of invocation `i` of behavior `b`, in physical
+  /// port order (chain-internal edges excluded). Each entry is an edge id
+  /// of the behavior's DFG.
+  [[nodiscard]] std::vector<int> inv_input_edges(int b, int i) const;
+
+  /// Output edges of invocation `i` of behavior `b`, in port order.
+  /// For chains, the final node's output; for hier nodes, all outputs.
+  [[nodiscard]] std::vector<int> inv_output_edges(int b, int i) const;
+
+  /// Production cycle of edge `e` in behavior `b` (arrival time for
+  /// primary-input edges; requires scheduled).
+  [[nodiscard]] int edge_ready_time(int b, int e, const Library& lib,
+                                    const OpPoint& pt) const;
+
+  /// Drop invocations/registers with no bound work and compact indices.
+  void prune_unused();
+
+  /// Structural invariants: every node covered by exactly one invocation,
+  /// unit kinds compatible with bound ops, chain groups contiguous
+  /// dependence chains, every edge that crosses invocations registered.
+  /// Throws std::logic_error on violation.
+  void validate(const Library& lib) const;
+
+  /// Total number of component instances (recursively).
+  [[nodiscard]] int total_components() const;
+};
+
+}  // namespace hsyn

@@ -1,0 +1,18 @@
+// Structural netlist export of a synthesized datapath.
+//
+// Emits a hierarchical, Verilog-flavoured structural description:
+// component instances (functional units, registers, nested modules),
+// multiplexers derived from the binding, and the nets connecting them.
+// This is the "datapath netlist" half of H-SYN's output.
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// Render the datapath (recursively) as a structural netlist.
+std::string netlist_to_text(const Datapath& dp, const Library& lib);
+
+}  // namespace hsyn

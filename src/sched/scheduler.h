@@ -1,0 +1,61 @@
+// Scheduling of bound datapaths (paper Section 4).
+//
+// Following [10] and the paper: before scheduling we derive an ordering
+// for invocations that share a functional unit / RTL module and for
+// variables that share a register. The ordering imposes extra dependency
+// edges, after which "scheduling of a node reduces to the problem of
+// finding the longest path from a primary input to the node". We build
+// the full constraint graph (data edges with profile offsets for complex
+// modules, resource-serialization edges, register write-after-read
+// edges), check it is acyclic, and propagate longest paths.
+//
+// Hierarchical datapaths are scheduled bottom-up: children first (their
+// schedules define their profiles), then the parent, where a child
+// invocation behaves as a non-pipelined multicycle unit with profile
+// semantics (Example 1).
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// Effectively-unbounded deadline for child modules scheduled for minimum
+/// latency.
+inline constexpr int kNoDeadline = 1 << 28;
+
+struct SchedResult {
+  bool ok = false;
+  int makespan = 0;
+  std::string reason;  ///< set when !ok
+};
+
+/// Schedule behavior `b` of `dp` (children must already be scheduled).
+/// On success fills inv_start / makespan / scheduled and returns ok.
+SchedResult schedule_behavior(Datapath& dp, int b, const Library& lib,
+                              const OpPoint& pt, int deadline);
+
+/// Schedule every child (bottom-up, against kNoDeadline) and then every
+/// behavior of `dp` against `deadline`. Returns the first failure or the
+/// maximum makespan across behaviors.
+///
+/// Children whose behaviors are all already scheduled are *not*
+/// rescheduled: schedules stay valid as long as the operating point and
+/// the child's structure are unchanged, and every mutation path resets
+/// the affected `scheduled` flags. Call invalidate_schedules() first
+/// when the operating point changes (e.g. Vdd scaling).
+SchedResult schedule_datapath(Datapath& dp, const Library& lib, const OpPoint& pt,
+                              int deadline);
+
+/// Recursively clear every behavior's `scheduled` flag.
+void invalidate_schedules(Datapath& dp);
+
+/// Latest feasible start time per invocation of (already scheduled)
+/// behavior `b` such that `deadline` is still met, honoring the same
+/// resource/register orderings the scheduler derives. Empty on failure
+/// (cyclic orderings). Used by constraint derivation (Fig. 5).
+std::vector<int> alap_starts(const Datapath& dp, int b, const Library& lib,
+                             const OpPoint& pt, int deadline);
+
+}  // namespace hsyn

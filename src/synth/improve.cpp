@@ -1,0 +1,74 @@
+#include "synth/improve.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/fmt.h"
+#include "util/log.h"
+
+namespace hsyn {
+
+Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
+  double cur_cost = cost_of(dp, cx);
+  if (stats) stats->initial_cost = cur_cost;
+
+  for (int pass = 0; pass < cx.opts.max_passes; ++pass) {
+    if (stats) ++stats->passes;
+    // One pass: apply up to MAX_MOVES best moves, negative gains allowed.
+    // The budget scales with the number of movable objects (KL style), so
+    // flattened designs work proportionally harder per pass.
+    const int objects = static_cast<int>(dp.fus.size() + dp.children.size() +
+                                         dp.regs.size() / 2);
+    const int budget = std::min(cx.opts.max_moves_per_pass,
+                                std::max(4, objects));
+    std::vector<Datapath> snapshots;
+    std::vector<double> cum_gain;
+    Datapath cur = dp;
+    double cum = 0;
+    for (int mi = 0; mi < budget; ++mi) {
+      // Full module resynthesis (move B) is the costliest generator; try
+      // it early in the pass where it matters most, then fall back to
+      // the cheap selection-only form.
+      SynthContext move_cx = cx;
+      move_cx.opts.enable_resynth = cx.opts.enable_resynth && mi < 2;
+      Move m1 = best_replace_move(cur, move_cx);
+      Move m3 = best_sharing_move(cur, cx);
+      if (!m3.valid || m3.gain < 0) {
+        // Fig. 4 statements 9-10: when the best sharing move loses,
+        // consider splitting instead.
+        m3 = better_move(m3, best_splitting_move(cur, cx));
+      }
+      const Move& m = better_move(m1, m3);
+      if (!m.valid) break;
+      if (!cx.opts.enable_negative_gain && m.gain <= 1e-9) break;
+      log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
+                     m.kind.c_str(), m.desc.c_str(), m.gain));
+      cur = m.result;
+      cum += m.gain;
+      snapshots.push_back(cur);
+      cum_gain.push_back(cum);
+      if (stats) ++stats->moves_applied;
+    }
+
+    // Keep the prefix with the best cumulative gain (statement 14-16).
+    int best_k = -1;
+    double best_gain = 1e-9;
+    for (std::size_t k = 0; k < cum_gain.size(); ++k) {
+      if (cum_gain[k] > best_gain) {
+        best_gain = cum_gain[k];
+        best_k = static_cast<int>(k);
+      }
+    }
+    if (best_k < 0) break;  // Pass_Gain <= 0
+    dp = std::move(snapshots[static_cast<std::size_t>(best_k)]);
+    cur_cost = cost_of(dp, cx);
+    if (stats) stats->moves_kept += best_k + 1;
+    log_info(strf("pass %d kept %d moves, gain %.3f, cost %.3f", pass,
+                  best_k + 1, best_gain, cur_cost));
+  }
+
+  if (stats) stats->final_cost = cur_cost;
+  return dp;
+}
+
+}  // namespace hsyn

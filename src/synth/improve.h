@@ -1,0 +1,26 @@
+// Variable-depth iterative improvement (paper Fig. 4, inner loops).
+//
+// Starting from a scheduled solution, repeatedly runs passes of up to
+// MAX_MOVES moves. Within a pass every move applies the best candidate
+// even when its gain is negative; at the end of the pass the prefix with
+// the best cumulative gain is kept (classic Kernighan-Lin variable-depth
+// search [11]). Passes repeat until one yields no positive gain.
+#pragma once
+
+#include "synth/moves.h"
+
+namespace hsyn {
+
+struct ImproveStats {
+  int passes = 0;
+  int moves_applied = 0;
+  int moves_kept = 0;
+  double initial_cost = 0;
+  double final_cost = 0;
+};
+
+/// Improve `dp` (must be scheduled and feasible) under `cx`. Returns the
+/// best solution found.
+Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats = nullptr);
+
+}  // namespace hsyn

@@ -1,0 +1,38 @@
+// INITIAL_SOLUTION (paper Fig. 4, statement 2).
+//
+// "This routine maps each simple node in the DFG to the fastest
+// implementation available in the library. DFGs which represent
+// hierarchical nodes are handled in the same manner. Each operation is
+// mapped to a separate functional unit, and each variable to a separate
+// register, resulting in a completely parallel architecture."
+//
+// For hierarchical nodes the fastest implementation is chosen among the
+// complex-library templates for the behavior (and its equivalents) and a
+// recursively constructed fully parallel module.
+#pragma once
+
+#include "synth/moves.h"
+
+namespace hsyn {
+
+/// Build the completely parallel fastest implementation of `dfg`,
+/// labeled as implementing `behavior_name`. Unscheduled children are
+/// scheduled internally for template comparison; the returned datapath
+/// itself still needs schedule_datapath().
+Datapath initial_solution(const Dfg& dfg, const std::string& behavior_name,
+                          const SynthContext& cx);
+
+/// Profile alignment: set every child's assumed input-arrival offsets to
+/// the (elementwise-earliest) pattern the parent schedule actually
+/// delivers, recursively, iterating to a fixed point. This recovers the
+/// fine-grain overlap plain hierarchy hides -- a cascade stage's
+/// data-independent operations can start while the previous stage is
+/// still producing the serial value (the paper's profiles, Example 1,
+/// exist for exactly this). Safe by construction: a module started per
+/// its profile never reads an operand before the scheduler guarantees
+/// its arrival. Returns the final unbounded makespan of behavior 0, or
+/// -1 when scheduling failed.
+int align_child_profiles(Datapath& dp, const Library& lib, const OpPoint& pt,
+                         int iterations = 8);
+
+}  // namespace hsyn

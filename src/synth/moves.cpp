@@ -1,0 +1,82 @@
+#include "synth/moves.h"
+
+#include "power/estimator.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+
+Datapath instantiate_scheduled(const ComplexLibrary::Template& t,
+                               const std::string& behavior,
+                               const SynthContext& cx) {
+  const std::string key = t.name + "/" + behavior + "/" +
+                          strf("%.3f/%.3f", cx.pt.vdd, cx.pt.clk_ns);
+  auto it = cx.template_cache->find(key);
+  if (it == cx.template_cache->end()) {
+    Datapath inst = ComplexLibrary::instantiate(t, behavior);
+    schedule_datapath(inst, *cx.lib, cx.pt, kNoDeadline);
+    it = cx.template_cache->emplace(key, std::move(inst)).first;
+  }
+  return it->second;  // deep copy; schedules stay valid in the copy
+}
+
+double cost_of(const Datapath& dp, const SynthContext& cx) {
+  if (cx.obj == Objective::Area) {
+    return area_of(dp, *cx.lib).total();
+  }
+  return energy_of(dp, 0, cx.trace, *cx.lib, cx.pt).total();
+}
+
+Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
+                 std::string kind, std::string desc) {
+  Move m;
+  m.kind = std::move(kind);
+  m.desc = std::move(desc);
+  cand.prune_unused();
+  const SchedResult sr = schedule_datapath(cand, *cx.lib, cx.pt, cx.deadline);
+  if (!sr.ok) return m;
+  m.gain = cost_before - cost_of(cand, cx);
+  m.result = std::move(cand);
+  m.valid = true;
+  return m;
+}
+
+const Move& better_move(const Move& a, const Move& b) {
+  if (!a.valid) return b;
+  if (!b.valid) return a;
+  return a.gain >= b.gain ? a : b;
+}
+
+Trace child_input_trace(const Datapath& dp, int b, int child_idx,
+                        const std::string& behavior, const SynthContext& cx) {
+  const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
+  const auto edge_vals = eval_dfg_edges(*bi.dfg, resolver_of(dp), cx.trace);
+  // Invocations of this child+behavior, in schedule order.
+  std::vector<std::pair<int, int>> invs;  // (start, inv)
+  for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+    const Invocation& inv = bi.invs[i];
+    if (inv.unit.kind != UnitRef::Kind::Child || inv.unit.idx != child_idx) continue;
+    if (bi.dfg->node(inv.nodes.front()).behavior != behavior) continue;
+    invs.push_back({bi.scheduled ? bi.inv_start[i] : 0, static_cast<int>(i)});
+  }
+  std::sort(invs.begin(), invs.end());
+  Trace out;
+  out.reserve(cx.trace.size() * invs.size());
+  for (std::size_t t = 0; t < cx.trace.size(); ++t) {
+    for (const auto& [start, i] : invs) {
+      (void)start;
+      const Node& n = bi.dfg->node(bi.invs[static_cast<std::size_t>(i)].nodes.front());
+      Sample s(static_cast<std::size_t>(n.num_inputs));
+      for (int p = 0; p < n.num_inputs; ++p) {
+        s[static_cast<std::size_t>(p)] =
+            edge_vals[t][static_cast<std::size_t>(
+                bi.dfg->input_edge(bi.invs[static_cast<std::size_t>(i)].nodes.front(), p))];
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace hsyn

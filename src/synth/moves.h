@@ -1,0 +1,122 @@
+// Shared context and move representation of the iterative-improvement
+// engine (paper Section 4, Figs. 4 and 5).
+//
+// A move is represented by the *resulting* datapath (already scheduled
+// and validated -- "when a move is performed, its validity is checked by
+// scheduling"), plus its gain = cost(before) - cost(after) under the
+// active objective. Negative-gain moves are legal: variable-depth
+// improvement applies the best *prefix* of a move sequence, so a
+// temporarily degraded architecture can lead out of a local minimum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dfg/design.h"
+#include "power/trace.h"
+#include "rtl/complex_library.h"
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+enum class Objective { Area, Power };
+
+inline const char* objective_name(Objective o) {
+  return o == Objective::Area ? "area" : "power";
+}
+
+/// Tunables of the engine; also the ablation switches.
+struct SynthOptions {
+  /// Upper bound on MAX_MOVES of Fig. 4. The effective per-pass budget is
+  /// min(this, number of movable objects), Kernighan-Lin style: each pass
+  /// gets roughly one move per unit/register, so large (flattened)
+  /// designs naturally take more work per pass than hierarchical ones.
+  int max_moves_per_pass = 32;
+  int max_passes = 8;
+  int max_candidates = 24;      ///< candidate cap per move generator
+  int group_size = 4;           ///< module-group formation: top-K targets
+  int trace_samples = 24;
+  std::uint64_t seed = 42;
+  int max_clocks = 4;           ///< clock candidates kept after pruning
+  int resynth_passes = 2;       ///< inner improvement budget of move B
+  int max_resynth_depth = 4;    ///< hierarchy depth move B may descend
+  double force_vdd = 0;         ///< >0: restrict the Vdd loop to this supply
+  /// Non-empty: use this user-supplied typical input trace instead of a
+  /// generated one (the paper's "typical input traces" synthesis input).
+  Trace user_trace;
+  // Ablation switches (all on for the full algorithm).
+  bool enable_replace = true;   ///< move A
+  bool enable_resynth = true;   ///< move B
+  bool enable_share = true;     ///< move C
+  bool enable_split = true;     ///< move D
+  bool enable_negative_gain = true;  ///< variable-depth (vs greedy-only)
+};
+
+/// Everything a move generator needs to know about the synthesis run.
+struct SynthContext {
+  const Design* design = nullptr;  ///< null during flattened synthesis
+  const Library* lib = nullptr;
+  const ComplexLibrary* clib = nullptr;  ///< may be null
+  OpPoint pt;
+  int deadline = 0;  ///< sampling period in cycles at `pt`
+  Trace trace;       ///< typical top-level input trace
+  Objective obj = Objective::Power;
+  SynthOptions opts;
+  /// Cache of library templates already instantiated and scheduled at
+  /// this operating point (keyed by template/behavior); shared across
+  /// context copies so move selection does not re-schedule the same
+  /// template hundreds of times per pass.
+  std::shared_ptr<std::map<std::string, Datapath>> template_cache =
+      std::make_shared<std::map<std::string, Datapath>>();
+};
+
+/// Instantiate template `t` to serve `behavior`, scheduled at cx.pt
+/// (memoized in cx.template_cache).
+Datapath instantiate_scheduled(const ComplexLibrary::Template& t,
+                               const std::string& behavior,
+                               const SynthContext& cx);
+
+/// Objective cost of a scheduled datapath: total area, or total energy
+/// per sample (power differs only by the fixed sampling period).
+double cost_of(const Datapath& dp, const SynthContext& cx);
+
+/// A candidate move with its (scheduled) result.
+struct Move {
+  bool valid = false;
+  std::string kind;  ///< "A:...", "B:...", "C:...", "D:..."
+  std::string desc;
+  double gain = 0;   ///< cost(before) - cost(after); positive = better
+  Datapath result;
+};
+
+/// Evaluate a mutated datapath: schedule against the context deadline,
+/// and if feasible fill in a Move with the given labels and the gain
+/// relative to `cost_before`. Invalid move (valid=false) otherwise.
+Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
+                 std::string kind, std::string desc);
+
+/// Best of two candidate moves by gain (invalid moves lose).
+const Move& better_move(const Move& a, const Move& b);
+
+/// Typical input trace observed by child unit `child_idx` of `dp` for
+/// interface behavior `behavior`, derived from the top-level trace
+/// (inputs seen by each invocation, per sample, in schedule order).
+Trace child_input_trace(const Datapath& dp, int b, int child_idx,
+                        const std::string& behavior, const SynthContext& cx);
+
+// ---- Move generators (one per paper move class) --------------------------
+
+/// Moves A and B combined (Fig. 5): module-group formation, constraint
+/// derivation, then reselection (A) and resynthesis (B) of the targets.
+Move best_replace_move(const Datapath& dp, const SynthContext& cx);
+
+/// Move C: resource sharing -- functional-unit merging, register merging,
+/// complex-instance reuse and RTL embedding.
+Move best_sharing_move(const Datapath& dp, const SynthContext& cx);
+
+/// Move D: resource splitting -- de-share a unit or register.
+Move best_splitting_move(const Datapath& dp, const SynthContext& cx);
+
+}  // namespace hsyn

@@ -1,0 +1,59 @@
+#include "synth/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "rtl/cost.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+
+std::string result_summary(const SynthResult& r, const Library& lib) {
+  std::ostringstream out;
+  if (!r.ok) {
+    out << "synthesis failed: " << r.fail_reason << "\n";
+    return out.str();
+  }
+  out << strf("%s-optimized (%s synthesis)\n", objective_name(r.obj),
+              mode_name(r.mode));
+  out << strf("  operating point : Vdd %.1f V, clock %.1f ns\n", r.pt.vdd,
+              r.pt.clk_ns);
+  out << strf("  sampling period : %.1f ns (%d cycles), schedule %d cycles\n",
+              r.sample_period_ns, r.deadline_cycles, r.makespan);
+  const AreaBreakdown a = area_of(r.dp, lib);
+  out << strf("  area            : %.1f (fu %.1f, reg %.1f, mux %.1f, wire "
+              "%.1f, ctrl %.1f, modules %.1f)\n",
+              a.total(), a.fu, a.reg, a.mux, a.wire, a.ctrl, a.children);
+  out << strf("  energy/sample   : %.1f  power: %.4f\n", r.energy, r.power);
+  out << strf("  improvement     : %d passes, %d moves applied, %d kept, "
+              "cost %.1f -> %.1f\n",
+              r.stats.passes, r.stats.moves_applied, r.stats.moves_kept,
+              r.stats.initial_cost, r.stats.final_cost);
+  out << strf("  synthesis time  : %.2f s\n", r.synth_seconds);
+  return out.str();
+}
+
+std::string architecture_summary(const Datapath& dp, const Library& lib) {
+  std::ostringstream out;
+  std::map<std::string, int> counts;
+  for (const FuUnit& fu : dp.fus) counts[lib.fu(fu.type).name]++;
+  out << strf("%s: ", dp.name.empty() ? "datapath" : dp.name.c_str());
+  bool first = true;
+  for (const auto& [name, n] : counts) {
+    out << (first ? "" : ", ") << n << "x " << name;
+    first = false;
+  }
+  if (!dp.fus.empty()) out << ", ";
+  out << dp.regs.size() << " registers";
+  if (!dp.children.empty()) {
+    out << strf(", %zu complex instance(s):\n", dp.children.size());
+    for (const ChildUnit& c : dp.children) {
+      out << "  - " << architecture_summary(*c.impl, lib);
+    }
+  } else {
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hsyn

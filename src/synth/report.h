@@ -1,0 +1,17 @@
+// Human-readable reporting of synthesis results.
+#pragma once
+
+#include <string>
+
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+
+/// One-paragraph summary: operating point, schedule, area and energy
+/// breakdowns, improvement statistics.
+std::string result_summary(const SynthResult& r, const Library& lib);
+
+/// Inventory of the architecture: units, registers, complex instances.
+std::string architecture_summary(const Datapath& dp, const Library& lib);
+
+}  // namespace hsyn

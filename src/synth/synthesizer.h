@@ -1,0 +1,70 @@
+// Top-level synthesis driver (paper Fig. 4, outer loops).
+//
+// SYNTHESIZE iterates over the pruned supply-voltage set and the pruned
+// clock-period set; for each operating point it builds the initial
+// solution and refines it by variable-depth iterative improvement,
+// keeping the best solution seen. The flattened comparator of the
+// paper's experiments ([10]) is the same engine run on the flattened DFG
+// (Mode::Flattened).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "synth/improve.h"
+#include "synth/moves.h"
+
+namespace hsyn {
+
+enum class Mode { Hierarchical, Flattened };
+
+inline const char* mode_name(Mode m) {
+  return m == Mode::Hierarchical ? "hier" : "flat";
+}
+
+struct SynthResult {
+  bool ok = false;
+  std::string fail_reason;
+  Datapath dp;
+  std::shared_ptr<const Dfg> flat_dfg;  ///< keeps a flattened DFG alive
+  OpPoint pt;
+  double sample_period_ns = 0;
+  int deadline_cycles = 0;
+  int makespan = 0;
+  double area = 0;
+  double energy = 0;  ///< per sample, cap x V^2 units
+  double power = 0;   ///< energy / sample period
+  double synth_seconds = 0;
+  ImproveStats stats;
+  Objective obj = Objective::Area;
+  Mode mode = Mode::Hierarchical;
+};
+
+/// Minimum achievable sampling period (ns) of the design at 5 V with the
+/// fastest library implementations -- the denominator of the laxity
+/// factor (L.F. = given sampling period / this).
+double min_sample_period_ns(const Design& design, const Library& lib);
+
+/// Synthesize the design's top behavior under a sampling-period
+/// constraint. `clib` may be null (no complex templates).
+SynthResult synthesize(const Design& design, const Library& lib,
+                       const ComplexLibrary* clib, double sample_period_ns,
+                       Objective obj, Mode mode, const SynthOptions& opts = {});
+
+/// Voltage-scale an existing architecture: keep the binding, drop Vdd
+/// (re-timing the clock) as far as the schedule still meets the sampling
+/// period. Area-optimal architectures often exhaust the deadline, in
+/// which case this is a no-op and the stronger form below applies.
+SynthResult vdd_scale(const SynthResult& base, const Design& design,
+                      const Library& lib, const SynthOptions& opts = {});
+
+/// The paper's Table 4 "Vdd-sc" baseline: an area-optimized architecture
+/// "Vdd-scaled to just meet the sampling period" -- area-objective
+/// synthesis pinned to the lowest supply whose critical path still fits
+/// the sampling period.
+SynthResult synthesize_vdd_scaled_area(const Design& design, const Library& lib,
+                                       const ComplexLibrary* clib,
+                                       double sample_period_ns, Mode mode,
+                                       const SynthOptions& opts = {});
+
+}  // namespace hsyn

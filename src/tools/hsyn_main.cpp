@@ -1,0 +1,272 @@
+// The H-SYN command-line tool: reads a textual hierarchical DFG design,
+// synthesizes it under a throughput constraint, and writes the RTL
+// outputs (structural netlist, FSM controller, Graphviz of the input).
+//
+//   hsyn --design FILE [--objective power|area] [--mode hier|flat]
+//        [--laxity F | --period-ns T] [--netlist FILE] [--fsm FILE]
+//        [--dot FILE] [--no-verify] [--seed N] [--templates] [--verbose]
+//
+// With --templates, fast/low-power/compact complex-module templates are
+// generated for every non-top behavior (the Fig. 2 style library);
+// without it, synthesis builds module implementations from scratch.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/dot.h"
+#include "dfg/textio.h"
+#include "dfg/transform.h"
+#include "library/textio.h"
+#include "power/trace_io.h"
+#include "power/rtlsim.h"
+#include "rtl/controller.h"
+#include "rtl/netlist.h"
+#include "synth/report.h"
+#include "synth/synthesizer.h"
+#include "verilog/verilog.h"
+#include "util/log.h"
+
+namespace {
+
+struct Args {
+  std::string design_file;
+  hsyn::Objective objective = hsyn::Objective::Power;
+  hsyn::Mode mode = hsyn::Mode::Hierarchical;
+  double laxity = 2.2;
+  std::optional<double> period_ns;
+  std::string library_file;
+  std::string trace_file;
+  std::string netlist_file;
+  std::string verilog_file;
+  std::string fsm_file;
+  std::string dot_file;
+  bool verify = true;
+  bool templates = false;
+  bool auto_variants = false;
+  bool verbose = false;
+  std::uint64_t seed = 42;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hsyn --design FILE [--objective power|area]\n"
+               "            [--mode hier|flat] [--laxity F | --period-ns T]\n"
+               "            [--library FILE] [--trace FILE]\n"
+               "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
+               "            [--no-verify] [--templates] [--auto-variants] [--seed N] "
+               "[--verbose]\n");
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--design") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.design_file = v;
+    } else if (arg == "--objective") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "power") == 0) {
+        a.objective = hsyn::Objective::Power;
+      } else if (std::strcmp(v, "area") == 0) {
+        a.objective = hsyn::Objective::Area;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "hier") == 0) {
+        a.mode = hsyn::Mode::Hierarchical;
+      } else if (std::strcmp(v, "flat") == 0) {
+        a.mode = hsyn::Mode::Flattened;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--laxity") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.laxity = std::atof(v);
+    } else if (arg == "--period-ns") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.period_ns = std::atof(v);
+    } else if (arg == "--library") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.library_file = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.trace_file = v;
+    } else if (arg == "--netlist") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.netlist_file = v;
+    } else if (arg == "--verilog") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.verilog_file = v;
+    } else if (arg == "--fsm") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.fsm_file = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.dot_file = v;
+    } else if (arg == "--no-verify") {
+      a.verify = false;
+    } else if (arg == "--templates") {
+      a.templates = true;
+    } else if (arg == "--auto-variants") {
+      a.auto_variants = true;
+    } else if (arg == "--verbose") {
+      a.verbose = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (a.design_file.empty()) return std::nullopt;
+  return a;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsyn;
+  const std::optional<Args> args = parse(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->verbose) set_log_level(LogLevel::Info);
+
+  std::ifstream in(args->design_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", args->design_file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    Design design = design_from_text(buf.str());
+    if (args->auto_variants) {
+      // Generate equivalent DFG variants (balanced / chained reduction
+      // trees) for every non-top behavior so move A can swap them.
+      int added = 0;
+      const std::vector<std::string> names = design.behavior_names();
+      for (const std::string& b : names) {
+        if (b == design.top_name()) continue;
+        added += register_variants(design, b);
+      }
+      std::printf("auto-variants: %d equivalent DFG variant(s) registered\n",
+                  added);
+    }
+    Library lib = default_library();
+    if (!args->library_file.empty()) {
+      std::ifstream lf(args->library_file);
+      if (!lf) {
+        std::fprintf(stderr, "cannot read %s\n", args->library_file.c_str());
+        return 1;
+      }
+      std::stringstream lb;
+      lb << lf.rdbuf();
+      lib = library_from_text(lb.str());
+      std::printf("library: %d functional-unit types loaded from %s\n",
+                  lib.num_fu_types(), args->library_file.c_str());
+    }
+    ComplexLibrary clib;
+    if (args->templates) clib = default_complex_library(design, lib);
+
+    const double min_ts = min_sample_period_ns(design, lib);
+    const double ts = args->period_ns.value_or(args->laxity * min_ts);
+    std::printf("design %s: top '%s', %d behaviors, %d flattened ops\n",
+                args->design_file.c_str(), design.top_name().c_str(),
+                static_cast<int>(design.behavior_names().size()),
+                design.flattened_size(design.top_name()));
+    std::printf("minimum sampling period %.1f ns, constraint %.1f ns "
+                "(L.F. %.2f)\n\n",
+                min_ts, ts, ts / min_ts);
+
+    SynthOptions opts;
+    opts.seed = args->seed;
+    if (!args->trace_file.empty()) {
+      std::ifstream tf(args->trace_file);
+      if (!tf) {
+        std::fprintf(stderr, "cannot read %s\n", args->trace_file.c_str());
+        return 1;
+      }
+      std::stringstream tb;
+      tb << tf.rdbuf();
+      opts.user_trace = trace_from_text(tb.str());
+      std::printf("trace: %zu samples loaded from %s\n",
+                  opts.user_trace.size(), args->trace_file.c_str());
+    }
+    const SynthResult r =
+        synthesize(design, lib, args->templates ? &clib : nullptr, ts,
+                   args->objective, args->mode, opts);
+    if (!r.ok) {
+      std::fprintf(stderr, "synthesis failed: %s\n", r.fail_reason.c_str());
+      return 1;
+    }
+    std::printf("%s\n%s", result_summary(r, lib).c_str(),
+                architecture_summary(r.dp, lib).c_str());
+
+    if (args->verify) {
+      const Trace trace =
+          make_trace(r.dp.behaviors[0].dfg->num_inputs(), 32, args->seed + 1);
+      const RtlSimResult sim = simulate_rtl(r.dp, 0, trace, lib, r.pt);
+      std::printf("\nRTL verification: %s\n",
+                  sim.ok ? "PASS (outputs match the behavioral model)"
+                         : sim.violations.front().c_str());
+      if (!sim.ok) return 1;
+    }
+    if (!args->netlist_file.empty() &&
+        !write_file(args->netlist_file, netlist_to_text(r.dp, lib))) {
+      return 1;
+    }
+    if (!args->verilog_file.empty() &&
+        !write_file(args->verilog_file, to_verilog(r.dp, lib, r.pt))) {
+      return 1;
+    }
+    if (!args->fsm_file.empty()) {
+      const Controller fsm = build_controller(r.dp, lib, r.pt);
+      if (!write_file(args->fsm_file, controller_to_text(fsm))) return 1;
+    }
+    if (!args->dot_file.empty() &&
+        !write_file(args->dot_file,
+                    dfg_to_dot(design.behavior(design.top_name())))) {
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Minimal printf-style string formatting.
+//
+// libstdc++ shipped with GCC 12 does not provide <format>, so we wrap
+// std::snprintf in a safe std::string-returning helper.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace hsyn {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Render a double with `prec` digits after the decimal point.
+std::string fixed(double v, int prec);
+
+/// Throw std::logic_error with the given message if `cond` is false.
+/// Used for internal invariant checks (a function, per Core Guidelines,
+/// rather than an assert macro, so it is active in all build types).
+void check(bool cond, const std::string& msg);
+
+}  // namespace hsyn

@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace hsyn {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel lv) { g_level = lv; }
+
+LogLevel log_level() { return g_level; }
+
+void log_msg(LogLevel lv, const std::string& msg) {
+  if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[hsyn %s] %s\n", level_name(lv), msg.c_str());
+}
+
+}  // namespace hsyn

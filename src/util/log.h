@@ -1,0 +1,27 @@
+// Leveled logging for the synthesis engine.
+//
+// The move engine logs candidate evaluations at Debug level and accepted
+// passes at Info level; benches run at Warn so table output stays clean.
+#pragma once
+
+#include <string>
+
+namespace hsyn {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel lv);
+
+/// Current global log threshold.
+LogLevel log_level();
+
+/// Emit a message at the given level to stderr (if enabled).
+void log_msg(LogLevel lv, const std::string& msg);
+
+inline void log_debug(const std::string& m) { log_msg(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log_msg(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log_msg(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log_msg(LogLevel::Error, m); }
+
+}  // namespace hsyn

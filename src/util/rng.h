@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for H-SYN.
+//
+// Every stochastic element of the system (trace generation, tie-breaking,
+// candidate sampling) draws from an explicitly seeded Xorshift64* generator
+// so that all experiments are bit-reproducible across runs and hosts.
+#pragma once
+
+#include <cstdint>
+
+namespace hsyn {
+
+/// Xorshift64* generator. Small, fast, and good enough for workload
+/// generation and heuristic tie-breaking (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed ? seed : 1) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Approximately normal(0, 1) via sum of uniforms (Irwin-Hall, 12 terms).
+  double gaussian() {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return s - 6.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hsyn

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace hsyn {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+void TextTable::row(std::vector<std::string> cells) {
+  Row r;
+  r.cells = std::move(cells);
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::rule() {
+  Row r;
+  r.is_rule = true;
+  rows_.push_back(std::move(r));
+}
+
+std::string TextTable::render() const {
+  std::size_t ncols = 0;
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+
+  std::string out;
+  for (const auto& r : rows_) {
+    if (r.is_rule) {
+      out.append(total, '-');
+      out.push_back('\n');
+      continue;
+    }
+    out.push_back('|');
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < r.cells.size() ? r.cells[c] : "";
+      const std::size_t pad = width[c] - cell.size();
+      out.push_back(' ');
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+      out += " |";
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,34 @@
+// ASCII table rendering for experiment reports.
+//
+// All paper-table reproductions (Tables 1-4) print through this class so
+// the bench output has a uniform, diffable layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsyn {
+
+/// Column-aligned ASCII table. Rows may be added cell-by-cell; a separator
+/// row draws a horizontal rule. Cells are right-aligned when they parse as
+/// numbers and left-aligned otherwise.
+class TextTable {
+ public:
+  /// Start a new row and fill it with `cells`.
+  void row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator rule at this position.
+  void rule();
+
+  /// Render the table to a string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace hsyn

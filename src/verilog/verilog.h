@@ -1,0 +1,23 @@
+// Synthesizable-Verilog backend.
+//
+// H-SYN's output in the paper flows into SIS/OCTTOOLS as a merged
+// controller + datapath netlist; this backend provides the equivalent
+// modern artifact: one Verilog module per datapath (children become
+// submodule instances), with registers, mux networks and the FSM
+// controller as a case statement. Multi-behavior (merged) modules get a
+// behavior-select input. The generated code is plain structural/RTL
+// Verilog-2001 with no tool-specific constructs.
+#pragma once
+
+#include <string>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// Emit a full Verilog translation unit: the module for `dp` plus one
+/// module definition per distinct child (recursively) and the primitive
+/// functional-unit modules used.
+std::string to_verilog(const Datapath& dp, const Library& lib, const OpPoint& pt);
+
+}  // namespace hsyn

@@ -1,0 +1,39 @@
+// Shared random-DFG generator for the property suites.
+#pragma once
+
+#include "dfg/dfg.h"
+#include "util/fmt.h"
+#include "util/rng.h"
+
+namespace hsyn::testing_support {
+
+/// Random layered DAG of arithmetic operations with all dangling values
+/// routed to primary outputs.
+inline Dfg random_dfg(std::uint64_t seed, int num_ops) {
+  Rng rng(seed);
+  const int num_inputs = 3 + static_cast<int>(rng.below(4));
+  Dfg d(strf("rand%llu", static_cast<unsigned long long>(seed)), num_inputs, 0);
+  std::vector<int> values;
+  for (int i = 0; i < num_inputs; ++i) {
+    values.push_back(d.connect({kPrimaryIn, i}, {}));
+  }
+  static const Op kOps[] = {Op::Add, Op::Sub, Op::Mult, Op::Add, Op::Mult};
+  for (int i = 0; i < num_ops; ++i) {
+    const Op op = kOps[rng.below(5)];
+    const int n = d.add_node(op);
+    const int a = values[static_cast<std::size_t>(rng.below(values.size()))];
+    const int b = values[static_cast<std::size_t>(rng.below(values.size()))];
+    d.add_consumer(a, {n, 0});
+    d.add_consumer(b, {n, 1});
+    values.push_back(d.connect({n, 0}, {}));
+  }
+  int outs = 0;
+  for (const Edge& e : d.edges()) {
+    if (e.dsts.empty()) d.add_consumer(e.id, {kPrimaryOut, outs++});
+  }
+  d.set_io(num_inputs, outs);
+  d.validate();
+  return d;
+}
+
+}  // namespace hsyn::testing_support

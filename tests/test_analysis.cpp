@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.h"
+
+namespace hsyn {
+namespace {
+
+/// Diamond: out = (a+b) * ((a+b)+c), latencies add=1, mult=3.
+Dfg diamond() {
+  Dfg d("diamond", 3, 1);
+  const int a1 = d.add_node(Op::Add);
+  const int a2 = d.add_node(Op::Add);
+  const int m = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{a1, 0}});
+  d.connect({kPrimaryIn, 1}, {{a1, 1}});
+  d.connect({kPrimaryIn, 2}, {{a2, 1}});
+  d.connect({a1, 0}, {{a2, 0}, {m, 0}});
+  d.connect({a2, 0}, {{m, 1}});
+  d.connect({m, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  return d;
+}
+
+LatencyFn unit_latency() {
+  return [](const Node& n) { return n.op == Op::Mult ? 3 : 1; };
+}
+
+TEST(Analysis, AsapTimesAndMakespan) {
+  const Dfg d = diamond();
+  const AsapResult r = asap(d, unit_latency());
+  EXPECT_EQ(r.start[0], 0);
+  EXPECT_EQ(r.finish[0], 1);
+  EXPECT_EQ(r.start[1], 1);
+  EXPECT_EQ(r.finish[1], 2);
+  EXPECT_EQ(r.start[2], 2);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+TEST(Analysis, AlapAgainstDeadline) {
+  const Dfg d = diamond();
+  const AlapResult r = alap(d, unit_latency(), 8);
+  EXPECT_EQ(r.start[2], 5);   // mult as late as possible
+  EXPECT_EQ(r.finish[2], 8);
+  EXPECT_EQ(r.start[1], 4);   // a2 right before mult
+  EXPECT_EQ(r.start[0], 3);   // a1 bounded by a2 (its tightest consumer)
+}
+
+TEST(Analysis, CriticalPathEqualsAsapMakespan) {
+  const Dfg d = diamond();
+  EXPECT_EQ(critical_path(d, unit_latency()), 5);
+}
+
+TEST(Analysis, MobilityZeroOnCriticalPath) {
+  const Dfg d = diamond();
+  const auto m = mobility(d, unit_latency(), 5);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_EQ(m[2], 0);
+  const auto m2 = mobility(d, unit_latency(), 7);
+  for (const int v : m2) EXPECT_EQ(v, 2);
+}
+
+TEST(Analysis, MobilityOfOffCriticalNode) {
+  // Two independent chains to one add: long chain (3 adds) vs 1 add.
+  Dfg d("chains", 2, 1);
+  const int c1 = d.add_node(Op::Add);
+  const int c2 = d.add_node(Op::Add);
+  const int c3 = d.add_node(Op::Add);
+  const int s = d.add_node(Op::Add);
+  const int fin = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{c1, 0}, {c1, 1}, {s, 0}});
+  d.connect({kPrimaryIn, 1}, {{c2, 1}, {c3, 1}, {s, 1}});
+  d.connect({c1, 0}, {{c2, 0}});
+  d.connect({c2, 0}, {{c3, 0}});
+  d.connect({c3, 0}, {{fin, 0}});
+  d.connect({s, 0}, {{fin, 1}});
+  d.connect({fin, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  const auto lat = [](const Node&) { return 1; };
+  const auto m = mobility(d, lat, 4);
+  EXPECT_EQ(m[static_cast<std::size_t>(c1)], 0);
+  EXPECT_EQ(m[static_cast<std::size_t>(s)], 2);  // can slide cycles 0..2
+}
+
+TEST(Analysis, HierLatencyRespected) {
+  Dfg d("h", 1, 1);
+  const int h = d.add_hier_node("filter", 1, 1);
+  d.connect({kPrimaryIn, 0}, {{h, 0}});
+  d.connect({h, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  const LatencyFn lat = [](const Node& n) { return n.is_hier() ? 9 : 1; };
+  EXPECT_EQ(critical_path(d, lat), 9);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/flatten.h"
+#include "sched/scheduler.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+class BenchmarkStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkStructure, BuildsValidatesAndHasHierarchy) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  EXPECT_EQ(bench.name, GetParam());
+  EXPECT_EQ(bench.design.top_name(), GetParam());
+  EXPECT_NO_THROW(bench.design.validate());
+  EXPECT_TRUE(bench.design.top().has_hierarchy());
+  EXPECT_GE(bench.design.depth(GetParam()), 1);
+  EXPECT_GT(bench.design.flattened_size(GetParam()), 8);
+  EXPECT_FALSE(bench.clib.empty());
+}
+
+TEST_P(BenchmarkStructure, TemplatesScheduleAndMatchVariants) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  for (const ComplexLibrary::Template& t : bench.clib.all()) {
+    ASSERT_TRUE(bench.design.has_behavior(t.implements)) << t.name;
+    Datapath inst = ComplexLibrary::instantiate(t, t.implements);
+    EXPECT_NO_THROW(inst.validate(lib)) << t.name;
+    const SchedResult r = schedule_datapath(inst, lib, kRef, kNoDeadline);
+    EXPECT_TRUE(r.ok) << t.name << ": " << r.reason;
+    EXPECT_GT(r.makespan, 0) << t.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkStructure,
+                         ::testing::Values("avenhaus_cascade", "lat", "dct",
+                                           "iir", "hier_paulin", "test1",
+                                           "fir16", "dct2d"));
+
+TEST(Benchmarks, UnknownNameRejected) {
+  const Library lib = default_library();
+  EXPECT_THROW(make_benchmark("nope", lib), std::logic_error);
+}
+
+TEST(Benchmarks, NamesListMatchesPaperTable3) {
+  const auto names = benchmark_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "avenhaus_cascade");
+  EXPECT_EQ(names[5], "test1");
+}
+
+TEST(Benchmarks, PaulinIterMatchesHalStructure) {
+  const Dfg d = make_paulin_iter();
+  int mults = 0, adds = 0, subs = 0, cmps = 0;
+  for (const Node& n : d.nodes()) {
+    mults += n.op == Op::Mult ? 1 : 0;
+    adds += n.op == Op::Add ? 1 : 0;
+    subs += n.op == Op::Sub ? 1 : 0;
+    cmps += n.op == Op::Cmp ? 1 : 0;
+  }
+  EXPECT_EQ(mults, 5);
+  EXPECT_EQ(adds, 2);
+  EXPECT_EQ(subs, 2);
+  EXPECT_EQ(cmps, 1);
+}
+
+TEST(Benchmarks, Test1HasFiveHierNodes) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  int hier = 0;
+  for (const Node& n : bench.design.top().nodes()) hier += n.is_hier() ? 1 : 0;
+  EXPECT_EQ(hier, 5);
+}
+
+TEST(Benchmarks, TemplateStylesDiffer) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const auto* fast = bench.clib.find("b3mul_fast");
+  const auto* lp = bench.clib.find("b3mul_lp");
+  ASSERT_TRUE(fast && lp);
+  // Fast uses mult1 (3 cycles), low-power uses mult2 (5 cycles).
+  EXPECT_EQ(lib.fu(fast->impl.fus[0].type).name, "mult1");
+  EXPECT_EQ(lib.fu(lp->impl.fus[0].type).name, "mult2");
+}
+
+TEST(Benchmarks, CompactTemplateSharesUnits) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const auto* fast = bench.clib.find("biquad_fast");
+  const auto* compact = bench.clib.find("biquad_compact");
+  ASSERT_TRUE(fast && compact);
+  EXPECT_LT(compact->impl.fus.size(), fast->impl.fus.size());
+}
+
+TEST(Benchmarks, ChainTemplateOnlyWhereChainsExist) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  EXPECT_NE(bench.clib.find("addtree_seq_chain"), nullptr);
+  EXPECT_EQ(bench.clib.find("addtree_chain"), nullptr);     // balanced tree
+  EXPECT_EQ(bench.clib.find("b3mul_alt_chain"), nullptr);   // no mult chains
+}
+
+TEST(Benchmarks, EquivalenceTemplatesVisibleAcrossClass) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  // Templates for addtree should include the addtree_seq chain module.
+  const auto ts = bench.clib.for_behavior(bench.design, "addtree");
+  bool chain_found = false;
+  for (const auto* t : ts) chain_found |= t->name == "addtree_seq_chain";
+  EXPECT_TRUE(chain_found);
+}
+
+}  // namespace
+}  // namespace hsyn

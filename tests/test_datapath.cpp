@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+
+namespace hsyn {
+namespace {
+
+SynthContext make_cx(const Design* design, const Library& lib,
+                     const ComplexLibrary* clib = nullptr) {
+  SynthContext cx;
+  cx.design = design;
+  cx.lib = &lib;
+  cx.clib = clib;
+  cx.pt = {5.0, 20.0};
+  cx.deadline = kNoDeadline;
+  return cx;
+}
+
+TEST(Datapath, InitialSolutionIsFullyParallelAndValid) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  design.validate();
+
+  SynthContext cx = make_cx(&design, lib);
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  // One unit per operation, one register per edge.
+  EXPECT_EQ(dp.fus.size(), design.top().nodes().size());
+  EXPECT_EQ(dp.regs.size(), design.top().edges().size());
+  EXPECT_NO_THROW(dp.validate(lib));
+  for (std::size_t i = 0; i < dp.fus.size(); ++i) {
+    EXPECT_EQ(dp.unit_load({UnitRef::Kind::Fu, static_cast<int>(i)}), 1);
+  }
+}
+
+TEST(Datapath, HierInitialUsesChildren) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx = make_cx(&bench.design, lib, &bench.clib);
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  EXPECT_EQ(dp.children.size(), 3u);  // one instance per biquad node
+  EXPECT_NO_THROW(dp.validate(lib));
+}
+
+TEST(Datapath, ChildUnitDeepCopy) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx = make_cx(&bench.design, lib, &bench.clib);
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  Datapath copy = dp;
+  ASSERT_EQ(copy.children.size(), dp.children.size());
+  EXPECT_NE(copy.children[0].impl.get(), dp.children[0].impl.get());
+  // Mutating the copy leaves the original untouched.
+  copy.children[0].impl->fus.clear();
+  EXPECT_FALSE(dp.children[0].impl->fus.empty());
+}
+
+TEST(Datapath, PruneUnusedCompactsIndices) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  design.validate();
+  SynthContext cx = make_cx(&design, lib);
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  // Rebind all work of unit 1 onto unit 0's twin... simply move inv 1 to
+  // unit 0 if compatible; here just drop a register user instead:
+  // merge reg 1 into reg 0 and prune.
+  for (int& r : dp.behaviors[0].edge_reg) {
+    if (r == 1) r = 0;
+  }
+  const std::size_t before = dp.regs.size();
+  dp.prune_unused();
+  EXPECT_EQ(dp.regs.size(), before - 1);
+  EXPECT_NO_THROW(dp.validate(lib));
+}
+
+TEST(Datapath, ProfileOfScheduledModule) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  design.validate();
+  SynthContext cx = make_cx(&design, lib);
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, cx.pt, kNoDeadline).ok);
+  const Profile p = dp.profile(0, lib, cx.pt);
+  ASSERT_EQ(p.in.size(), 8u);
+  ASSERT_EQ(p.out.size(), 3u);
+  for (const int a : p.in) EXPECT_EQ(a, 0);
+  // y = b0*x + s1: mult (3) + add (1) = 4 cycles at the reference point.
+  EXPECT_EQ(p.out[0], 4);
+  EXPECT_EQ(p.makespan(), dp.behaviors[0].makespan);
+}
+
+TEST(Datapath, InvInputEdgesExcludesChainInternal) {
+  const Library lib = default_library();
+  Design design;
+  Dfg chain("chain3", 4, 1);
+  const int a1 = chain.add_node(Op::Add);
+  const int a2 = chain.add_node(Op::Add);
+  const int a3 = chain.add_node(Op::Add);
+  chain.connect({kPrimaryIn, 0}, {{a1, 0}});
+  chain.connect({kPrimaryIn, 1}, {{a1, 1}});
+  chain.connect({kPrimaryIn, 2}, {{a2, 1}});
+  chain.connect({kPrimaryIn, 3}, {{a3, 1}});
+  chain.connect({a1, 0}, {{a2, 0}});
+  chain.connect({a2, 0}, {{a3, 0}});
+  chain.connect({a3, 0}, {{kPrimaryOut, 0}});
+  chain.validate();
+  design.add_behavior(std::move(chain));
+  Dfg top("t", 4, 1);
+  const int h = top.add_hier_node("chain3", 4, 1);
+  for (int p = 0; p < 4; ++p) top.connect({kPrimaryIn, p}, {{h, p}});
+  top.connect({h, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(top));
+  design.set_top("t");
+  design.validate();
+
+  const ComplexLibrary clib = default_complex_library(design, lib);
+  const ComplexLibrary::Template* t = clib.find("chain3_chain");
+  ASSERT_NE(t, nullptr);
+  Datapath dp = ComplexLibrary::instantiate(*t, "chain3");
+  EXPECT_NO_THROW(dp.validate(lib));
+  ASSERT_EQ(dp.behaviors[0].invs.size(), 1u);  // one chained invocation
+  EXPECT_EQ(dp.behaviors[0].invs[0].nodes.size(), 3u);
+  // Four external operands; the two chain-internal edges are excluded.
+  EXPECT_EQ(dp.inv_input_edges(0, 0).size(), 4u);
+  // Chained module executes in a single chained_add3 pass: makespan is
+  // the unit's cycle count (2 at the reference point).
+  ASSERT_TRUE(schedule_datapath(dp, lib, {5.0, 20.0}, kNoDeadline).ok);
+  EXPECT_EQ(dp.behaviors[0].makespan, 2);
+  EXPECT_EQ(dp.fus.size(), 1u);
+}
+
+TEST(Datapath, ValidateCatchesWrongUnitKind) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  SynthContext cx = make_cx(&design, lib);
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  // Point a mult node's invocation at an adder unit.
+  BehaviorImpl& bi = dp.behaviors[0];
+  int mult_inv = -1, add_unit = -1;
+  for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+    const Node& n = bi.dfg->node(bi.invs[i].nodes[0]);
+    if (n.op == Op::Mult && mult_inv < 0) mult_inv = static_cast<int>(i);
+    if (n.op == Op::Add && add_unit < 0) add_unit = bi.invs[i].unit.idx;
+  }
+  ASSERT_GE(mult_inv, 0);
+  ASSERT_GE(add_unit, 0);
+  bi.invs[static_cast<std::size_t>(mult_inv)].unit.idx = add_unit;
+  EXPECT_THROW(dp.validate(lib), std::logic_error);
+}
+
+TEST(Datapath, TotalComponentsRecursive) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("lat", lib);
+  SynthContext cx = make_cx(&bench.design, lib, &bench.clib);
+  Datapath dp = initial_solution(bench.design.top(), "lat", cx);
+  int flat_units = 0;
+  for (const ChildUnit& c : dp.children) {
+    flat_units += static_cast<int>(c.impl->fus.size() + c.impl->regs.size());
+  }
+  EXPECT_EQ(dp.total_components(),
+            static_cast<int>(dp.fus.size() + dp.regs.size()) + flat_units);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,102 @@
+// Depth-2 hierarchy (dct2d: dct4 modules that contain butterfly/rot
+// modules): recursive construction, alignment, resynthesis and
+// verification all the way down.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/flatten.h"
+#include "power/rtlsim.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+TEST(DeepHierarchy, StructureIsTwoLevels) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct2d", lib);
+  EXPECT_EQ(bench.design.depth("dct2d"), 2);
+  // 8 dct4 instances x (3 butterflies x 2 ops + rot 6 ops) = 96 ops.
+  EXPECT_EQ(bench.design.flattened_size("dct2d"), 96);
+}
+
+TEST(DeepHierarchy, FlattenedValuesMatch) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct2d", lib);
+  const Dfg flat = flatten_top(bench.design);
+  const BehaviorResolver res = [&](const std::string& n) -> const Dfg* {
+    return bench.design.has_behavior(n) ? &bench.design.behavior(n) : nullptr;
+  };
+  const Trace in = make_trace(18, 8, 3);
+  EXPECT_EQ(eval_dfg(bench.design.top(), res, in), eval_dfg(flat, nullptr, in));
+}
+
+TEST(DeepHierarchy, InitialSolutionNestsTwoLevels) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct2d", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(bench.design.top(), "dct2d", cx);
+  ASSERT_EQ(dp.children.size(), 8u);  // eight dct4 instances
+  // Each dct4 instance itself holds butterfly/rot children.
+  for (const ChildUnit& c : dp.children) {
+    EXPECT_GE(c.impl->children.size(), 1u);
+  }
+  EXPECT_NO_THROW(dp.validate(lib));
+  const int aligned = align_child_profiles(dp, lib, kRef);
+  ASSERT_GT(aligned, 0);
+
+  const Trace trace = make_trace(18, 8, 9);
+  const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(DeepHierarchy, AlignmentMatchesFlatCriticalPath) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct2d", lib);
+  const Dfg flat = flatten_top(bench.design);
+
+  SynthContext cxh;
+  cxh.design = &bench.design;
+  cxh.lib = &lib;
+  cxh.clib = &bench.clib;
+  cxh.pt = kRef;
+  Datapath h = initial_solution(bench.design.top(), "dct2d", cxh);
+  const int hier_makespan = align_child_profiles(h, lib, kRef);
+
+  SynthContext cxf;
+  cxf.lib = &lib;
+  cxf.pt = kRef;
+  Datapath f = initial_solution(flat, "flat", cxf);
+  const SchedResult fr = schedule_datapath(f, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(fr.ok);
+  // Two levels of module-boundary quantization: allow a small overhead.
+  EXPECT_LE(hier_makespan, fr.makespan + 2);
+}
+
+TEST(DeepHierarchy, SynthesizesAndVerifies) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct2d", lib);
+  const double ts = 2.2 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  opts.max_moves_per_pass = 6;
+  opts.max_candidates = 8;
+  opts.trace_samples = 12;
+  opts.max_clocks = 2;
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Area, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+  const Trace trace = make_trace(18, 6, 11);
+  const RtlSimResult sim = simulate_rtl(r.dp, 0, trace, lib, r.pt);
+  EXPECT_TRUE(sim.ok) << (sim.violations.empty() ? "" : sim.violations[0]);
+}
+
+}  // namespace
+}  // namespace hsyn

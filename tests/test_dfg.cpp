@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "dfg/design.h"
+#include "dfg/dfg.h"
+
+namespace hsyn {
+namespace {
+
+Dfg simple_dfg() {
+  // out = (a + b) * c
+  Dfg d("simple", 3, 1);
+  const int add = d.add_node(Op::Add, "+");
+  const int mul = d.add_node(Op::Mult, "*");
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({kPrimaryIn, 1}, {{add, 1}});
+  d.connect({kPrimaryIn, 2}, {{mul, 1}});
+  d.connect({add, 0}, {{mul, 0}});
+  d.connect({mul, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  return d;
+}
+
+TEST(Dfg, BuildAndValidate) {
+  const Dfg d = simple_dfg();
+  EXPECT_EQ(d.nodes().size(), 2u);
+  EXPECT_EQ(d.edges().size(), 5u);
+  EXPECT_TRUE(d.validated());
+  EXPECT_FALSE(d.has_hierarchy());
+  EXPECT_EQ(d.num_operation_nodes(), 2);
+}
+
+TEST(Dfg, TopologicalOrderRespectsDependencies) {
+  const Dfg d = simple_dfg();
+  const auto& topo = d.topo_order();
+  ASSERT_EQ(topo.size(), 2u);
+  EXPECT_EQ(topo[0], 0);  // add before mult
+  EXPECT_EQ(topo[1], 1);
+}
+
+TEST(Dfg, EdgeLookups) {
+  const Dfg d = simple_dfg();
+  EXPECT_EQ(d.primary_input_edge(0), 0);
+  EXPECT_EQ(d.primary_input_edge(2), 2);
+  EXPECT_EQ(d.input_edge(1, 0), 3);  // mult port 0 fed by add output
+  EXPECT_EQ(d.output_edge(1, 0), 4);
+  EXPECT_EQ(d.primary_output_edge(0), 4);
+}
+
+TEST(Dfg, NodeEdgeVectors) {
+  const Dfg d = simple_dfg();
+  const auto ins = d.node_input_edges(1);
+  ASSERT_EQ(ins.size(), 2u);
+  EXPECT_EQ(ins[0], 3);
+  EXPECT_EQ(ins[1], 2);
+  EXPECT_EQ(d.node_output_edges(0).size(), 1u);
+}
+
+TEST(Dfg, DetectsUndrivenInput) {
+  Dfg d("bad", 1, 1);
+  const int add = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({add, 0}, {{kPrimaryOut, 0}});
+  EXPECT_THROW(d.validate(), std::logic_error);  // add input 1 undriven
+}
+
+TEST(Dfg, DetectsDoubleDrive) {
+  Dfg d("bad", 2, 1);
+  const int add = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({kPrimaryIn, 1}, {{add, 1}});
+  d.connect({add, 0}, {{kPrimaryOut, 0}});
+  // Second edge into add port 0.
+  d.connect({kPrimaryIn, 1}, {{add, 0}});
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dfg, DetectsUndrivenPrimaryOutput) {
+  Dfg d("bad", 2, 2);
+  const int add = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({kPrimaryIn, 1}, {{add, 1}});
+  d.connect({add, 0}, {{kPrimaryOut, 0}});
+  EXPECT_THROW(d.validate(), std::logic_error);  // output 1 unproduced
+}
+
+TEST(Dfg, DetectsCycle) {
+  Dfg d("cyc", 1, 1);
+  const int a = d.add_node(Op::Add);
+  const int b = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{a, 0}, {b, 1}});
+  d.connect({a, 0}, {{b, 0}, {kPrimaryOut, 0}});
+  d.connect({b, 0}, {{a, 1}});  // b feeds a: cycle a -> b -> a
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Dfg, HierNodePortMismatchCaught) {
+  Design design;
+  Dfg child("child", 2, 1);
+  const int add = child.add_node(Op::Add);
+  child.connect({kPrimaryIn, 0}, {{add, 0}});
+  child.connect({kPrimaryIn, 1}, {{add, 1}});
+  child.connect({add, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(child));
+
+  Dfg top("top", 3, 1);
+  const int h = top.add_hier_node("child", 3, 1);  // wrong arity (3 vs 2)
+  top.connect({kPrimaryIn, 0}, {{h, 0}});
+  top.connect({kPrimaryIn, 1}, {{h, 1}});
+  top.connect({kPrimaryIn, 2}, {{h, 2}});
+  top.connect({h, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(top));
+  design.set_top("top");
+  EXPECT_THROW(design.validate(), std::logic_error);
+}
+
+TEST(Design, EquivalenceClasses) {
+  Design design;
+  auto mk = [](const std::string& name) {
+    Dfg d(name, 2, 1);
+    const int add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0}, {{add, 0}});
+    d.connect({kPrimaryIn, 1}, {{add, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    return d;
+  };
+  design.add_behavior(mk("a"));
+  design.add_behavior(mk("b"));
+  design.add_behavior(mk("c"));
+  design.declare_equivalent("a", "b");
+  EXPECT_EQ(design.equivalents("a").size(), 2u);
+  EXPECT_EQ(design.equivalents("c").size(), 1u);
+  design.declare_equivalent("b", "c");
+  EXPECT_EQ(design.equivalents("a").size(), 3u);
+}
+
+TEST(Design, EquivalenceRequiresMatchingSignature) {
+  Design design;
+  Dfg a("a", 2, 1);
+  const int add = a.add_node(Op::Add);
+  a.connect({kPrimaryIn, 0}, {{add, 0}});
+  a.connect({kPrimaryIn, 1}, {{add, 1}});
+  a.connect({add, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(a));
+  Dfg b("b", 1, 1);
+  const int neg = b.add_node(Op::Neg);
+  b.connect({kPrimaryIn, 0}, {{neg, 0}});
+  b.connect({neg, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(b));
+  EXPECT_THROW(design.declare_equivalent("a", "b"), std::logic_error);
+}
+
+TEST(Design, RecursiveHierarchyRejected) {
+  Design design;
+  Dfg a("a", 1, 1);
+  const int h = a.add_hier_node("b", 1, 1);
+  a.connect({kPrimaryIn, 0}, {{h, 0}});
+  a.connect({h, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(a));
+  Dfg b("b", 1, 1);
+  const int h2 = b.add_hier_node("a", 1, 1);
+  b.connect({kPrimaryIn, 0}, {{h2, 0}});
+  b.connect({h2, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(b));
+  design.set_top("a");
+  EXPECT_THROW(design.validate(), std::logic_error);
+}
+
+TEST(Design, FlattenedSizeAndDepth) {
+  Design design;
+  Dfg leaf("leaf", 2, 1);
+  const int add = leaf.add_node(Op::Add);
+  leaf.connect({kPrimaryIn, 0}, {{add, 0}});
+  leaf.connect({kPrimaryIn, 1}, {{add, 1}});
+  leaf.connect({add, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(leaf));
+
+  Dfg mid("mid", 2, 1);
+  const int h1 = mid.add_hier_node("leaf", 2, 1);
+  const int h2 = mid.add_hier_node("leaf", 2, 1);
+  mid.connect({kPrimaryIn, 0}, {{h1, 0}, {h2, 0}});
+  mid.connect({kPrimaryIn, 1}, {{h1, 1}});
+  mid.connect({h1, 0}, {{h2, 1}});
+  mid.connect({h2, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(mid));
+  design.set_top("mid");
+  design.validate();
+  EXPECT_EQ(design.flattened_size("mid"), 2);
+  EXPECT_EQ(design.depth("mid"), 1);
+  EXPECT_EQ(design.depth("leaf"), 0);
+}
+
+TEST(OpMeta, NamesAndArity) {
+  EXPECT_STREQ(op_name(Op::Add), "add");
+  EXPECT_STREQ(op_name(Op::Mult), "mult");
+  EXPECT_EQ(op_arity(Op::Neg), 1);
+  EXPECT_EQ(op_arity(Op::Add), 2);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,225 @@
+// Negative paths and structural edge cases across subsystems.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "power/rtlsim.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/moves.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+TEST(EdgeCases, ChainIntermediateEscapeIsRejected) {
+  // A chain whose intermediate value also feeds an external consumer
+  // cannot be fused (the value is never latched).
+  const Library lib = default_library();
+  Dfg d("bad_chain", 3, 2);
+  const int a1 = d.add_node(Op::Add);
+  const int a2 = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{a1, 0}});
+  d.connect({kPrimaryIn, 1}, {{a1, 1}});
+  d.connect({kPrimaryIn, 2}, {{a2, 1}});
+  d.connect({a1, 0}, {{a2, 0}, {kPrimaryOut, 1}});  // escapes!
+  d.connect({a2, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("bad_chain");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "bad_chain", cx);
+
+  // Hand-build an illegal chained invocation and expect validate to balk.
+  BehaviorImpl& bi = dp.behaviors[0];
+  const int chained_type = lib.find_fu("chained_add2");
+  dp.fus.push_back({chained_type, ""});
+  const int new_unit = static_cast<int>(dp.fus.size()) - 1;
+  bi.invs[0].nodes = {0, 1};
+  bi.invs[0].unit = {UnitRef::Kind::Fu, new_unit};
+  bi.node_inv[1] = 0;
+  bi.invs.erase(bi.invs.begin() + 1);
+  EXPECT_THROW(dp.validate(lib), std::logic_error);
+
+  // The sharing move generator never proposes this fusion.
+  Datapath fresh = initial_solution(design.top(), "bad_chain", cx);
+  const SchedResult sr = schedule_datapath(fresh, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(sr.ok);
+  cx.deadline = sr.makespan + 4;
+  cx.obj = Objective::Area;
+  cx.trace = make_trace(3, 8, 3);
+  Datapath cur = fresh;
+  for (int i = 0; i < 5; ++i) {
+    const Move m = best_sharing_move(cur, cx);
+    if (!m.valid) break;
+    EXPECT_NE(m.kind, "C:chain-fuse");
+    cur = m.result;
+  }
+}
+
+TEST(EdgeCases, EmbeddingPropagatesSealedFlag) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  cx.obj = Objective::Area;
+  cx.trace = make_trace(8, 8, 3);
+  Datapath dp = initial_solution(bench.design.top(), "test1", cx);
+  const SchedResult sr = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  cx.deadline = sr.makespan * 4;
+  schedule_datapath(dp, lib, kRef, cx.deadline);
+
+  // Seal every child; any embedding result must stay sealed so move B
+  // never rewrites a module whose internals are off limits.
+  for (ChildUnit& c : dp.children) c.sealed = true;
+  Datapath cur = dp;
+  for (int i = 0; i < 8; ++i) {
+    const Move m = best_sharing_move(cur, cx);
+    if (!m.valid) break;
+    cur = m.result;
+  }
+  for (const ChildUnit& c : cur.children) {
+    EXPECT_TRUE(c.sealed);
+  }
+}
+
+TEST(EdgeCases, SealedChildIsNeverResynthesized) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = nullptr;  // no templates: replace_child has nothing either
+  cx.pt = kRef;
+  cx.obj = Objective::Power;
+  cx.trace = make_trace(bench.design.top().num_inputs(), 12, 3);
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  const SchedResult sr = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  cx.deadline = sr.makespan * 2;
+  schedule_datapath(dp, lib, kRef, cx.deadline);
+  for (ChildUnit& c : dp.children) c.sealed = true;
+
+  const Move m = best_replace_move(dp, cx);
+  // With all children sealed and no library templates or equivalents,
+  // no B move may appear.
+  if (m.valid) {
+    EXPECT_NE(m.kind, "B:resynth");
+  }
+}
+
+TEST(EdgeCases, EmptyBehaviorDfgPassesThrough) {
+  // A behavior that only routes inputs to outputs (no operations).
+  const Library lib = default_library();
+  Dfg d("wire2", 2, 2);
+  d.connect({kPrimaryIn, 0}, {{kPrimaryOut, 0}});
+  d.connect({kPrimaryIn, 1}, {{kPrimaryOut, 1}});
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("wire2");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "wire2", cx);
+  const SchedResult r = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_TRUE(dp.fus.empty());
+  EXPECT_EQ(dp.regs.size(), 2u);
+}
+
+TEST(EdgeCases, SingleNodeDesign) {
+  const Library lib = default_library();
+  Dfg d("one", 2, 1);
+  const int m = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{m, 0}});
+  d.connect({kPrimaryIn, 1}, {{m, 1}});
+  d.connect({m, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("one");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "one", cx);
+  const SchedResult r = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.makespan, 3);  // one mult1
+  const AreaBreakdown a = area_of(dp, lib);
+  EXPECT_GT(a.total(), lib.fu(lib.find_fu("mult1")).area);
+}
+
+TEST(EdgeCases, SameEdgeFeedsBothOperandPorts) {
+  // x * x: one edge consumed twice by the same invocation.
+  const Library lib = default_library();
+  Dfg d("square", 1, 1);
+  const int m = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{m, 0}, {m, 1}});
+  d.connect({m, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("square");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "square", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const Trace trace = make_trace(1, 8, 3);
+  const RtlSimResult sim = simulate_rtl(dp, 0, trace, lib, kRef);
+  ASSERT_TRUE(sim.ok) << (sim.violations.empty() ? "" : sim.violations[0]);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(sim.outputs[t][0], eval_op(Op::Mult, trace[t][0], trace[t][0]));
+  }
+}
+
+TEST(EdgeCases, AlapStartsEmptyOnBrokenOrdering) {
+  // Register orderings that conflict with dataflow yield no ALAP.
+  const Library lib = default_library();
+  Dfg d("serial", 2, 1);
+  const int a1 = d.add_node(Op::Add);
+  const int a2 = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{a1, 0}});
+  d.connect({kPrimaryIn, 1}, {{a1, 1}, {a2, 1}});
+  const int mid = d.connect({a1, 0}, {{a2, 0}});
+  d.connect({a2, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("serial");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "serial", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  // Force a2's output into the register holding its own input value:
+  // the WAR ordering (write of out after read of mid) is satisfiable, so
+  // this *is* schedulable; sanity-check instead that alap_starts works.
+  BehaviorImpl& bi = dp.behaviors[0];
+  const int out_edge = dp.behaviors[0].dfg->output_edge(a2, 0);
+  bi.edge_reg[static_cast<std::size_t>(out_edge)] =
+      bi.edge_reg[static_cast<std::size_t>(mid)];
+  dp.prune_unused();
+  if (schedule_datapath(dp, lib, kRef, kNoDeadline).ok) {
+    const auto alap =
+        alap_starts(dp, 0, lib, kRef, dp.behaviors[0].makespan);
+    EXPECT_EQ(alap.size(), dp.behaviors[0].invs.size());
+  }
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "power/rtlsim.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+struct Modules {
+  Library lib = default_library();
+  Benchmark bench;
+  Datapath a, b;
+
+  Modules() : bench(make_benchmark("test1", lib)) {
+    a = make_template_fast(bench.design.behavior("maddpair"), lib);
+    b = make_template_fast(bench.design.behavior("seqmac"), lib);
+    schedule_datapath(a, lib, kRef, kNoDeadline);
+    schedule_datapath(b, lib, kRef, kNoDeadline);
+  }
+};
+
+TEST(Embedder, MergedModuleIsSmallerThanSum) {
+  Modules m;
+  const double area_a = area_of(m.a, m.lib, false).total();
+  const double area_b = area_of(m.b, m.lib, false).total();
+  EmbedCorrespondence corr;
+  auto merged = embed_modules(m.a, m.b, m.lib, kRef, &corr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, m.lib, kRef, kNoDeadline).ok);
+  const double area_m = area_of(*merged, m.lib, false).total();
+  EXPECT_LT(area_m, area_a + area_b);
+  // Example 3's qualitative claim: the merged module is only modestly
+  // larger than the bigger source module.
+  EXPECT_LT(area_m, std::max(area_a, area_b) * 1.5);
+  EXPECT_FALSE(corr.entries.empty());
+}
+
+TEST(Embedder, BothBehaviorsPreservedFunctionally) {
+  Modules m;
+  auto merged = embed_modules(m.a, m.b, m.lib, kRef, nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, m.lib, kRef, kNoDeadline).ok);
+  EXPECT_NO_THROW(merged->validate(m.lib));
+
+  const int ba = merged->find_behavior("maddpair");
+  const int bb = merged->find_behavior("seqmac");
+  ASSERT_GE(ba, 0);
+  ASSERT_GE(bb, 0);
+  const Trace trace = make_trace(4, 16, 13);
+  const RtlSimResult ra = simulate_rtl(*merged, ba, trace, m.lib, kRef, false);
+  EXPECT_TRUE(ra.ok) << (ra.violations.empty() ? "" : ra.violations[0]);
+  const RtlSimResult rb = simulate_rtl(*merged, bb, trace, m.lib, kRef, false);
+  EXPECT_TRUE(rb.ok) << (rb.violations.empty() ? "" : rb.violations[0]);
+}
+
+TEST(Embedder, SchedulesPreservedVerbatim) {
+  Modules m;
+  const int makespan_a = m.a.behaviors[0].makespan;
+  const int makespan_b = m.b.behaviors[0].makespan;
+  auto merged = embed_modules(m.a, m.b, m.lib, kRef, nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, m.lib, kRef, kNoDeadline).ok);
+  EXPECT_EQ(merged->behaviors[0].makespan, makespan_a);
+  EXPECT_EQ(merged->behaviors[1].makespan, makespan_b);
+}
+
+TEST(Embedder, OverlappingBehaviorsRejected) {
+  Modules m;
+  Datapath a2 = m.a;
+  const auto merged = embed_modules(m.a, a2, m.lib, kRef, nullptr);
+  EXPECT_FALSE(merged.has_value());
+}
+
+TEST(Embedder, CorrespondenceCoversEveryComponent) {
+  Modules m;
+  EmbedCorrespondence corr;
+  auto merged = embed_modules(m.a, m.b, m.lib, kRef, &corr);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(corr.entries.size(), merged->fus.size() + merged->regs.size());
+  int matched_fus = 0;
+  for (const auto& e : corr.entries) {
+    EXPECT_FALSE(e.merged.empty());
+    if (e.from_a != "-" && e.from_b != "-") ++matched_fus;
+  }
+  EXPECT_GT(matched_fus, 0);  // at least one real pairing
+}
+
+TEST(Embedder, MergeUsage) {
+  Modules m;
+  const FuMergeUsage u = fu_merge_usage(m.a, 0, m.lib, kRef);
+  EXPECT_EQ(u.ops.size(), 1u);
+  EXPECT_EQ(u.max_chain, 1);
+  // A mult1 and a mult1 merge onto mult1 itself.
+  const int t = merged_fu_type(u, u, m.lib, kRef);
+  EXPECT_EQ(t, m.lib.find_fu("mult1"));
+}
+
+TEST(Embedder, IncompatibleCyclesPreventFuMerge) {
+  const Library lib = default_library();
+  FuMergeUsage fast;
+  fast.ops = {Op::Mult};
+  fast.cycles = 3;
+  FuMergeUsage slow;
+  slow.ops = {Op::Mult};
+  slow.cycles = 5;
+  EXPECT_EQ(merged_fu_type(fast, slow, lib, kRef), -1);
+}
+
+TEST(Embedder, AddAndSubShareAlu) {
+  const Library lib = default_library();
+  const OpPoint pt{5.0, 24.0};  // alu1 = 1 cycle at 24 ns
+  FuMergeUsage add;
+  add.ops = {Op::Add};
+  add.cycles = 1;
+  FuMergeUsage sub;
+  sub.ops = {Op::Sub};
+  sub.cycles = 1;
+  const int t = merged_fu_type(add, sub, lib, pt);
+  ASSERT_GE(t, 0);
+  EXPECT_EQ(lib.fu(t).name, "alu1");
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "power/estimator.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+struct Fixture {
+  Library lib = default_library();
+  Design design;
+  Datapath dp;
+  Trace trace;
+
+  explicit Fixture(const std::string& which = "paulin") {
+    design.add_behavior(make_paulin_iter("paulin"));
+    design.set_top("paulin");
+    design.validate();
+    (void)which;
+    SynthContext cx;
+    cx.design = &design;
+    cx.lib = &lib;
+    cx.pt = kRef;
+    dp = initial_solution(design.top(), "paulin", cx);
+    schedule_datapath(dp, lib, kRef, kNoDeadline);
+    trace = make_trace(design.top().num_inputs(), 32, 11);
+  }
+};
+
+TEST(Estimator, EnergyPositiveAndDecomposed) {
+  Fixture f;
+  const EnergyBreakdown e = energy_of(f.dp, 0, f.trace, f.lib, kRef);
+  EXPECT_GT(e.fu, 0);
+  EXPECT_GT(e.reg, 0);
+  EXPECT_GT(e.wire, 0);
+  EXPECT_GT(e.ctrl, 0);
+  EXPECT_DOUBLE_EQ(e.mux, 0);  // fully parallel: no muxes
+  EXPECT_DOUBLE_EQ(e.children, 0);
+  EXPECT_NEAR(e.total(), e.fu + e.reg + e.mux + e.wire + e.ctrl, 1e-9);
+}
+
+TEST(Estimator, VddScalingIsQuadratic) {
+  Fixture f;
+  const double e5 = energy_of(f.dp, 0, f.trace, f.lib, {5.0, 20.0}).total();
+  // Same binding/schedule evaluated at 2.5 V (cycle counts change, but
+  // re-schedule keeps the same fully parallel structure).
+  OpPoint low{2.5, 20.0};
+  ASSERT_TRUE(schedule_datapath(f.dp, f.lib, low, kNoDeadline).ok);
+  const double e25 = energy_of(f.dp, 0, f.trace, f.lib, low).total();
+  // Controller term grows with the longer schedule, so allow slack above
+  // the pure quadratic prediction.
+  EXPECT_LT(e25, e5 * 0.45);
+  EXPECT_GT(e25, e5 * 0.15);
+}
+
+TEST(Estimator, SharingRaisesFunctionalUnitActivity) {
+  // The Example 2 effect: interleaving two weakly correlated multiply
+  // streams on one unit raises its switching energy above the sum of the
+  // dedicated-unit energies.
+  Fixture shared;
+  Fixture parallel;
+  BehaviorImpl& bi = shared.dp.behaviors[0];
+  int first = -1;
+  for (Invocation& inv : bi.invs) {
+    if (bi.dfg->node(inv.nodes[0]).op != Op::Mult) continue;
+    if (first < 0) {
+      first = inv.unit.idx;
+    } else {
+      inv.unit.idx = first;
+    }
+  }
+  shared.dp.prune_unused();
+  ASSERT_TRUE(schedule_datapath(shared.dp, shared.lib, kRef, kNoDeadline).ok);
+  const double e_shared =
+      energy_of(shared.dp, 0, shared.trace, shared.lib, kRef).fu;
+  const double e_par =
+      energy_of(parallel.dp, 0, parallel.trace, parallel.lib, kRef).fu;
+  EXPECT_GT(e_shared, e_par * 1.02);
+}
+
+TEST(Estimator, PowerIsEnergyOverPeriod) {
+  Fixture f;
+  const double e = energy_of(f.dp, 0, f.trace, f.lib, kRef).total();
+  const double p = power_of(f.dp, 0, f.trace, f.lib, kRef, 200.0);
+  EXPECT_NEAR(p, e / 200.0, 1e-12);
+}
+
+TEST(Estimator, EmptyTraceGivesZero) {
+  Fixture f;
+  const EnergyBreakdown e = energy_of(f.dp, 0, {}, f.lib, kRef);
+  EXPECT_DOUBLE_EQ(e.total(), 0);
+}
+
+TEST(Estimator, ChildrenEnergyAccounted) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const Trace trace = make_trace(bench.design.top().num_inputs(), 24, 3);
+  const EnergyBreakdown e = energy_of(dp, 0, trace, lib, kRef);
+  EXPECT_GT(e.children, 0);
+  EXPECT_GT(e.children, e.fu);  // all arithmetic lives in the biquads
+}
+
+TEST(Estimator, ResolverFindsNestedBehaviors) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("dct", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(bench.design.top(), "dct", cx);
+  const BehaviorResolver res = resolver_of(dp);
+  EXPECT_NE(res("butterfly"), nullptr);
+  EXPECT_NE(res("rot"), nullptr);
+  EXPECT_EQ(res("missing"), nullptr);
+}
+
+TEST(Estimator, DeterministicAcrossCalls) {
+  Fixture f;
+  const double a = energy_of(f.dp, 0, f.trace, f.lib, kRef).total();
+  const double b = energy_of(f.dp, 0, f.trace, f.lib, kRef).total();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hsyn

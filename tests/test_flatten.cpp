@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/flatten.h"
+#include "power/trace.h"
+
+namespace hsyn {
+namespace {
+
+/// Behavior resolver backed by a Design.
+BehaviorResolver design_resolver(const Design& d) {
+  return [&d](const std::string& name) -> const Dfg* {
+    return d.has_behavior(name) ? &d.behavior(name) : nullptr;
+  };
+}
+
+class FlattenEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FlattenEquivalence, FlattenedMatchesHierarchicalValues) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  const Dfg flat = flatten_top(bench.design);
+  EXPECT_FALSE(flat.has_hierarchy());
+  EXPECT_EQ(flat.num_inputs(), bench.design.top().num_inputs());
+  EXPECT_EQ(flat.num_outputs(), bench.design.top().num_outputs());
+
+  const Trace trace = make_trace(flat.num_inputs(), 16, 99);
+  const auto hier_out =
+      eval_dfg(bench.design.top(), design_resolver(bench.design), trace);
+  const auto flat_out = eval_dfg(flat, nullptr, trace);
+  ASSERT_EQ(hier_out.size(), flat_out.size());
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(hier_out[t], flat_out[t]) << "sample " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, FlattenEquivalence,
+                         ::testing::Values("avenhaus_cascade", "lat", "dct",
+                                           "iir", "hier_paulin", "test1",
+                                           "fir16", "dct2d"));
+
+TEST(Flatten, SizeMatchesDesignAccounting) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("hier_paulin", lib);
+  const Dfg flat = flatten_top(bench.design);
+  EXPECT_EQ(static_cast<int>(flat.nodes().size()),
+            bench.design.flattened_size("hier_paulin"));
+  // 3 unrolled iterations x 10 operations each.
+  EXPECT_EQ(flat.nodes().size(), 30u);
+}
+
+TEST(Flatten, LabelsCarryHierarchicalPath) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const Dfg flat = flatten_top(bench.design);
+  bool found = false;
+  for (const Node& n : flat.nodes()) {
+    if (n.label.rfind("bq0/", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Flatten, DeepHierarchy) {
+  // Three levels: top -> mid -> leaf.
+  Design design;
+  Dfg leaf("leaf", 2, 1);
+  const int add = leaf.add_node(Op::Add);
+  leaf.connect({kPrimaryIn, 0}, {{add, 0}});
+  leaf.connect({kPrimaryIn, 1}, {{add, 1}});
+  leaf.connect({add, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(leaf));
+
+  Dfg mid("mid", 2, 1);
+  const int h1 = mid.add_hier_node("leaf", 2, 1);
+  const int h2 = mid.add_hier_node("leaf", 2, 1);
+  mid.connect({kPrimaryIn, 0}, {{h1, 0}, {h2, 1}});
+  mid.connect({kPrimaryIn, 1}, {{h1, 1}});
+  mid.connect({h1, 0}, {{h2, 0}});
+  mid.connect({h2, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(mid));
+
+  Dfg top("top", 2, 1);
+  const int h = top.add_hier_node("mid", 2, 1);
+  top.connect({kPrimaryIn, 0}, {{h, 0}});
+  top.connect({kPrimaryIn, 1}, {{h, 1}});
+  top.connect({h, 0}, {{kPrimaryOut, 0}});
+  design.add_behavior(std::move(top));
+  design.set_top("top");
+  design.validate();
+
+  const Dfg flat = flatten_top(design);
+  EXPECT_EQ(flat.nodes().size(), 2u);
+  const Trace trace = make_trace(2, 8, 5);
+  const auto out = eval_dfg(flat, nullptr, trace);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    // top(a,b) = (a+b) + a
+    EXPECT_EQ(out[t][0], mask16(static_cast<std::int64_t>(trace[t][0]) +
+                                trace[t][1] + trace[t][0]));
+  }
+}
+
+TEST(Flatten, PassThroughOutputs) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("avenhaus_cascade", lib);
+  const Dfg flat = flatten_top(bench.design);
+  const Trace trace = make_trace(flat.num_inputs(), 4, 3);
+  const auto out = eval_dfg(flat, nullptr, trace);
+  // Output 1 of the first section is the pass-through x1' = x.
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    EXPECT_EQ(out[t][1], trace[t][0]);
+  }
+}
+
+}  // namespace
+}  // namespace hsyn

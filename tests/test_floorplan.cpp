@@ -1,0 +1,127 @@
+// Floorplanner: placement validity (no overlaps, bounded bbox), HPWL
+// behavior, and agreement in direction with the RTL wire model.
+#include <gtest/gtest.h>
+
+#include "place/floorplan.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+
+#include "benchmarks/benchmarks.h"
+
+namespace hsyn {
+namespace {
+
+using place::Floorplan;
+
+const OpPoint kRef{5.0, 20.0};
+
+Datapath make_scheduled(const Design& design, const Library& lib,
+                        const ComplexLibrary* clib = nullptr) {
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.clib = clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), design.top_name(), cx);
+  schedule_datapath(dp, lib, kRef, kNoDeadline);
+  return dp;
+}
+
+TEST(Floorplan, BlocksDoNotOverlap) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  const Datapath dp = make_scheduled(design, lib);
+  const Floorplan fp = place::floorplan(dp, lib);
+  ASSERT_EQ(fp.blocks.size(), dp.fus.size() + dp.regs.size());
+  for (std::size_t i = 0; i < fp.blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < fp.blocks.size(); ++j) {
+      const auto& a = fp.blocks[i];
+      const auto& b = fp.blocks[j];
+      const bool overlap = a.x < b.x + b.w - 1e-9 && b.x < a.x + a.w - 1e-9 &&
+                           a.y < b.y + b.h - 1e-9 && b.y < a.y + a.h - 1e-9;
+      EXPECT_FALSE(overlap) << a.name << " vs " << b.name;
+    }
+  }
+}
+
+TEST(Floorplan, PackingIsReasonablyTight) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  const Datapath dp = make_scheduled(design, lib);
+  const Floorplan fp = place::floorplan(dp, lib);
+  EXPECT_GE(fp.bbox_area(), fp.cell_area());
+  EXPECT_LT(fp.bbox_area(), fp.cell_area() * 3.0);
+}
+
+TEST(Floorplan, HpwlPositiveAndNetsCoverRegisters) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  const Datapath dp = make_scheduled(design, lib);
+  const Floorplan fp = place::floorplan(dp, lib);
+  EXPECT_EQ(fp.nets.size(), dp.regs.size());
+  EXPECT_GT(fp.hpwl(), 0);
+}
+
+TEST(Floorplan, SharingShrinksWirelengthAndBbox) {
+  // The physical confirmation of the area move: merging all multipliers
+  // removes blocks, shrinking both the floorplan and the total wiring.
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  Datapath par = make_scheduled(design, lib);
+
+  Datapath shared = par;
+  BehaviorImpl& bi = shared.behaviors[0];
+  int first = -1;
+  for (Invocation& inv : bi.invs) {
+    if (bi.dfg->node(inv.nodes[0]).op != Op::Mult) continue;
+    if (first < 0) {
+      first = inv.unit.idx;
+    } else {
+      inv.unit.idx = first;
+    }
+  }
+  shared.prune_unused();
+  ASSERT_TRUE(schedule_datapath(shared, lib, kRef, kNoDeadline).ok);
+
+  const Floorplan fp_par = place::floorplan(par, lib);
+  const Floorplan fp_sh = place::floorplan(shared, lib);
+  EXPECT_LT(fp_sh.bbox_area(), fp_par.bbox_area());
+  EXPECT_LT(fp_sh.hpwl(), fp_par.hpwl() * 1.1);
+}
+
+TEST(Floorplan, ChildrenBecomeOpaqueBlocks) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const Datapath dp = make_scheduled(bench.design, lib, &bench.clib);
+  const Floorplan fp = place::floorplan(dp, lib);
+  EXPECT_EQ(fp.blocks.size(),
+            dp.fus.size() + dp.regs.size() + dp.children.size());
+  // Child blocks are far larger than registers.
+  const auto& child = fp.blocks.back();
+  EXPECT_GT(child.w * child.h, 100);
+}
+
+TEST(Floorplan, ReportRenders) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_butterfly("bf"));
+  design.set_top("bf");
+  const Datapath dp = make_scheduled(design, lib);
+  const Floorplan fp = place::floorplan(dp, lib);
+  const std::string rep = place::floorplan_report(fp);
+  EXPECT_NE(rep.find("HPWL"), std::string::npos);
+  EXPECT_NE(rep.find("packing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "embed/hungarian.h"
+#include "util/rng.h"
+
+namespace hsyn {
+namespace {
+
+/// Brute-force optimal assignment cost by permutation enumeration.
+double brute_force(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e30;
+  do {
+    double c = 0;
+    for (std::size_t i = 0; i < n; ++i) c += cost[i][static_cast<std::size_t>(perm[i])];
+    best = std::min(best, c);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, EmptyMatrix) {
+  const AssignmentResult r = solve_assignment({});
+  EXPECT_TRUE(r.row_to_col.empty());
+  EXPECT_DOUBLE_EQ(r.cost, 0);
+}
+
+TEST(Hungarian, Identity2x2) {
+  const AssignmentResult r = solve_assignment({{1, 10}, {10, 1}});
+  EXPECT_EQ(r.row_to_col[0], 0);
+  EXPECT_EQ(r.row_to_col[1], 1);
+  EXPECT_DOUBLE_EQ(r.cost, 2);
+}
+
+TEST(Hungarian, CrossAssignment) {
+  const AssignmentResult r = solve_assignment({{10, 1}, {1, 10}});
+  EXPECT_EQ(r.row_to_col[0], 1);
+  EXPECT_EQ(r.row_to_col[1], 0);
+  EXPECT_DOUBLE_EQ(r.cost, 2);
+}
+
+TEST(Hungarian, AssignmentIsPermutation) {
+  Rng rng(5);
+  std::vector<std::vector<double>> cost(7, std::vector<double>(7));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.uniform() * 100;
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  std::vector<bool> used(7, false);
+  for (const int c : r.row_to_col) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 7);
+    EXPECT_FALSE(used[static_cast<std::size_t>(c)]);
+    used[static_cast<std::size_t>(c)] = true;
+  }
+}
+
+TEST(Hungarian, RejectsNonSquare) {
+  EXPECT_THROW(solve_assignment({{1, 2}}), std::logic_error);
+}
+
+TEST(Hungarian, InfeasibleCellsAvoidedWhenPossible) {
+  const AssignmentResult r = solve_assignment(
+      {{kInfeasible, 1, 2}, {3, kInfeasible, 1}, {1, 2, kInfeasible}});
+  EXPECT_LT(r.cost, kInfeasible / 2);
+}
+
+class HungarianVsBruteForce : public ::testing::TestWithParam<int> {};
+
+/// Property: for random matrices up to 7x7 the Hungarian result equals
+/// the brute-force optimum.
+TEST_P(HungarianVsBruteForce, MatchesOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 1);
+  const std::size_t n = 2 + rng.below(6);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = static_cast<double>(rng.below(1000));
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  EXPECT_NEAR(r.cost, brute_force(cost), 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HungarianVsBruteForce,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hsyn

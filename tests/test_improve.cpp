@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "power/rtlsim.h"
+#include "sched/scheduler.h"
+#include "synth/improve.h"
+#include "synth/initial.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+struct Fixture {
+  Library lib = default_library();
+  Benchmark bench;
+  SynthContext cx;
+  Datapath init;
+
+  Fixture(const std::string& name, Objective obj, double laxity)
+      : bench(make_benchmark(name, lib)) {
+    cx.design = &bench.design;
+    cx.lib = &lib;
+    cx.clib = &bench.clib;
+    cx.pt = kRef;
+    cx.obj = obj;
+    cx.trace = make_trace(bench.design.top().num_inputs(), 16, 5);
+    cx.opts.max_passes = 4;
+    cx.opts.max_moves_per_pass = 8;
+    init = initial_solution(bench.design.top(), name, cx);
+    const SchedResult r = schedule_datapath(init, lib, kRef, kNoDeadline);
+    cx.deadline = static_cast<int>(r.makespan * laxity);
+    schedule_datapath(init, lib, kRef, cx.deadline);
+  }
+};
+
+TEST(Improve, AreaObjectiveNeverWorsens) {
+  Fixture f("iir", Objective::Area, 2.0);
+  ImproveStats stats;
+  const double before = cost_of(f.init, f.cx);
+  const Datapath out = improve(f.init, f.cx, &stats);
+  const double after = cost_of(out, f.cx);
+  EXPECT_LE(after, before);
+  EXPECT_GT(stats.passes, 0);
+  EXPECT_GE(stats.moves_applied, stats.moves_kept);
+  EXPECT_NEAR(stats.final_cost, after, 1e-9);
+}
+
+TEST(Improve, AreaObjectiveActuallyImproves) {
+  Fixture f("test1", Objective::Area, 2.5);
+  const double before = cost_of(f.init, f.cx);
+  const Datapath out = improve(f.init, f.cx);
+  EXPECT_LT(cost_of(out, f.cx), before * 0.9);
+}
+
+TEST(Improve, PowerObjectiveImprovesAtSlack) {
+  Fixture f("test1", Objective::Power, 2.5);
+  const double before = cost_of(f.init, f.cx);
+  const Datapath out = improve(f.init, f.cx);
+  EXPECT_LT(cost_of(out, f.cx), before);
+}
+
+TEST(Improve, ResultMeetsDeadlineAndValidates) {
+  Fixture f("dct", Objective::Area, 2.0);
+  Datapath out = improve(f.init, f.cx);
+  EXPECT_NO_THROW(out.validate(f.lib));
+  const SchedResult r = schedule_datapath(out, f.lib, kRef, f.cx.deadline);
+  EXPECT_TRUE(r.ok) << r.reason;
+}
+
+TEST(Improve, ResultFunctionallyCorrect) {
+  Fixture f("lat", Objective::Area, 2.2);
+  const Datapath out = improve(f.init, f.cx);
+  const Trace trace = make_trace(f.bench.design.top().num_inputs(), 16, 77);
+  const RtlSimResult r = simulate_rtl(out, 0, trace, f.lib, kRef);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(Improve, GreedyOnlyModeStillSafe) {
+  Fixture f("iir", Objective::Area, 2.0);
+  f.cx.opts.enable_negative_gain = false;
+  const double before = cost_of(f.init, f.cx);
+  const Datapath out = improve(f.init, f.cx);
+  EXPECT_LE(cost_of(out, f.cx), before);
+}
+
+TEST(Improve, VariableDepthBeatsOrMatchesGreedy) {
+  Fixture f("test1", Objective::Area, 2.5);
+  SynthContext greedy_cx = f.cx;
+  greedy_cx.opts.enable_negative_gain = false;
+  const Datapath full = improve(f.init, f.cx);
+  const Datapath greedy = improve(f.init, greedy_cx);
+  EXPECT_LE(cost_of(full, f.cx), cost_of(greedy, f.cx) * 1.001);
+}
+
+TEST(Improve, ZeroPassBudgetIsIdentity) {
+  Fixture f("iir", Objective::Area, 2.0);
+  f.cx.opts.max_passes = 0;
+  const Datapath out = improve(f.init, f.cx);
+  EXPECT_NEAR(cost_of(out, f.cx), cost_of(f.init, f.cx), 1e-9);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,124 @@
+// Library and trace textual I/O (the paper's remaining textual inputs).
+#include <gtest/gtest.h>
+
+#include "library/textio.h"
+#include "power/trace_io.h"
+#include "synth/synthesizer.h"
+
+#include "benchmarks/benchmarks.h"
+
+namespace hsyn {
+namespace {
+
+TEST(LibraryIo, DefaultLibraryRoundTrips) {
+  const Library lib = default_library();
+  const std::string text = library_to_text(lib);
+  const Library parsed = library_from_text(text);
+  ASSERT_EQ(parsed.num_fu_types(), lib.num_fu_types());
+  for (int i = 0; i < lib.num_fu_types(); ++i) {
+    const FuType& a = lib.fu(i);
+    const FuType& b = parsed.fu(i);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_DOUBLE_EQ(a.area, b.area);
+    EXPECT_DOUBLE_EQ(a.delay_ns, b.delay_ns);
+    EXPECT_DOUBLE_EQ(a.cap_sw, b.cap_sw);
+    EXPECT_EQ(a.chain_depth, b.chain_depth);
+    EXPECT_EQ(a.pipelined, b.pipelined);
+  }
+  EXPECT_DOUBLE_EQ(parsed.reg().area, lib.reg().area);
+  EXPECT_DOUBLE_EQ(parsed.costs().clock_cap_per_reg,
+                   lib.costs().clock_cap_per_reg);
+  // Second round trip is a fixed point.
+  EXPECT_EQ(library_to_text(parsed), text);
+}
+
+TEST(LibraryIo, ParsesMinimalLibrary) {
+  const Library lib = library_from_text(
+      "fu adder ops=add,sub area=25 delay=18 cap=7\n"
+      "fu booth ops=mult area=120 delay=60 cap=90 pipelined\n"
+      "fu chainx ops=add area=55 delay=21 cap=15 chain=2\n"
+      "reg r area=9 cap=1.5\n"
+      "costs mux_area=5 clock_cap=0.2\n");
+  EXPECT_EQ(lib.num_fu_types(), 3);
+  EXPECT_TRUE(lib.fu(1).pipelined);
+  EXPECT_EQ(lib.fu(2).chain_depth, 2);
+  EXPECT_DOUBLE_EQ(lib.costs().mux_area_per_input, 5);
+  EXPECT_DOUBLE_EQ(lib.costs().clock_cap_per_reg, 0.2);
+  // Omitted cost keys keep defaults.
+  EXPECT_DOUBLE_EQ(lib.costs().wire_cap_global,
+                   default_library().costs().wire_cap_global);
+}
+
+TEST(LibraryIo, RejectsMalformedInput) {
+  EXPECT_THROW(library_from_text("bogus\n"), std::logic_error);
+  EXPECT_THROW(library_from_text("fu a ops=warp area=1 delay=1 cap=1\n"),
+               std::logic_error);
+  EXPECT_THROW(library_from_text("fu a ops=add area=x delay=1 cap=1\n"),
+               std::logic_error);
+  EXPECT_THROW(library_from_text("reg r area=1 cap=1\n"), std::logic_error);
+  EXPECT_THROW(
+      library_from_text("fu a ops=add area=1 delay=1 cap=1 warp=1\n"),
+      std::logic_error);
+}
+
+TEST(TraceIo, RoundTrips) {
+  const Trace t = make_trace(4, 20, 9);
+  const Trace parsed = trace_from_text(trace_to_text(t));
+  EXPECT_EQ(parsed, t);
+}
+
+TEST(TraceIo, ParsesAndWraps) {
+  const Trace t = trace_from_text("1 2 3\n# comment\n70000 -70000 0\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1][0], mask16(70000));
+  EXPECT_EQ(t[1][1], mask16(-70000));
+}
+
+TEST(TraceIo, RejectsRaggedAndEmpty) {
+  EXPECT_THROW(trace_from_text("1 2\n3\n"), std::logic_error);
+  EXPECT_THROW(trace_from_text("# only comments\n"), std::logic_error);
+  EXPECT_THROW(trace_from_text("1 2\n", 3), std::logic_error);
+  EXPECT_THROW(trace_from_text("1 two\n"), std::logic_error);
+}
+
+TEST(TraceIo, UserTraceDrivesSynthesis) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const double ts = 2.0 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  opts.user_trace = make_trace(bench.design.top().num_inputs(), 10, 777);
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Power, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+
+  // A wrong-arity trace is rejected loudly.
+  SynthOptions bad = opts;
+  bad.user_trace = make_trace(3, 10, 777);
+  EXPECT_THROW(synthesize(bench.design, lib, &bench.clib, ts, Objective::Power,
+                          Mode::Hierarchical, bad),
+               std::logic_error);
+}
+
+TEST(LibraryIo, CustomLibrarySynthesizes) {
+  const Library lib = library_from_text(
+      "fu fadd ops=add,sub area=40 delay=14 cap=12\n"
+      "fu sadd ops=add,sub area=18 delay=40 cap=5\n"
+      "fu fmul ops=mult area=200 delay=50 cap=150\n"
+      "fu smul ops=mult area=80 delay=110 cap=50\n"
+      "fu cmp ops=cmp area=12 delay=10 cap=3\n"
+      "fu misc ops=shl,shr,and,or,xor,neg area=14 delay=10 cap=3\n"
+      "reg r area=8 cap=1.6\n");
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  const double ts = 2.0 * min_sample_period_ns(design, lib);
+  const SynthResult r = synthesize(design, lib, nullptr, ts, Objective::Area,
+                                   Mode::Hierarchical);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+  EXPECT_GT(r.area, 0);
+}
+
+}  // namespace
+}  // namespace hsyn

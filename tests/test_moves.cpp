@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "power/rtlsim.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/moves.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+struct Fixture {
+  Library lib = default_library();
+  Benchmark bench;
+  SynthContext cx;
+  Datapath dp;
+
+  explicit Fixture(const std::string& name, Objective obj, int extra_slack)
+      : bench(make_benchmark(name, lib)) {
+    cx.design = &bench.design;
+    cx.lib = &lib;
+    cx.clib = &bench.clib;
+    cx.pt = kRef;
+    cx.obj = obj;
+    cx.trace = make_trace(bench.design.top().num_inputs(), 16, 3);
+    dp = initial_solution(bench.design.top(), name, cx);
+    const SchedResult r = schedule_datapath(dp, lib, kRef, kNoDeadline);
+    cx.deadline = r.makespan + extra_slack;
+  }
+};
+
+TEST(Moves, FinishMoveRejectsInfeasible) {
+  Fixture f("test1", Objective::Area, 0);
+  // Swap every fast mult for the slow mult2 -- with zero slack this must
+  // fail scheduling somewhere inside a child... at top level there are no
+  // fus, so test on a flat design instead.
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &f.lib;
+  cx.pt = kRef;
+  cx.obj = Objective::Area;
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  const SchedResult r = schedule_datapath(dp, f.lib, kRef, kNoDeadline);
+  cx.deadline = r.makespan;  // zero slack
+  Datapath cand = dp;
+  const int m2 = f.lib.find_fu("mult2");
+  for (FuUnit& fu : cand.fus) {
+    if (f.lib.fu(fu.type).supports(Op::Mult)) fu.type = m2;
+  }
+  const Move m = finish_move(std::move(cand), cx, cost_of(dp, cx), "A:test",
+                             "all mult2");
+  EXPECT_FALSE(m.valid);
+}
+
+TEST(Moves, ReplaceMoveFindsLowPowerMultSwap) {
+  // Example 2's signature move: with slack available, the power objective
+  // swaps mult1 -> mult2 somewhere (directly or via a template).
+  Fixture f("test1", Objective::Power, 8);
+  const Move m = best_replace_move(f.dp, f.cx);
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.gain, 0);
+  EXPECT_TRUE(m.kind.rfind("A:", 0) == 0 || m.kind.rfind("B:", 0) == 0)
+      << m.kind;
+}
+
+TEST(Moves, SharingMoveValidAndSchedulable) {
+  Fixture f("test1", Objective::Area, 10);
+  const Move m = best_sharing_move(f.dp, f.cx);
+  ASSERT_TRUE(m.valid);
+  EXPECT_NO_THROW(m.result.validate(f.lib));
+  EXPECT_LE(m.result.behaviors[0].makespan, f.cx.deadline);
+  // Area objective: the best sharing move should save area.
+  EXPECT_GT(m.gain, 0);
+}
+
+TEST(Moves, SplittingMoveAfterSharing) {
+  Fixture f("test1", Objective::Power, 10);
+  // First share something, then splitting must be able to undo.
+  const Move share = best_sharing_move(f.dp, f.cx);
+  ASSERT_TRUE(share.valid);
+  const Move split = best_splitting_move(share.result, f.cx);
+  ASSERT_TRUE(split.valid);
+  EXPECT_NO_THROW(split.result.validate(f.lib));
+}
+
+TEST(Moves, GainMatchesCostDelta) {
+  Fixture f("iir", Objective::Area, 6);
+  const double before = cost_of(f.dp, f.cx);
+  const Move m = best_sharing_move(f.dp, f.cx);
+  ASSERT_TRUE(m.valid);
+  const double after = cost_of(m.result, f.cx);
+  EXPECT_NEAR(m.gain, before - after, 1e-9);
+}
+
+TEST(Moves, MovesPreserveFunctionalCorrectness) {
+  Fixture f("iir", Objective::Area, 8);
+  Datapath cur = f.dp;
+  const Trace trace = make_trace(f.bench.design.top().num_inputs(), 12, 31);
+  for (int step = 0; step < 4; ++step) {
+    Move m = best_sharing_move(cur, f.cx);
+    m = better_move(m, best_replace_move(cur, f.cx));
+    if (!m.valid) break;
+    cur = m.result;
+    const RtlSimResult r = simulate_rtl(cur, 0, trace, f.lib, kRef);
+    ASSERT_TRUE(r.ok) << "step " << step << ": "
+                      << (r.violations.empty() ? "" : r.violations[0]);
+  }
+}
+
+TEST(Moves, DisabledGeneratorsReturnInvalid) {
+  Fixture f("test1", Objective::Area, 8);
+  f.cx.opts.enable_share = false;
+  EXPECT_FALSE(best_sharing_move(f.dp, f.cx).valid);
+  f.cx.opts.enable_split = false;
+  EXPECT_FALSE(best_splitting_move(f.dp, f.cx).valid);
+  f.cx.opts.enable_replace = false;
+  f.cx.opts.enable_resynth = false;
+  EXPECT_FALSE(best_replace_move(f.dp, f.cx).valid);
+}
+
+TEST(Moves, ChildInputTraceShape) {
+  Fixture f("iir", Objective::Power, 6);
+  const Trace t = child_input_trace(f.dp, 0, 0, "biquad", f.cx);
+  // One invocation of child 0 per sample.
+  EXPECT_EQ(t.size(), f.cx.trace.size());
+  ASSERT_FALSE(t.empty());
+  EXPECT_EQ(t[0].size(), 8u);  // biquad has 8 inputs
+}
+
+TEST(Moves, EmbeddingMoveAppearsOnTest1) {
+  // test1's area-optimized flow historically embeds two modules; make
+  // sure at least one embedding candidate evaluates as valid by running
+  // the generator with generous slack and scanning the description.
+  Fixture f("test1", Objective::Area, 16);
+  Datapath cur = f.dp;
+  bool saw_embed_or_reuse = false;
+  for (int step = 0; step < 6 && !saw_embed_or_reuse; ++step) {
+    const Move m = best_sharing_move(cur, f.cx);
+    if (!m.valid) break;
+    if (m.kind == "C:embed" || m.desc.rfind("reuse", 0) == 0) {
+      saw_embed_or_reuse = true;
+    }
+    cur = m.result;
+  }
+  EXPECT_TRUE(saw_embed_or_reuse);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,163 @@
+// Cross-model consistency: the RTL estimator, the cycle-accurate RTL
+// simulator, the gate level and the floorplanner must tell consistent
+// stories about the same architectures.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "gates/gate_datapath.h"
+#include "gates/gate_expand.h"
+#include "place/floorplan.h"
+#include "power/estimator.h"
+#include "power/rtlsim.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+TEST(PhysicalConsistency, EstimatorTracksRtlSimAcrossBenchmarks) {
+  const Library lib = default_library();
+  for (const char* name : {"iir", "lat", "test1"}) {
+    const Benchmark bench = make_benchmark(name, lib);
+    SynthContext cx;
+    cx.design = &bench.design;
+    cx.lib = &lib;
+    cx.clib = &bench.clib;
+    cx.pt = kRef;
+    Datapath dp = initial_solution(bench.design.top(), name, cx);
+    ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+    const Trace trace = make_trace(bench.design.top().num_inputs(), 32, 7);
+    const double est = energy_of(dp, 0, trace, lib, kRef).total();
+    const RtlSimResult sim = simulate_rtl(dp, 0, trace, lib, kRef);
+    ASSERT_TRUE(sim.ok);
+    EXPECT_NEAR(sim.energy.total(), est, est * 0.2) << name;
+  }
+}
+
+TEST(PhysicalConsistency, GateAreaTracksRtlAreaAcrossArchitectures) {
+  // Across a spectrum of architectures of the SAME behavior (parallel,
+  // partially shared, fully shared), gate-level area must be monotone in
+  // RTL-model area.
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+
+  std::vector<std::pair<double, double>> points;  // (rtl area, gate area)
+  auto record = [&](const Datapath& d) {
+    points.push_back({area_of(d, lib).total(),
+                      gates::expand_datapath(d, lib).total_area()});
+  };
+  record(dp);
+
+  // Share multipliers pairwise, then fully.
+  Datapath half = dp;
+  {
+    BehaviorImpl& bi = half.behaviors[0];
+    std::vector<int> mult_invs;
+    for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+      if (bi.dfg->node(bi.invs[i].nodes[0]).op == Op::Mult) {
+        mult_invs.push_back(static_cast<int>(i));
+      }
+    }
+    for (std::size_t k = 1; k < mult_invs.size(); k += 2) {
+      bi.invs[static_cast<std::size_t>(mult_invs[k])].unit.idx =
+          bi.invs[static_cast<std::size_t>(mult_invs[k - 1])].unit.idx;
+    }
+    half.prune_unused();
+    ASSERT_TRUE(schedule_datapath(half, lib, kRef, kNoDeadline).ok);
+    record(half);
+  }
+  Datapath full = dp;
+  {
+    BehaviorImpl& bi = full.behaviors[0];
+    int first = -1;
+    for (Invocation& inv : bi.invs) {
+      if (bi.dfg->node(inv.nodes[0]).op != Op::Mult) continue;
+      if (first < 0) {
+        first = inv.unit.idx;
+      } else {
+        inv.unit.idx = first;
+      }
+    }
+    full.prune_unused();
+    ASSERT_TRUE(schedule_datapath(full, lib, kRef, kNoDeadline).ok);
+    record(full);
+  }
+
+  ASSERT_EQ(points.size(), 3u);
+  // RTL areas strictly decrease with sharing; gate areas must follow.
+  EXPECT_GT(points[0].first, points[1].first);
+  EXPECT_GT(points[1].first, points[2].first);
+  EXPECT_GT(points[0].second, points[1].second);
+  EXPECT_GT(points[1].second, points[2].second);
+}
+
+TEST(PhysicalConsistency, GateTogglesScaleWithRtlEnergy) {
+  // Two architectures of the same behavior: the one the RTL model calls
+  // lower-energy must also switch less capacitance at the gate level.
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_dot4("dot"));
+  design.set_top("dot");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath fast = initial_solution(design.top(), "dot", cx);
+  ASSERT_TRUE(schedule_datapath(fast, lib, kRef, kNoDeadline).ok);
+
+  Datapath lp = make_template_lowpower(design.behavior("dot"), lib);
+  ASSERT_TRUE(schedule_datapath(lp, lib, kRef, kNoDeadline).ok);
+
+  const Trace trace = make_trace(8, 24, 5);
+  const double e_fast = energy_of(fast, 0, trace, lib, kRef).fu;
+  const double e_lp = energy_of(lp, 0, trace, lib, kRef).fu;
+  EXPECT_LT(e_lp, e_fast);  // mult2-based module is lower energy
+
+  // The RTL-level claim rests on the cap_sw ratio of mult2 vs mult1; the
+  // gate level backs the *relative* magnitudes (both are array
+  // multipliers here, so we check the estimator used the library caps).
+  const double ratio = e_lp / e_fast;
+  const double cap_ratio = lib.fu(lib.find_fu("mult2")).cap_sw /
+                           lib.fu(lib.find_fu("mult1")).cap_sw;
+  EXPECT_NEAR(ratio, cap_ratio, 0.25);
+}
+
+TEST(PhysicalConsistency, FloorplanHpwlTracksWireModel) {
+  // Synthesized area-opt vs power-opt architecture of one circuit: the
+  // design with more RTL net sinks should not have *less* wirelength.
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const double ts = 2.2 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  const SynthResult a = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Area, Mode::Hierarchical, opts);
+  const SynthResult p = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Power, Mode::Hierarchical, opts);
+  ASSERT_TRUE(a.ok && p.ok);
+  const double hpwl_a = place::floorplan(a.dp, lib).hpwl();
+  const double hpwl_p = place::floorplan(p.dp, lib).hpwl();
+  const double area_a = a.area;
+  const double area_p = p.area;
+  // The bigger design carries more wiring.
+  if (area_p > area_a * 1.2) {
+    EXPECT_GT(hpwl_p, hpwl_a * 0.8);
+  }
+  EXPECT_GT(hpwl_a, 0);
+  EXPECT_GT(hpwl_p, 0);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,138 @@
+// Pipelined functional units and the fir16 extension benchmark.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "power/rtlsim.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+TEST(Pipelined, SharedPipelinedMultStartsEveryCycle) {
+  const Library lib = default_library();
+  // Four independent mults on one pipelined multiplier: starts 1 cycle
+  // apart instead of 3.
+  Dfg d("pm", 8, 4);
+  for (int i = 0; i < 4; ++i) {
+    const int m = d.add_node(Op::Mult);
+    d.connect({kPrimaryIn, 2 * i}, {{m, 0}});
+    d.connect({kPrimaryIn, 2 * i + 1}, {{m, 1}});
+    d.connect({m, 0}, {{kPrimaryOut, i}});
+  }
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("pm");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "pm", cx);
+  const int p_type = lib.find_fu("mult1p");
+  ASSERT_GE(p_type, 0);
+  for (FuUnit& fu : dp.fus) fu.type = p_type;
+  BehaviorImpl& bi = dp.behaviors[0];
+  for (Invocation& inv : bi.invs) inv.unit.idx = 0;  // all on one unit
+  dp.prune_unused();
+  const SchedResult r = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(r.ok) << r.reason;
+  // Starts at 0,1,2,3; last result 3 cycles after its start.
+  EXPECT_EQ(r.makespan, 6);
+
+  const Trace trace = make_trace(8, 16, 3);
+  const RtlSimResult sim = simulate_rtl(dp, 0, trace, lib, kRef);
+  EXPECT_TRUE(sim.ok) << (sim.violations.empty() ? "" : sim.violations[0]);
+}
+
+TEST(Pipelined, NonPipelinedEquivalentSerializesFully) {
+  const Library lib = default_library();
+  Dfg d("pm", 8, 4);
+  for (int i = 0; i < 4; ++i) {
+    const int m = d.add_node(Op::Mult);
+    d.connect({kPrimaryIn, 2 * i}, {{m, 0}});
+    d.connect({kPrimaryIn, 2 * i + 1}, {{m, 1}});
+    d.connect({m, 0}, {{kPrimaryOut, i}});
+  }
+  d.validate();
+  Design design;
+  design.add_behavior(std::move(d));
+  design.set_top("pm");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "pm", cx);
+  BehaviorImpl& bi = dp.behaviors[0];
+  for (Invocation& inv : bi.invs) inv.unit.idx = 0;
+  dp.prune_unused();
+  const SchedResult r = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.makespan, 12);  // 4 x 3 cycles back-to-back
+}
+
+TEST(Pipelined, MergeRequiresMatchingPipelineFlag) {
+  const Library lib = default_library();
+  const OpPoint pt = kRef;
+  FuMergeUsage plain;
+  plain.ops = {Op::Mult};
+  plain.cycles = 3;
+  plain.pipelined = false;
+  FuMergeUsage piped = plain;
+  piped.pipelined = true;
+  EXPECT_EQ(merged_fu_type(plain, piped, lib, pt), -1);
+  EXPECT_EQ(lib.fu(merged_fu_type(piped, piped, lib, pt)).name, "mult1p");
+}
+
+TEST(Fir16, BuildsAndSynthesizes) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("fir16", lib);
+  EXPECT_EQ(bench.design.flattened_size("fir16"), 31);
+  EXPECT_EQ(bench.design.equivalents("dot4").size(), 2u);
+
+  const double ts = 2.0 * min_sample_period_ns(bench.design, lib);
+  for (const Objective obj : {Objective::Area, Objective::Power}) {
+    SynthOptions opts;
+    opts.max_passes = 3;
+    opts.max_candidates = 12;
+    const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts, obj,
+                                     Mode::Hierarchical, opts);
+    ASSERT_TRUE(r.ok) << r.fail_reason;
+    const Trace trace = make_trace(32, 12, 5);
+    const RtlSimResult sim = simulate_rtl(r.dp, 0, trace, lib, r.pt);
+    EXPECT_TRUE(sim.ok) << (sim.violations.empty() ? "" : sim.violations[0]);
+  }
+}
+
+TEST(Fir16, DotVariantsAgree) {
+  const Trace in = make_trace(8, 32, 77);
+  const Dfg a = make_dot4();
+  const Dfg b = make_dot4_seq();
+  EXPECT_EQ(eval_dfg(a, nullptr, in), eval_dfg(b, nullptr, in));
+}
+
+TEST(Fir16, AreaModeSharesDotProducts) {
+  // Four identical dot-product children invite instance reuse; at a
+  // relaxed deadline the area optimizer should keep fewer than four
+  // complex instances.
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("fir16", lib);
+  const double ts = 4.0 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 4;
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Area, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok);
+  int children = 0;
+  for (const ChildUnit& c : r.dp.children) {
+    children += c.impl ? 1 : 0;
+  }
+  EXPECT_LT(children, 4);
+}
+
+}  // namespace
+}  // namespace hsyn

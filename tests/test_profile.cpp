@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "library/profile.h"
+
+namespace hsyn {
+namespace {
+
+/// Paper Example 1, verbatim: Profile(RTL3, DFG3) = {0,0,2,4,7}; inputs
+/// arriving at {2,5,3,7} start the module at max(2-0, 5-0, 3-2, 7-4) = 5
+/// and produce the output at 12.
+TEST(Profile, PaperExample1Numbers) {
+  Profile p;
+  p.in = {0, 0, 2, 4};
+  p.out = {7};
+  EXPECT_EQ(p.start_time({2, 5, 3, 7}), 5);
+  const auto t = p.output_times({2, 5, 3, 7});
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], 12);
+}
+
+TEST(Profile, AllInputsAtZeroStartImmediately) {
+  Profile p;
+  p.in = {0, 0, 2, 4};
+  p.out = {7};
+  EXPECT_EQ(p.start_time({0, 0, 0, 0}), 0);
+  EXPECT_EQ(p.output_times({0, 0, 0, 0})[0], 7);
+}
+
+TEST(Profile, StartNeverNegative) {
+  Profile p;
+  p.in = {3, 3};
+  p.out = {5};
+  EXPECT_EQ(p.start_time({0, 0}), 0);  // inputs early: wait at 0
+}
+
+TEST(Profile, MakespanIsMaxOutput) {
+  Profile p;
+  p.in = {0, 0};
+  p.out = {3, 9, 6};
+  EXPECT_EQ(p.makespan(), 9);
+}
+
+TEST(Profile, ArityMismatchThrows) {
+  Profile p;
+  p.in = {0, 0};
+  p.out = {1};
+  EXPECT_THROW((void)p.start_time({0}), std::logic_error);
+}
+
+TEST(Environment, AdmitsFittingProfile) {
+  // Example 2's relaxation: RTL2 currently has profile {0,0,0,0,6,3} (4
+  // inputs, 2 outputs) and the environment allows {.., 9, 9}.
+  Environment env;
+  env.arrival = {0, 0, 0, 0};
+  env.deadline = {9, 9};
+  Profile current;
+  current.in = {0, 0, 0, 0};
+  current.out = {6, 3};
+  EXPECT_TRUE(env.admits(current));
+  EXPECT_EQ(env.slack(current), 3);
+
+  Profile relaxed;
+  relaxed.in = {0, 0, 0, 0};
+  relaxed.out = {9, 9};
+  EXPECT_TRUE(env.admits(relaxed));
+  EXPECT_EQ(env.slack(relaxed), 0);
+
+  Profile too_slow;
+  too_slow.in = {0, 0, 0, 0};
+  too_slow.out = {10, 9};
+  EXPECT_FALSE(env.admits(too_slow));
+  EXPECT_EQ(env.slack(too_slow), -1);
+}
+
+TEST(Environment, LateArrivalsShiftProduction) {
+  Environment env;
+  env.arrival = {4, 0};
+  env.deadline = {10};
+  Profile p;
+  p.in = {0, 0};
+  p.out = {5};
+  // Start at 4 -> output at 9 -> slack 1.
+  EXPECT_EQ(env.slack(p), 1);
+}
+
+class ProfileStartMonotonic
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+/// Property: delaying any arrival never lets the module start earlier.
+TEST_P(ProfileStartMonotonic, DelayingArrivalsNeverStartsEarlier) {
+  const auto [a0, a1, d0, d1] = GetParam();
+  Profile p;
+  p.in = {1, 2};
+  p.out = {4};
+  const int base = p.start_time({a0, a1});
+  const int delayed = p.start_time({a0 + d0, a1 + d1});
+  EXPECT_GE(delayed, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProfileStartMonotonic,
+    ::testing::Combine(::testing::Values(0, 2, 5), ::testing::Values(0, 1, 7),
+                       ::testing::Values(0, 1, 3), ::testing::Values(0, 2)));
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,143 @@
+// Property-based sweeps: random DFGs flow through the whole stack
+// (initial solution -> scheduling -> random sharing mutations -> RTL
+// simulation) and every invariant must hold at every step.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "power/rtlsim.h"
+#include "rtl/cost.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/moves.h"
+#include "random_dfg.h"
+#include "util/fmt.h"
+#include "util/rng.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+using testing_support::random_dfg;
+
+class RandomDfgPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDfgPipeline, ScheduleSimulateAndMutate) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(random_dfg(seed, 8 + static_cast<int>(seed % 8)));
+  const std::string top = design.behavior_names()[0];
+  design.set_top(top);
+  design.validate();
+
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  cx.obj = Objective::Area;
+  Datapath dp = initial_solution(design.top(), top, cx);
+  const SchedResult sr = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(sr.ok) << sr.reason;
+  cx.deadline = sr.makespan * 3;
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, cx.deadline).ok);
+
+  const Trace trace = make_trace(design.top().num_inputs(), 8, seed + 1);
+  {
+    const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+    ASSERT_TRUE(r.ok) << (r.violations.empty() ? "?" : r.violations[0]);
+  }
+
+  // Apply random *valid* sharing/splitting mutations through the move
+  // machinery; every accepted move must keep the design correct.
+  Rng rng(seed * 31 + 7);
+  Datapath cur = dp;
+  for (int step = 0; step < 3; ++step) {
+    Move m;
+    if (rng.below(2) == 0) {
+      m = best_sharing_move(cur, cx);
+    } else {
+      m = best_splitting_move(cur, cx);
+    }
+    if (!m.valid) continue;
+    cur = m.result;
+    EXPECT_NO_THROW(cur.validate(lib));
+    EXPECT_LE(cur.behaviors[0].makespan, cx.deadline);
+    const RtlSimResult r = simulate_rtl(cur, 0, trace, lib, kRef);
+    ASSERT_TRUE(r.ok) << "seed " << seed << " step " << step << ": "
+                      << (r.violations.empty() ? "?" : r.violations[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDfgPipeline, ::testing::Range(1, 21));
+
+class RandomEmbedding : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomEmbedding, MergedModulesStayCorrect) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(random_dfg(seed * 2 + 100, 6));
+  design.add_behavior(random_dfg(seed * 2 + 101, 7));
+  const std::string na = design.behavior_names()[0];
+  const std::string nb = design.behavior_names()[1];
+
+  Datapath a = make_template_fast(design.behavior(na), lib);
+  Datapath b = make_template_fast(design.behavior(nb), lib);
+  ASSERT_TRUE(schedule_datapath(a, lib, kRef, kNoDeadline).ok);
+  ASSERT_TRUE(schedule_datapath(b, lib, kRef, kNoDeadline).ok);
+  const double sum = area_of(a, lib, false).total() + area_of(b, lib, false).total();
+
+  auto merged = embed_modules(a, b, lib, kRef, nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, lib, kRef, kNoDeadline).ok);
+  EXPECT_NO_THROW(merged->validate(lib));
+  EXPECT_LT(area_of(*merged, lib, false).total(), sum);
+
+  for (const std::string& name : {na, nb}) {
+    const int bi = merged->find_behavior(name);
+    ASSERT_GE(bi, 0);
+    const Trace trace =
+        make_trace(design.behavior(name).num_inputs(), 6, seed + 3);
+    const RtlSimResult r = simulate_rtl(*merged, bi, trace, lib, kRef, false);
+    EXPECT_TRUE(r.ok) << name << ": "
+                      << (r.violations.empty() ? "?" : r.violations[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEmbedding, ::testing::Range(1, 13));
+
+class ScheduleMonotonicity : public ::testing::TestWithParam<int> {};
+
+/// Property: relaxing the deadline never makes scheduling fail, and the
+/// makespan is independent of the deadline (ASAP semantics).
+TEST_P(ScheduleMonotonicity, DeadlineRelaxationSafe) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 500;
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(random_dfg(seed, 10));
+  const std::string top = design.behavior_names()[0];
+  design.set_top(top);
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), top, cx);
+  const SchedResult base = schedule_datapath(dp, lib, kRef, kNoDeadline);
+  ASSERT_TRUE(base.ok);
+  for (int extra = 0; extra < 3; ++extra) {
+    Datapath copy = dp;
+    const SchedResult r =
+        schedule_datapath(copy, lib, kRef, base.makespan + extra);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.makespan, base.makespan);
+  }
+  Datapath copy = dp;
+  EXPECT_FALSE(schedule_datapath(copy, lib, kRef, base.makespan - 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleMonotonicity, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace hsyn

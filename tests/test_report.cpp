@@ -1,0 +1,130 @@
+// Reporting, summaries and operating-point sweeps.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "power/rtlsim.h"
+#include "rtl/controller.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/report.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+namespace {
+
+TEST(Report, ResultSummaryContainsEveryMetric) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const double ts = 2.0 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Power, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok);
+  const std::string s = result_summary(r, lib);
+  for (const char* key :
+       {"power-optimized", "operating point", "sampling period", "area",
+        "energy/sample", "improvement", "synthesis time"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Report, FailedResultSummary) {
+  SynthResult r;
+  r.fail_reason = "nothing fits";
+  const std::string s = result_summary(r, default_library());
+  EXPECT_NE(s.find("failed"), std::string::npos);
+  EXPECT_NE(s.find("nothing fits"), std::string::npos);
+}
+
+TEST(Report, ArchitectureSummaryNests) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("lat", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = {5.0, 20.0};
+  Datapath dp = initial_solution(bench.design.top(), "lat", cx);
+  schedule_datapath(dp, lib, cx.pt, kNoDeadline);
+  const std::string s = architecture_summary(dp, lib);
+  EXPECT_NE(s.find("complex instance"), std::string::npos);
+  EXPECT_NE(s.find("registers"), std::string::npos);
+  // Nested module lines are indented.
+  EXPECT_NE(s.find("  - "), std::string::npos);
+}
+
+TEST(Report, ControllerTextForMergedModule) {
+  const Library lib = default_library();
+  const OpPoint pt{5.0, 20.0};
+  const Benchmark bench = make_benchmark("test1", lib);
+  Datapath a = make_template_fast(bench.design.behavior("maddpair"), lib);
+  Datapath b = make_template_fast(bench.design.behavior("seqmac"), lib);
+  schedule_datapath(a, lib, pt, kNoDeadline);
+  schedule_datapath(b, lib, pt, kNoDeadline);
+  auto merged = embed_modules(a, b, lib, pt, nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, lib, pt, kNoDeadline).ok);
+  const Controller c = build_controller(*merged, lib, pt);
+  const std::string text = controller_to_text(c);
+  // Both behaviors appear as disjoint state ranges.
+  EXPECT_NE(text.find("maddpair"), std::string::npos);
+  EXPECT_NE(text.find("seqmac"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(c.states.size()),
+            merged->behaviors[0].makespan + merged->behaviors[1].makespan + 2);
+}
+
+class OperatingPointSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+/// Property: for any (vdd, clock) the initial solution schedules, the
+/// RTL simulator verifies it, and makespan respects the Vdd slowdown.
+TEST_P(OperatingPointSweep, InitialSolutionValidEverywhere) {
+  const auto [vdd, clk] = GetParam();
+  const OpPoint pt{vdd, clk};
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = pt;
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  const SchedResult r = schedule_datapath(dp, lib, pt, kNoDeadline);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_GT(r.makespan, 0);
+
+  const Trace trace = make_trace(8, 8, 3);
+  const RtlSimResult sim = simulate_rtl(dp, 0, trace, lib, pt);
+  EXPECT_TRUE(sim.ok) << (sim.violations.empty() ? "" : sim.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OperatingPointSweep,
+    ::testing::Combine(::testing::Values(5.0, 3.3, 2.4, 1.5),
+                       ::testing::Values(10.0, 20.0, 38.0, 55.0)));
+
+TEST(Report, MakespanGrowsMonotonicallyAsVddDrops) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = {5.0, 20.0};
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  int prev = 0;
+  for (const double vdd : {5.0, 3.3, 2.4, 1.5}) {
+    invalidate_schedules(dp);
+    const SchedResult r = schedule_datapath(dp, lib, {vdd, 20.0}, kNoDeadline);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GE(r.makespan, prev) << vdd;
+    prev = r.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace hsyn

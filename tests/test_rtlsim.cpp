@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "power/rtlsim.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+class RtlSimOnBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RtlSimOnBenchmark, InitialSolutionMatchesBehavior) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(bench.design.top(), GetParam(), cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const Trace trace = make_trace(bench.design.top().num_inputs(), 24, 5);
+  const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+  EXPECT_EQ(r.outputs.size(), trace.size());
+  EXPECT_GT(r.energy.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RtlSimOnBenchmark,
+                         ::testing::Values("avenhaus_cascade", "lat", "dct",
+                                           "iir", "hier_paulin", "test1",
+                                           "fir16", "dct2d"));
+
+TEST(RtlSim, DetectsRegisterHazard) {
+  // Force two long-lived values into one register *without* rescheduling:
+  // the stale schedule now has overlapping lifetimes, which the simulator
+  // must flag as a hazard or value mismatch.
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  design.validate();
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+
+  BehaviorImpl& bi = dp.behaviors[0];
+  // Two primary-input edges (live for the whole sample) share a register.
+  const int e0 = bi.dfg->primary_input_edge(0);
+  const int e1 = bi.dfg->primary_input_edge(1);
+  bi.edge_reg[static_cast<std::size_t>(e1)] =
+      bi.edge_reg[static_cast<std::size_t>(e0)];
+  // Deliberately do NOT reschedule.
+  const Trace trace = make_trace(design.top().num_inputs(), 4, 7);
+  const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violations.empty());
+}
+
+TEST(RtlSim, EnergyTracksEstimator) {
+  // The simulator and the fast estimator implement the same switched-
+  // capacitance model at transfer granularity; totals should agree
+  // closely on a clean design.
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  design.validate();
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const Trace trace = make_trace(8, 48, 21);
+  const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+  ASSERT_TRUE(r.ok);
+  const EnergyBreakdown est = energy_of(dp, 0, trace, lib, kRef);
+  EXPECT_NEAR(r.energy.total(), est.total(), est.total() * 0.15);
+}
+
+TEST(RtlSim, ChainedUnitsExecuteCombinationally) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const ComplexLibrary::Template* t = bench.clib.find("addtree_seq_chain");
+  ASSERT_NE(t, nullptr);
+  Datapath dp = ComplexLibrary::instantiate(*t, "addtree_seq");
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const Trace trace = make_trace(4, 16, 9);
+  const RtlSimResult r = simulate_rtl(dp, 0, trace, lib, kRef);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto expect = eval_op(
+        Op::Add,
+        eval_op(Op::Add, eval_op(Op::Add, trace[i][0], trace[i][1]),
+                trace[i][2]),
+        trace[i][3]);
+    EXPECT_EQ(r.outputs[i][0], expect);
+  }
+}
+
+TEST(RtlSim, EmptyTraceOk) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_butterfly("bf"));
+  design.set_top("bf");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "bf", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const RtlSimResult r = simulate_rtl(dp, 0, {}, lib, kRef);
+  EXPECT_TRUE(r.ok);
+}
+
+}  // namespace
+}  // namespace hsyn

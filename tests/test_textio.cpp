@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/textio.h"
+
+namespace hsyn {
+namespace {
+
+TEST(TextIo, RoundTripsTest1Design) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const std::string text = design_to_text(bench.design);
+  const Design parsed = design_from_text(text);
+  EXPECT_EQ(parsed.top_name(), "test1");
+  EXPECT_EQ(parsed.behavior_names().size(), bench.design.behavior_names().size());
+  for (const std::string& name : bench.design.behavior_names()) {
+    ASSERT_TRUE(parsed.has_behavior(name));
+    const Dfg& a = bench.design.behavior(name);
+    const Dfg& b = parsed.behavior(name);
+    EXPECT_EQ(a.nodes().size(), b.nodes().size());
+    EXPECT_EQ(a.edges().size(), b.edges().size());
+    EXPECT_EQ(a.num_inputs(), b.num_inputs());
+    EXPECT_EQ(a.num_outputs(), b.num_outputs());
+  }
+  // Equivalences preserved.
+  EXPECT_EQ(parsed.equivalents("b3mul").size(), 2u);
+  EXPECT_EQ(parsed.equivalents("addtree").size(), 2u);
+  // Round-trip of the round-trip is identical text.
+  EXPECT_EQ(design_to_text(parsed), text);
+}
+
+TEST(TextIo, ParsesMinimalDesign) {
+  const std::string text = R"(
+# comment
+dfg tiny inputs 2 outputs 1
+  node 0 add label=plus
+  edge in:0 -> 0.0
+  edge in:1 -> 0.1
+  edge 0.0 -> out:0
+end
+top tiny
+)";
+  const Design d = design_from_text(text);
+  EXPECT_EQ(d.top().nodes().size(), 1u);
+  EXPECT_EQ(d.top().node(0).label, "plus");
+}
+
+TEST(TextIo, RejectsUnknownKeyword) {
+  EXPECT_THROW(design_from_text("bogus line\n"), std::logic_error);
+}
+
+TEST(TextIo, RejectsUnknownOp) {
+  const std::string text =
+      "dfg t inputs 1 outputs 1\n node 0 frobnicate\n edge in:0 -> 0.0\n"
+      " edge 0.0 -> out:0\nend\ntop t\n";
+  EXPECT_THROW(design_from_text(text), std::logic_error);
+}
+
+TEST(TextIo, RejectsUnterminatedBlock) {
+  EXPECT_THROW(design_from_text("dfg t inputs 1 outputs 0\n"), std::logic_error);
+}
+
+TEST(TextIo, RejectsOutOfOrderNodeIds) {
+  const std::string text =
+      "dfg t inputs 2 outputs 1\n node 1 add\n edge in:0 -> 1.0\n"
+      " edge in:1 -> 1.1\n edge 1.0 -> out:0\nend\ntop t\n";
+  EXPECT_THROW(design_from_text(text), std::logic_error);
+}
+
+TEST(TextIo, HierNodesRoundTrip) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  const Design parsed = design_from_text(design_to_text(bench.design));
+  const Dfg& top = parsed.top();
+  int hier_count = 0;
+  for (const Node& n : top.nodes()) hier_count += n.is_hier() ? 1 : 0;
+  EXPECT_EQ(hier_count, 3);  // three biquads
+}
+
+}  // namespace
+}  // namespace hsyn

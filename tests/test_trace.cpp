@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "power/trace.h"
+
+namespace hsyn {
+namespace {
+
+TEST(Mask16, WrapsAndSignExtends) {
+  EXPECT_EQ(mask16(0), 0);
+  EXPECT_EQ(mask16(32767), 32767);
+  EXPECT_EQ(mask16(32768), -32768);
+  EXPECT_EQ(mask16(-32769), 32767);
+  EXPECT_EQ(mask16(65536), 0);
+  EXPECT_EQ(mask16(-1), -1);
+}
+
+TEST(Hamming16, CountsBitDifferences) {
+  EXPECT_EQ(hamming16(0, 0), 0);
+  EXPECT_EQ(hamming16(0, 1), 1);
+  EXPECT_EQ(hamming16(0, 0xFFFF), 16);
+  EXPECT_EQ(hamming16(0x5555, 0xAAAA), 16);
+  EXPECT_EQ(hamming16(-1, -1), 0);
+  // Only the low 16 bits count.
+  EXPECT_EQ(hamming16(0x10000, 0), 0);
+}
+
+TEST(EvalOp, ArithmeticSemantics) {
+  EXPECT_EQ(eval_op(Op::Add, 30000, 10000), mask16(40000));
+  EXPECT_EQ(eval_op(Op::Sub, 5, 7), -2);
+  EXPECT_EQ(eval_op(Op::Mult, 300, 300), mask16(90000));
+  EXPECT_EQ(eval_op(Op::ShiftL, 1, 4), 16);
+  EXPECT_EQ(eval_op(Op::ShiftR, 16, 2), 4);
+  EXPECT_EQ(eval_op(Op::Cmp, 3, 4), 1);
+  EXPECT_EQ(eval_op(Op::Cmp, 4, 3), 0);
+  EXPECT_EQ(eval_op(Op::And, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(eval_op(Op::Or, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(eval_op(Op::Xor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(eval_op(Op::Neg, 5, 0), -5);
+}
+
+TEST(EvalOp, MultiplicationAssociativeModulo2_16) {
+  // The functional-equivalence declaration b3mul ~ b3mul_alt relies on
+  // associativity of wrap-around multiplication.
+  const std::int32_t a = 12345, b = -321, c = 999, d = 77;
+  const auto left = eval_op(Op::Mult, eval_op(Op::Mult, a, b),
+                            eval_op(Op::Mult, c, d));
+  const auto right = eval_op(
+      Op::Mult, eval_op(Op::Mult, eval_op(Op::Mult, a, b), c), d);
+  EXPECT_EQ(left, right);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  const Trace a = make_trace(3, 10, 42);
+  const Trace b = make_trace(3, 10, 42);
+  EXPECT_EQ(a, b);
+  const Trace c = make_trace(3, 10, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, CorrelatedSteps) {
+  const Trace t = make_trace(1, 200, 17, 0.05);
+  int big_jumps = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (std::abs(t[i][0] - t[i - 1][0]) > 4000) ++big_jumps;
+  }
+  // Random walk with ~5% steps: consecutive samples stay close except at
+  // wrap-around boundaries.
+  EXPECT_LT(big_jumps, 10);
+}
+
+TEST(EvalDfg, SimpleExpression) {
+  Dfg d("e", 3, 1);
+  const int add = d.add_node(Op::Add);
+  const int mul = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({kPrimaryIn, 1}, {{add, 1}});
+  d.connect({kPrimaryIn, 2}, {{mul, 1}});
+  d.connect({add, 0}, {{mul, 0}});
+  d.connect({mul, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  Trace in = {{2, 3, 4}, {10, -1, 5}};
+  const auto out = eval_dfg(d, nullptr, in);
+  EXPECT_EQ(out[0][0], 20);
+  EXPECT_EQ(out[1][0], 45);
+}
+
+TEST(EvalDfg, EdgeValuesExposed) {
+  Dfg d("e", 2, 1);
+  const int add = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{add, 0}});
+  d.connect({kPrimaryIn, 1}, {{add, 1}});
+  const int sum = d.connect({add, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  const auto ev = eval_dfg_edges(d, nullptr, {{7, 8}});
+  EXPECT_EQ(ev[0][static_cast<std::size_t>(sum)], 15);
+}
+
+TEST(EvalDfg, HierarchicalWithResolver) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const BehaviorResolver res = [&](const std::string& name) -> const Dfg* {
+    return bench.design.has_behavior(name) ? &bench.design.behavior(name)
+                                           : nullptr;
+  };
+  const Trace in = make_trace(8, 4, 1);
+  const auto out = eval_dfg(bench.design.top(), res, in);
+  ASSERT_EQ(out.size(), 4u);
+  ASSERT_EQ(out[0].size(), 2u);
+  // Output 1 is seqmac(x4..x7) = ((x4+x5)*x6)+x7.
+  for (std::size_t t = 0; t < in.size(); ++t) {
+    const auto expect = eval_op(
+        Op::Add,
+        eval_op(Op::Mult, eval_op(Op::Add, in[t][4], in[t][5]), in[t][6]),
+        in[t][7]);
+    EXPECT_EQ(out[t][1], expect);
+  }
+}
+
+TEST(EvalDfg, UnresolvedBehaviorThrows) {
+  Dfg d("h", 1, 1);
+  const int h = d.add_hier_node("ghost", 1, 1);
+  d.connect({kPrimaryIn, 0}, {{h, 0}});
+  d.connect({h, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  EXPECT_THROW(eval_dfg(d, [](const std::string&) -> const Dfg* { return nullptr; },
+                        {{1}}),
+               std::logic_error);
+}
+
+class EquivalentDfgValues : public ::testing::TestWithParam<int> {};
+
+/// Property: the declared-equivalent DFG pairs produce identical outputs
+/// on random inputs.
+TEST_P(EquivalentDfgValues, PairsAgree) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const Trace in = make_trace(4, 16, static_cast<std::uint64_t>(GetParam()));
+  for (const auto& [a, b] : std::vector<std::pair<std::string, std::string>>{
+           {"b3mul", "b3mul_alt"}, {"addtree", "addtree_seq"}}) {
+    const auto oa = eval_dfg(bench.design.behavior(a), nullptr, in);
+    const auto ob = eval_dfg(bench.design.behavior(b), nullptr, in);
+    EXPECT_EQ(oa, ob) << a << " vs " << b << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalentDfgValues, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,188 @@
+// Behavioral transformations: exact semantics preservation (property
+// checked on random DFGs), structural effects (CSE merges, reshaping
+// changes depth), and the auto-variant path into move A.
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.h"
+#include "dfg/transform.h"
+#include "power/trace.h"
+#include "random_dfg.h"
+#include "synth/synthesizer.h"
+
+#include "benchmarks/benchmarks.h"
+
+namespace hsyn {
+namespace {
+
+using testing_support::random_dfg;
+
+LatencyFn unit_latency() {
+  return [](const Node&) { return 1; };
+}
+
+TEST(Transform, DeadNodeEliminationDropsUnreachable) {
+  Dfg d("dead", 2, 1);
+  const int used = d.add_node(Op::Add);
+  const int dead = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{used, 0}, {dead, 0}});
+  d.connect({kPrimaryIn, 1}, {{used, 1}, {dead, 1}});
+  d.connect({used, 0}, {{kPrimaryOut, 0}});
+  d.connect({dead, 0}, {});  // result unused
+  d.validate();
+  const Dfg out = eliminate_dead_nodes(d);
+  EXPECT_EQ(out.nodes().size(), 1u);
+  const Trace in = make_trace(2, 8, 3);
+  EXPECT_EQ(eval_dfg(d, nullptr, in), eval_dfg(out, nullptr, in));
+}
+
+TEST(Transform, CseMergesDuplicates) {
+  // (a+b)*c and (b+a)*c share the commutative addition.
+  Dfg d("dup", 3, 2);
+  const int s1 = d.add_node(Op::Add);
+  const int s2 = d.add_node(Op::Add);
+  const int m1 = d.add_node(Op::Mult);
+  const int m2 = d.add_node(Op::Mult);
+  d.connect({kPrimaryIn, 0}, {{s1, 0}, {s2, 1}});
+  d.connect({kPrimaryIn, 1}, {{s1, 1}, {s2, 0}});
+  d.connect({kPrimaryIn, 2}, {{m1, 1}, {m2, 1}});
+  d.connect({s1, 0}, {{m1, 0}});
+  d.connect({s2, 0}, {{m2, 0}});
+  d.connect({m1, 0}, {{kPrimaryOut, 0}});
+  d.connect({m2, 0}, {{kPrimaryOut, 1}});
+  d.validate();
+  const Dfg out = eliminate_common_subexpressions(d);
+  EXPECT_EQ(out.num_operation_nodes(), 2);  // one add, one mult
+  const Trace in = make_trace(3, 12, 5);
+  EXPECT_EQ(eval_dfg(d, nullptr, in), eval_dfg(out, nullptr, in));
+}
+
+TEST(Transform, SubtractionIsNotCommutativelyMerged) {
+  Dfg d("noncomm", 2, 2);
+  const int s1 = d.add_node(Op::Sub);
+  const int s2 = d.add_node(Op::Sub);
+  d.connect({kPrimaryIn, 0}, {{s1, 0}, {s2, 1}});
+  d.connect({kPrimaryIn, 1}, {{s1, 1}, {s2, 0}});
+  d.connect({s1, 0}, {{kPrimaryOut, 0}});
+  d.connect({s2, 0}, {{kPrimaryOut, 1}});
+  d.validate();
+  const Dfg out = eliminate_common_subexpressions(d);
+  EXPECT_EQ(out.num_operation_nodes(), 2);  // a-b != b-a
+}
+
+TEST(Transform, ReshapeChainToBalancedCutsDepth) {
+  // An 8-term addition chain becomes a depth-3 tree.
+  Dfg d("chain8", 8, 1);
+  int acc = -1;
+  std::vector<int> nodes;
+  for (int i = 0; i < 7; ++i) {
+    const int n = d.add_node(Op::Add);
+    if (i == 0) {
+      d.connect({kPrimaryIn, 0}, {{n, 0}});
+      d.connect({kPrimaryIn, 1}, {{n, 1}});
+    } else {
+      d.connect({acc, 0}, {{n, 0}});
+      d.connect({kPrimaryIn, i + 1}, {{n, 1}});
+    }
+    acc = n;
+    nodes.push_back(n);
+  }
+  d.connect({acc, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  EXPECT_EQ(critical_path(d, unit_latency()), 7);
+
+  const Dfg bal = reshape_reductions(d, TreeShape::Balanced);
+  EXPECT_EQ(bal.num_operation_nodes(), 7);
+  EXPECT_EQ(critical_path(bal, unit_latency()), 3);
+  const Trace in = make_trace(8, 16, 7);
+  EXPECT_EQ(eval_dfg(d, nullptr, in), eval_dfg(bal, nullptr, in));
+
+  const Dfg chain = reshape_reductions(bal, TreeShape::Chain);
+  EXPECT_EQ(critical_path(chain, unit_latency()), 7);
+  EXPECT_EQ(eval_dfg(d, nullptr, in), eval_dfg(chain, nullptr, in));
+}
+
+TEST(Transform, ReshapeLeavesSharedIntermediatesAlone) {
+  // t = a+b feeds two consumers: it is not tree-interior and must stay.
+  Dfg d("shared", 3, 2);
+  const int t = d.add_node(Op::Add);
+  const int u = d.add_node(Op::Add);
+  d.connect({kPrimaryIn, 0}, {{t, 0}});
+  d.connect({kPrimaryIn, 1}, {{t, 1}});
+  d.connect({kPrimaryIn, 2}, {{u, 1}});
+  d.connect({t, 0}, {{u, 0}, {kPrimaryOut, 1}});
+  d.connect({u, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  const Dfg out = reshape_reductions(d, TreeShape::Balanced);
+  EXPECT_EQ(out.num_operation_nodes(), 2);
+  const Trace in = make_trace(3, 8, 9);
+  EXPECT_EQ(eval_dfg(d, nullptr, in), eval_dfg(out, nullptr, in));
+}
+
+TEST(Transform, PassThroughOutputsSurviveReshape) {
+  const Dfg sos = make_sos();  // has x -> x1' pass-throughs
+  const Dfg out = reshape_reductions(sos, TreeShape::Chain);
+  const Trace in = make_trace(sos.num_inputs(), 8, 11);
+  EXPECT_EQ(eval_dfg(sos, nullptr, in), eval_dfg(out, nullptr, in));
+}
+
+class TransformSemantics : public ::testing::TestWithParam<int> {};
+
+/// Property: every transformation preserves evaluation on random DFGs.
+TEST_P(TransformSemantics, RandomDfgsUnchanged) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) + 3000;
+  const Dfg d = random_dfg(seed, 14);
+  const Trace in = make_trace(d.num_inputs(), 12, seed + 1);
+  const auto want = eval_dfg(d, nullptr, in);
+
+  EXPECT_EQ(eval_dfg(eliminate_dead_nodes(d), nullptr, in), want);
+  EXPECT_EQ(eval_dfg(eliminate_common_subexpressions(d), nullptr, in), want);
+  EXPECT_EQ(eval_dfg(reshape_reductions(d, TreeShape::Balanced), nullptr, in),
+            want);
+  EXPECT_EQ(eval_dfg(reshape_reductions(d, TreeShape::Chain), nullptr, in),
+            want);
+  for (const Dfg& v : generate_variants(d)) {
+    EXPECT_EQ(eval_dfg(v, nullptr, in), want) << v.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformSemantics, ::testing::Range(0, 20));
+
+TEST(Transform, RegisterVariantsFeedsMoveA) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_dot4("dot"));  // balanced tree dot product
+  using dfg_ns = Dfg;
+  (void)sizeof(dfg_ns);
+  Dfg top("vtop", 8, 1);
+  const int h = top.add_hier_node("dot", 8, 1);
+  for (int i = 0; i < 8; ++i) top.connect({kPrimaryIn, i}, {{h, i}});
+  top.connect({h, 0}, {{kPrimaryOut, 0}});
+  top.validate();
+  design.add_behavior(std::move(top));
+  design.set_top("vtop");
+  design.validate();
+
+  const int added = register_variants(design, "dot");
+  EXPECT_GE(added, 1);  // at least the chain variant differs
+  EXPECT_GE(design.equivalents("dot").size(), 2u);
+  design.validate();
+
+  // The enriched design synthesizes and can pick a variant.
+  const double ts = 2.5 * min_sample_period_ns(design, lib);
+  SynthOptions opts;
+  opts.max_passes = 3;
+  const SynthResult r =
+      synthesize(design, lib, nullptr, ts, Objective::Area, Mode::Hierarchical,
+                 opts);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+}
+
+TEST(Transform, IdempotentOnAlreadyOptimalGraphs) {
+  const Dfg bf = make_butterfly();
+  const Dfg out = eliminate_common_subexpressions(eliminate_dead_nodes(bf));
+  EXPECT_EQ(out.nodes().size(), bf.nodes().size());
+  EXPECT_TRUE(generate_variants(bf).empty());  // nothing to reshape
+}
+
+}  // namespace
+}  // namespace hsyn

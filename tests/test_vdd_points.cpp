@@ -1,0 +1,119 @@
+// Operating-point behavior: pinned supplies, power monotonicity in Vdd
+// for a fixed architecture, and alignment invariants.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "dfg/flatten.h"
+#include "power/estimator.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn {
+namespace {
+
+TEST(VddPoints, ForcedVddIsRespected) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const double ts = 3.0 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  opts.force_vdd = 3.3;
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Power, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok) << r.fail_reason;
+  EXPECT_DOUBLE_EQ(r.pt.vdd, 3.3);
+}
+
+TEST(VddPoints, EnergyFallsWithVddForFixedArchitecture) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = {5.0, 20.0};
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  const Trace trace = make_trace(8, 24, 9);
+
+  double prev = 1e18;
+  for (const double vdd : {5.0, 3.3, 2.4}) {
+    const OpPoint pt{vdd, 20.0};
+    invalidate_schedules(dp);
+    ASSERT_TRUE(schedule_datapath(dp, lib, pt, kNoDeadline).ok);
+    const double e = energy_of(dp, 0, trace, lib, pt).total();
+    // Schedule lengthens at lower Vdd (more ctrl/clock cycles) but the
+    // quadratic supply term dominates.
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(VddPoints, AlignmentNeverWorsensMakespan) {
+  const Library lib = default_library();
+  for (const char* name : {"lat", "iir", "avenhaus_cascade", "dct"}) {
+    const Benchmark bench = make_benchmark(name, lib);
+    SynthContext cx;
+    cx.design = &bench.design;
+    cx.lib = &lib;
+    cx.clib = &bench.clib;
+    cx.pt = {5.0, 20.0};
+    Datapath a = initial_solution(bench.design.top(), name, cx);
+    Datapath b = a;
+    const SchedResult plain = schedule_datapath(a, lib, cx.pt, kNoDeadline);
+    ASSERT_TRUE(plain.ok);
+    const int aligned = align_child_profiles(b, lib, cx.pt);
+    ASSERT_GE(aligned, 0) << name;
+    EXPECT_LE(aligned, plain.makespan) << name;
+  }
+}
+
+TEST(VddPoints, AlignmentMatchesFlatCriticalPathOnCascades) {
+  // The headline property of profile alignment: the hierarchical initial
+  // solution of a cascade reaches the flattened critical path.
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("lat", lib);
+  const Dfg flat = flatten_top(bench.design);
+  const OpPoint pt{5.0, 20.0};
+
+  SynthContext cxh;
+  cxh.design = &bench.design;
+  cxh.lib = &lib;
+  cxh.clib = &bench.clib;
+  cxh.pt = pt;
+  Datapath h = initial_solution(bench.design.top(), "lat", cxh);
+  const int hier_makespan = align_child_profiles(h, lib, pt);
+
+  SynthContext cxf;
+  cxf.design = nullptr;
+  cxf.lib = &lib;
+  cxf.pt = pt;
+  Datapath f = initial_solution(flat, "lat_flat", cxf);
+  const SchedResult fr = schedule_datapath(f, lib, pt, kNoDeadline);
+  ASSERT_TRUE(fr.ok);
+  EXPECT_EQ(hier_makespan, fr.makespan);
+}
+
+TEST(VddPoints, ScheduleSkipsCleanChildrenButHonorsInvalidation) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = {5.0, 20.0};
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, cx.pt, kNoDeadline).ok);
+  const int m5 = dp.behaviors[0].makespan;
+
+  // Rescheduling at a new operating point without invalidation would
+  // reuse stale child cycle counts; invalidate_schedules prevents that.
+  const OpPoint low{3.3, 20.0};
+  invalidate_schedules(dp);
+  ASSERT_TRUE(schedule_datapath(dp, lib, low, kNoDeadline).ok);
+  EXPECT_GT(dp.behaviors[0].makespan, m5);
+}
+
+}  // namespace
+}  // namespace hsyn

@@ -1,0 +1,145 @@
+// Verilog backend: structural checks on the emitted RTL (module
+// boundaries, ports, register transfers, operand capture for multicycle
+// units, child instances, merged-module behavior select).
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "embed/embedder.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/synthesizer.h"
+#include "util/fmt.h"
+#include "verilog/verilog.h"
+
+namespace hsyn {
+namespace {
+
+const OpPoint kRef{5.0, 20.0};
+
+int count_occurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Verilog, SimpleModuleStructure) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_biquad("biquad"));
+  design.set_top("biquad");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "biquad", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const std::string v = to_verilog(dp, lib, kRef);
+
+  EXPECT_EQ(count_occurrences(v, "module "), 1);
+  EXPECT_EQ(count_occurrences(v, "endmodule"), 1);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire [15:0] in_7"), std::string::npos);  // 8 inputs
+  EXPECT_NE(v.find("output wire [15:0] out_2"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("done <= 1'b1;"), std::string::npos);
+  // Multiplications are multicycle: operand shadows must exist.
+  EXPECT_NE(v.find("t_b0_"), std::string::npos);
+  // Outputs are continuous assigns.
+  EXPECT_NE(v.find("assign out_0 = r"), std::string::npos);
+  // No behavior select on a single-behavior module.
+  EXPECT_EQ(v.find("input wire [3:0] sel"), std::string::npos);
+}
+
+TEST(Verilog, HierarchicalEmitsChildModules) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("iir", lib);
+  SynthContext cx;
+  cx.design = &bench.design;
+  cx.lib = &lib;
+  cx.clib = &bench.clib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(bench.design.top(), "iir", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const std::string v = to_verilog(dp, lib, kRef);
+
+  // Three biquad child instances -> three child module definitions plus
+  // the top module.
+  EXPECT_EQ(count_occurrences(v, "endmodule"), 4);
+  EXPECT_NE(v.find(".start(c0_start)"), std::string::npos);
+  EXPECT_NE(v.find("wire [15:0] c2_out0;"), std::string::npos);
+  // Child outputs latch into parent registers.
+  EXPECT_NE(v.find("<= c0_out0;"), std::string::npos);
+}
+
+TEST(Verilog, MergedModuleGetsBehaviorSelect) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  Datapath a = make_template_fast(bench.design.behavior("maddpair"), lib);
+  Datapath b = make_template_fast(bench.design.behavior("seqmac"), lib);
+  schedule_datapath(a, lib, kRef, kNoDeadline);
+  schedule_datapath(b, lib, kRef, kNoDeadline);
+  auto merged = embed_modules(a, b, lib, kRef, nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(schedule_datapath(*merged, lib, kRef, kNoDeadline).ok);
+  const std::string v = to_verilog(*merged, lib, kRef);
+  EXPECT_NE(v.find("input wire [3:0] sel"), std::string::npos);
+  EXPECT_NE(v.find("sel == 4'd0"), std::string::npos);
+  EXPECT_NE(v.find("sel == 4'd1"), std::string::npos);
+}
+
+TEST(Verilog, OneRegisterLoadPerInternallyProducedEdge) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "paulin", cx);
+  ASSERT_TRUE(schedule_datapath(dp, lib, kRef, kNoDeadline).ok);
+  const std::string v = to_verilog(dp, lib, kRef);
+  // Every internally produced, registered edge must be loaded somewhere.
+  const BehaviorImpl& bi = dp.behaviors[0];
+  for (const Edge& e : bi.dfg->edges()) {
+    if (e.src.node < 0) continue;
+    const int r = bi.edge_reg[static_cast<std::size_t>(e.id)];
+    if (r < 0) continue;
+    EXPECT_GE(count_occurrences(v, strf(" r%d <= ", r)), 1) << "reg " << r;
+  }
+  // Multicycle multiplications capture their operands into shadows.
+  EXPECT_GE(count_occurrences(v, "t_b0_"), 12);
+}
+
+TEST(Verilog, RequiresScheduledInput) {
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_butterfly("bf"));
+  design.set_top("bf");
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = kRef;
+  Datapath dp = initial_solution(design.top(), "bf", cx);
+  EXPECT_THROW(to_verilog(dp, lib, kRef), std::logic_error);
+}
+
+TEST(Verilog, SynthesizedDesignEmits) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("test1", lib);
+  const double ts = 2.2 * min_sample_period_ns(bench.design, lib);
+  SynthOptions opts;
+  opts.max_passes = 2;
+  const SynthResult r = synthesize(bench.design, lib, &bench.clib, ts,
+                                   Objective::Power, Mode::Hierarchical, opts);
+  ASSERT_TRUE(r.ok);
+  const std::string v = to_verilog(r.dp, lib, r.pt);
+  EXPECT_GT(count_occurrences(v, "endmodule"), 1);
+  EXPECT_NE(v.find("Generated by H-SYN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsyn
