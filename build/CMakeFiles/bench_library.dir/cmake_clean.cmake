@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_library.dir/bench/bench_library.cpp.o"
+  "CMakeFiles/bench_library.dir/bench/bench_library.cpp.o.d"
+  "bench/bench_library"
+  "bench/bench_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

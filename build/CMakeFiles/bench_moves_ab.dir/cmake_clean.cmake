@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moves_ab.dir/bench/bench_moves_ab.cpp.o"
+  "CMakeFiles/bench_moves_ab.dir/bench/bench_moves_ab.cpp.o.d"
+  "bench/bench_moves_ab"
+  "bench/bench_moves_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moves_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_moves_ab.
+# This may be replaced when dependencies are built.

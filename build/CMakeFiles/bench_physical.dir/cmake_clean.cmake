@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_physical.dir/bench/bench_physical.cpp.o"
+  "CMakeFiles/bench_physical.dir/bench/bench_physical.cpp.o.d"
+  "bench/bench_physical"
+  "bench/bench_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transforms.dir/bench/bench_transforms.cpp.o"
+  "CMakeFiles/bench_transforms.dir/bench/bench_transforms.cpp.o.d"
+  "bench/bench_transforms"
+  "bench/bench_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

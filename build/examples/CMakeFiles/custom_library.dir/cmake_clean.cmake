@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_library.dir/custom_library.cpp.o"
+  "CMakeFiles/custom_library.dir/custom_library.cpp.o.d"
+  "custom_library"
+  "custom_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

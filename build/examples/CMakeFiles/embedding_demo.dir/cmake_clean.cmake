@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_demo.dir/embedding_demo.cpp.o"
+  "CMakeFiles/embedding_demo.dir/embedding_demo.cpp.o.d"
+  "embedding_demo"
+  "embedding_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

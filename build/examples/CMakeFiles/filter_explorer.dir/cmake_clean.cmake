@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_explorer.dir/filter_explorer.cpp.o"
+  "CMakeFiles/filter_explorer.dir/filter_explorer.cpp.o.d"
+  "filter_explorer"
+  "filter_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_flow.dir/full_flow.cpp.o"
+  "CMakeFiles/full_flow.dir/full_flow.cpp.o.d"
+  "full_flow"
+  "full_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

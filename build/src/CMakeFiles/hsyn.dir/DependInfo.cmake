@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/benchmarks.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/benchmarks.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/benchmarks.cpp.o.d"
+  "/root/repo/src/benchmarks/complexlib.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/complexlib.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/complexlib.cpp.o.d"
+  "/root/repo/src/benchmarks/dct.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/dct.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/dct.cpp.o.d"
+  "/root/repo/src/benchmarks/filters.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/filters.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/filters.cpp.o.d"
+  "/root/repo/src/benchmarks/fir.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/fir.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/fir.cpp.o.d"
+  "/root/repo/src/benchmarks/paulin.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/paulin.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/paulin.cpp.o.d"
+  "/root/repo/src/benchmarks/test1.cpp" "src/CMakeFiles/hsyn.dir/benchmarks/test1.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/benchmarks/test1.cpp.o.d"
+  "/root/repo/src/dfg/analysis.cpp" "src/CMakeFiles/hsyn.dir/dfg/analysis.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/analysis.cpp.o.d"
+  "/root/repo/src/dfg/design.cpp" "src/CMakeFiles/hsyn.dir/dfg/design.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/design.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "src/CMakeFiles/hsyn.dir/dfg/dfg.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/dfg.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/CMakeFiles/hsyn.dir/dfg/dot.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/dot.cpp.o.d"
+  "/root/repo/src/dfg/flatten.cpp" "src/CMakeFiles/hsyn.dir/dfg/flatten.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/flatten.cpp.o.d"
+  "/root/repo/src/dfg/textio.cpp" "src/CMakeFiles/hsyn.dir/dfg/textio.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/textio.cpp.o.d"
+  "/root/repo/src/dfg/transform.cpp" "src/CMakeFiles/hsyn.dir/dfg/transform.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/dfg/transform.cpp.o.d"
+  "/root/repo/src/embed/embedder.cpp" "src/CMakeFiles/hsyn.dir/embed/embedder.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/embed/embedder.cpp.o.d"
+  "/root/repo/src/embed/hungarian.cpp" "src/CMakeFiles/hsyn.dir/embed/hungarian.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/embed/hungarian.cpp.o.d"
+  "/root/repo/src/gates/gate_builders.cpp" "src/CMakeFiles/hsyn.dir/gates/gate_builders.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/gates/gate_builders.cpp.o.d"
+  "/root/repo/src/gates/gate_datapath.cpp" "src/CMakeFiles/hsyn.dir/gates/gate_datapath.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/gates/gate_datapath.cpp.o.d"
+  "/root/repo/src/gates/gate_expand.cpp" "src/CMakeFiles/hsyn.dir/gates/gate_expand.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/gates/gate_expand.cpp.o.d"
+  "/root/repo/src/gates/gate_netlist.cpp" "src/CMakeFiles/hsyn.dir/gates/gate_netlist.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/gates/gate_netlist.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "src/CMakeFiles/hsyn.dir/library/library.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/library/library.cpp.o.d"
+  "/root/repo/src/library/module_types.cpp" "src/CMakeFiles/hsyn.dir/library/module_types.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/library/module_types.cpp.o.d"
+  "/root/repo/src/library/profile.cpp" "src/CMakeFiles/hsyn.dir/library/profile.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/library/profile.cpp.o.d"
+  "/root/repo/src/library/textio.cpp" "src/CMakeFiles/hsyn.dir/library/textio.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/library/textio.cpp.o.d"
+  "/root/repo/src/library/vdd.cpp" "src/CMakeFiles/hsyn.dir/library/vdd.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/library/vdd.cpp.o.d"
+  "/root/repo/src/place/floorplan.cpp" "src/CMakeFiles/hsyn.dir/place/floorplan.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/place/floorplan.cpp.o.d"
+  "/root/repo/src/power/estimator.cpp" "src/CMakeFiles/hsyn.dir/power/estimator.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/power/estimator.cpp.o.d"
+  "/root/repo/src/power/rtlsim.cpp" "src/CMakeFiles/hsyn.dir/power/rtlsim.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/power/rtlsim.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/CMakeFiles/hsyn.dir/power/trace.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/power/trace.cpp.o.d"
+  "/root/repo/src/power/trace_io.cpp" "src/CMakeFiles/hsyn.dir/power/trace_io.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/power/trace_io.cpp.o.d"
+  "/root/repo/src/rtl/complex_library.cpp" "src/CMakeFiles/hsyn.dir/rtl/complex_library.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/rtl/complex_library.cpp.o.d"
+  "/root/repo/src/rtl/controller.cpp" "src/CMakeFiles/hsyn.dir/rtl/controller.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/rtl/controller.cpp.o.d"
+  "/root/repo/src/rtl/cost.cpp" "src/CMakeFiles/hsyn.dir/rtl/cost.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/rtl/cost.cpp.o.d"
+  "/root/repo/src/rtl/datapath.cpp" "src/CMakeFiles/hsyn.dir/rtl/datapath.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/rtl/datapath.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/CMakeFiles/hsyn.dir/rtl/netlist.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/rtl/netlist.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/hsyn.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/slack.cpp" "src/CMakeFiles/hsyn.dir/sched/slack.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/sched/slack.cpp.o.d"
+  "/root/repo/src/synth/improve.cpp" "src/CMakeFiles/hsyn.dir/synth/improve.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/improve.cpp.o.d"
+  "/root/repo/src/synth/initial.cpp" "src/CMakeFiles/hsyn.dir/synth/initial.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/initial.cpp.o.d"
+  "/root/repo/src/synth/move_ab.cpp" "src/CMakeFiles/hsyn.dir/synth/move_ab.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/move_ab.cpp.o.d"
+  "/root/repo/src/synth/move_share.cpp" "src/CMakeFiles/hsyn.dir/synth/move_share.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/move_share.cpp.o.d"
+  "/root/repo/src/synth/move_split.cpp" "src/CMakeFiles/hsyn.dir/synth/move_split.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/move_split.cpp.o.d"
+  "/root/repo/src/synth/moves.cpp" "src/CMakeFiles/hsyn.dir/synth/moves.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/moves.cpp.o.d"
+  "/root/repo/src/synth/report.cpp" "src/CMakeFiles/hsyn.dir/synth/report.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/report.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/CMakeFiles/hsyn.dir/synth/synthesizer.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/synth/synthesizer.cpp.o.d"
+  "/root/repo/src/util/fmt.cpp" "src/CMakeFiles/hsyn.dir/util/fmt.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/util/fmt.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/hsyn.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hsyn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/util/table.cpp.o.d"
+  "/root/repo/src/verilog/verilog.cpp" "src/CMakeFiles/hsyn.dir/verilog/verilog.cpp.o" "gcc" "src/CMakeFiles/hsyn.dir/verilog/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsyn_cli.dir/tools/hsyn_main.cpp.o"
+  "CMakeFiles/hsyn_cli.dir/tools/hsyn_main.cpp.o.d"
+  "hsyn"
+  "hsyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsyn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

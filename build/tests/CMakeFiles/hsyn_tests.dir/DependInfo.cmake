@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_benchmarks.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_benchmarks.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_datapath.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_datapath.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_datapath.cpp.o.d"
+  "/root/repo/tests/test_deep_hierarchy.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_deep_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_deep_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_dfg.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_dfg.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_dfg.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_embedder.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_embedder.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_embedder.cpp.o.d"
+  "/root/repo/tests/test_estimator.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_estimator.cpp.o.d"
+  "/root/repo/tests/test_flatten.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_flatten.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_flatten.cpp.o.d"
+  "/root/repo/tests/test_floorplan.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_floorplan.cpp.o.d"
+  "/root/repo/tests/test_gate_datapath.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_gate_datapath.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_gate_datapath.cpp.o.d"
+  "/root/repo/tests/test_gates.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_gates.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_gates.cpp.o.d"
+  "/root/repo/tests/test_hungarian.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_hungarian.cpp.o.d"
+  "/root/repo/tests/test_improve.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_improve.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_improve.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io_extra.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_io_extra.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_io_extra.cpp.o.d"
+  "/root/repo/tests/test_library.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_library.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_library.cpp.o.d"
+  "/root/repo/tests/test_moves.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_moves.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_moves.cpp.o.d"
+  "/root/repo/tests/test_moves_extra.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_moves_extra.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_moves_extra.cpp.o.d"
+  "/root/repo/tests/test_physical_consistency.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_physical_consistency.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_physical_consistency.cpp.o.d"
+  "/root/repo/tests/test_pipeline_fir.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_pipeline_fir.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_pipeline_fir.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rtlsim.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_rtlsim.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_rtlsim.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_slack.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_slack.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_slack.cpp.o.d"
+  "/root/repo/tests/test_synthesizer.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_synthesizer.cpp.o.d"
+  "/root/repo/tests/test_textio.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_textio.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_textio.cpp.o.d"
+  "/root/repo/tests/test_textio_property.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_textio_property.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_textio_property.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vdd_points.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_vdd_points.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_vdd_points.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/hsyn_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/hsyn_tests.dir/test_verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsyn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hsyn_tests[1]_include.cmake")
+add_test(cli_power_smoke "/root/repo/build/src/hsyn" "--design" "/root/repo/tests/data/dot2.dfg" "--objective" "power" "--templates" "--laxity" "2.0")
+set_tests_properties(cli_power_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_area_flat_smoke "/root/repo/build/src/hsyn" "--design" "/root/repo/tests/data/dot2.dfg" "--objective" "area" "--mode" "flat" "--laxity" "1.5" "--netlist" "/root/repo/build/tests/dot2_netlist.txt" "--fsm" "/root/repo/build/tests/dot2_fsm.txt")
+set_tests_properties(cli_area_flat_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_args "/root/repo/build/src/hsyn" "--bogus")
+set_tests_properties(cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;52;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_custom_library_trace "/root/repo/build/src/hsyn" "--design" "/root/repo/tests/data/dot2.dfg" "--library" "/root/repo/tests/data/custom.lib" "--trace" "/root/repo/tests/data/dot2.trace" "--objective" "power" "--laxity" "2.2")
+set_tests_properties(cli_custom_library_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_verilog_out "/root/repo/build/src/hsyn" "--design" "/root/repo/tests/data/dot2.dfg" "--objective" "area" "--templates" "--auto-variants" "--laxity" "2.0" "--verilog" "/root/repo/build/tests/dot2.v" "--dot" "/root/repo/build/tests/dot2.dot")
+set_tests_properties(cli_verilog_out PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_missing_design "/root/repo/build/src/hsyn" "--design" "/nonexistent.dfg")
+set_tests_properties(cli_missing_design PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
