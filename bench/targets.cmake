@@ -17,3 +17,4 @@ hsyn_bench(bench_micro)
 hsyn_bench(bench_physical)
 hsyn_bench(bench_transforms)
 hsyn_bench(bench_scaling)
+hsyn_bench(bench_runtime)

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "benchmarks/benchmarks.h"
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
 #include "synth/synthesizer.h"
 #include "util/fmt.h"
 #include "util/table.h"
@@ -47,5 +49,7 @@ int main(int argc, char** argv) {
   std::printf("\nReading the table: at higher laxity the power objective "
               "scales Vdd down\nand swaps in low-switched-capacitance "
               "modules; the area objective shares\naggressively instead.\n");
+  std::printf("\nparallel runtime (%d thread(s)): %s\n", runtime::threads(),
+              runtime::stats_snapshot().to_string().c_str());
   return 0;
 }

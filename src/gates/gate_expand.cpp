@@ -13,7 +13,8 @@ namespace {
 /// networks (a multifunction ALU pays for each function plus a result
 /// mux), chained types pay per element.
 GateCost fu_gate_cost(const FuType& t) {
-  static std::map<Op, GateCost> memo;
+  // thread_local: gate expansion may run under the parallel runtime.
+  thread_local std::map<Op, GateCost> memo;
   GateCost total;
   for (const Op op : t.ops) {
     auto it = memo.find(op);

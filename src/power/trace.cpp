@@ -3,6 +3,7 @@
 #include <bit>
 #include <map>
 
+#include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/rng.h"
 
@@ -115,7 +116,12 @@ std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
   }
   std::vector<std::vector<std::int32_t>> vals(
       inputs.size(), std::vector<std::int32_t>(dfg.edges().size(), 0));
-  for (std::size_t t = 0; t < inputs.size(); ++t) {
+  // Samples are independent (the DFG is a pure function of one sample's
+  // inputs), so the trace batch fans out over the runtime: each task
+  // writes only its own vals[t] row, all values are integers, and the
+  // result is bit-identical for any thread count.
+  runtime::parallel_for(static_cast<int>(inputs.size()), [&](int ti) {
+    const std::size_t t = static_cast<std::size_t>(ti);
     const Sample& in = inputs[t];
     check(static_cast<int>(in.size()) == dfg.num_inputs(),
           "eval_dfg_edges: input arity mismatch");
@@ -152,7 +158,7 @@ std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
         if (eid >= 0) ev[static_cast<std::size_t>(eid)] = eval_op(n.op, a, b);
       }
     }
-  }
+  });
   if (g_eval_cache.size() > 256) g_eval_cache.clear();
   g_eval_cache[&dfg] = {fp, vals};
   return vals;

@@ -1,0 +1,99 @@
+// Deterministic data-parallel helpers over the global ThreadPool.
+//
+// All helpers use *static chunking*: the index range [0, n) is cut into
+// at most threads() contiguous chunks whose boundaries depend only on n
+// and the chunk count -- never on timing. Per-chunk results land in
+// per-chunk slots and are combined strictly in chunk (hence index)
+// order, so every helper returns bit-identical results regardless of
+// thread count, including the degenerate serial pool.
+//
+//   parallel_for(n, body)        body(i) for i in [0, n), disjoint writes
+//   parallel_map(n, fn)          vector<R>{fn(0), ..., fn(n-1)}
+//   parallel_best(n, init, eval, keep)
+//                                left fold: keep(acc, eval(i)) in index
+//                                order -- the ordered reduction used for
+//                                move selection (first-best-wins ties
+//                                behave exactly like the serial loop)
+//
+// `keep(Acc&, T&&)` must implement an associative selection (keep the
+// better of two, merge-with-order-independence, ...); the helpers fold
+// each chunk locally from a fresh `init`, then fold the chunk
+// accumulators into the final result in chunk order.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
+
+namespace hsyn::runtime {
+
+/// Static chunk boundaries: chunk c of k covers [begin(c), begin(c+1)).
+inline int chunk_begin(int n, int k, int c) {
+  return static_cast<int>((static_cast<long long>(n) * c) / k);
+}
+
+/// Number of chunks used for an n-element region on the current pool.
+inline int num_chunks(int n) {
+  const int k = pool().threads();
+  return n < k ? (n < 1 ? 0 : n) : k;
+}
+
+/// Run body(i) for every i in [0, n). body must only write state owned
+/// by index i (or thread-local state); iteration order across chunks is
+/// unspecified, within a chunk it is ascending.
+template <typename Body>
+void parallel_for(int n, Body&& body) {
+  if (n <= 0) return;
+  const int k = num_chunks(n);
+  detail::count_tasks(n);
+  pool().run(k, [&](int c) {
+    const int lo = chunk_begin(n, k, c);
+    const int hi = chunk_begin(n, k, c + 1);
+    for (int i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Map fn over [0, n) into a vector in index order.
+template <typename Fn>
+auto parallel_map(int n, Fn&& fn)
+    -> std::vector<decltype(fn(0))> {
+  using R = decltype(fn(0));
+  std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
+  parallel_for(n, [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); });
+  return out;
+}
+
+/// Ordered reduction: semantically identical to
+///
+///   Acc acc = init; for (i : [0, n)) keep(acc, eval(i)); return acc;
+///
+/// for any thread count, provided `keep` is an associative selection
+/// with `init` as identity (e.g. "replace acc when strictly better",
+/// which preserves serial first-wins tie-breaking).
+template <typename Acc, typename Eval, typename Keep>
+Acc parallel_best(int n, Acc init, Eval&& eval, Keep&& keep) {
+  if (n <= 0) return init;
+  detail::count_tasks(n);
+  const int k = num_chunks(n);
+  if (k <= 1) {
+    detail::count_region(1, /*inline_run=*/true);
+    Acc acc = std::move(init);
+    for (int i = 0; i < n; ++i) keep(acc, eval(i));
+    return acc;
+  }
+  std::vector<Acc> partial(static_cast<std::size_t>(k), init);
+  pool().run(k, [&](int c) {
+    Acc acc = partial[static_cast<std::size_t>(c)];
+    const int lo = chunk_begin(n, k, c);
+    const int hi = chunk_begin(n, k, c + 1);
+    for (int i = lo; i < hi; ++i) keep(acc, eval(i));
+    partial[static_cast<std::size_t>(c)] = std::move(acc);
+  });
+  Acc out = std::move(init);
+  for (Acc& p : partial) keep(out, std::move(p));
+  return out;
+}
+
+}  // namespace hsyn::runtime

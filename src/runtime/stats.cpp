@@ -1,0 +1,100 @@
+#include "runtime/stats.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "util/fmt.h"
+
+namespace hsyn::runtime {
+namespace {
+
+std::atomic<std::uint64_t> g_regions{0};
+std::atomic<std::uint64_t> g_inline_regions{0};
+std::atomic<std::uint64_t> g_chunks{0};
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_max_region_chunks{0};
+
+std::mutex g_phase_mu;
+std::map<std::string, double>& phase_map() {
+  static std::map<std::string, double> m;
+  return m;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string Stats::to_string() const {
+  std::string out =
+      strf("runtime: %llu pooled + %llu inline regions, %llu chunks, "
+           "%llu tasks, max queue depth %llu",
+           static_cast<unsigned long long>(regions),
+           static_cast<unsigned long long>(inline_regions),
+           static_cast<unsigned long long>(chunks),
+           static_cast<unsigned long long>(tasks),
+           static_cast<unsigned long long>(max_region_chunks));
+  for (const auto& [name, sec] : phase_seconds) {
+    out += strf("\n  phase %-16s %8.3f s", name.c_str(), sec);
+  }
+  return out;
+}
+
+Stats stats_snapshot() {
+  Stats s;
+  s.regions = g_regions.load(std::memory_order_relaxed);
+  s.inline_regions = g_inline_regions.load(std::memory_order_relaxed);
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  s.tasks = g_tasks.load(std::memory_order_relaxed);
+  s.max_region_chunks = g_max_region_chunks.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  s.phase_seconds = phase_map();
+  return s;
+}
+
+void reset_stats() {
+  g_regions.store(0, std::memory_order_relaxed);
+  g_inline_regions.store(0, std::memory_order_relaxed);
+  g_chunks.store(0, std::memory_order_relaxed);
+  g_tasks.store(0, std::memory_order_relaxed);
+  g_max_region_chunks.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  phase_map().clear();
+}
+
+ScopedPhase::ScopedPhase(const char* name) : name_(name), start_ns_(now_ns()) {}
+
+ScopedPhase::~ScopedPhase() {
+  const double sec = static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  std::lock_guard<std::mutex> lock(g_phase_mu);
+  phase_map()[name_] += sec;
+}
+
+namespace detail {
+
+void count_region(int nchunks, bool inline_run) {
+  (inline_run ? g_inline_regions : g_regions)
+      .fetch_add(1, std::memory_order_relaxed);
+  g_chunks.fetch_add(static_cast<std::uint64_t>(nchunks),
+                     std::memory_order_relaxed);
+  std::uint64_t prev =
+      g_max_region_chunks.load(std::memory_order_relaxed);
+  while (prev < static_cast<std::uint64_t>(nchunks) &&
+         !g_max_region_chunks.compare_exchange_weak(
+             prev, static_cast<std::uint64_t>(nchunks),
+             std::memory_order_relaxed)) {
+  }
+}
+
+void count_tasks(int ntasks) {
+  g_tasks.fetch_add(static_cast<std::uint64_t>(ntasks),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace hsyn::runtime

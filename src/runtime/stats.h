@@ -1,0 +1,55 @@
+// Lightweight counters for the deterministic parallel runtime.
+//
+// Every parallel region bumps a handful of relaxed atomics; phase wall
+// times are accumulated under a small mutex only when a ScopedPhase is
+// in scope. A Stats value is a plain snapshot, safe to copy and print.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hsyn::runtime {
+
+/// Snapshot of the global runtime counters (see stats_snapshot()).
+struct Stats {
+  std::uint64_t regions = 0;        ///< parallel regions dispatched to the pool
+  std::uint64_t inline_regions = 0; ///< regions run serially (1 thread, tiny n, nested)
+  std::uint64_t chunks = 0;         ///< statically formed chunks executed
+  std::uint64_t tasks = 0;          ///< individual task indices executed
+  std::uint64_t max_region_chunks = 0;  ///< deepest steal-free queue observed
+  /// Wall seconds per instrumented phase (ScopedPhase name -> seconds).
+  std::map<std::string, double> phase_seconds;
+
+  std::string to_string() const;
+};
+
+/// Copy the counters accumulated since start / the last reset_stats().
+Stats stats_snapshot();
+
+/// Zero all counters and phase timers.
+void reset_stats();
+
+/// RAII wall-clock timer: accumulates its lifetime into
+/// stats.phase_seconds[name]. Nesting different names is fine; the cost
+/// is two steady_clock reads plus one mutex acquisition at destruction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+namespace detail {
+// Counter hooks: the pool counts regions and chunks, the parallel
+// helpers count the task indices they cover.
+void count_region(int nchunks, bool inline_run);
+void count_tasks(int ntasks);
+}  // namespace detail
+
+}  // namespace hsyn::runtime

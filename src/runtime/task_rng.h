@@ -1,0 +1,29 @@
+// Per-task deterministic RNG streams for parallel regions.
+//
+// A parallel task must never share an Rng with its siblings: the
+// interleaving of draws would depend on scheduling. Instead each task
+// derives its own stream from (base seed, task index) through SplitMix64
+// (util/rng.h), so the stream consumed by task i is a pure function of
+// the seed and i -- identical for any thread count, any chunking and
+// any execution order.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace hsyn::runtime {
+
+/// The generator for task `task_index` of a region seeded with
+/// `base_seed`. Successive task indices get decorrelated, reproducible
+/// streams; the same (seed, index) pair always yields the same stream.
+inline Rng task_rng(std::uint64_t base_seed, std::uint64_t task_index) {
+  // Two SplitMix64 steps: advance to the task's slot, then scramble so
+  // that neighboring indices share no low-bit structure.
+  std::uint64_t s = base_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  s = splitmix64(s);
+  s = splitmix64(s);
+  return Rng(s ? s : 1);
+}
+
+}  // namespace hsyn::runtime

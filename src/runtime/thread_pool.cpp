@@ -1,0 +1,148 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "runtime/stats.h"
+
+namespace hsyn::runtime {
+namespace {
+
+thread_local bool tl_in_region = false;
+
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tl_in_region) { tl_in_region = true; }
+  ~RegionGuard() { tl_in_region = prev; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_region() { return tl_in_region; }
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain_region() {
+  // Called with mu_ held; claims and executes chunks until none remain.
+  std::unique_lock<std::mutex> lock(mu_, std::adopt_lock);
+  while (next_chunk_ < job_chunks_) {
+    const int c = next_chunk_++;
+    ++busy_;
+    lock.unlock();
+    {
+      RegionGuard guard;
+      try {
+        (*job_)(c);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(c)] = std::current_exception();
+      }
+    }
+    lock.lock();
+    --busy_;
+    if (busy_ == 0 && next_chunk_ >= job_chunks_) cv_done_.notify_all();
+  }
+  lock.release();  // caller keeps holding mu_
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return stop_ || (generation_ != seen && job_ != nullptr &&
+                       next_chunk_ < job_chunks_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    drain_region();
+  }
+}
+
+void ThreadPool::run(int nchunks, const std::function<void(int)>& fn) {
+  if (nchunks <= 0) return;
+  if (workers_.empty() || nchunks == 1 || tl_in_region) {
+    detail::count_region(nchunks, /*inline_run=*/true);
+    RegionGuard guard;
+    for (int c = 0; c < nchunks; ++c) fn(c);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_chunks_ = nchunks;
+  next_chunk_ = 0;
+  errors_.assign(static_cast<std::size_t>(nchunks), nullptr);
+  ++generation_;
+  cv_work_.notify_all();
+
+  drain_region();  // the caller is a lane too
+  cv_done_.wait(lock, [&] { return next_chunk_ >= job_chunks_ && busy_ == 0; });
+  job_ = nullptr;
+
+  std::exception_ptr first;
+  for (const std::exception_ptr& e : errors_) {
+    if (e) {
+      first = e;
+      break;
+    }
+  }
+  errors_.clear();
+  lock.unlock();
+  detail::count_region(nchunks, /*inline_run=*/false);
+  if (first) std::rethrow_exception(first);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+std::mutex& pool_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+int auto_threads() {
+  if (const char* env = std::getenv("HSYN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+void set_threads(int threads) {
+  const int n = threads > 0 ? threads : auto_threads();
+  std::lock_guard<std::mutex> lock(pool_mu());
+  if (pool_slot() && pool_slot()->threads() == n) return;
+  pool_slot() = std::make_unique<ThreadPool>(n);
+}
+
+ThreadPool& pool() {
+  std::lock_guard<std::mutex> lock(pool_mu());
+  if (!pool_slot()) pool_slot() = std::make_unique<ThreadPool>(auto_threads());
+  return *pool_slot();
+}
+
+int threads() { return pool().threads(); }
+
+}  // namespace hsyn::runtime

@@ -1,0 +1,88 @@
+// Deterministic fixed thread pool for H-SYN's parallel hot paths.
+//
+// Design goals (in priority order):
+//   1. Determinism. There is no work stealing and no dynamic load
+//      balancing that could change *what* is computed: a region is a
+//      fixed set of chunk indices [0, n); which worker runs a chunk may
+//      vary between runs, but every chunk computes the same values into
+//      its own slot, and callers combine the slots in index order. The
+//      result is bit-identical for 1, 2 or 64 threads.
+//   2. Simplicity. One region runs at a time; the caller participates
+//      in the work and blocks until the region completes. Nested
+//      regions (a worker task reaching another parallel_for) execute
+//      inline on the calling thread, so recursion -- e.g. move B's
+//      nested improvement loop -- cannot deadlock the pool.
+//   3. Exceptions propagate: the lowest-indexed chunk's exception is
+//      rethrown in the caller once the region has drained.
+//
+// The process-global pool is configured once via set_threads() (CLI
+// --threads, HSYN_THREADS env, or hardware_concurrency) and shared by
+// every parallel helper in runtime/parallel.h.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsyn::runtime {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total execution lanes: the caller plus
+  /// `threads - 1` workers. `threads <= 1` spawns no workers; run()
+  /// then degrades to a plain serial loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (caller included); always >= 1.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Execute fn(c) for every chunk index c in [0, nchunks), distributing
+  /// chunks over the pool, and block until all complete. Runs inline
+  /// (serially, in index order) when the pool is serial, nchunks <= 1,
+  /// or the calling thread is already inside a region. The first
+  /// exception by chunk index is rethrown.
+  void run(int nchunks, const std::function<void(int)>& fn);
+
+  /// True when the current thread is executing inside a region (worker
+  /// or participating caller). Parallel helpers use this to fall back
+  /// to serial execution instead of re-entering the pool.
+  static bool in_region();
+
+ private:
+  void worker_loop();
+  /// Pull chunk indices until the region is exhausted.
+  void drain_region();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers wait for a new region
+  std::condition_variable cv_done_;   ///< caller waits for region drain
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;      ///< bumped per region
+  const std::function<void(int)>* job_ = nullptr;
+  int job_chunks_ = 0;
+  int next_chunk_ = 0;                ///< next unclaimed chunk (under mu_)
+  int busy_ = 0;                      ///< lanes currently inside the region
+  std::vector<std::exception_ptr> errors_;  ///< per-chunk, for ordered rethrow
+};
+
+/// Configure the process-global pool. `threads <= 0` selects the
+/// automatic default: the HSYN_THREADS environment variable if set,
+/// otherwise std::thread::hardware_concurrency(). Must not be called
+/// while a parallel region is running.
+void set_threads(int threads);
+
+/// Lanes of the global pool (>= 1). Instantiates the pool on first use.
+int threads();
+
+/// The global pool itself (instantiated on first use).
+ThreadPool& pool();
+
+}  // namespace hsyn::runtime

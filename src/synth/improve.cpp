@@ -1,8 +1,11 @@
 #include "synth/improve.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
 #include "util/fmt.h"
 #include "util/log.h"
 
@@ -29,6 +32,11 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
       // Full module resynthesis (move B) is the costliest generator; try
       // it early in the pass where it matters most, then fall back to
       // the cheap selection-only form.
+      // Wall time of move selection (the dominant, parallelized cost);
+      // only the outermost improvement loop is accounted -- move B's
+      // nested improve() runs inside a region and is skipped.
+      std::optional<runtime::ScopedPhase> phase;
+      if (!runtime::ThreadPool::in_region()) phase.emplace("move-select");
       SynthContext move_cx = cx;
       move_cx.opts.enable_resynth = cx.opts.enable_resynth && mi < 2;
       Move m1 = best_replace_move(cur, move_cx);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "rtl/cost.h"
+#include "runtime/parallel.h"
 #include "sched/scheduler.h"
 #include "sched/slack.h"
 #include "synth/improve.h"
@@ -71,8 +72,12 @@ Move replace_fu(const Datapath& dp, int fu_idx, const SynthContext& cx,
   if (ops.empty()) return best;
 
   const int cur_type = dp.fus[static_cast<std::size_t>(fu_idx)].type;
-  int tried = 0;
-  for (int t = 0; t < cx.lib->num_fu_types() && tried < cx.opts.max_candidates;
+  // Enumerate the admissible replacement types serially (cheap filters,
+  // same order and candidate cap as the serial engine), then score them
+  // -- the copy + reschedule + cost part -- on the parallel runtime.
+  std::vector<int> types;
+  for (int t = 0; t < cx.lib->num_fu_types() &&
+                  static_cast<int>(types.size()) < cx.opts.max_candidates;
        ++t) {
     if (t == cur_type) continue;
     const FuType& ft = cx.lib->fu(t);
@@ -81,16 +86,20 @@ Move replace_fu(const Datapath& dp, int fu_idx, const SynthContext& cx,
     for (const Op op : ops) supports_all = supports_all && ft.supports(op);
     if (!supports_all) continue;
     if (cx.lib->cycles(t, cx.pt) > budget) continue;  // guide; sched verifies
-    ++tried;
-    Datapath cand = dp;
-    cand.fus[static_cast<std::size_t>(fu_idx)].type = t;
-    best = better_move(
-        best, finish_move(std::move(cand), cx, cost0, "A:fu-select",
-                          strf("fu%d %s -> %s", fu_idx,
-                               cx.lib->fu(cur_type).name.c_str(),
-                               ft.name.c_str())));
+    types.push_back(t);
   }
-  return best;
+  return runtime::parallel_best(
+      static_cast<int>(types.size()), std::move(best),
+      [&](int i) {
+        const int t = types[static_cast<std::size_t>(i)];
+        Datapath cand = dp;
+        cand.fus[static_cast<std::size_t>(fu_idx)].type = t;
+        return finish_move(std::move(cand), cx, cost0, "A:fu-select",
+                           strf("fu%d %s -> %s", fu_idx,
+                                cx.lib->fu(cur_type).name.c_str(),
+                                cx.lib->fu(t).name.c_str()));
+      },
+      keep_better);
 }
 
 /// Behaviors served by a child unit (usually one).
@@ -116,19 +125,14 @@ Move replace_child(const Datapath& dp, int child_idx, const SynthContext& cx,
   if (served.size() != 1) return best;  // merged modules are not reselected
   const std::string& behavior = served[0];
 
-  auto try_impl = [&](Datapath impl, const char* kind, std::string desc) {
-    if (impl.behaviors[0].input_arrival != mc.in_arrival) {
-      impl.behaviors[0].input_arrival = mc.in_arrival;
-      impl.behaviors[0].scheduled = false;
-      impl.behaviors[0].inv_start.clear();
-    }
-    Datapath cand = dp;
-    cand.children[static_cast<std::size_t>(child_idx)].impl =
-        std::make_unique<Datapath>(std::move(impl));
-    best = better_move(best, finish_move(std::move(cand), cx, cost0, kind,
-                                         std::move(desc)));
+  // Enumerate candidates serially (template list + uncovered variants,
+  // same order and cap as the serial engine); instantiation, scheduling
+  // and costing run on the parallel runtime.
+  struct Cand {
+    const ComplexLibrary::Template* tmpl = nullptr;  ///< null: fresh variant
+    std::string variant;
   };
-
+  std::vector<Cand> cands;
   int tried = 0;
   std::set<std::string> templated_variants;
   if (cx.clib != nullptr) {
@@ -136,8 +140,7 @@ Move replace_child(const Datapath& dp, int child_idx, const SynthContext& cx,
          cx.clib->for_behavior(*cx.design, behavior)) {
       if (tried++ >= cx.opts.max_candidates) break;
       templated_variants.insert(t->implements);
-      try_impl(instantiate_scheduled(*t, behavior, cx), "A:module-select",
-               strf("child%d <- template %s", child_idx, t->name.c_str()));
+      cands.push_back({t, ""});
     }
   }
   // Fresh fully parallel implementations of equivalent DFG variants the
@@ -145,11 +148,35 @@ Move replace_child(const Datapath& dp, int child_idx, const SynthContext& cx,
   for (const std::string& variant : cx.design->equivalents(behavior)) {
     if (templated_variants.count(variant)) continue;
     if (tried++ >= cx.opts.max_candidates) break;
-    try_impl(initial_solution(cx.design->behavior(variant), behavior, cx),
-             "A:dfg-swap",
-             strf("child%d <- fresh %s", child_idx, variant.c_str()));
+    cands.push_back({nullptr, variant});
   }
-  return best;
+
+  return runtime::parallel_best(
+      static_cast<int>(cands.size()), std::move(best),
+      [&](int i) {
+        const Cand& c = cands[static_cast<std::size_t>(i)];
+        Datapath impl =
+            c.tmpl != nullptr
+                ? instantiate_scheduled(*c.tmpl, behavior, cx)
+                : initial_solution(cx.design->behavior(c.variant), behavior,
+                                   cx);
+        if (impl.behaviors[0].input_arrival != mc.in_arrival) {
+          impl.behaviors[0].input_arrival = mc.in_arrival;
+          impl.behaviors[0].scheduled = false;
+          impl.behaviors[0].inv_start.clear();
+        }
+        Datapath cand = dp;
+        cand.children[static_cast<std::size_t>(child_idx)].impl =
+            std::make_unique<Datapath>(std::move(impl));
+        return finish_move(
+            std::move(cand), cx, cost0,
+            c.tmpl != nullptr ? "A:module-select" : "A:dfg-swap",
+            c.tmpl != nullptr
+                ? strf("child%d <- template %s", child_idx,
+                       c.tmpl->name.c_str())
+                : strf("child%d <- fresh %s", child_idx, c.variant.c_str()));
+      },
+      keep_better);
 }
 
 /// Move B: descend into the child and re-optimize it against the relaxed

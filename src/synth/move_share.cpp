@@ -19,6 +19,7 @@
 
 #include "embed/embedder.h"
 #include "rtl/cost.h"
+#include "runtime/parallel.h"
 #include "synth/moves.h"
 #include "util/fmt.h"
 
@@ -282,16 +283,22 @@ Move best_sharing_move(const Datapath& dp, const SynthContext& cx) {
   if (static_cast<int>(cands.size()) > cx.opts.max_candidates) {
     cands.resize(static_cast<std::size_t>(cx.opts.max_candidates));
   }
-  for (const Candidate& c : cands) {
-    std::string desc;
-    Datapath cand = apply_candidate(dp, c, cx, desc);
-    if (desc.empty()) continue;
-    const char* kind = c.kind == Candidate::Kind::Embed       ? "C:embed"
-                       : c.kind == Candidate::Kind::ChainFuse ? "C:chain-fuse"
-                                                              : "C:share";
-    best = better_move(best, finish_move(std::move(cand), cx, cost0, kind, desc));
-  }
-  return best;
+  // Candidates are independent: apply + reschedule + cost each on the
+  // parallel runtime, reduced in enumeration order.
+  return runtime::parallel_best(
+      static_cast<int>(cands.size()), std::move(best),
+      [&](int i) {
+        const Candidate& c = cands[static_cast<std::size_t>(i)];
+        std::string desc;
+        Datapath cand = apply_candidate(dp, c, cx, desc);
+        if (desc.empty()) return Move{};  // e.g. embedding failed
+        const char* kind = c.kind == Candidate::Kind::Embed ? "C:embed"
+                           : c.kind == Candidate::Kind::ChainFuse
+                               ? "C:chain-fuse"
+                               : "C:share";
+        return finish_move(std::move(cand), cx, cost0, kind, desc);
+      },
+      keep_better);
 }
 
 }  // namespace hsyn

@@ -12,145 +12,178 @@
 #include <algorithm>
 
 #include "rtl/cost.h"
+#include "runtime/parallel.h"
 #include "synth/moves.h"
 #include "util/fmt.h"
 
 namespace hsyn {
 namespace {
 
+// Every flavor below enumerates its candidate indices serially (cheap
+// structural filters, identical order and caps to the serial engine)
+// and evaluates them -- copy, mutate, reschedule, cost -- on the
+// parallel runtime, reduced in enumeration order so the selected move
+// is independent of the thread count.
+
 Move split_fu(const Datapath& dp, const SynthContext& cx, double cost0) {
-  Move best;
   const BehaviorImpl& bi = dp.behaviors[0];
-  int tried = 0;
-  for (std::size_t i = 0; i < bi.invs.size() && tried < cx.opts.max_candidates;
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0;
+       i < bi.invs.size() &&
+       static_cast<int>(targets.size()) < cx.opts.max_candidates;
        ++i) {
     const Invocation& inv = bi.invs[i];
     if (inv.unit.kind != UnitRef::Kind::Fu) continue;
     if (dp.unit_load(inv.unit) < 2) continue;
-    ++tried;
-    Datapath cand = dp;
-    const int new_unit = static_cast<int>(cand.fus.size());
-    cand.fus.push_back(cand.fus[static_cast<std::size_t>(inv.unit.idx)]);
-    cand.behaviors[0].invs[i].unit.idx = new_unit;
-    best = better_move(
-        best, finish_move(std::move(cand), cx, cost0, "D:split-fu",
-                          strf("inv%zu gets its own unit (was fu%d)", i,
-                               inv.unit.idx)));
+    targets.push_back(i);
   }
-  return best;
+  return runtime::parallel_best(
+      static_cast<int>(targets.size()), Move{},
+      [&](int k) {
+        const std::size_t i = targets[static_cast<std::size_t>(k)];
+        const Invocation& inv = bi.invs[i];
+        Datapath cand = dp;
+        const int new_unit = static_cast<int>(cand.fus.size());
+        cand.fus.push_back(cand.fus[static_cast<std::size_t>(inv.unit.idx)]);
+        cand.behaviors[0].invs[i].unit.idx = new_unit;
+        return finish_move(std::move(cand), cx, cost0, "D:split-fu",
+                           strf("inv%zu gets its own unit (was fu%d)", i,
+                                inv.unit.idx));
+      },
+      keep_better);
 }
 
 Move split_reg(const Datapath& dp, const SynthContext& cx, double cost0) {
-  Move best;
   const BehaviorImpl& bi = dp.behaviors[0];
-  int tried = 0;
-  for (std::size_t e = 0; e < bi.edge_reg.size() && tried < cx.opts.max_candidates;
+  std::vector<std::size_t> targets;
+  for (std::size_t e = 0;
+       e < bi.edge_reg.size() &&
+       static_cast<int>(targets.size()) < cx.opts.max_candidates;
        ++e) {
     const int r = bi.edge_reg[e];
     if (r < 0 || dp.reg_load(r) < 2) continue;
-    ++tried;
-    Datapath cand = dp;
-    const int new_reg = static_cast<int>(cand.regs.size());
-    cand.regs.push_back({});
-    cand.behaviors[0].edge_reg[e] = new_reg;
-    best = better_move(
-        best, finish_move(std::move(cand), cx, cost0, "D:split-reg",
-                          strf("edge%zu gets its own register (was r%d)", e, r)));
+    targets.push_back(e);
   }
-  return best;
+  return runtime::parallel_best(
+      static_cast<int>(targets.size()), Move{},
+      [&](int k) {
+        const std::size_t e = targets[static_cast<std::size_t>(k)];
+        Datapath cand = dp;
+        const int new_reg = static_cast<int>(cand.regs.size());
+        cand.regs.push_back({});
+        cand.behaviors[0].edge_reg[e] = new_reg;
+        return finish_move(
+            std::move(cand), cx, cost0, "D:split-reg",
+            strf("edge%zu gets its own register (was r%d)", e, bi.edge_reg[e]));
+      },
+      keep_better);
 }
 
 Move split_child(const Datapath& dp, const SynthContext& cx, double cost0) {
-  Move best;
   const BehaviorImpl& bi = dp.behaviors[0];
-  int tried = 0;
-  for (std::size_t i = 0; i < bi.invs.size() && tried < cx.opts.max_candidates;
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0;
+       i < bi.invs.size() &&
+       static_cast<int>(targets.size()) < cx.opts.max_candidates;
        ++i) {
     const Invocation& inv = bi.invs[i];
     if (inv.unit.kind != UnitRef::Kind::Child) continue;
     if (dp.unit_load(inv.unit) < 2) continue;
-    ++tried;
-    Datapath cand = dp;
-    ChildUnit copy = cand.children[static_cast<std::size_t>(inv.unit.idx)];
-    copy.name += "_split";
-    const int new_child = static_cast<int>(cand.children.size());
-    cand.children.push_back(std::move(copy));
-    cand.behaviors[0].invs[i].unit.idx = new_child;
-    // Drop behaviors neither copy still executes so each copy's
-    // controller shrinks (resynthesis can then shrink the datapaths).
-    auto served = [&cand](int child_idx) {
-      std::set<std::string> s;
-      const BehaviorImpl& tb = cand.behaviors[0];
-      for (const Invocation& ci : tb.invs) {
-        if (ci.unit.kind == UnitRef::Kind::Child && ci.unit.idx == child_idx) {
-          s.insert(tb.dfg->node(ci.nodes.front()).behavior);
-        }
-      }
-      return s;
-    };
-    for (const int cidx : {inv.unit.idx, new_child}) {
-      Datapath& impl = *cand.children[static_cast<std::size_t>(cidx)].impl;
-      const std::set<std::string> keep = served(cidx);
-      std::vector<BehaviorImpl> kept;
-      for (BehaviorImpl& cb : impl.behaviors) {
-        if (keep.count(cb.behavior)) kept.push_back(std::move(cb));
-      }
-      if (!kept.empty()) {
-        impl.behaviors = std::move(kept);
-        impl.prune_unused();
-      }
-    }
-    best = better_move(
-        best, finish_move(std::move(cand), cx, cost0, "D:split-child",
-                          strf("inv%zu gets its own module instance (was "
-                               "child%d)",
-                               i, inv.unit.idx)));
+    targets.push_back(i);
   }
-  return best;
+  return runtime::parallel_best(
+      static_cast<int>(targets.size()), Move{},
+      [&](int t) {
+        const std::size_t i = targets[static_cast<std::size_t>(t)];
+        const Invocation& inv = bi.invs[i];
+        Datapath cand = dp;
+        ChildUnit copy = cand.children[static_cast<std::size_t>(inv.unit.idx)];
+        copy.name += "_split";
+        const int new_child = static_cast<int>(cand.children.size());
+        cand.children.push_back(std::move(copy));
+        cand.behaviors[0].invs[i].unit.idx = new_child;
+        // Drop behaviors neither copy still executes so each copy's
+        // controller shrinks (resynthesis can then shrink the datapaths).
+        auto served = [&cand](int child_idx) {
+          std::set<std::string> s;
+          const BehaviorImpl& tb = cand.behaviors[0];
+          for (const Invocation& ci : tb.invs) {
+            if (ci.unit.kind == UnitRef::Kind::Child &&
+                ci.unit.idx == child_idx) {
+              s.insert(tb.dfg->node(ci.nodes.front()).behavior);
+            }
+          }
+          return s;
+        };
+        for (const int cidx : {inv.unit.idx, new_child}) {
+          Datapath& impl = *cand.children[static_cast<std::size_t>(cidx)].impl;
+          const std::set<std::string> keep = served(cidx);
+          std::vector<BehaviorImpl> kept;
+          for (BehaviorImpl& cb : impl.behaviors) {
+            if (keep.count(cb.behavior)) kept.push_back(std::move(cb));
+          }
+          if (!kept.empty()) {
+            impl.behaviors = std::move(kept);
+            impl.prune_unused();
+          }
+        }
+        return finish_move(std::move(cand), cx, cost0, "D:split-child",
+                           strf("inv%zu gets its own module instance (was "
+                                "child%d)",
+                                i, inv.unit.idx));
+      },
+      keep_better);
 }
 
 Move unfuse_chain(const Datapath& dp, const SynthContext& cx, double cost0) {
-  Move best;
   const BehaviorImpl& bi = dp.behaviors[0];
-  int tried = 0;
-  for (std::size_t i = 0; i < bi.invs.size() && tried < cx.opts.max_candidates;
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0;
+       i < bi.invs.size() &&
+       static_cast<int>(targets.size()) < cx.opts.max_candidates;
        ++i) {
     const Invocation& inv = bi.invs[i];
     if (inv.unit.kind != UnitRef::Kind::Fu || inv.nodes.size() < 2) continue;
-    ++tried;
-    Datapath cand = dp;
-    BehaviorImpl& cbi = cand.behaviors[0];
-    const std::vector<int> nodes = inv.nodes;
-    // Each node becomes its own invocation on a fresh fastest unit;
-    // internal edges get registers back.
-    for (std::size_t k = 0; k < nodes.size(); ++k) {
-      const Op op = cbi.dfg->node(nodes[k]).op;
-      const int type = cx.lib->fastest_for(op, cx.pt);
-      if (k == 0) {
-        cbi.invs[i].nodes = {nodes[0]};
-        cbi.invs[i].unit = {UnitRef::Kind::Fu, static_cast<int>(cand.fus.size())};
-        cand.fus.push_back({type, ""});
-      } else {
-        Invocation ni;
-        ni.nodes = {nodes[k]};
-        ni.unit = {UnitRef::Kind::Fu, static_cast<int>(cand.fus.size())};
-        cand.fus.push_back({type, ""});
-        cbi.node_inv[static_cast<std::size_t>(nodes[k])] =
-            static_cast<int>(cbi.invs.size());
-        cbi.invs.push_back(std::move(ni));
-      }
-      if (k + 1 < nodes.size()) {
-        const int e = cbi.dfg->output_edge(nodes[k], 0);
-        cbi.edge_reg[static_cast<std::size_t>(e)] =
-            static_cast<int>(cand.regs.size());
-        cand.regs.push_back({});
-      }
-    }
-    best = better_move(best, finish_move(std::move(cand), cx, cost0,
-                                         "D:chain-unfuse",
-                                         strf("unfuse chain inv%zu", i)));
+    targets.push_back(i);
   }
-  return best;
+  return runtime::parallel_best(
+      static_cast<int>(targets.size()), Move{},
+      [&](int t) {
+        const std::size_t i = targets[static_cast<std::size_t>(t)];
+        const Invocation& inv = bi.invs[i];
+        Datapath cand = dp;
+        BehaviorImpl& cbi = cand.behaviors[0];
+        const std::vector<int> nodes = inv.nodes;
+        // Each node becomes its own invocation on a fresh fastest unit;
+        // internal edges get registers back.
+        for (std::size_t k = 0; k < nodes.size(); ++k) {
+          const Op op = cbi.dfg->node(nodes[k]).op;
+          const int type = cx.lib->fastest_for(op, cx.pt);
+          if (k == 0) {
+            cbi.invs[i].nodes = {nodes[0]};
+            cbi.invs[i].unit = {UnitRef::Kind::Fu,
+                                static_cast<int>(cand.fus.size())};
+            cand.fus.push_back({type, ""});
+          } else {
+            Invocation ni;
+            ni.nodes = {nodes[k]};
+            ni.unit = {UnitRef::Kind::Fu, static_cast<int>(cand.fus.size())};
+            cand.fus.push_back({type, ""});
+            cbi.node_inv[static_cast<std::size_t>(nodes[k])] =
+                static_cast<int>(cbi.invs.size());
+            cbi.invs.push_back(std::move(ni));
+          }
+          if (k + 1 < nodes.size()) {
+            const int e = cbi.dfg->output_edge(nodes[k], 0);
+            cbi.edge_reg[static_cast<std::size_t>(e)] =
+                static_cast<int>(cand.regs.size());
+            cand.regs.push_back({});
+          }
+        }
+        return finish_move(std::move(cand), cx, cost0, "D:chain-unfuse",
+                           strf("unfuse chain inv%zu", i));
+      },
+      keep_better);
 }
 
 }  // namespace

@@ -12,13 +12,21 @@ Datapath instantiate_scheduled(const ComplexLibrary::Template& t,
                                const SynthContext& cx) {
   const std::string key = t.name + "/" + behavior + "/" +
                           strf("%.3f/%.3f", cx.pt.vdd, cx.pt.clk_ns);
-  auto it = cx.template_cache->find(key);
-  if (it == cx.template_cache->end()) {
-    Datapath inst = ComplexLibrary::instantiate(t, behavior);
-    schedule_datapath(inst, *cx.lib, cx.pt, kNoDeadline);
-    it = cx.template_cache->emplace(key, std::move(inst)).first;
+  {
+    std::lock_guard<std::mutex> lock(cx.template_cache->mu);
+    auto it = cx.template_cache->map.find(key);
+    // Deep copy under the lock; schedules stay valid in the copy.
+    if (it != cx.template_cache->map.end()) return it->second;
   }
-  return it->second;  // deep copy; schedules stay valid in the copy
+  // Instantiate and schedule outside the lock -- several workers may
+  // build the same template concurrently, but the result is a pure
+  // function of the key, so whichever insert wins the race is correct.
+  Datapath inst = ComplexLibrary::instantiate(t, behavior);
+  schedule_datapath(inst, *cx.lib, cx.pt, kNoDeadline);
+  std::lock_guard<std::mutex> lock(cx.template_cache->mu);
+  auto [it, inserted] = cx.template_cache->map.emplace(key, std::move(inst));
+  (void)inserted;
+  return it->second;
 }
 
 double cost_of(const Datapath& dp, const SynthContext& cx) {
@@ -46,6 +54,11 @@ const Move& better_move(const Move& a, const Move& b) {
   if (!a.valid) return b;
   if (!b.valid) return a;
   return a.gain >= b.gain ? a : b;
+}
+
+void keep_better(Move& best, Move&& cand) {
+  if (!cand.valid) return;
+  if (!best.valid || cand.gain > best.gain) best = std::move(cand);
 }
 
 Trace child_input_trace(const Datapath& dp, int b, int child_idx,

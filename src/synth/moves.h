@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "dfg/design.h"
@@ -54,6 +55,15 @@ struct SynthOptions {
   bool enable_negative_gain = true;  ///< variable-depth (vs greedy-only)
 };
 
+/// Cache of library templates already instantiated and scheduled at an
+/// operating point, shared across SynthContext copies. Guarded by a
+/// mutex because candidate evaluation runs on the parallel runtime
+/// (runtime/parallel.h) and workers may instantiate concurrently.
+struct TemplateCache {
+  std::mutex mu;
+  std::map<std::string, Datapath> map;
+};
+
 /// Everything a move generator needs to know about the synthesis run.
 struct SynthContext {
   const Design* design = nullptr;  ///< null during flattened synthesis
@@ -64,12 +74,11 @@ struct SynthContext {
   Trace trace;       ///< typical top-level input trace
   Objective obj = Objective::Power;
   SynthOptions opts;
-  /// Cache of library templates already instantiated and scheduled at
-  /// this operating point (keyed by template/behavior); shared across
-  /// context copies so move selection does not re-schedule the same
-  /// template hundreds of times per pass.
-  std::shared_ptr<std::map<std::string, Datapath>> template_cache =
-      std::make_shared<std::map<std::string, Datapath>>();
+  /// Shared template cache (keyed by template/behavior/operating point)
+  /// so move selection does not re-schedule the same template hundreds
+  /// of times per pass.
+  std::shared_ptr<TemplateCache> template_cache =
+      std::make_shared<TemplateCache>();
 };
 
 /// Instantiate template `t` to serve `behavior`, scheduled at cx.pt
@@ -99,6 +108,12 @@ Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
 
 /// Best of two candidate moves by gain (invalid moves lose).
 const Move& better_move(const Move& a, const Move& b);
+
+/// Fold `cand` into `best` with better_move's exact semantics (`best`
+/// wins ties). This is the ordered-reduction combiner the parallel
+/// candidate evaluation uses: folding candidates left-to-right through
+/// keep_better selects the same move as the serial better_move chain.
+void keep_better(Move& best, Move&& cand);
 
 /// Typical input trace observed by child unit `child_idx` of `dp` for
 /// interface behavior `behavior`, derived from the top-level trace

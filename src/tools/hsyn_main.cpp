@@ -4,7 +4,8 @@
 //
 //   hsyn --design FILE [--objective power|area] [--mode hier|flat]
 //        [--laxity F | --period-ns T] [--netlist FILE] [--fsm FILE]
-//        [--dot FILE] [--no-verify] [--seed N] [--templates] [--verbose]
+//        [--dot FILE] [--no-verify] [--seed N] [--threads N]
+//        [--templates] [--verbose]
 //
 // With --templates, fast/low-power/compact complex-module templates are
 // generated for every non-top behavior (the Fig. 2 style library);
@@ -25,6 +26,7 @@
 #include "power/rtlsim.h"
 #include "rtl/controller.h"
 #include "rtl/netlist.h"
+#include "runtime/thread_pool.h"
 #include "synth/report.h"
 #include "synth/synthesizer.h"
 #include "verilog/verilog.h"
@@ -49,6 +51,10 @@ struct Args {
   bool auto_variants = false;
   bool verbose = false;
   std::uint64_t seed = 42;
+  /// 0 = automatic (HSYN_THREADS env, else hardware_concurrency).
+  /// 1 reproduces the serial engine exactly; any count yields
+  /// bit-identical synthesis results (see DESIGN.md).
+  int threads = 0;
 };
 
 void usage() {
@@ -58,7 +64,7 @@ void usage() {
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
                "            [--no-verify] [--templates] [--auto-variants] [--seed N] "
-               "[--verbose]\n");
+               "[--threads N] [--verbose]\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -136,6 +142,11 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.threads = std::atoi(v);
+      if (a.threads < 0) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -165,6 +176,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args->verbose) set_log_level(LogLevel::Info);
+  // Parallel runtime: --threads N, else HSYN_THREADS, else all cores.
+  // Synthesis results are bit-identical for every thread count.
+  runtime::set_threads(args->threads);
+  if (args->verbose) {
+    std::printf("runtime: %d thread(s)\n", runtime::threads());
+  }
 
   std::ifstream in(args->design_file);
   if (!in) {

@@ -9,6 +9,17 @@
 
 namespace hsyn {
 
+/// One SplitMix64 output step (Steele, Lea & Flood). Used to derive
+/// decorrelated child seeds from a base seed -- in particular the
+/// per-task RNG streams of the parallel runtime (runtime/task_rng.h).
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Xorshift64* generator. Small, fast, and good enough for workload
 /// generation and heuristic tie-breaking (not for cryptography).
 class Rng {
