@@ -1,0 +1,194 @@
+// Candidate-evaluation cache benchmark: cold vs warm costing of a move
+// generator's candidate set at 1/2/8 threads.
+//
+// The workload is the inner loop of move selection -- cost (energy +
+// area) every candidate datapath produced by type-swapping the units of
+// a scheduled solution. The cold pass starts from cleared caches; the
+// warm passes re-cost the identical candidate set, where the shared
+// evaluation cache (src/eval/) should answer from memory.
+//
+// Emits BENCH_eval.json (and the same object on stdout):
+//   * per thread count: cold and warm wall seconds, warm speedup,
+//     cross-thread hits observed in the shared caches,
+//   * deterministic: the summed candidate costs are bit-identical
+//     across all thread counts and passes.
+// Cross-thread hits are expected even in the cold pass: all candidates
+// share one (DFG, trace) edge-values entry, so whichever worker computes
+// it first serves every other worker.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "eval/engine.h"
+#include "power/estimator.h"
+#include "power/trace.h"
+#include "rtl/cost.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/moves.h"
+
+namespace {
+
+using namespace hsyn;
+
+constexpr int kMaxCandidates = 48;
+constexpr int kTraceSamples = 256;
+constexpr int kReps = 3;
+
+struct Row {
+  int threads = 0;
+  double cold_s = 0;
+  double warm_s = 0;
+  std::uint64_t cross_thread_hits = 0;
+};
+
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t shared_cache_cross_hits() {
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  return eng.energy_cache().counters().cross_thread_hits +
+         eng.area_cache().counters().cross_thread_hits +
+         eng.connectivity_cache().counters().cross_thread_hits +
+         eng.edge_values_cache().counters().cross_thread_hits;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsyn;
+  const OpPoint pt{5.0, 20.0};
+  const Library lib = default_library();
+  Design design;
+  design.add_behavior(make_paulin_iter("paulin"));
+  design.set_top("paulin");
+  design.validate();
+
+  SynthContext cx;
+  cx.design = &design;
+  cx.lib = &lib;
+  cx.pt = pt;
+  Datapath base = initial_solution(design.top(), "paulin", cx);
+  if (!schedule_datapath(base, lib, pt, kNoDeadline).ok) {
+    std::fprintf(stderr, "base schedule failed\n");
+    return 1;
+  }
+  const Trace trace = make_trace(design.top().num_inputs(), kTraceSamples, 7);
+
+  // The candidate set: every admissible single-unit type swap, scheduled
+  // once up front so the measured passes are pure costing (the part the
+  // evaluation cache owns).
+  std::vector<Datapath> cands;
+  const BehaviorImpl& bi = base.behaviors[0];
+  for (std::size_t i = 0;
+       i < base.fus.size() && static_cast<int>(cands.size()) < kMaxCandidates;
+       ++i) {
+    std::set<Op> ops;
+    int max_chain = 1;
+    for (const Invocation& inv : bi.invs) {
+      if (!(inv.unit == UnitRef{UnitRef::Kind::Fu, static_cast<int>(i)})) continue;
+      max_chain = std::max(max_chain, static_cast<int>(inv.nodes.size()));
+      for (const int nid : inv.nodes) ops.insert(bi.dfg->node(nid).op);
+    }
+    for (int t = 0; t < lib.num_fu_types() &&
+                    static_cast<int>(cands.size()) < kMaxCandidates;
+         ++t) {
+      if (t == base.fus[i].type) continue;
+      const FuType& ft = lib.fu(t);
+      if (ft.chain_depth < max_chain) continue;
+      bool supports_all = !ops.empty();
+      for (const Op op : ops) supports_all = supports_all && ft.supports(op);
+      if (!supports_all) continue;
+      Datapath cand = base;
+      cand.fus[i].type = t;
+      cand.invalidate_fingerprint();
+      if (!schedule_datapath(cand, lib, pt, kNoDeadline).ok) continue;
+      cands.push_back(std::move(cand));
+    }
+  }
+  const int n = static_cast<int>(cands.size());
+  if (n < 8) {
+    std::fprintf(stderr, "too few candidates: %d\n", n);
+    return 1;
+  }
+
+  // One costing pass; returns the summed candidate costs (the
+  // determinism witness).
+  const auto pass = [&]() -> double {
+    std::vector<double> totals(static_cast<std::size_t>(n), 0);
+    runtime::parallel_for(n, [&](int i) {
+      const Datapath& dp = cands[static_cast<std::size_t>(i)];
+      const EnergyBreakdown e = energy_of(dp, 0, trace, lib, pt);
+      const AreaBreakdown a = area_of(dp, lib);
+      totals[static_cast<std::size_t>(i)] = e.total() + a.total();
+    });
+    double sum = 0;
+    for (const double t : totals) sum += t;
+    return sum;
+  };
+
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  std::vector<Row> rows;
+  double ref_sum = 0;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 8}) {
+    runtime::set_threads(threads);
+    Row row;
+    row.threads = threads;
+    const std::uint64_t cross0 = shared_cache_cross_hits();
+    for (int rep = 0; rep < kReps; ++rep) {
+      eng.clear();
+      const auto t0 = std::chrono::steady_clock::now();
+      const double cold_sum = pass();
+      row.cold_s += now_minus(t0);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double warm_sum = pass();
+      row.warm_s += now_minus(t1);
+      if (rows.empty() && rep == 0) ref_sum = cold_sum;
+      deterministic = deterministic && cold_sum == ref_sum && warm_sum == ref_sum;
+    }
+    row.cross_thread_hits = shared_cache_cross_hits() - cross0;
+    rows.push_back(row);
+  }
+
+  std::string json = "{\n  \"bench\": \"eval_cache\",\n";
+  json += "  \"design\": \"paulin\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"candidates\": %d,\n  \"trace_samples\": %d,\n"
+                "  \"deterministic\": %s,\n  \"sweep\": [\n",
+                n, kTraceSamples, deterministic ? "true" : "false");
+  json += buf;
+  bool speedup_ok = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup = r.warm_s > 0 ? r.cold_s / r.warm_s : 0;
+    speedup_ok = speedup_ok && speedup >= 1.5;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"threads\": %d, \"cold_s\": %.4f, \"warm_s\": %.4f, "
+                  "\"warm_speedup\": %.2f, \"cross_thread_hits\": %llu}%s\n",
+                  r.threads, r.cold_s, r.warm_s, speedup,
+                  static_cast<unsigned long long>(r.cross_thread_hits),
+                  i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  ],\n  \"warm_speedup_ok\": %s\n}\n",
+                speedup_ok ? "true" : "false");
+  json += buf;
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_eval.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_eval.json\n");
+    return 1;
+  }
+  return deterministic ? 0 : 1;
+}

@@ -18,3 +18,4 @@ hsyn_bench(bench_physical)
 hsyn_bench(bench_transforms)
 hsyn_bench(bench_scaling)
 hsyn_bench(bench_runtime)
+hsyn_bench(bench_eval)

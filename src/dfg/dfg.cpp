@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/fmt.h"
+#include "util/hash.h"
 
 namespace hsyn {
 
@@ -229,9 +230,88 @@ void Dfg::compute_topo() {
                                 name_.c_str(), topo_.size(), n));
 }
 
+std::uint64_t Dfg::content_hash() const {
+  check(validated_, "Dfg::content_hash requires validate()");
+  return content_hash_;
+}
+
+std::uint64_t Dfg::canonical_hash() const {
+  check(validated_, "Dfg::canonical_hash requires validate()");
+  return canonical_hash_;
+}
+
+void Dfg::compute_hashes() {
+  // --- content hash: exact id-indexed structure (labels/name excluded). ---
+  std::uint64_t h = kFnvOffset;
+  h = hash_mix(h, static_cast<std::uint64_t>(num_inputs_));
+  h = hash_mix(h, static_cast<std::uint64_t>(num_outputs_));
+  h = hash_mix(h, nodes_.size());
+  h = hash_mix(h, edges_.size());
+  for (const Node& n : nodes_) {
+    h = hash_mix(h, static_cast<std::uint64_t>(n.op));
+    h = hash_str(h, n.behavior);
+    h = hash_mix(h, static_cast<std::uint64_t>(n.num_inputs));
+    h = hash_mix(h, static_cast<std::uint64_t>(n.num_outputs));
+  }
+  for (const Edge& e : edges_) {
+    h = hash_mix(h, static_cast<std::uint64_t>(e.src.node));
+    h = hash_mix(h, static_cast<std::uint64_t>(e.src.port));
+    h = hash_mix(h, e.dsts.size());
+    for (const PortRef& d : e.dsts) {
+      h = hash_mix(h, static_cast<std::uint64_t>(d.node));
+      h = hash_mix(h, static_cast<std::uint64_t>(d.port));
+    }
+  }
+  content_hash_ = hash_final(h);
+
+  // --- canonical hash: renumbering-invariant DAG hash. Each node's hash
+  // depends only on its op/behavior/arity and the hashes of its input
+  // sources (in port order); topo order guarantees producers are hashed
+  // first. The graph hash anchors primary outputs (ordered) and folds the
+  // remaining nodes in as an order-free multiset sum, so dead nodes still
+  // count without introducing id sensitivity.
+  std::vector<std::uint64_t> node_h(nodes_.size(), 0);
+  const auto source_hash = [&](int eid) -> std::uint64_t {
+    const Edge& e = edges_[static_cast<std::size_t>(eid)];
+    if (e.src.node == kPrimaryIn) {
+      return hash_final(hash_mix(hash_mix(kFnvOffset, 1),
+                                 static_cast<std::uint64_t>(e.src.port)));
+    }
+    return hash_final(hash_mix(
+        hash_mix(node_h[static_cast<std::size_t>(e.src.node)], 2),
+        static_cast<std::uint64_t>(e.src.port)));
+  };
+  for (const int nid : topo_) {
+    const Node& n = nodes_[static_cast<std::size_t>(nid)];
+    std::uint64_t nh = kFnvOffset;
+    nh = hash_mix(nh, static_cast<std::uint64_t>(n.op));
+    nh = hash_str(nh, n.behavior);
+    nh = hash_mix(nh, static_cast<std::uint64_t>(n.num_inputs));
+    nh = hash_mix(nh, static_cast<std::uint64_t>(n.num_outputs));
+    for (int p = 0; p < n.num_inputs; ++p) {
+      nh = hash_mix(nh, source_hash(node_in_[static_cast<std::size_t>(nid)]
+                                            [static_cast<std::size_t>(p)]));
+    }
+    node_h[static_cast<std::size_t>(nid)] = hash_final(nh);
+  }
+  std::uint64_t ch = kFnvOffset;
+  ch = hash_mix(ch, static_cast<std::uint64_t>(num_inputs_));
+  ch = hash_mix(ch, static_cast<std::uint64_t>(num_outputs_));
+  for (int p = 0; p < num_outputs_; ++p) {
+    ch = hash_mix(ch, source_hash(pout_edge_[static_cast<std::size_t>(p)]));
+  }
+  std::uint64_t multiset = 0;
+  for (const std::uint64_t nh : node_h) {
+    multiset += hash_final(nh ^ 0xa5a5a5a5a5a5a5a5ull);
+  }
+  ch = hash_mix(ch, multiset);
+  canonical_hash_ = hash_final(ch);
+}
+
 void Dfg::validate() {
   build_tables();
   compute_topo();
+  compute_hashes();
   validated_ = true;
 }
 

@@ -15,6 +15,7 @@
 // by the HYPER-era benchmarks the paper evaluates.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -147,10 +148,26 @@ class Dfg {
   /// True when validate() succeeded since the last mutation.
   bool validated() const { return validated_; }
 
+  /// Structural content hash over ops, hier behavior names, arities and the
+  /// id-indexed edge structure. Two DFGs with equal node/edge tables (ids
+  /// included, labels and name excluded) hash equal; any structural mutation
+  /// changes the hash. Computed once by validate() and cached -- mutators
+  /// invalidate, so a validated DFG's hash is always current. This is the
+  /// identity used by evaluation caches, where node/edge *indices* matter
+  /// (bindings and edge-value tables are id-addressed).
+  std::uint64_t content_hash() const;
+
+  /// Canonical DAG hash: invariant under node/edge renumbering and
+  /// construction order. Two DFGs describing the same graph -- however their
+  /// nodes were added -- hash equal; any structural change (op, wiring,
+  /// arity, hier behavior) changes the hash. Computed once by validate().
+  std::uint64_t canonical_hash() const;
+
  private:
   void invalidate() { validated_ = false; }
   void build_tables();
   void compute_topo();
+  void compute_hashes();
 
   std::string name_;
   int num_inputs_ = 0;
@@ -165,6 +182,8 @@ class Dfg {
   std::vector<int> pin_edge_;               // [primary input] -> edge id
   std::vector<int> pout_edge_;              // [primary output] -> edge id
   std::vector<int> topo_;
+  std::uint64_t content_hash_ = 0;
+  std::uint64_t canonical_hash_ = 0;
 };
 
 }  // namespace hsyn

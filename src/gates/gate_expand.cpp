@@ -1,6 +1,6 @@
 #include "gates/gate_expand.h"
 
-#include <map>
+#include <array>
 #include <sstream>
 
 #include "rtl/cost.h"
@@ -9,19 +9,32 @@
 namespace hsyn::gates {
 namespace {
 
+/// Per-op gate costs, one eager table for the whole process instead of
+/// the old per-thread lazy memo: there are only ~10 ops, so computing
+/// them all once up front is cheaper than one thread's first pass, needs
+/// no locking, and every worker thread shares the same table.
+const GateCost& op_gate_cost(Op op) {
+  static const auto table = [] {
+    constexpr std::size_t n = static_cast<std::size_t>(Op::Hier);
+    std::array<GateCost, n> t;
+    for (std::size_t i = 0; i < n; ++i) t[i] = gate_cost(static_cast<Op>(i));
+    return t;
+  }();
+  const std::size_t i = static_cast<std::size_t>(op);
+  check(i < table.size(), "op_gate_cost: hierarchical op has no gate cost");
+  return table[i];
+}
+
 /// Gate cost of a functional-unit type: the union of its operations'
 /// networks (a multifunction ALU pays for each function plus a result
 /// mux), chained types pay per element.
 GateCost fu_gate_cost(const FuType& t) {
-  // thread_local: gate expansion may run under the parallel runtime.
-  thread_local std::map<Op, GateCost> memo;
   GateCost total;
   for (const Op op : t.ops) {
-    auto it = memo.find(op);
-    if (it == memo.end()) it = memo.emplace(op, gate_cost(op)).first;
-    total.gates += it->second.gates;
-    total.area += it->second.area;
-    total.depth = std::max(total.depth, it->second.depth);
+    const GateCost& c = op_gate_cost(op);
+    total.gates += c.gates;
+    total.area += c.area;
+    total.depth = std::max(total.depth, c.depth);
   }
   if (t.ops.size() > 1) {
     // Result selection mux per extra function.

@@ -1,13 +1,20 @@
 #include "library/library.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/fmt.h"
 
 namespace hsyn {
 
+void Library::refresh_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  uid_ = counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 int Library::add_fu(FuType fu) {
+  refresh_uid();
   check(!fu.name.empty(), "functional unit type must be named");
   check(find_fu(fu.name) == -1, "duplicate fu type " + fu.name);
   check(!fu.ops.empty() && fu.area > 0 && fu.delay_ns > 0,

@@ -10,6 +10,7 @@
 // types round out the library for the filter and DCT benchmarks.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,10 +41,24 @@ class Library {
   int find_fu(const std::string& name) const;
 
   const RegType& reg() const { return reg_; }
-  void set_reg(RegType r) { reg_ = r; }
+  void set_reg(RegType r) {
+    reg_ = r;
+    refresh_uid();
+  }
 
   const StructureCosts& costs() const { return costs_; }
-  StructureCosts& costs_mut() { return costs_; }
+  StructureCosts& costs_mut() {
+    refresh_uid();
+    return costs_;
+  }
+
+  /// Stable identity for evaluation-cache keys. A fresh id is drawn from a
+  /// process-wide counter at construction and after every mutating access
+  /// (add_fu / set_reg / costs_mut), so a cost cached under one uid can
+  /// never be served after the library changed -- unlike hashing `this`,
+  /// which aliases under allocator address reuse. Copies keep the source's
+  /// uid (they are content-equal until mutated).
+  std::uint64_t uid() const { return uid_; }
 
   /// Ids of all types that can execute `op`.
   std::vector<int> types_for(Op op) const;
@@ -62,9 +77,12 @@ class Library {
   double min_delay_ns(Op op) const;
 
  private:
+  void refresh_uid();
+
   std::vector<FuType> fus_;
   RegType reg_;
   StructureCosts costs_;
+  std::uint64_t uid_ = 0;
 };
 
 /// Build the default library described above.

@@ -6,9 +6,12 @@
 #include <memory>
 #include <numeric>
 
+#include "eval/engine.h"
 #include "rtl/cost.h"
+#include "rtl/fingerprint.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
+#include "util/hash.h"
 
 namespace hsyn {
 namespace {
@@ -37,67 +40,7 @@ std::pair<int, int> tuple_toggles(const std::vector<std::int32_t>& a,
   return {ham, static_cast<int>(n) * 16};
 }
 
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-/// Structural fingerprint of everything the energy of `dp` depends on:
-/// unit types, bindings, schedules, register assignment, nested children.
-std::uint64_t structure_fingerprint(const Datapath& dp) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const FuUnit& fu : dp.fus) h = mix(h, static_cast<std::uint64_t>(fu.type));
-  h = mix(h, dp.regs.size());
-  for (const BehaviorImpl& bi : dp.behaviors) {
-    h = mix(h, reinterpret_cast<std::uintptr_t>(bi.dfg));
-    // Guard against allocator address reuse: mix in the DFG's content
-    // (two transformed variants can share an address, a name and sizes).
-    h = mix(h, bi.dfg->nodes().size());
-    h = mix(h, bi.dfg->edges().size());
-    for (const char ch : bi.dfg->name()) {
-      h = mix(h, static_cast<unsigned char>(ch));
-    }
-    for (const Node& n : bi.dfg->nodes()) {
-      h = mix(h, static_cast<std::uint64_t>(n.op));
-    }
-    for (const Edge& e : bi.dfg->edges()) {
-      h = mix(h, static_cast<std::uint64_t>(e.src.node + 3) * 64 +
-                     static_cast<std::uint64_t>(e.src.port));
-      for (const PortRef& d : e.dsts) {
-        h = mix(h, static_cast<std::uint64_t>(d.node + 3) * 64 +
-                       static_cast<std::uint64_t>(d.port));
-      }
-    }
-    for (const Invocation& inv : bi.invs) {
-      h = mix(h, static_cast<std::uint64_t>(inv.unit.idx) * 4 +
-                     static_cast<std::uint64_t>(inv.unit.kind));
-      for (const int n : inv.nodes) h = mix(h, static_cast<std::uint64_t>(n));
-    }
-    for (const int r : bi.edge_reg) h = mix(h, static_cast<std::uint64_t>(r + 1));
-    for (const int st : bi.inv_start) h = mix(h, static_cast<std::uint64_t>(st));
-    for (const int a : bi.input_arrival) h = mix(h, static_cast<std::uint64_t>(a));
-  }
-  for (const ChildUnit& c : dp.children) {
-    h = mix(h, structure_fingerprint(*c.impl));
-  }
-  return h;
-}
-
-std::uint64_t trace_fp(const Trace& t) {
-  std::uint64_t h = 1469598103934665603ULL;
-  h = mix(h, t.size());
-  for (const Sample& smp : t) {
-    h = mix(h, smp.size());
-    for (const std::int32_t v : smp) h = mix(h, static_cast<std::uint32_t>(v));
-  }
-  return h;
-}
-
-// Move evaluation calls energy_of thousands of times per pass, usually on
-// candidates whose children are untouched; memoizing on the structural
-// fingerprint makes hierarchical power synthesis as cheap per candidate
-// as flattened synthesis.
-thread_local std::map<std::uint64_t, EnergyBreakdown> g_energy_cache;
+constexpr std::uint64_t kEnergyTag = 0xE4E26FE4E26F0004ull;
 
 }  // namespace
 
@@ -117,16 +60,22 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
   const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
   check(bi.scheduled, "energy_of: behavior not scheduled");
 
-  std::uint64_t key = structure_fingerprint(dp);
-  key = mix(key, static_cast<std::uint64_t>(b));
-  key = mix(key, trace_fp(trace));
-  key = mix(key, static_cast<std::uint64_t>(pt.vdd * 4096));
-  key = mix(key, static_cast<std::uint64_t>(pt.clk_ns * 4096));
-  key = mix(key, top_level ? 1 : 2);
-  key = mix(key, reinterpret_cast<std::uintptr_t>(&lib));
-  if (auto cached = g_energy_cache.find(key); cached != g_energy_cache.end()) {
-    return cached->second;
-  }
+  // Move evaluation calls energy_of thousands of times per pass, usually
+  // on candidates whose children are untouched; memoizing on the
+  // structural fingerprint makes hierarchical power synthesis as cheap
+  // per candidate as flattened synthesis. The cache is shared across the
+  // runtime's workers, so a candidate evaluated by one thread is a hit
+  // for every other thread.
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  std::uint64_t ctx = hash_mix(kEnergyTag, static_cast<std::uint64_t>(b));
+  ctx = hash_double(ctx, pt.vdd);       // exact bits: operating points
+  ctx = hash_double(ctx, pt.clk_ns);    // must never alias in the key
+  ctx = hash_mix(ctx, top_level ? 1 : 2);
+  ctx = hash_mix(ctx, lib.uid());
+  const eval::Key key{structure_fingerprint(dp), trace_fingerprint(trace),
+                      hash_final(ctx)};
+  const auto cached = eng.energy_cache().get(key);
+  if (cached && !eng.verify()) return *cached;
 
   const Dfg& dfg = *bi.dfg;
   const StructureCosts& sc = lib.costs();
@@ -142,8 +91,10 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
   const double mux_cap = sc.mux_cap_per_input * wire_scale;
   const std::size_t T = trace.size();
 
-  const auto edge_vals = eval_dfg_edges(dfg, resolver_of(dp), trace);
-  const Connectivity conn = connectivity_of(dp);
+  const auto edge_vals_ptr = eval_dfg_edges_shared(dfg, resolver_of(dp), trace);
+  const auto& edge_vals = *edge_vals_ptr;
+  const auto conn_ptr = eng.connectivity(dp);
+  const Connectivity& conn = *conn_ptr;
 
   // Invocation order within a sample: by start cycle then index.
   std::vector<int> order(bi.invs.size());
@@ -296,8 +247,14 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
   eb.mux *= inv_T;
   eb.wire *= inv_T;
   eb.ctrl *= inv_T;
-  if (g_energy_cache.size() > 8192) g_energy_cache.clear();
-  g_energy_cache.emplace(key, eb);
+  if (cached) {
+    check(cached->fu == eb.fu && cached->reg == eb.reg &&
+              cached->mux == eb.mux && cached->wire == eb.wire &&
+              cached->ctrl == eb.ctrl && cached->children == eb.children,
+          "eval verify: cached energy diverges from recompute");
+    return *cached;
+  }
+  eng.energy_cache().put(key, eb, sizeof(EnergyBreakdown));
   return eb;
 }
 

@@ -1,10 +1,11 @@
 #include "power/trace.h"
 
 #include <bit>
-#include <map>
 
+#include "eval/engine.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace hsyn {
@@ -55,65 +56,25 @@ Trace make_trace(int num_inputs, int num_samples, std::uint64_t seed,
   return trace;
 }
 
-namespace {
-
-/// FNV-1a over the trace contents, mixed with the channel count.
 std::uint64_t trace_fingerprint(const Trace& t) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  mix(t.size());
+  std::uint64_t h = kFnvOffset;
+  h = hash_mix(h, t.size());
   for (const Sample& s : t) {
-    mix(s.size());
-    for (const std::int32_t v : s) mix(static_cast<std::uint32_t>(v));
-  }
-  return h;
-}
-
-struct EvalCacheEntry {
-  std::uint64_t fingerprint = 0;
-  std::vector<std::vector<std::int32_t>> values;
-};
-
-// Value evaluation is binding-independent, so the move engine asks for
-// the same (dfg, trace) combination thousands of times per pass; a
-// single-slot-per-DFG memo removes almost all of that work.
-thread_local std::map<const Dfg*, EvalCacheEntry> g_eval_cache;
-
-}  // namespace
-
-std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
-                                                      const BehaviorResolver& res,
-                                                      const Trace& inputs) {
-  check(dfg.validated(), "eval_dfg_edges: dfg must be validated");
-  std::uint64_t fp = trace_fingerprint(inputs);
-  // Mix in the full DFG structure so a recycled allocation at the same
-  // address (e.g. a different transformed variant of the same graph)
-  // cannot alias a stale entry.
-  auto mixin = [&fp](std::uint64_t v) {
-    fp ^= v + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
-  };
-  mixin(dfg.nodes().size());
-  mixin(dfg.edges().size());
-  for (const char c : dfg.name()) mixin(static_cast<unsigned char>(c));
-  for (const Node& n : dfg.nodes()) {
-    mixin(static_cast<std::uint64_t>(n.op));
-    for (const char c : n.behavior) mixin(static_cast<unsigned char>(c));
-  }
-  for (const Edge& e : dfg.edges()) {
-    mixin(static_cast<std::uint64_t>(e.src.node + 3) * 64 +
-          static_cast<std::uint64_t>(e.src.port));
-    for (const PortRef& d : e.dsts) {
-      mixin(static_cast<std::uint64_t>(d.node + 3) * 64 +
-            static_cast<std::uint64_t>(d.port));
+    h = hash_mix(h, s.size());
+    for (const std::int32_t v : s) {
+      h = hash_mix(h, static_cast<std::uint32_t>(v));
     }
   }
-  if (auto it = g_eval_cache.find(&dfg);
-      it != g_eval_cache.end() && it->second.fingerprint == fp) {
-    return it->second.values;
-  }
+  return hash_final(h);
+}
+
+namespace {
+
+constexpr std::uint64_t kEdgeValsContext = 0xEDEA15EDEA150003ull;
+
+/// The actual evaluator behind both eval_dfg_edges entry points.
+std::vector<std::vector<std::int32_t>> eval_dfg_edges_uncached(
+    const Dfg& dfg, const BehaviorResolver& res, const Trace& inputs) {
   std::vector<std::vector<std::int32_t>> vals(
       inputs.size(), std::vector<std::int32_t>(dfg.edges().size(), 0));
   // Samples are independent (the DFG is a pure function of one sample's
@@ -159,14 +120,55 @@ std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
       }
     }
   });
-  if (g_eval_cache.size() > 256) g_eval_cache.clear();
-  g_eval_cache[&dfg] = {fp, vals};
   return vals;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<std::vector<std::int32_t>>>
+eval_dfg_edges_shared(const Dfg& dfg, const BehaviorResolver& res,
+                      const Trace& inputs) {
+  check(dfg.validated(), "eval_dfg_edges: dfg must be validated");
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  const eval::Key key{dfg.content_hash(), trace_fingerprint(inputs),
+                      kEdgeValsContext};
+  // Hierarchical-node recursion evaluates child DFGs one sample at a
+  // time; those tiny results would churn the cache, so only multi-sample
+  // evaluations -- the move engine's hot path -- are memoized.
+  const bool cacheable = inputs.size() > 1;
+  std::shared_ptr<const std::vector<std::vector<std::int32_t>>> cached;
+  if (cacheable) {
+    if (auto hit = eng.edge_values_cache().get(key)) {
+      if (!eng.verify()) return *hit;
+      cached = *hit;
+    }
+  }
+  auto vals = std::make_shared<const std::vector<std::vector<std::int32_t>>>(
+      eval_dfg_edges_uncached(dfg, res, inputs));
+  if (cached != nullptr) {
+    check(*cached == *vals,
+          "eval verify: cached edge values diverge from recompute");
+    return cached;
+  }
+  if (cacheable) {
+    const std::size_t bytes =
+        inputs.size() * (sizeof(std::vector<std::int32_t>) +
+                         dfg.edges().size() * sizeof(std::int32_t));
+    eng.edge_values_cache().put(key, vals, bytes);
+  }
+  return vals;
+}
+
+std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
+                                                      const BehaviorResolver& res,
+                                                      const Trace& inputs) {
+  return *eval_dfg_edges_shared(dfg, res, inputs);
 }
 
 std::vector<Sample> eval_dfg(const Dfg& dfg, const BehaviorResolver& res,
                              const Trace& inputs) {
-  const auto edge_vals = eval_dfg_edges(dfg, res, inputs);
+  const auto edge_vals_ptr = eval_dfg_edges_shared(dfg, res, inputs);
+  const auto& edge_vals = *edge_vals_ptr;
   std::vector<Sample> out(inputs.size(),
                           Sample(static_cast<std::size_t>(dfg.num_outputs())));
   for (std::size_t t = 0; t < inputs.size(); ++t) {

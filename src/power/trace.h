@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b);
 Trace make_trace(int num_inputs, int num_samples, std::uint64_t seed,
                  double step_fraction = 0.05);
 
+/// Deterministic content fingerprint of a trace -- the stimulus half of
+/// every evaluation-cache key (eval/cache.h).
+std::uint64_t trace_fingerprint(const Trace& t);
+
 /// Resolves a hierarchical behavior name to a DFG implementing it
 /// (any functionally equivalent variant produces the same values).
 using BehaviorResolver = std::function<const Dfg*(const std::string&)>;
@@ -46,6 +51,16 @@ using BehaviorResolver = std::function<const Dfg*(const std::string&)>;
 std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
                                                       const BehaviorResolver& res,
                                                       const Trace& inputs);
+
+/// Same values, shared: the result is memoized in the process-wide
+/// evaluation cache under (Dfg::content_hash, trace_fingerprint) -- a
+/// content key, so a recycled allocation can never alias a stale entry
+/// -- and handed out by shared_ptr so repeated evaluation of one
+/// (dfg, trace) pair costs no copies. Functionally equivalent resolver
+/// variants share entries by the BehaviorResolver contract above.
+std::shared_ptr<const std::vector<std::vector<std::int32_t>>>
+eval_dfg_edges_shared(const Dfg& dfg, const BehaviorResolver& res,
+                      const Trace& inputs);
 
 /// Primary-output values per sample.
 std::vector<Sample> eval_dfg(const Dfg& dfg, const BehaviorResolver& res,

@@ -1,7 +1,9 @@
 #include "rtl/cost.h"
 
 #include <algorithm>
+#include <set>
 
+#include "eval/engine.h"
 #include "util/fmt.h"
 
 namespace hsyn {
@@ -96,6 +98,71 @@ Connectivity connectivity_of(const Datapath& dp) {
   return c;
 }
 
+Connectivity refresh_connectivity(const Datapath& dp, const Connectivity& base,
+                                  const DirtyRegion& dirty) {
+  Connectivity c = base;
+  // Rows appended since `base` start empty and are treated as dirty.
+  std::set<int> dirty_fus(dirty.fus.begin(), dirty.fus.end());
+  std::set<int> dirty_children(dirty.children.begin(), dirty.children.end());
+  std::set<int> dirty_regs(dirty.regs.begin(), dirty.regs.end());
+  for (std::size_t i = c.fu_port_srcs.size(); i < dp.fus.size(); ++i) {
+    dirty_fus.insert(static_cast<int>(i));
+  }
+  for (std::size_t i = c.child_port_srcs.size(); i < dp.children.size(); ++i) {
+    dirty_children.insert(static_cast<int>(i));
+  }
+  for (std::size_t i = c.reg_srcs.size(); i < dp.regs.size(); ++i) {
+    dirty_regs.insert(static_cast<int>(i));
+  }
+  c.fu_port_srcs.resize(dp.fus.size());
+  c.child_port_srcs.resize(dp.children.size());
+  c.reg_srcs.resize(dp.regs.size());
+  for (const int f : dirty_fus) {
+    if (f >= 0 && f < static_cast<int>(c.fu_port_srcs.size())) {
+      c.fu_port_srcs[static_cast<std::size_t>(f)].clear();
+    }
+  }
+  for (const int ch : dirty_children) {
+    if (ch >= 0 && ch < static_cast<int>(c.child_port_srcs.size())) {
+      c.child_port_srcs[static_cast<std::size_t>(ch)].clear();
+    }
+  }
+  for (const int r : dirty_regs) {
+    if (r >= 0 && r < static_cast<int>(c.reg_srcs.size())) {
+      c.reg_srcs[static_cast<std::size_t>(r)].clear();
+    }
+  }
+
+  // Same traversal as connectivity_of, restricted to the dirty rows.
+  for (std::size_t b = 0; b < dp.behaviors.size(); ++b) {
+    const BehaviorImpl& bi = dp.behaviors[b];
+    for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+      const Invocation& inv = bi.invs[i];
+      const bool is_fu = inv.unit.kind == UnitRef::Kind::Fu;
+      if (is_fu ? !dirty_fus.count(inv.unit.idx)
+                : !dirty_children.count(inv.unit.idx)) {
+        continue;
+      }
+      const std::vector<int> ins = dp.inv_input_edges(static_cast<int>(b),
+                                                      static_cast<int>(i));
+      auto& ports = is_fu
+                        ? c.fu_port_srcs[static_cast<std::size_t>(inv.unit.idx)]
+                        : c.child_port_srcs[static_cast<std::size_t>(inv.unit.idx)];
+      if (ports.size() < ins.size()) ports.resize(ins.size());
+      for (std::size_t p = 0; p < ins.size(); ++p) {
+        const int r = bi.edge_reg[static_cast<std::size_t>(ins[p])];
+        if (r >= 0) ports[p].insert(r);
+      }
+    }
+    for (const Edge& e : bi.dfg->edges()) {
+      const int r = bi.edge_reg[static_cast<std::size_t>(e.id)];
+      if (r < 0 || !dirty_regs.count(r)) continue;
+      c.reg_srcs[static_cast<std::size_t>(r)].insert(edge_source(dp, bi, e.id));
+    }
+  }
+  return c;
+}
+
 int controller_states(const Datapath& dp) {
   int states = 0;
   for (const BehaviorImpl& bi : dp.behaviors) {
@@ -105,24 +172,23 @@ int controller_states(const Datapath& dp) {
   return states;
 }
 
-AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level) {
+AreaBreakdown area_of_level(const Datapath& dp, const Library& lib,
+                            bool top_level, const Connectivity& conn) {
   const StructureCosts& sc = lib.costs();
   AreaBreakdown a;
   for (const FuUnit& fu : dp.fus) {
     a.fu += lib.fu(fu.type).area;
   }
   a.reg = static_cast<double>(dp.regs.size()) * lib.reg().area;
-
-  const Connectivity conn = connectivity_of(dp);
   a.mux = sc.mux_area_per_input * conn.mux_inputs();
   a.wire = (top_level ? sc.wire_area_global : sc.wire_area_local) * conn.net_sinks();
   a.ctrl = sc.ctrl_area_per_state * controller_states(dp) +
            sc.ctrl_area_per_signal * conn.control_signals();
-
-  for (const ChildUnit& ch : dp.children) {
-    a.children += area_of(*ch.impl, lib, /*top_level=*/false).total();
-  }
   return a;
+}
+
+AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level) {
+  return eval::EvalEngine::instance().area(dp, lib, top_level);
 }
 
 }  // namespace hsyn

@@ -43,10 +43,35 @@ struct Connectivity {
 
   /// Number of mux select / register enable control signals.
   [[nodiscard]] int control_signals() const;
+
+  friend bool operator==(const Connectivity&, const Connectivity&) = default;
 };
 
 /// Compute connectivity across all behaviors of `dp` (this level only).
 Connectivity connectivity_of(const Datapath& dp);
+
+/// The part of a datapath level a move touched, as reported by the move
+/// generator. Indices refer to the *mutated* datapath; a hint is only
+/// valid while those indices match the datapath it was derived for (in
+/// particular, not across prune_unused() compaction). Listing a row that
+/// did not actually change is harmless -- it is rebuilt to the same
+/// content; omitting a changed row is not.
+struct DirtyRegion {
+  std::vector<int> fus;       ///< fu indices whose input wiring may differ
+  std::vector<int> children;  ///< child indices whose input wiring may differ
+  std::vector<int> regs;      ///< registers whose producing sources may differ
+  /// false: the move provably did not change any binding (e.g. a pure
+  /// library-type swap), so the base connectivity is reusable verbatim.
+  bool binding_changed = true;
+};
+
+/// Incrementally derive `dp`'s connectivity from `base` (the pre-move
+/// level's connectivity) by rebuilding only the rows named in `dirty`
+/// plus any rows appended since `base`. With a complete hint this equals
+/// connectivity_of(dp) exactly; callers unsure of completeness fall back
+/// to the full recompute.
+Connectivity refresh_connectivity(const Datapath& dp, const Connectivity& base,
+                                  const DirtyRegion& dirty);
 
 struct AreaBreakdown {
   double fu = 0;
@@ -60,8 +85,15 @@ struct AreaBreakdown {
 };
 
 /// Recursive area of a datapath. `top_level` selects global wire pricing
-/// at this level; nested levels always price wires locally.
+/// at this level; nested levels always price wires locally. Memoized on
+/// the datapath's structural fingerprint (eval::EvalEngine).
 AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level = true);
+
+/// Area of this level only (children excluded, `children` field left 0),
+/// against a precomputed connectivity. area_of() == area_of_level of
+/// every level plus the recursive child totals, summed in child order.
+AreaBreakdown area_of_level(const Datapath& dp, const Library& lib,
+                            bool top_level, const Connectivity& conn);
 
 /// Number of controller states at this level: behaviors time-share one
 /// FSM, so states add up across behaviors.

@@ -23,6 +23,48 @@ ChildUnit& ChildUnit::operator=(const ChildUnit& other) {
 
 ChildUnit::~ChildUnit() = default;
 
+Datapath::Datapath(const Datapath& other)
+    : name(other.name),
+      fus(other.fus),
+      regs(other.regs),
+      children(other.children),
+      behaviors(other.behaviors),
+      fp_cache_(other.fp_cache_.load(std::memory_order_relaxed)) {}
+
+Datapath& Datapath::operator=(const Datapath& other) {
+  if (this != &other) {
+    name = other.name;
+    fus = other.fus;
+    regs = other.regs;
+    children = other.children;
+    behaviors = other.behaviors;
+    fp_cache_.store(other.fp_cache_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Datapath::Datapath(Datapath&& other) noexcept
+    : name(std::move(other.name)),
+      fus(std::move(other.fus)),
+      regs(std::move(other.regs)),
+      children(std::move(other.children)),
+      behaviors(std::move(other.behaviors)),
+      fp_cache_(other.fp_cache_.load(std::memory_order_relaxed)) {}
+
+Datapath& Datapath::operator=(Datapath&& other) noexcept {
+  if (this != &other) {
+    name = std::move(other.name);
+    fus = std::move(other.fus);
+    regs = std::move(other.regs);
+    children = std::move(other.children);
+    behaviors = std::move(other.behaviors);
+    fp_cache_.store(other.fp_cache_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 int BehaviorImpl::inv_of(int node) const {
   check(node >= 0 && node < static_cast<int>(node_inv.size()),
         "inv_of: node out of range");
@@ -156,7 +198,7 @@ int Datapath::total_components() const {
   return n;
 }
 
-void Datapath::prune_unused() {
+bool Datapath::prune_unused() {
   std::vector<int> fu_map(fus.size(), -1);
   std::vector<int> child_map(children.size(), -1);
   std::vector<int> reg_map(regs.size(), -1);
@@ -194,6 +236,9 @@ void Datapath::prune_unused() {
       new_regs.push_back(regs[i]);
     }
   }
+  const bool changed = new_fus.size() != fus.size() ||
+                       new_children.size() != children.size() ||
+                       new_regs.size() != regs.size();
   fus = std::move(new_fus);
   children = std::move(new_children);
   regs = std::move(new_regs);
@@ -206,6 +251,8 @@ void Datapath::prune_unused() {
       if (r >= 0) r = reg_map[static_cast<std::size_t>(r)];
     }
   }
+  if (changed) invalidate_fingerprint();
+  return changed;
 }
 
 void Datapath::validate(const Library& lib) const {

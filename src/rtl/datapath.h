@@ -19,6 +19,8 @@
 // the synthesizer) must outlive every Datapath referencing them.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,6 +104,13 @@ class Datapath {
 
   Datapath() = default;
   explicit Datapath(std::string n) : name(std::move(n)) {}
+  // The fingerprint cache is an atomic (shared candidate bases are read
+  // concurrently by runtime workers), so copies are spelled out; a copy is
+  // content-equal and keeps the cached fingerprint.
+  Datapath(const Datapath& other);
+  Datapath& operator=(const Datapath& other);
+  Datapath(Datapath&& other) noexcept;
+  Datapath& operator=(Datapath&& other) noexcept;
 
   // ---- Behavior queries -------------------------------------------------
 
@@ -145,7 +154,10 @@ class Datapath {
                                     const OpPoint& pt) const;
 
   /// Drop invocations/registers with no bound work and compact indices.
-  void prune_unused();
+  /// Returns true when anything changed (units/regs removed, indices
+  /// compacted) -- callers use this to decide whether incremental cost
+  /// hints computed against pre-prune indices are still valid.
+  bool prune_unused();
 
   /// Structural invariants: every node covered by exactly one invocation,
   /// unit kinds compatible with bound ops, chain groups contiguous
@@ -155,6 +167,30 @@ class Datapath {
 
   /// Total number of component instances (recursively).
   [[nodiscard]] int total_components() const;
+
+  // ---- Structural fingerprint (defined in rtl/fingerprint.cpp) ----------
+
+  /// Cached structural fingerprint of this subtree: component set, bindings,
+  /// register assignment, schedules, and each behavior DFG's content hash.
+  /// Maintained incrementally -- mutation sites call invalidate_fingerprint()
+  /// and untouched children keep their cached values, so steady-state cost
+  /// queries are O(changed region), not O(design).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Cache-free recompute of the whole subtree (verification/debugging).
+  [[nodiscard]] std::uint64_t fingerprint_scratch() const;
+
+  /// Drop the cached fingerprint of *this level* (children keep theirs).
+  /// Must be called after any structural/schedule mutation that does not go
+  /// through prune_unused() or the scheduler.
+  void invalidate_fingerprint() {
+    fp_cache_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // 0 = not cached. Computed fingerprints are remapped away from 0. Benign
+  // racing recomputes store the same value, so relaxed ordering suffices.
+  mutable std::atomic<std::uint64_t> fp_cache_{0};
 };
 
 }  // namespace hsyn

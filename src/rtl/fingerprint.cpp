@@ -1,0 +1,81 @@
+#include "rtl/fingerprint.h"
+
+#include "util/fmt.h"
+#include "util/hash.h"
+
+namespace hsyn {
+namespace {
+
+// Hash of one datapath level (everything except nested children's
+// internals). `child_fp(i)` supplies each child's subtree hash, letting the
+// cached and scratch paths share the traversal.
+template <typename ChildFp>
+std::uint64_t level_hash(const Datapath& dp, ChildFp&& child_fp) {
+  std::uint64_t h = kFnvOffset;
+  h = hash_mix(h, dp.fus.size());
+  for (const FuUnit& fu : dp.fus) {
+    h = hash_mix(h, static_cast<std::uint64_t>(fu.type));
+  }
+  h = hash_mix(h, dp.regs.size());
+  h = hash_mix(h, dp.children.size());
+  for (std::size_t c = 0; c < dp.children.size(); ++c) {
+    const ChildUnit& cu = dp.children[c];
+    h = hash_mix(h, cu.sealed ? 1u : 2u);
+    h = hash_mix(h, child_fp(static_cast<int>(c)));
+  }
+  h = hash_mix(h, dp.behaviors.size());
+  for (const BehaviorImpl& bi : dp.behaviors) {
+    h = hash_str(h, bi.behavior);
+    check(bi.dfg != nullptr, "fingerprint: behavior without dfg");
+    h = hash_mix(h, bi.dfg->content_hash());
+    h = hash_mix(h, bi.invs.size());
+    for (const Invocation& inv : bi.invs) {
+      h = hash_mix(h, inv.unit.kind == UnitRef::Kind::Fu ? 1u : 2u);
+      h = hash_mix(h, static_cast<std::uint64_t>(inv.unit.idx));
+      h = hash_mix(h, inv.nodes.size());
+      for (const int nid : inv.nodes) {
+        h = hash_mix(h, static_cast<std::uint64_t>(nid));
+      }
+    }
+    h = hash_mix(h, bi.edge_reg.size());
+    for (const int r : bi.edge_reg) {
+      h = hash_mix(h, static_cast<std::uint64_t>(r));
+    }
+    h = hash_mix(h, bi.input_arrival.size());
+    for (const int a : bi.input_arrival) {
+      h = hash_mix(h, static_cast<std::uint64_t>(a));
+    }
+    h = hash_mix(h, bi.scheduled ? 1u : 2u);
+    if (bi.scheduled) {
+      h = hash_mix(h, static_cast<std::uint64_t>(bi.makespan));
+      h = hash_mix(h, bi.inv_start.size());
+      for (const int s : bi.inv_start) {
+        h = hash_mix(h, static_cast<std::uint64_t>(s));
+      }
+    }
+  }
+  return hash_final(h);
+}
+
+}  // namespace
+
+std::uint64_t Datapath::fingerprint() const {
+  const std::uint64_t cached = fp_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  std::uint64_t fp = level_hash(*this, [this](int c) {
+    return children[static_cast<std::size_t>(c)].impl->fingerprint();
+  });
+  if (fp == 0) fp = kFnvPrime;  // keep clear of the "not cached" sentinel
+  fp_cache_.store(fp, std::memory_order_relaxed);
+  return fp;
+}
+
+std::uint64_t Datapath::fingerprint_scratch() const {
+  std::uint64_t fp = level_hash(*this, [this](int c) {
+    return children[static_cast<std::size_t>(c)].impl->fingerprint_scratch();
+  });
+  if (fp == 0) fp = kFnvPrime;
+  return fp;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,35 @@
+// First-class structural fingerprints for RTL datapaths.
+//
+// The fingerprint is the candidate *identity* used by the evaluation cache
+// (src/eval/): two datapaths with equal fingerprints are structurally equal
+// in every way that affects scheduling, area, and trace-driven power --
+// component set, invocation bindings, register assignment, schedules, and
+// the content hash of every bound DFG. Names and labels are excluded (they
+// never affect cost).
+//
+// Maintenance is incremental: each Datapath level caches its own hash and
+// mutation sites invalidate only the touched level (prune_unused(), the
+// scheduler, profile re-alignment). Children keep their cached values, so
+// after a local move the top-level fingerprint costs O(level), not
+// O(design). fingerprint_scratch() recomputes the whole subtree without
+// caches and must always agree -- tests and HSYN_EVAL_VERIFY=1 check this.
+//
+// This replaces the old private `structure_fingerprint` in
+// power/estimator.cpp, which was recomputed O(n) per query and mixed raw
+// Dfg pointers into the key (unsound under address reuse).
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/datapath.h"
+
+namespace hsyn {
+
+/// Structural fingerprint of `dp` (cached, incrementally maintained).
+/// Equivalent to dp.fingerprint(); kept as a free function so callers can
+/// name the concept without spelling the member.
+inline std::uint64_t structure_fingerprint(const Datapath& dp) {
+  return dp.fingerprint();
+}
+
+}  // namespace hsyn

@@ -21,6 +21,13 @@ std::map<std::string, double>& phase_map() {
   return m;
 }
 
+using CounterSource = std::function<std::map<std::string, std::uint64_t>()>;
+std::mutex g_sources_mu;
+std::map<std::string, CounterSource>& source_map() {
+  static std::map<std::string, CounterSource> m;
+  return m;
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -42,6 +49,13 @@ std::string Stats::to_string() const {
   for (const auto& [name, sec] : phase_seconds) {
     out += strf("\n  phase %-16s %8.3f s", name.c_str(), sec);
   }
+  for (const auto& [source, kv] : counters) {
+    out += strf("\n  %s:", source.c_str());
+    for (const auto& [name, value] : kv) {
+      out += strf(" %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
   return out;
 }
 
@@ -52,9 +66,25 @@ Stats stats_snapshot() {
   s.chunks = g_chunks.load(std::memory_order_relaxed);
   s.tasks = g_tasks.load(std::memory_order_relaxed);
   s.max_region_chunks = g_max_region_chunks.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_phase_mu);
-  s.phase_seconds = phase_map();
+  {
+    std::lock_guard<std::mutex> lock(g_phase_mu);
+    s.phase_seconds = phase_map();
+  }
+  // Poll sources outside the registry lock: a source may take its own
+  // locks (shard mutexes) and must never nest under ours.
+  std::map<std::string, CounterSource> sources;
+  {
+    std::lock_guard<std::mutex> lock(g_sources_mu);
+    sources = source_map();
+  }
+  for (const auto& [name, fn] : sources) s.counters[name] = fn();
   return s;
+}
+
+void register_counter_source(const std::string& name,
+                             std::function<std::map<std::string, std::uint64_t>()> fn) {
+  std::lock_guard<std::mutex> lock(g_sources_mu);
+  source_map()[name] = std::move(fn);
 }
 
 void reset_stats() {

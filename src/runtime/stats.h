@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -20,12 +21,23 @@ struct Stats {
   std::uint64_t max_region_chunks = 0;  ///< deepest steal-free queue observed
   /// Wall seconds per instrumented phase (ScopedPhase name -> seconds).
   std::map<std::string, double> phase_seconds;
+  /// Named counter groups polled from registered sources (the evaluation
+  /// caches register themselves here): source -> counter -> value.
+  std::map<std::string, std::map<std::string, std::uint64_t>> counters;
 
   std::string to_string() const;
 };
 
 /// Copy the counters accumulated since start / the last reset_stats().
 Stats stats_snapshot();
+
+/// Register a named source of counters polled by every stats_snapshot()
+/// (e.g. a cache reporting hits/misses/evictions). Registering the same
+/// name again replaces the source. Sources own their counters:
+/// reset_stats() does not zero them.
+void register_counter_source(
+    const std::string& name,
+    std::function<std::map<std::string, std::uint64_t>()> fn);
 
 /// Zero all counters and phase timers.
 void reset_stats();

@@ -284,6 +284,7 @@ SchedResult schedule_behavior(Datapath& dp, int b, const Library& lib,
 
   bi.inv_start = std::move(start);
   bi.scheduled = true;
+  dp.invalidate_fingerprint();
 
   int makespan = 0;
   for (int o = 0; o < dfg.num_outputs(); ++o) {
@@ -335,6 +336,7 @@ void invalidate_schedules(Datapath& dp) {
     bi.inv_start.clear();
     bi.makespan = 0;
   }
+  dp.invalidate_fingerprint();
   for (ChildUnit& c : dp.children) invalidate_schedules(*c.impl);
 }
 

@@ -126,6 +126,7 @@ int align_child_profiles(Datapath& dp, const Library& lib, const OpPoint& pt,
         if (cbi.input_arrival == pattern) continue;
         cbi.input_arrival = pattern;
         cbi.scheduled = false;
+        child.invalidate_fingerprint();
         changed = true;
       }
     }

@@ -94,10 +94,15 @@ Move replace_fu(const Datapath& dp, int fu_idx, const SynthContext& cx,
         const int t = types[static_cast<std::size_t>(i)];
         Datapath cand = dp;
         cand.fus[static_cast<std::size_t>(fu_idx)].type = t;
+        // A pure type swap rewires nothing: the base connectivity is
+        // reusable verbatim.
+        DirtyRegion dirty;
+        dirty.binding_changed = false;
         return finish_move(std::move(cand), cx, cost0, "A:fu-select",
                            strf("fu%d %s -> %s", fu_idx,
                                 cx.lib->fu(cur_type).name.c_str(),
-                                cx.lib->fu(t).name.c_str()));
+                                cx.lib->fu(t).name.c_str()),
+                           &dp, &dirty);
       },
       keep_better);
 }
@@ -164,6 +169,7 @@ Move replace_child(const Datapath& dp, int child_idx, const SynthContext& cx,
           impl.behaviors[0].input_arrival = mc.in_arrival;
           impl.behaviors[0].scheduled = false;
           impl.behaviors[0].inv_start.clear();
+          impl.invalidate_fingerprint();
         }
         Datapath cand = dp;
         cand.children[static_cast<std::size_t>(child_idx)].impl =
@@ -198,6 +204,7 @@ Move resynth_child(const Datapath& dp, int child_idx, const SynthContext& cx,
 
   Datapath child = *cu.impl;
   child.behaviors[0].input_arrival = mc.in_arrival;
+  child.invalidate_fingerprint();
   if (!schedule_datapath(child, *cx.lib, cx.pt, inner_deadline).ok) return best;
 
   SynthContext inner = cx;

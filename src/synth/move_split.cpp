@@ -46,9 +46,24 @@ Move split_fu(const Datapath& dp, const SynthContext& cx, double cost0) {
         const int new_unit = static_cast<int>(cand.fus.size());
         cand.fus.push_back(cand.fus[static_cast<std::size_t>(inv.unit.idx)]);
         cand.behaviors[0].invs[i].unit.idx = new_unit;
+        // Rewired rows: the vacated unit (the new one is appended and
+        // implicitly dirty) plus the registers fed by the moved
+        // invocation's outputs -- their producing source changed units.
+        DirtyRegion dirty;
+        dirty.fus.push_back(inv.unit.idx);
+        for (const int nid : inv.nodes) {
+          const Node& n = bi.dfg->node(nid);
+          for (int p = 0; p < n.num_outputs; ++p) {
+            const int e = bi.dfg->output_edge(nid, p);
+            if (e < 0) continue;
+            const int r = bi.edge_reg[static_cast<std::size_t>(e)];
+            if (r >= 0) dirty.regs.push_back(r);
+          }
+        }
         return finish_move(std::move(cand), cx, cost0, "D:split-fu",
                            strf("inv%zu gets its own unit (was fu%d)", i,
-                                inv.unit.idx));
+                                inv.unit.idx),
+                           &dp, &dirty);
       },
       keep_better);
 }
@@ -72,9 +87,23 @@ Move split_reg(const Datapath& dp, const SynthContext& cx, double cost0) {
         const int new_reg = static_cast<int>(cand.regs.size());
         cand.regs.push_back({});
         cand.behaviors[0].edge_reg[e] = new_reg;
+        // Rewired rows: the vacated register (the new one is appended
+        // and implicitly dirty) plus every unit reading the moved edge
+        // -- its input port now selects the new register.
+        DirtyRegion dirty;
+        dirty.regs.push_back(bi.edge_reg[e]);
+        for (const PortRef& d : bi.dfg->edge(static_cast<int>(e)).dsts) {
+          if (d.node < 0) continue;  // primary output
+          const int iv = bi.inv_of(d.node);
+          if (iv < 0) continue;
+          const UnitRef u = bi.invs[static_cast<std::size_t>(iv)].unit;
+          (u.kind == UnitRef::Kind::Fu ? dirty.fus : dirty.children)
+              .push_back(u.idx);
+        }
         return finish_move(
             std::move(cand), cx, cost0, "D:split-reg",
-            strf("edge%zu gets its own register (was r%d)", e, bi.edge_reg[e]));
+            strf("edge%zu gets its own register (was r%d)", e, bi.edge_reg[e]),
+            &dp, &dirty);
       },
       keep_better);
 }
@@ -124,6 +153,7 @@ Move split_child(const Datapath& dp, const SynthContext& cx, double cost0) {
           }
           if (!kept.empty()) {
             impl.behaviors = std::move(kept);
+            impl.invalidate_fingerprint();
             impl.prune_unused();
           }
         }

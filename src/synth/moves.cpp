@@ -1,32 +1,95 @@
 #include "synth/moves.h"
 
+#include <atomic>
+
+#include "eval/engine.h"
 #include "power/estimator.h"
 #include "rtl/cost.h"
+#include "runtime/stats.h"
 #include "sched/scheduler.h"
 #include "util/fmt.h"
 
 namespace hsyn {
+namespace {
+
+// Aggregate TemplateCache counters across every instance (a synthesis
+// run creates one per SynthContext chain), polled by runtime/stats.
+std::atomic<std::uint64_t> g_tmpl_hits{0};
+std::atomic<std::uint64_t> g_tmpl_misses{0};
+std::atomic<std::uint64_t> g_tmpl_insertions{0};
+std::atomic<std::uint64_t> g_tmpl_evictions{0};
+std::atomic<std::uint64_t> g_tmpl_entries{0};
+
+void register_template_cache_stats() {
+  static const bool once = [] {
+    runtime::register_counter_source("template-cache", [] {
+      return std::map<std::string, std::uint64_t>{
+          {"hits", g_tmpl_hits.load(std::memory_order_relaxed)},
+          {"misses", g_tmpl_misses.load(std::memory_order_relaxed)},
+          {"insertions", g_tmpl_insertions.load(std::memory_order_relaxed)},
+          {"evictions", g_tmpl_evictions.load(std::memory_order_relaxed)},
+          {"entries", g_tmpl_entries.load(std::memory_order_relaxed)}};
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+TemplateCache::TemplateCache() { register_template_cache_stats(); }
+
+std::optional<Datapath> TemplateCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    g_tmpl_misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  g_tmpl_hits.fetch_add(1, std::memory_order_relaxed);
+  // Deep copy under the lock; schedules stay valid in the copy.
+  return it->second->dp;
+}
+
+void TemplateCache::put(const std::string& key, Datapath dp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->dp = std::move(dp);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(dp)});
+  index_.emplace(key, lru_.begin());
+  g_tmpl_insertions.fetch_add(1, std::memory_order_relaxed);
+  g_tmpl_entries.fetch_add(1, std::memory_order_relaxed);
+  while (lru_.size() > kMaxEntries) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    g_tmpl_evictions.fetch_add(1, std::memory_order_relaxed);
+    g_tmpl_entries.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t TemplateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
 
 Datapath instantiate_scheduled(const ComplexLibrary::Template& t,
                                const std::string& behavior,
                                const SynthContext& cx) {
   const std::string key = t.name + "/" + behavior + "/" +
                           strf("%.3f/%.3f", cx.pt.vdd, cx.pt.clk_ns);
-  {
-    std::lock_guard<std::mutex> lock(cx.template_cache->mu);
-    auto it = cx.template_cache->map.find(key);
-    // Deep copy under the lock; schedules stay valid in the copy.
-    if (it != cx.template_cache->map.end()) return it->second;
-  }
+  if (auto hit = cx.template_cache->get(key)) return std::move(*hit);
   // Instantiate and schedule outside the lock -- several workers may
   // build the same template concurrently, but the result is a pure
   // function of the key, so whichever insert wins the race is correct.
   Datapath inst = ComplexLibrary::instantiate(t, behavior);
   schedule_datapath(inst, *cx.lib, cx.pt, kNoDeadline);
-  std::lock_guard<std::mutex> lock(cx.template_cache->mu);
-  auto [it, inserted] = cx.template_cache->map.emplace(key, std::move(inst));
-  (void)inserted;
-  return it->second;
+  cx.template_cache->put(key, inst);
+  return inst;
 }
 
 double cost_of(const Datapath& dp, const SynthContext& cx) {
@@ -37,13 +100,24 @@ double cost_of(const Datapath& dp, const SynthContext& cx) {
 }
 
 Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
-                 std::string kind, std::string desc) {
+                 std::string kind, std::string desc, const Datapath* base,
+                 const DirtyRegion* dirty) {
   Move m;
   m.kind = std::move(kind);
   m.desc = std::move(desc);
-  cand.prune_unused();
+  const bool pruned = cand.prune_unused();
   const SchedResult sr = schedule_datapath(cand, *cx.lib, cx.pt, cx.deadline);
   if (!sr.ok) return m;
+  if (base != nullptr && dirty != nullptr && !pruned) {
+    // Seed the evaluation cache with the candidate's connectivity,
+    // derived incrementally from the base level's. Must happen after
+    // scheduling (the cache key is the post-schedule fingerprint) and
+    // only when pruning kept indices stable. Priming never changes what
+    // cost_of returns -- a complete hint yields exactly
+    // connectivity_of(cand) -- it only skips the recompute.
+    eval::EvalEngine& eng = eval::EvalEngine::instance();
+    eng.prime_connectivity(cand, eng.connectivity(*base), *dirty);
+  }
   m.gain = cost_before - cost_of(cand, cx);
   m.result = std::move(cand);
   m.valid = true;
@@ -64,7 +138,9 @@ void keep_better(Move& best, Move&& cand) {
 Trace child_input_trace(const Datapath& dp, int b, int child_idx,
                         const std::string& behavior, const SynthContext& cx) {
   const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
-  const auto edge_vals = eval_dfg_edges(*bi.dfg, resolver_of(dp), cx.trace);
+  const auto edge_vals_ptr =
+      eval_dfg_edges_shared(*bi.dfg, resolver_of(dp), cx.trace);
+  const auto& edge_vals = *edge_vals_ptr;
   // Invocations of this child+behavior, in schedule order.
   std::vector<std::pair<int, int>> invs;  // (start, inv)
   for (std::size_t i = 0; i < bi.invs.size(); ++i) {

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "dfg/design.h"
@@ -21,6 +23,8 @@
 #include "rtl/datapath.h"
 
 namespace hsyn {
+
+struct DirtyRegion;  // rtl/cost.h
 
 enum class Objective { Area, Power };
 
@@ -59,9 +63,34 @@ struct SynthOptions {
 /// operating point, shared across SynthContext copies. Guarded by a
 /// mutex because candidate evaluation runs on the parallel runtime
 /// (runtime/parallel.h) and workers may instantiate concurrently.
-struct TemplateCache {
-  std::mutex mu;
-  std::map<std::string, Datapath> map;
+/// Bounded (LRU over instantiations) and instrumented: aggregate
+/// hit/miss/eviction/entry counters over every instance are reported
+/// through runtime/stats as the "template-cache" counter source, so they
+/// show up in any stats_snapshot() printout (e.g. filter_explorer's).
+class TemplateCache {
+ public:
+  TemplateCache();
+
+  /// Deep copy of the cached datapath, or nullopt. Refreshes recency.
+  std::optional<Datapath> get(const std::string& key);
+
+  /// Insert (or refresh) `key`; evicts the least recently used entries
+  /// beyond the bound.
+  void put(const std::string& key, Datapath dp);
+
+  std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kMaxEntries = 64;
+
+  struct Entry {
+    std::string key;
+    Datapath dp;
+  };
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator> index_;
 };
 
 /// Everything a move generator needs to know about the synthesis run.
@@ -103,8 +132,18 @@ struct Move {
 /// Evaluate a mutated datapath: schedule against the context deadline,
 /// and if feasible fill in a Move with the given labels and the gain
 /// relative to `cost_before`. Invalid move (valid=false) otherwise.
+///
+/// Generators that know exactly which rows of the level they rewired may
+/// pass the pre-move datapath and a DirtyRegion hint; the candidate's
+/// connectivity is then derived incrementally from the base's instead of
+/// recomputed, and primed into the evaluation cache where the area and
+/// energy costing below will find it. The hint is ignored whenever
+/// prune_unused() compacted the candidate (indices would no longer
+/// match) -- the full recompute is always the fallback.
 Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
-                 std::string kind, std::string desc);
+                 std::string kind, std::string desc,
+                 const Datapath* base = nullptr,
+                 const DirtyRegion* dirty = nullptr);
 
 /// Best of two candidate moves by gain (invalid moves lose).
 const Move& better_move(const Move& a, const Move& b);

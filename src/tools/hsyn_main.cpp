@@ -19,6 +19,7 @@
 
 #include "benchmarks/benchmarks.h"
 #include "dfg/dot.h"
+#include "eval/engine.h"
 #include "dfg/textio.h"
 #include "dfg/transform.h"
 #include "library/textio.h"
@@ -55,6 +56,10 @@ struct Args {
   /// 1 reproduces the serial engine exactly; any count yields
   /// bit-identical synthesis results (see DESIGN.md).
   int threads = 0;
+  /// Evaluation-cache budget in MB. 0 = HSYN_EVAL_CACHE_MB env, else the
+  /// built-in default. The cache only changes synthesis speed, never its
+  /// results.
+  int eval_cache_mb = 0;
 };
 
 void usage() {
@@ -64,7 +69,7 @@ void usage() {
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
                "            [--no-verify] [--templates] [--auto-variants] [--seed N] "
-               "[--threads N] [--verbose]\n");
+               "[--threads N] [--eval-cache-mb N] [--verbose]\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -147,6 +152,11 @@ std::optional<Args> parse(int argc, char** argv) {
       if (!v) return std::nullopt;
       a.threads = std::atoi(v);
       if (a.threads < 0) return std::nullopt;
+    } else if (arg == "--eval-cache-mb") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.eval_cache_mb = std::atoi(v);
+      if (a.eval_cache_mb <= 0) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -179,8 +189,14 @@ int main(int argc, char** argv) {
   // Parallel runtime: --threads N, else HSYN_THREADS, else all cores.
   // Synthesis results are bit-identical for every thread count.
   runtime::set_threads(args->threads);
+  if (args->eval_cache_mb > 0) {
+    eval::EvalEngine::instance().set_capacity_mb(
+        static_cast<std::size_t>(args->eval_cache_mb));
+  }
   if (args->verbose) {
     std::printf("runtime: %d thread(s)\n", runtime::threads());
+    std::printf("eval cache: %zu MB\n",
+                eval::EvalEngine::instance().capacity_bytes() >> 20);
   }
 
   std::ifstream in(args->design_file);

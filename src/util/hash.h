@@ -1,0 +1,50 @@
+// Small non-cryptographic hashing helpers shared by the structural
+// fingerprint and evaluation-cache layers. All functions are pure and
+// deterministic across platforms/runs (no pointer or ASLR inputs), which
+// is what lets fingerprints serve as cache identities.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace hsyn {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Order-sensitive combine (boost::hash_combine flavor, 64-bit).
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+/// Fold a string into the running hash (FNV-1a over bytes, then length).
+inline std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return hash_mix(h, s.size());
+}
+
+/// Fold a double by bit pattern -- exact, no quantization. Distinct
+/// operating points (vdd, clk_ns) must never alias in a cache key.
+inline std::uint64_t hash_double(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(d));
+  return hash_mix(h, bits);
+}
+
+/// SplitMix64 finalizer: strong avalanche, used before multiset-summing
+/// per-element hashes so that sums do not cancel structurally.
+inline std::uint64_t hash_final(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,440 @@
+// The evaluation pipeline (src/eval/): sharded LRU cache semantics, the
+// process-wide EvalEngine, dirty-region incremental connectivity, the
+// bounded template cache, stats integration, and the regression for the
+// old pointer-keyed DFG evaluation memo.
+//
+// The EvalCacheStress suite hammers the shared cache from many raw
+// threads; CI runs it under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "eval/cache.h"
+#include "eval/engine.h"
+#include "power/estimator.h"
+#include "power/trace.h"
+#include "rtl/cost.h"
+#include "runtime/stats.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "synth/moves.h"
+
+namespace hsyn {
+namespace {
+
+using eval::Key;
+using eval::ShardedLruCache;
+
+const OpPoint kRef{5.0, 20.0};
+
+// ---- ShardedLruCache ----------------------------------------------------
+
+TEST(ShardedLruCache, MissThenHitReturnsStoredValue) {
+  ShardedLruCache<int> c(1 << 20);
+  const Key k{1, 2, 3};
+  EXPECT_FALSE(c.get(k).has_value());
+  c.put(k, 42, 8);
+  const auto v = c.get(k);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  const auto n = c.counters();
+  EXPECT_EQ(n.hits, 1u);
+  EXPECT_EQ(n.misses, 1u);
+  EXPECT_EQ(n.insertions, 1u);
+  EXPECT_EQ(n.entries, 1u);
+  EXPECT_GT(n.bytes, 0u);
+}
+
+TEST(ShardedLruCache, KeyFieldsAreComparedExactly) {
+  // Permutations of one triple are distinct keys: the fields are never
+  // pre-mixed into a single word.
+  ShardedLruCache<int> c(1 << 20);
+  c.put({1, 2, 3}, 1, 8);
+  c.put({3, 2, 1}, 2, 8);
+  c.put({2, 1, 3}, 3, 8);
+  EXPECT_EQ(*c.get({1, 2, 3}), 1);
+  EXPECT_EQ(*c.get({3, 2, 1}), 2);
+  EXPECT_EQ(*c.get({2, 1, 3}), 3);
+}
+
+TEST(ShardedLruCache, PutRefreshesExistingKeyWithoutNewEntry) {
+  ShardedLruCache<int> c(1 << 20);
+  const Key k{5, 0, 0};
+  c.put(k, 1, 8);
+  c.put(k, 2, 8);
+  EXPECT_EQ(*c.get(k), 2);
+  const auto n = c.counters();
+  EXPECT_EQ(n.insertions, 1u);
+  EXPECT_EQ(n.entries, 1u);
+}
+
+TEST(ShardedLruCache, EvictsUnderPressureButKeepsNewest) {
+  // Zero budget: every shard still keeps its most recent entry (an
+  // oversized value is admitted alone rather than thrashing).
+  ShardedLruCache<int> c(0);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    c.put({i, 0, 0}, static_cast<int>(i), 64);
+  }
+  const auto n = c.counters();
+  EXPECT_LE(n.entries, 16u);  // at most one survivor per shard
+  EXPECT_GE(n.evictions, 100u - 16u);
+}
+
+TEST(ShardedLruCache, OversizedEntryIsAdmitted) {
+  ShardedLruCache<int> c(256);
+  c.put({7, 7, 7}, 7, 1 << 20);
+  EXPECT_TRUE(c.get({7, 7, 7}).has_value());
+}
+
+TEST(ShardedLruCache, SetCapacityEvictsImmediately) {
+  ShardedLruCache<int> c(1 << 20);
+  for (std::uint64_t i = 0; i < 64; ++i) c.put({i, 0, 0}, 1, 1024);
+  EXPECT_EQ(c.counters().entries, 64u);
+  c.set_capacity(0);
+  EXPECT_LE(c.counters().entries, 16u);
+}
+
+TEST(ShardedLruCache, ClearDropsEntriesKeepsCounters) {
+  ShardedLruCache<int> c(1 << 20);
+  c.put({1, 1, 1}, 1, 8);
+  c.get({1, 1, 1});
+  c.clear();
+  EXPECT_FALSE(c.get({1, 1, 1}).has_value());
+  const auto n = c.counters();
+  EXPECT_EQ(n.entries, 0u);
+  EXPECT_EQ(n.bytes, 0u);
+  EXPECT_EQ(n.hits, 1u);  // history survives explicit invalidation
+}
+
+TEST(ShardedLruCache, CrossThreadHitIsCounted) {
+  ShardedLruCache<int> c(1 << 20);
+  c.put({9, 9, 9}, 1, 8);
+  EXPECT_TRUE(c.get({9, 9, 9}).has_value());  // same-thread hit
+  EXPECT_EQ(c.counters().cross_thread_hits, 0u);
+  std::thread t([&c] { EXPECT_TRUE(c.get({9, 9, 9}).has_value()); });
+  t.join();
+  EXPECT_EQ(c.counters().cross_thread_hits, 1u);
+}
+
+// ---- Trace fingerprints -------------------------------------------------
+
+TEST(TraceFingerprint, SensitiveToContentAndShape) {
+  const Trace t = make_trace(3, 8, 11);
+  EXPECT_EQ(trace_fingerprint(t), trace_fingerprint(Trace(t)));
+
+  Trace bumped = t;
+  bumped[0][0] ^= 1;
+  EXPECT_NE(trace_fingerprint(bumped), trace_fingerprint(t));
+
+  Trace shorter = t;
+  shorter.pop_back();
+  EXPECT_NE(trace_fingerprint(shorter), trace_fingerprint(t));
+
+  EXPECT_NE(trace_fingerprint(make_trace(3, 8, 12)), trace_fingerprint(t));
+}
+
+// ---- DFG evaluation through the shared cache ----------------------------
+
+std::unique_ptr<Dfg> binary_dfg(Op op) {
+  auto d = std::make_unique<Dfg>("g", 2, 1);
+  const int a = d->connect({kPrimaryIn, 0}, {});
+  const int b = d->connect({kPrimaryIn, 1}, {});
+  const int n = d->add_node(op);
+  d->add_consumer(a, {n, 0});
+  d->add_consumer(b, {n, 1});
+  d->connect({n, 0}, {{kPrimaryOut, 0}});
+  d->validate();
+  return d;
+}
+
+const BehaviorResolver kNoHier = [](const std::string&) -> const Dfg* {
+  return nullptr;
+};
+
+TEST(EvalEngine, DfgAddressReuseCannotAliasCachedValues) {
+  // Regression: the pre-refactor evaluation memo keyed entries by the raw
+  // `const Dfg*`, so a new graph allocated at a recycled address was
+  // served the dead graph's values. The shared cache keys by content
+  // hash; rebuilding different same-shape graphs in a loop (the
+  // allocator overwhelmingly reuses the freed block) must evaluate each
+  // one to its own semantics.
+  const Trace tr = make_trace(2, 6, 13);
+  static const Op kOps[] = {Op::Add, Op::Mult, Op::Sub, Op::Xor};
+  for (int round = 0; round < 12; ++round) {
+    const Op op = kOps[round % 4];
+    const auto d = binary_dfg(op);
+    const auto outs = eval_dfg(*d, kNoHier, tr);
+    ASSERT_EQ(outs.size(), tr.size());
+    for (std::size_t s = 0; s < tr.size(); ++s) {
+      EXPECT_EQ(outs[s][0], eval_op(op, tr[s][0], tr[s][1]))
+          << op_name(op) << " round " << round << " sample " << s;
+    }
+  }
+}
+
+TEST(EvalEngine, SharedEdgeValuesAreMemoized) {
+  const auto d = binary_dfg(Op::Add);
+  const Trace tr = make_trace(2, 6, 17);
+  const auto p1 = eval_dfg_edges_shared(*d, kNoHier, tr);
+  const auto p2 = eval_dfg_edges_shared(*d, kNoHier, tr);
+  EXPECT_EQ(p1.get(), p2.get());  // second call hits: same allocation
+  EXPECT_EQ(eval_dfg_edges(*d, kNoHier, tr), *p1);
+}
+
+// ---- EvalEngine determinism ---------------------------------------------
+
+struct PaulinFixture {
+  Library lib = default_library();
+  Design design;
+  Datapath dp;
+
+  PaulinFixture() {
+    design.add_behavior(make_paulin_iter("paulin"));
+    design.set_top("paulin");
+    design.validate();
+    SynthContext cx;
+    cx.design = &design;
+    cx.lib = &lib;
+    cx.pt = kRef;
+    dp = initial_solution(design.top(), "paulin", cx);
+    schedule_datapath(dp, lib, kRef, kNoDeadline);
+  }
+};
+
+TEST(EvalEngine, CachedCostsBitIdenticalToRecompute) {
+  PaulinFixture f;
+  const Trace tr = make_trace(f.dp.behaviors[0].dfg->num_inputs(), 16, 5);
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+
+  eng.clear();
+  const EnergyBreakdown e1 = energy_of(f.dp, 0, tr, f.lib, kRef);
+  const EnergyBreakdown e2 = energy_of(f.dp, 0, tr, f.lib, kRef);  // hit
+  eng.clear();
+  const EnergyBreakdown e3 = energy_of(f.dp, 0, tr, f.lib, kRef);  // recompute
+  for (const EnergyBreakdown* e : {&e2, &e3}) {
+    EXPECT_EQ(e->fu, e1.fu);
+    EXPECT_EQ(e->reg, e1.reg);
+    EXPECT_EQ(e->mux, e1.mux);
+    EXPECT_EQ(e->wire, e1.wire);
+    EXPECT_EQ(e->ctrl, e1.ctrl);
+    EXPECT_EQ(e->children, e1.children);
+  }
+
+  const AreaBreakdown a1 = area_of(f.dp, f.lib);
+  eng.clear();
+  const AreaBreakdown a2 = area_of(f.dp, f.lib);
+  EXPECT_EQ(a1.total(), a2.total());
+
+  // Different operating points must not share energy entries.
+  const OpPoint low{3.3, 40.0};
+  schedule_datapath(f.dp, f.lib, low, kNoDeadline);
+  const EnergyBreakdown el = energy_of(f.dp, 0, tr, f.lib, low);
+  EXPECT_NE(el.total(), e1.total());
+}
+
+TEST(EvalEngine, ConnectivityIsSharedPerFingerprint) {
+  PaulinFixture f;
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  const auto c1 = eng.connectivity(f.dp);
+  const auto c2 = eng.connectivity(f.dp);
+  EXPECT_EQ(c1.get(), c2.get());  // hit: same shared row set
+  EXPECT_TRUE(*c1 == connectivity_of(f.dp));
+}
+
+TEST(Library, MutationRefreshesUidCopiesKeepIt) {
+  // The library half of every cost key: copies are content-equal and
+  // share the uid; any mutating access draws a fresh process-wide id, so
+  // stale costs can never be served after a library edit.
+  const Library lib = default_library();
+  Library copy = lib;
+  EXPECT_EQ(copy.uid(), lib.uid());
+  const std::uint64_t before = copy.uid();
+  copy.costs_mut();
+  EXPECT_NE(copy.uid(), before);
+  EXPECT_EQ(lib.uid(), before);  // the source is untouched
+  Library other = default_library();
+  EXPECT_NE(other.uid(), lib.uid());
+}
+
+// ---- Dirty-region incremental connectivity ------------------------------
+
+TEST(RefreshConnectivity, UnchangedBindingReproducesBase) {
+  PaulinFixture f;
+  const Connectivity base = connectivity_of(f.dp);
+  DirtyRegion dirty;
+  dirty.binding_changed = false;
+  EXPECT_TRUE(refresh_connectivity(f.dp, base, dirty) == base);
+}
+
+TEST(RefreshConnectivity, RegisterMoveHintMatchesFullRecompute) {
+  PaulinFixture f;
+  const Connectivity base = connectivity_of(f.dp);
+  const BehaviorImpl& bi = f.dp.behaviors[0];
+  int e = -1;
+  for (std::size_t i = 0; i < bi.edge_reg.size(); ++i) {
+    if (bi.edge_reg[i] >= 0) {
+      e = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(e, 0);
+
+  // split_reg's mutation: the edge moves to a fresh register.
+  Datapath cand = f.dp;
+  const int old_reg = cand.behaviors[0].edge_reg[static_cast<std::size_t>(e)];
+  cand.behaviors[0].edge_reg[static_cast<std::size_t>(e)] =
+      static_cast<int>(cand.regs.size());
+  cand.regs.push_back({});
+  cand.invalidate_fingerprint();
+
+  DirtyRegion dirty;  // the appended register is implicitly dirty
+  dirty.regs.push_back(old_reg);
+  for (const PortRef& d : bi.dfg->edge(e).dsts) {
+    if (d.node < 0) continue;
+    const int iv = bi.inv_of(d.node);
+    if (iv < 0) continue;
+    const UnitRef u = bi.invs[static_cast<std::size_t>(iv)].unit;
+    (u.kind == UnitRef::Kind::Fu ? dirty.fus : dirty.children).push_back(u.idx);
+  }
+  EXPECT_TRUE(refresh_connectivity(cand, base, dirty) == connectivity_of(cand));
+}
+
+TEST(RefreshConnectivity, UnitSplitHintMatchesFullRecompute) {
+  PaulinFixture f;
+  const Connectivity base = connectivity_of(f.dp);
+  const BehaviorImpl& bi = f.dp.behaviors[0];
+  int iv = -1;
+  for (std::size_t i = 0; i < bi.invs.size(); ++i) {
+    if (bi.invs[i].unit.kind == UnitRef::Kind::Fu) {
+      iv = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(iv, 0);
+
+  // split_fu's mutation: the invocation moves to an appended unit copy.
+  Datapath cand = f.dp;
+  const Invocation& inv = bi.invs[static_cast<std::size_t>(iv)];
+  const int old_fu = inv.unit.idx;
+  cand.behaviors[0].invs[static_cast<std::size_t>(iv)].unit.idx =
+      static_cast<int>(cand.fus.size());
+  cand.fus.push_back(cand.fus[static_cast<std::size_t>(old_fu)]);
+  cand.invalidate_fingerprint();
+
+  DirtyRegion dirty;
+  dirty.fus.push_back(old_fu);
+  for (const int nid : inv.nodes) {
+    const Node& n = bi.dfg->node(nid);
+    for (int p = 0; p < n.num_outputs; ++p) {
+      const int oe = bi.dfg->output_edge(nid, p);
+      if (oe < 0) continue;
+      const int r = bi.edge_reg[static_cast<std::size_t>(oe)];
+      if (r >= 0) dirty.regs.push_back(r);
+    }
+  }
+  EXPECT_TRUE(refresh_connectivity(cand, base, dirty) == connectivity_of(cand));
+}
+
+// ---- TemplateCache ------------------------------------------------------
+
+TEST(TemplateCache, BoundedWithLruEviction) {
+  TemplateCache tc;
+  const Datapath proto("tmpl");
+  for (int i = 0; i < 70; ++i) tc.put("k" + std::to_string(i), proto);
+  EXPECT_EQ(tc.size(), 64u);  // the bound held: k0..k5 evicted
+  EXPECT_FALSE(tc.get("k0").has_value());
+  EXPECT_TRUE(tc.get("k69").has_value());
+  ASSERT_TRUE(tc.get("k6").has_value());  // refreshes k6's recency...
+  tc.put("k70", proto);
+  EXPECT_TRUE(tc.get("k6").has_value());  // ...so k7 is the next victim
+  EXPECT_FALSE(tc.get("k7").has_value());
+}
+
+// ---- runtime/stats integration ------------------------------------------
+
+TEST(RuntimeStats, EvalCacheCountersAppearInSnapshot) {
+  eval::EvalEngine::instance();  // ensure the sources are registered
+  TemplateCache ensure_registered;
+  (void)ensure_registered;
+  const runtime::Stats s = runtime::stats_snapshot();
+  for (const char* src :
+       {"eval-energy-cache", "eval-area-cache", "eval-conn-cache",
+        "eval-edge-vals-cache", "template-cache"}) {
+    ASSERT_TRUE(s.counters.count(src)) << src;
+    EXPECT_TRUE(s.counters.at(src).count("hits")) << src;
+    EXPECT_NE(s.to_string().find(src), std::string::npos) << src;
+  }
+}
+
+// ---- Concurrency stress (run under TSan in CI) --------------------------
+
+TEST(EvalCacheStress, SharedCacheTortureAcrossThreads) {
+  // 8 raw threads hammer one small cache with overlapping keys while one
+  // thread resizes and another clears. Every value is a pure function of
+  // its key, so any hit observing a foreign value is corruption.
+  ShardedLruCache<std::uint64_t> cache(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 3000;
+  constexpr std::uint64_t kKeys = 128;
+  const auto value_of = [](const Key& k) {
+    return k.structure * 1000003ull + k.trace;
+  };
+  std::atomic<std::uint64_t> corrupt{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t s =
+            (static_cast<std::uint64_t>(i) * 13 + static_cast<std::uint64_t>(t) * 7) % kKeys;
+        const Key k{s, s * 31, 77};
+        if (const auto v = cache.get(k)) {
+          if (*v != value_of(k)) corrupt.fetch_add(1);
+        } else {
+          cache.put(k, value_of(k), 32 + (s % 5) * 16);
+        }
+        if (t == 0 && i % 1024 == 512) cache.set_capacity(1 << 14);
+        if (t == 0 && i % 1024 == 0) cache.set_capacity(1 << 16);
+        if (t == 1 && i % 1500 == 749) cache.clear();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(corrupt.load(), 0u);
+  const auto n = cache.counters();
+  EXPECT_EQ(n.hits + n.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(n.cross_thread_hits, 0u);  // the cache really is shared
+}
+
+TEST(EvalCacheStress, EngineServesConcurrentCostQueries) {
+  // Area and connectivity queries on one shared datapath from raw
+  // threads, with periodic invalidation: every answer must equal the
+  // single-threaded reference exactly.
+  PaulinFixture f;
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  eng.clear();
+  const double ref_area = area_of(f.dp, f.lib).total();
+  const Connectivity ref_conn = connectivity_of(f.dp);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 60; ++i) {
+        if (area_of(f.dp, f.lib).total() != ref_area) wrong.fetch_add(1);
+        const auto conn = eng.connectivity(f.dp);
+        if (!(*conn == ref_conn)) wrong.fetch_add(1);
+        if (t == 0 && i % 16 == 7) eng.clear();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace hsyn
