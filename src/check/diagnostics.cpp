@@ -1,0 +1,91 @@
+#include "check/diagnostics.h"
+
+#include <sstream>
+
+namespace hsyn::lint {
+namespace {
+
+/// Minimal JSON string escaping (codes/locations are ASCII; messages may
+/// quote user labels).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Report::add(std::string code, Severity sev, std::string loc,
+                 std::string msg) {
+  if (sev == Severity::Error) ++errors_;
+  if (sev == Severity::Warning) ++warnings_;
+  diags_.push_back({std::move(code), sev, active_pass_, std::move(loc),
+                    std::move(msg)});
+}
+
+int Report::count(const std::string& code) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  errors_ += other.errors_;
+  warnings_ += other.warnings_;
+}
+
+std::string Report::to_text() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << severity_name(d.severity) << '[' << d.code << "] " << d.loc << ": "
+        << d.message << '\n';
+  }
+  out << errors_ << " error(s), " << warnings_ << " warning(s)\n";
+  return out.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"code\": \"" << json_escape(d.code)
+        << "\", \"severity\": \"" << severity_name(d.severity)
+        << "\", \"pass\": \"" << json_escape(d.pass) << "\", \"loc\": \""
+        << json_escape(d.loc) << "\", \"message\": \""
+        << json_escape(d.message) << "\"}";
+  }
+  out << (diags_.empty() ? "]" : "\n  ]") << ",\n  \"errors\": " << errors_
+      << ",\n  \"warnings\": " << warnings_ << "\n}\n";
+  return out.str();
+}
+
+}  // namespace hsyn::lint

@@ -1,0 +1,66 @@
+// Diagnostics engine of the static-analysis framework (src/check/).
+//
+// A Diagnostic is one finding of an analysis pass: a stable check code
+// (e.g. "SCHED003" -- codes never change meaning once shipped, so CI
+// logs and suppressions stay valid across releases), a severity, an IR
+// location rendered as text ("dp 'top' behavior 'biquad' inv 4"), and a
+// human-readable message. A Report collects diagnostics across passes
+// and renders them as plain text (one finding per line, grep-friendly)
+// or JSON (one object per finding, machine-readable for CI tooling).
+//
+// The full check-code table lives in DESIGN.md ("Static checking").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsyn::lint {
+
+enum class Severity { Note = 0, Warning = 1, Error = 2 };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string code;  ///< stable check code, e.g. "DFG001"
+  Severity severity = Severity::Error;
+  std::string pass;  ///< name of the pass that emitted it
+  std::string loc;   ///< IR location, e.g. "dfg 'biquad' node 3"
+  std::string message;
+};
+
+/// Ordered collection of diagnostics (emission order = pass order, so
+/// output is deterministic for a given IR).
+class Report {
+ public:
+  void add(std::string code, Severity sev, std::string loc, std::string msg);
+
+  const std::vector<Diagnostic>& diags() const { return diags_; }
+  int errors() const { return errors_; }
+  int warnings() const { return warnings_; }
+  bool ok() const { return errors_ == 0; }
+
+  /// Number of diagnostics carrying `code`.
+  int count(const std::string& code) const;
+  bool has(const std::string& code) const { return count(code) > 0; }
+
+  /// Append another report's diagnostics (used when linting several IRs).
+  void merge(const Report& other);
+
+  /// One line per diagnostic: "error[SCHED003] <loc>: <message>".
+  std::string to_text() const;
+
+  /// JSON array of {code, severity, pass, loc, message} objects plus a
+  /// {errors, warnings} summary object.
+  std::string to_json() const;
+
+  /// Name of the pass subsequently added diagnostics are attributed to.
+  void set_active_pass(std::string name) { active_pass_ = std::move(name); }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::string active_pass_;
+  int errors_ = 0;
+  int warnings_ = 0;
+};
+
+}  // namespace hsyn::lint

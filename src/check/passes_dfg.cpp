@@ -1,0 +1,351 @@
+// DFG well-formedness and hierarchy-consistency passes.
+//
+// Codes: DFG001-DFG008 (dfg-wellformed), HIER001-HIER006 (dfg-hierarchy).
+// Both passes rebuild their facts from the raw node/edge tables -- they
+// deliberately do not call Dfg::validate() or use its lookup tables, so
+// they also work on (and diagnose) graphs that validate() would reject
+// by throwing.
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "check/check.h"
+#include "util/fmt.h"
+
+namespace hsyn::lint {
+namespace {
+
+std::string dfg_loc(const Dfg& dfg) { return "dfg '" + dfg.name() + "'"; }
+
+/// DFGs referenced by a context, deduplicated in deterministic order.
+std::vector<const Dfg*> context_dfgs(const CheckContext& cx) {
+  std::vector<const Dfg*> out;
+  std::set<const Dfg*> seen;
+  auto push = [&](const Dfg* d) {
+    if (d != nullptr && seen.insert(d).second) out.push_back(d);
+  };
+  if (cx.dfg != nullptr) {
+    push(cx.dfg);
+    return out;
+  }
+  if (cx.design != nullptr) {
+    for (const std::string& n : cx.design->behavior_names()) {
+      push(&cx.design->behavior(n));
+    }
+  }
+  if (cx.dp != nullptr) {
+    // Walk the datapath tree; children after their parent for stable order.
+    std::vector<const Datapath*> stack{cx.dp};
+    while (!stack.empty()) {
+      const Datapath* dp = stack.back();
+      stack.pop_back();
+      for (const BehaviorImpl& bi : dp->behaviors) push(bi.dfg);
+      for (const ChildUnit& c : dp->children) {
+        if (c.impl) stack.push_back(c.impl.get());
+      }
+    }
+  }
+  return out;
+}
+
+// ---- dfg-wellformed ------------------------------------------------------
+
+class DfgWellformedPass final : public Pass {
+ public:
+  const char* name() const override { return "dfg-wellformed"; }
+  bool applicable(const CheckContext& cx) const override {
+    return cx.dfg != nullptr || cx.design != nullptr || cx.dp != nullptr;
+  }
+  void run(const CheckContext& cx, Report& rep) const override {
+    for (const Dfg* dfg : context_dfgs(cx)) check_dfg(*dfg, rep);
+  }
+
+ private:
+  static void check_dfg(const Dfg& dfg, Report& rep) {
+    const std::string at = dfg_loc(dfg);
+    const int nnodes = static_cast<int>(dfg.nodes().size());
+    const auto node_ok = [&](int id) { return id >= 0 && id < nnodes; };
+
+    // Endpoint validity, driver/producer counts (built from the raw edge
+    // list -- this pass must not trust the validate() lookup tables).
+    std::map<std::pair<int, int>, int> in_drivers;   // (node, port) -> #edges
+    std::map<std::pair<int, int>, int> out_producers;
+    std::vector<int> pout_drivers(static_cast<std::size_t>(
+                                      std::max(0, dfg.num_outputs())), 0);
+    std::vector<int> pin_used(static_cast<std::size_t>(
+                                  std::max(0, dfg.num_inputs())), 0);
+    for (const Edge& e : dfg.edges()) {
+      const std::string eat = strf("%s edge %d", at.c_str(), e.id);
+      if (e.src.node == kPrimaryIn) {
+        if (e.src.port < 0 || e.src.port >= dfg.num_inputs()) {
+          rep.add("DFG002", Severity::Error, eat,
+                  strf("source primary input %d out of range [0, %d)",
+                       e.src.port, dfg.num_inputs()));
+        } else {
+          pin_used[static_cast<std::size_t>(e.src.port)]++;
+        }
+      } else if (!node_ok(e.src.node)) {
+        rep.add("DFG002", Severity::Error, eat,
+                strf("source node %d does not exist", e.src.node));
+      } else {
+        const Node& n = dfg.node(e.src.node);
+        if (e.src.port < 0 || e.src.port >= n.num_outputs) {
+          rep.add("DFG002", Severity::Error, eat,
+                  strf("source port %d out of range on node %d (%d outputs)",
+                       e.src.port, e.src.node, n.num_outputs));
+        } else {
+          out_producers[{e.src.node, e.src.port}]++;
+        }
+      }
+      if (e.dsts.empty()) {
+        rep.add("DFG004", Severity::Warning, eat,
+                "dangling edge: value has no consumers");
+      }
+      for (const PortRef& d : e.dsts) {
+        if (d.node == kPrimaryOut) {
+          if (d.port < 0 || d.port >= dfg.num_outputs()) {
+            rep.add("DFG002", Severity::Error, eat,
+                    strf("destination primary output %d out of range [0, %d)",
+                         d.port, dfg.num_outputs()));
+          } else {
+            pout_drivers[static_cast<std::size_t>(d.port)]++;
+          }
+        } else if (!node_ok(d.node)) {
+          rep.add("DFG002", Severity::Error, eat,
+                  strf("destination node %d does not exist", d.node));
+        } else {
+          const Node& n = dfg.node(d.node);
+          if (d.port < 0 || d.port >= n.num_inputs) {
+            rep.add("DFG002", Severity::Error, eat,
+                    strf("destination port %d out of range on node %d "
+                         "(%d inputs)",
+                         d.port, d.node, n.num_inputs));
+          } else {
+            in_drivers[{d.node, d.port}]++;
+          }
+        }
+      }
+    }
+
+    // Node arity vs. operation kind; every input port driven exactly once.
+    for (const Node& n : dfg.nodes()) {
+      const std::string nat = strf("%s node %d (%s)", at.c_str(), n.id,
+                                   n.is_hier() ? n.behavior.c_str()
+                                               : op_name(n.op));
+      if (!n.is_hier() && n.num_inputs != op_arity(n.op)) {
+        rep.add("DFG008", Severity::Error, nat,
+                strf("operation %s takes %d inputs, node declares %d",
+                     op_name(n.op), op_arity(n.op), n.num_inputs));
+      }
+      if (!n.is_hier() && n.num_outputs != 1) {
+        rep.add("DFG008", Severity::Error, nat,
+                strf("operation node must have 1 output, declares %d",
+                     n.num_outputs));
+      }
+      for (int p = 0; p < n.num_inputs; ++p) {
+        const auto it = in_drivers.find({n.id, p});
+        const int k = it == in_drivers.end() ? 0 : it->second;
+        if (k != 1) {
+          rep.add("DFG001", Severity::Error, nat,
+                  strf("input port %d driven by %d edges (want exactly 1)",
+                       p, k));
+        }
+      }
+      for (int p = 0; p < n.num_outputs; ++p) {
+        const auto it = out_producers.find({n.id, p});
+        if (it != out_producers.end() && it->second > 1) {
+          rep.add("DFG006", Severity::Error, nat,
+                  strf("output port %d produces %d edges (want at most 1)",
+                       p, it->second));
+        }
+      }
+    }
+    for (int o = 0; o < dfg.num_outputs(); ++o) {
+      const int k = pout_drivers[static_cast<std::size_t>(o)];
+      if (k == 0) {
+        rep.add("DFG005", Severity::Error, at,
+                strf("primary output %d is undriven", o));
+      } else if (k > 1) {
+        rep.add("DFG006", Severity::Error, at,
+                strf("primary output %d driven by %d edges", o, k));
+      }
+    }
+    for (int i = 0; i < dfg.num_inputs(); ++i) {
+      if (pin_used[static_cast<std::size_t>(i)] == 0) {
+        rep.add("DFG007", Severity::Warning, at,
+                strf("primary input %d is never consumed", i));
+      }
+    }
+
+    // Acyclicity (Kahn's algorithm over node-to-node data edges).
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(nnodes));
+    std::vector<int> indeg(static_cast<std::size_t>(nnodes), 0);
+    for (const Edge& e : dfg.edges()) {
+      if (!node_ok(e.src.node)) continue;
+      for (const PortRef& d : e.dsts) {
+        if (!node_ok(d.node)) continue;
+        adj[static_cast<std::size_t>(e.src.node)].push_back(d.node);
+        indeg[static_cast<std::size_t>(d.node)]++;
+      }
+    }
+    std::queue<int> q;
+    for (int i = 0; i < nnodes; ++i) {
+      if (indeg[static_cast<std::size_t>(i)] == 0) q.push(i);
+    }
+    int visited = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      ++visited;
+      for (const int v : adj[static_cast<std::size_t>(u)]) {
+        if (--indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+      }
+    }
+    if (visited != nnodes) {
+      std::string on_cycle;
+      for (int i = 0; i < nnodes; ++i) {
+        if (indeg[static_cast<std::size_t>(i)] > 0) {
+          on_cycle = strf(" (node %d participates)", i);
+          break;
+        }
+      }
+      rep.add("DFG003", Severity::Error, at,
+              "data flow graph is cyclic" + on_cycle);
+    }
+  }
+};
+
+// ---- dfg-hierarchy -------------------------------------------------------
+
+class DfgHierarchyPass final : public Pass {
+ public:
+  const char* name() const override { return "dfg-hierarchy"; }
+  bool applicable(const CheckContext& cx) const override {
+    return cx.design != nullptr;
+  }
+  void run(const CheckContext& cx, Report& rep) const override {
+    const Design& design = *cx.design;
+    const std::vector<std::string>& names = design.behavior_names();
+
+    if (design.top_name().empty()) {
+      rep.add("HIER006", Severity::Error, "design",
+              "no top behavior declared");
+    } else if (!design.has_behavior(design.top_name())) {
+      rep.add("HIER006", Severity::Error, "design",
+              "top behavior '" + design.top_name() + "' is not registered");
+    }
+
+    // Reference validity + port arity of hierarchical nodes.
+    for (const std::string& bn : names) {
+      const Dfg& dfg = design.behavior(bn);
+      for (const Node& n : dfg.nodes()) {
+        if (!n.is_hier()) continue;
+        const std::string at =
+            strf("%s node %d", dfg_loc(dfg).c_str(), n.id);
+        if (!design.has_behavior(n.behavior)) {
+          rep.add("HIER001", Severity::Error, at,
+                  "references unregistered behavior '" + n.behavior + "'");
+          continue;
+        }
+        const Dfg& child = design.behavior(n.behavior);
+        if (n.num_inputs != child.num_inputs() ||
+            n.num_outputs != child.num_outputs()) {
+          rep.add("HIER002", Severity::Error, at,
+                  strf("port arity %d/%d does not match behavior '%s' "
+                       "(%d inputs, %d outputs)",
+                       n.num_inputs, n.num_outputs, n.behavior.c_str(),
+                       child.num_inputs(), child.num_outputs()));
+        }
+      }
+    }
+
+    // Recursion detection: DFS over the behavior-reference graph.
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::map<std::string, int> state;
+    for (const std::string& bn : names) {
+      dfs_recursion(design, bn, state, rep);
+    }
+
+    // Equivalence classes must share the I/O signature.
+    std::set<std::string> reported;
+    for (const std::string& bn : names) {
+      const Dfg& dfg = design.behavior(bn);
+      for (const std::string& eq : design.equivalents(bn)) {
+        if (eq == bn || !design.has_behavior(eq)) continue;
+        const Dfg& other = design.behavior(eq);
+        if (dfg.num_inputs() != other.num_inputs() ||
+            dfg.num_outputs() != other.num_outputs()) {
+          const std::string key = bn < eq ? bn + "/" + eq : eq + "/" + bn;
+          if (reported.insert(key).second) {
+            rep.add("HIER004", Severity::Error, "design",
+                    strf("equivalent behaviors '%s' (%d/%d) and '%s' (%d/%d) "
+                         "have different I/O signatures",
+                         bn.c_str(), dfg.num_inputs(), dfg.num_outputs(),
+                         eq.c_str(), other.num_inputs(), other.num_outputs()));
+          }
+        }
+      }
+    }
+
+    // Reachability from the top (hier references + declared equivalences).
+    if (design.has_behavior(design.top_name())) {
+      std::set<std::string> reach;
+      std::queue<std::string> q;
+      q.push(design.top_name());
+      reach.insert(design.top_name());
+      while (!q.empty()) {
+        const std::string bn = q.front();
+        q.pop();
+        auto visit = [&](const std::string& next) {
+          if (design.has_behavior(next) && reach.insert(next).second) {
+            q.push(next);
+          }
+        };
+        for (const std::string& eq : design.equivalents(bn)) visit(eq);
+        for (const Node& n : design.behavior(bn).nodes()) {
+          if (n.is_hier()) visit(n.behavior);
+        }
+      }
+      for (const std::string& bn : names) {
+        if (reach.count(bn) == 0) {
+          rep.add("HIER005", Severity::Warning, "design",
+                  "behavior '" + bn +
+                      "' is unreachable from the top behavior");
+        }
+      }
+    }
+  }
+
+ private:
+  static void dfs_recursion(const Design& design, const std::string& bn,
+                            std::map<std::string, int>& state, Report& rep) {
+    auto [it, fresh] = state.emplace(bn, 1);
+    if (!fresh) return;  // visited (or already reported on this path)
+    if (design.has_behavior(bn)) {
+      for (const Node& n : design.behavior(bn).nodes()) {
+        if (!n.is_hier()) continue;
+        const auto cit = state.find(n.behavior);
+        if (cit != state.end() && cit->second == 1) {
+          rep.add("HIER003", Severity::Error,
+                  "dfg '" + bn + "' node " + strf("%d", n.id),
+                  "recursive hierarchy through behavior '" + n.behavior + "'");
+          continue;
+        }
+        dfs_recursion(design, n.behavior, state, rep);
+      }
+    }
+    it->second = 2;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dfg_wellformed_pass() {
+  return std::make_unique<DfgWellformedPass>();
+}
+std::unique_ptr<Pass> make_dfg_hierarchy_pass() {
+  return std::make_unique<DfgHierarchyPass>();
+}
+
+}  // namespace hsyn::lint

@@ -5,6 +5,7 @@
 
 #include "rtl/cost.h"
 #include "util/fmt.h"
+#include "util/log.h"
 
 namespace hsyn::gates {
 namespace {
@@ -21,7 +22,8 @@ const GateCost& op_gate_cost(Op op) {
     return t;
   }();
   const std::size_t i = static_cast<std::size_t>(op);
-  check(i < table.size(), "op_gate_cost: hierarchical op has no gate cost");
+  HSYN_CHECK(i < table.size(),
+             "op_gate_cost: hierarchical op has no gate cost");
   return table[i];
 }
 

@@ -6,6 +6,7 @@
 
 #include "rtl/cost.h"
 #include "util/fmt.h"
+#include "util/log.h"
 
 namespace hsyn {
 
@@ -15,7 +16,9 @@ Controller build_controller(const Datapath& dp, const Library& lib,
   std::set<std::string> signals;
   for (std::size_t b = 0; b < dp.behaviors.size(); ++b) {
     const BehaviorImpl& bi = dp.behaviors[b];
-    check(bi.scheduled, "build_controller: behavior not scheduled");
+    HSYN_CHECK(bi.scheduled,
+               strf("build_controller: behavior '%s' not scheduled",
+                    bi.behavior.c_str()));
     const int base = static_cast<int>(c.states.size());
     for (int cyc = 0; cyc <= bi.makespan; ++cyc) {
       FsmState st;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/check.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 #include "util/fmt.h"
@@ -14,6 +15,11 @@ namespace hsyn {
 Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
   double cur_cost = cost_of(dp, cx);
   if (stats) stats->initial_cost = cur_cost;
+  // The move-engine invariant gate: after every accepted move, re-verify
+  // the whole datapath with the static-check registry and throw on the
+  // first illegal circuit -- a move generator bug is then caught at the
+  // move that introduced it instead of surfacing as a bad final netlist.
+  const bool gate = cx.opts.check_moves || lint::env_check_moves();
 
   for (int pass = 0; pass < cx.opts.max_passes; ++pass) {
     if (stats) ++stats->passes;
@@ -52,6 +58,11 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
       log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
                      m.kind.c_str(), m.desc.c_str(), m.gain));
       cur = m.result;
+      if (gate) {
+        lint::verify_move(cur, *cx.lib, cx.pt, cx.deadline,
+                          strf("pass %d move %d: %s (%s)", pass, mi,
+                               m.kind.c_str(), m.desc.c_str()));
+      }
       cum += m.gain;
       snapshots.push_back(cur);
       cum_gain.push_back(cum);

@@ -57,6 +57,11 @@ struct SynthOptions {
   bool enable_share = true;     ///< move C
   bool enable_split = true;     ///< move D
   bool enable_negative_gain = true;  ///< variable-depth (vs greedy-only)
+  /// Re-run the full static-check registry (src/check/) on the datapath
+  /// after every accepted move and abort on any invariant violation.
+  /// Also enabled by HSYN_CHECK_MOVES=1. Read-only over the IR, so
+  /// results are bit-identical with or without it.
+  bool check_moves = false;
 };
 
 /// Cache of library templates already instantiated and scheduled at an

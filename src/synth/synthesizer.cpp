@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "check/check.h"
 #include "dfg/analysis.h"
 #include "dfg/flatten.h"
 #include "power/estimator.h"
@@ -231,6 +232,24 @@ SynthResult synthesize(const Design& design, const Library& lib,
   }
 
   if (!best.ok) best.fail_reason = "no feasible operating point";
+#ifndef NDEBUG
+  if (best.ok) {
+    // Debug builds always verify the winning circuit with the cheap
+    // check passes; release builds opt in per move via --check-moves /
+    // HSYN_CHECK_MOVES=1.
+    lint::CheckContext ccx;
+    ccx.design = &design;
+    ccx.dp = &best.dp;
+    ccx.lib = &lib;
+    ccx.pt = best.pt;
+    ccx.deadline = best.deadline_cycles;
+    ccx.sample_period_ns = best.sample_period_ns;
+    const lint::Report rep =
+        lint::CheckEngine::instance().run(ccx, /*cheap_only=*/true);
+    check(rep.ok(),
+          "post-synthesis static checks failed:\n" + rep.to_text());
+  }
+#endif
   best.synth_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return best;

@@ -1,0 +1,219 @@
+// hsyn-lint: standalone static checker for the textual H-SYN formats.
+//
+//   hsyn-lint [--json] [--library FILE] [--trace FILE] [--benchmarks]
+//             [DESIGN.dfg ...]
+//
+// Each positional file is parsed as a hierarchical-DFG design and run
+// through the full check-pass registry (parse failures surface as
+// error[PARSE] diagnostics with the reader's line-numbered message).
+// --library / --trace validate the other two textio formats the same
+// way; --benchmarks lints every built-in benchmark design. Exit status:
+// 0 when no errors were found, 1 when any lint or parse error fired,
+// 2 on usage errors or unreadable files.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "check/check.h"
+#include "dfg/textio.h"
+#include "library/textio.h"
+#include "power/trace_io.h"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> design_files;
+  std::string library_file;
+  std::string trace_file;
+  bool benchmarks = false;
+  bool json = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hsyn-lint [--json] [--library FILE] [--trace FILE]\n"
+               "                 [--benchmarks] [DESIGN.dfg ...]\n");
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// One lint target's outcome, printed in text or JSON form.
+struct Outcome {
+  std::string name;
+  hsyn::lint::Report report;
+  std::string parse_error;  ///< non-empty: parsing failed, no report ran
+};
+
+void print_text(const std::vector<Outcome>& outcomes) {
+  for (const Outcome& o : outcomes) {
+    std::printf("== %s\n", o.name.c_str());
+    if (!o.parse_error.empty()) {
+      std::printf("error[PARSE] %s: %s\n1 error(s), 0 warning(s)\n",
+                  o.name.c_str(), o.parse_error.c_str());
+    } else {
+      std::fputs(o.report.to_text().c_str(), stdout);
+    }
+  }
+}
+
+void print_json(const std::vector<Outcome>& outcomes) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    std::string name = o.name;  // names are paths/identifiers: escape quotes
+    for (std::size_t p = 0; (p = name.find('"', p)) != std::string::npos;
+         p += 2) {
+      name.replace(p, 1, "\\\"");
+    }
+    std::printf("{\"target\": \"%s\", ", name.c_str());
+    if (!o.parse_error.empty()) {
+      hsyn::lint::Report rep;
+      rep.add("PARSE", hsyn::lint::Severity::Error, o.name, o.parse_error);
+      std::printf("\"result\": %s}", rep.to_json().c_str());
+    } else {
+      std::printf("\"result\": %s}", o.report.to_json().c_str());
+    }
+    std::printf("%s\n", i + 1 < outcomes.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsyn;
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      a.json = true;
+    } else if (arg == "--benchmarks") {
+      a.benchmarks = true;
+    } else if (arg == "--library") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      a.library_file = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      a.trace_file = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      a.design_files.push_back(arg);
+    }
+  }
+  if (a.design_files.empty() && a.library_file.empty() &&
+      a.trace_file.empty() && !a.benchmarks) {
+    usage();
+    return 2;
+  }
+
+  std::vector<Outcome> outcomes;
+  bool any_error = false;
+  auto record = [&](Outcome o) {
+    any_error = any_error || !o.parse_error.empty() || !o.report.ok();
+    outcomes.push_back(std::move(o));
+  };
+
+  for (const std::string& file : a.design_files) {
+    std::string text;
+    if (!read_file(file, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 2;
+    }
+    Outcome o;
+    o.name = file;
+    try {
+      const Design design = design_from_text(text);
+      o.report = lint::lint_design(design);
+    } catch (const std::exception& e) {
+      o.parse_error = e.what();
+    }
+    record(std::move(o));
+  }
+
+  if (!a.library_file.empty()) {
+    std::string text;
+    if (!read_file(a.library_file, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", a.library_file.c_str());
+      return 2;
+    }
+    Outcome o;
+    o.name = a.library_file;
+    try {
+      const Library lib = library_from_text(text);
+      if (lib.num_fu_types() == 0) {
+        o.report.add("LIB001", lint::Severity::Error, a.library_file,
+                     "library declares no functional-unit types");
+      }
+    } catch (const std::exception& e) {
+      o.parse_error = e.what();
+    }
+    record(std::move(o));
+  }
+
+  if (!a.trace_file.empty()) {
+    std::string text;
+    if (!read_file(a.trace_file, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", a.trace_file.c_str());
+      return 2;
+    }
+    Outcome o;
+    o.name = a.trace_file;
+    try {
+      const Trace t = trace_from_text(text);
+      if (t.empty()) {
+        o.report.add("TRACE001", lint::Severity::Warning, a.trace_file,
+                     "trace holds no samples");
+      }
+    } catch (const std::exception& e) {
+      o.parse_error = e.what();
+    }
+    record(std::move(o));
+  }
+
+  if (a.benchmarks) {
+    const Library lib = default_library();
+    for (const std::string& name : benchmark_names()) {
+      Outcome o;
+      o.name = "benchmark:" + name;
+      try {
+        const Benchmark b = make_benchmark(name, lib);
+        o.report = lint::lint_design(b.design);
+      } catch (const std::exception& e) {
+        o.parse_error = e.what();
+      }
+      record(std::move(o));
+    }
+  }
+
+  if (a.json) {
+    print_json(outcomes);
+  } else {
+    print_text(outcomes);
+  }
+  return any_error ? 1 : 0;
+}

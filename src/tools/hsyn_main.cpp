@@ -48,6 +48,8 @@ struct Args {
   std::string fsm_file;
   std::string dot_file;
   bool verify = true;
+  /// Re-verify all IR invariants after every accepted move (src/check/).
+  bool check_moves = false;
   bool templates = false;
   bool auto_variants = false;
   bool verbose = false;
@@ -68,7 +70,7 @@ void usage() {
                "            [--mode hier|flat] [--laxity F | --period-ns T]\n"
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
-               "            [--no-verify] [--templates] [--auto-variants] [--seed N] "
+               "            [--no-verify] [--check-moves] [--templates] [--auto-variants] [--seed N] "
                "[--threads N] [--eval-cache-mb N] [--verbose]\n");
 }
 
@@ -137,6 +139,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.dot_file = v;
     } else if (arg == "--no-verify") {
       a.verify = false;
+    } else if (arg == "--check-moves") {
+      a.check_moves = true;
     } else if (arg == "--templates") {
       a.templates = true;
     } else if (arg == "--auto-variants") {
@@ -249,6 +253,7 @@ int main(int argc, char** argv) {
 
     SynthOptions opts;
     opts.seed = args->seed;
+    opts.check_moves = args->check_moves;
     if (!args->trace_file.empty()) {
       std::ifstream tf(args->trace_file);
       if (!tf) {

@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace hsyn {
 namespace {
@@ -27,6 +28,15 @@ LogLevel log_level() { return g_level; }
 void log_msg(LogLevel lv, const std::string& msg) {
   if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
   std::fprintf(stderr, "[hsyn %s] %s\n", level_name(lv), msg.c_str());
+}
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  // The exception message reaches the user; the log line additionally
+  // pins down the failing condition and source location for bug reports.
+  log_error("check failed: (" + std::string(cond) + ") at " + file + ":" +
+            std::to_string(line) + ": " + msg);
+  throw std::logic_error("hsyn check failed: " + msg);
 }
 
 }  // namespace hsyn

@@ -24,4 +24,29 @@ inline void log_info(const std::string& m) { log_msg(LogLevel::Info, m); }
 inline void log_warn(const std::string& m) { log_msg(LogLevel::Warn, m); }
 inline void log_error(const std::string& m) { log_msg(LogLevel::Error, m); }
 
+/// [[noreturn]] failure path of HSYN_CHECK: logs the failing condition
+/// with its source location at Error level, then throws std::logic_error
+/// (same contract as util/fmt.h check(), so callers' error handling and
+/// tests keep working). Out of line to keep the macro expansion small.
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+
 }  // namespace hsyn
+
+/// Invariant assertion with context: on failure, logs the condition text,
+/// source location and message before throwing std::logic_error. Active
+/// in every build type -- use for conditions whose cost is trivial next
+/// to the surrounding work.
+#define HSYN_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) ::hsyn::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only variant for checks on hot paths; compiled out under NDEBUG.
+#ifdef NDEBUG
+#define HSYN_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define HSYN_DCHECK(cond, msg) HSYN_CHECK(cond, msg)
+#endif
