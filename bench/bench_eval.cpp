@@ -30,6 +30,7 @@
 #include "sched/scheduler.h"
 #include "synth/initial.h"
 #include "synth/moves.h"
+#include "util/json.h"
 
 namespace {
 
@@ -157,30 +158,30 @@ int main() {
     rows.push_back(row);
   }
 
-  std::string json = "{\n  \"bench\": \"eval_cache\",\n";
-  json += "  \"design\": \"paulin\",\n";
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "  \"candidates\": %d,\n  \"trace_samples\": %d,\n"
-                "  \"deterministic\": %s,\n  \"sweep\": [\n",
-                n, kTraceSamples, deterministic ? "true" : "false");
-  json += buf;
   bool speedup_ok = true;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("eval_cache");
+  w.key("design").value("paulin");
+  w.key("candidates").value(n);
+  w.key("trace_samples").value(kTraceSamples);
+  w.key("deterministic").value(deterministic);
+  w.key("sweep").begin_array();
+  for (const Row& r : rows) {
     const double speedup = r.warm_s > 0 ? r.cold_s / r.warm_s : 0;
     speedup_ok = speedup_ok && speedup >= 1.5;
-    std::snprintf(buf, sizeof buf,
-                  "    {\"threads\": %d, \"cold_s\": %.4f, \"warm_s\": %.4f, "
-                  "\"warm_speedup\": %.2f, \"cross_thread_hits\": %llu}%s\n",
-                  r.threads, r.cold_s, r.warm_s, speedup,
-                  static_cast<unsigned long long>(r.cross_thread_hits),
-                  i + 1 < rows.size() ? "," : "");
-    json += buf;
+    w.begin_object();
+    w.key("threads").value(r.threads);
+    w.key("cold_s").value(r.cold_s);
+    w.key("warm_s").value(r.warm_s);
+    w.key("warm_speedup").value(speedup);
+    w.key("cross_thread_hits").value(r.cross_thread_hits);
+    w.end_object();
   }
-  std::snprintf(buf, sizeof buf, "  ],\n  \"warm_speedup_ok\": %s\n}\n",
-                speedup_ok ? "true" : "false");
-  json += buf;
+  w.end_array();
+  w.key("warm_speedup_ok").value(speedup_ok);
+  w.end_object();
+  const std::string json = w.str() + "\n";
 
   std::fputs(json.c_str(), stdout);
   if (std::FILE* f = std::fopen("BENCH_eval.json", "w")) {

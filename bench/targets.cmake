@@ -19,3 +19,4 @@ hsyn_bench(bench_transforms)
 hsyn_bench(bench_scaling)
 hsyn_bench(bench_runtime)
 hsyn_bench(bench_eval)
+hsyn_bench(bench_obs)

@@ -2,34 +2,9 @@
 
 #include <sstream>
 
+#include "util/json.h"
+
 namespace hsyn::lint {
-namespace {
-
-/// Minimal JSON string escaping (codes/locations are ASCII; messages may
-/// quote user labels).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 const char* severity_name(Severity s) {
   switch (s) {

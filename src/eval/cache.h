@@ -65,7 +65,18 @@ namespace detail {
 /// Small dense id for the calling thread (not the opaque std::thread::id),
 /// stored per entry to detect cross-thread reuse.
 std::uint64_t thread_token();
+
+/// Per-thread lookup totals summed over every ShardedLruCache instance.
+/// The move ledger reads deltas around one candidate evaluation to
+/// attribute cache traffic to that candidate (observational only: which
+/// thread pays a miss depends on arrival order).
+inline thread_local std::uint64_t t_thread_hits = 0;
+inline thread_local std::uint64_t t_thread_misses = 0;
 }  // namespace detail
+
+/// This thread's cumulative hit/miss counts across all eval caches.
+inline std::uint64_t thread_cache_hits() { return detail::t_thread_hits; }
+inline std::uint64_t thread_cache_misses() { return detail::t_thread_misses; }
 
 template <typename V>
 class ShardedLruCache {
@@ -83,10 +94,12 @@ class ShardedLruCache {
     auto it = s.index.find(k);
     if (it == s.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      ++detail::t_thread_misses;
       return std::nullopt;
     }
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    ++detail::t_thread_hits;
     if (it->second->owner != detail::thread_token()) {
       cross_thread_hits_.fetch_add(1, std::memory_order_relaxed);
     }

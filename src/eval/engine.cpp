@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace.h"
 #include "rtl/fingerprint.h"
 #include "runtime/stats.h"
 #include "util/fmt.h"
@@ -101,6 +102,8 @@ std::shared_ptr<const Connectivity> EvalEngine::connectivity(const Datapath& dp)
           "eval verify: cached connectivity diverges from recompute");
     return *hit;
   }
+  // Cache miss: the full recompute is the expensive path worth a span.
+  obs::Span span("conn-fill");
   auto conn = std::make_shared<const Connectivity>(connectivity_of(dp));
   conn_.put(key, conn, connectivity_bytes(*conn));
   return conn;
@@ -134,6 +137,7 @@ AreaBreakdown EvalEngine::area(const Datapath& dp, const Library& lib,
   const Key key{structure_fingerprint(dp), 0, area_context(lib, top_level)};
   const auto cached = area_.get(key);
   if (cached && !verify_) return *cached;
+  obs::Span span("area-fill");
   const auto conn = connectivity(dp);
   AreaBreakdown a = area_of_level(dp, lib, top_level, *conn);
   for (const ChildUnit& ch : dp.children) {

@@ -1,0 +1,335 @@
+#include "obs/ledger.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/table.h"
+
+namespace hsyn::obs {
+
+const char* move_status_name(MoveStatus s) {
+  switch (s) {
+    case MoveStatus::Evaluated: return "evaluated";
+    case MoveStatus::Infeasible: return "infeasible";
+    case MoveStatus::Applied: return "applied";
+    case MoveStatus::RolledBack: return "rolled-back";
+    case MoveStatus::Accepted: return "accepted";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Soft cap per recording thread; a runaway inner loop cannot exhaust
+/// memory (1<<20 records x ~100 B is ~100 MB worst case across a big
+/// pool, far beyond any real run).
+constexpr std::size_t kMaxRecordsPerThread = std::size_t{1} << 20;
+
+struct ThreadBuf {
+  /// Guards contents against merge/reset; the owning thread's append
+  /// takes it too, but it is per-thread and uncontended on the hot path.
+  mutable std::mutex mu;
+  std::vector<MoveRecord> records;
+  std::uint64_t dropped = 0;
+};
+
+struct Mark {
+  std::uint64_t group;
+  std::int32_t cand;
+  MoveStatus status;
+};
+
+struct LedgerState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::vector<Mark> marks;  ///< serial improvement loop only
+  /// Per group id: (pass, resynth depth) captured at begin_group() time.
+  /// Pass/depth scopes are thread-local to the serial enumerating
+  /// thread; a worker evaluating the candidate would read its own stale
+  /// values, so merged() stamps records from this table instead.
+  std::vector<std::pair<int, int>> group_meta;
+};
+
+LedgerState& state() {
+  static LedgerState* s = new LedgerState();
+  return *s;
+}
+
+ThreadBuf& local_buf() {
+  // shared_ptr keeps the buffer reachable from the state after the
+  // worker thread dies (the pool is rebuilt on set_threads).
+  thread_local std::shared_ptr<ThreadBuf> tl = [] {
+    auto buf = std::make_shared<ThreadBuf>();
+    LedgerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bufs.push_back(buf);
+    return buf;
+  }();
+  return *tl;
+}
+
+struct Tag {
+  std::uint64_t group = 0;
+  std::int32_t cand = -1;
+  bool active = false;
+  int pass = 0;
+  int depth = 0;
+};
+
+thread_local Tag t_tag;
+
+void append_csv_field(std::string& out, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    out += s;
+    return;
+  }
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+MoveLedger& MoveLedger::instance() {
+  static MoveLedger* l = new MoveLedger();
+  return *l;
+}
+
+void MoveLedger::reset() {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->records.clear();
+    buf->dropped = 0;
+  }
+  s.marks.clear();
+  s.group_meta.clear();
+  next_group_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MoveLedger::begin_group() {
+  const std::uint64_t id = next_group_.fetch_add(1, std::memory_order_relaxed);
+  // Capture the enumerating thread's improvement context here, where it
+  // is authoritative (see group_meta).
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.group_meta.size() <= id) s.group_meta.resize(id + 1, {0, 0});
+  s.group_meta[id] = {ImproveScope::current_pass(),
+                      ResynthScope::current_depth()};
+  return id;
+}
+
+void MoveLedger::record(MoveRecord rec) {
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.records.size() >= kMaxRecordsPerThread) {
+    ++b.dropped;
+    return;
+  }
+  b.records.push_back(std::move(rec));
+}
+
+void MoveLedger::set_status(std::uint64_t group, std::int32_t cand,
+                            MoveStatus status) {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.marks.push_back(Mark{group, cand, status});
+}
+
+std::vector<MoveRecord> MoveLedger::merged() const {
+  LedgerState& s = state();
+  std::vector<MoveRecord> out;
+  std::vector<Mark> marks;
+  std::vector<std::pair<int, int>> group_meta;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& buf : s.bufs) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      out.insert(out.end(), buf->records.begin(), buf->records.end());
+    }
+    marks = s.marks;
+    group_meta = s.group_meta;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MoveRecord& a, const MoveRecord& b) {
+                     return a.group != b.group ? a.group < b.group
+                                               : a.cand < b.cand;
+                   });
+  // Pass/depth come from the serial enumeration context, not from
+  // whichever worker happened to evaluate the candidate.
+  for (MoveRecord& r : out) {
+    if (r.group < group_meta.size()) {
+      r.pass = group_meta[static_cast<std::size_t>(r.group)].first;
+      r.depth = group_meta[static_cast<std::size_t>(r.group)].second;
+    }
+  }
+  // Marks are few (one or two per applied move); linear probe per mark
+  // via binary search on the sorted records.
+  for (const Mark& m : marks) {
+    auto it = std::lower_bound(
+        out.begin(), out.end(), m, [](const MoveRecord& r, const Mark& mk) {
+          return r.group != mk.group ? r.group < mk.group : r.cand < mk.cand;
+        });
+    for (; it != out.end() && it->group == m.group && it->cand == m.cand;
+         ++it) {
+      it->status = m.status;
+    }
+  }
+  return out;
+}
+
+std::string MoveLedger::to_jsonl(bool include_timing) const {
+  std::string out;
+  for (const MoveRecord& r : merged()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("group").value(r.group);
+    w.key("cand").value(static_cast<std::int64_t>(r.cand));
+    w.key("kind").value(r.kind);
+    w.key("desc").value(r.desc);
+    w.key("pass").value(r.pass);
+    w.key("depth").value(r.depth);
+    w.key("gain").value(r.gain);
+    w.key("cost_before").value(r.cost_before);
+    w.key("status").value(move_status_name(r.status));
+    if (include_timing) {
+      w.key("eval_us").value(r.eval_us);
+      w.key("cache_hits").value(r.cache_hits);
+      w.key("cache_misses").value(r.cache_misses);
+    }
+    w.end_object();
+    out += w.str();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MoveLedger::to_csv() const {
+  std::string out =
+      "group,cand,kind,desc,pass,depth,gain,cost_before,status,"
+      "eval_us,cache_hits,cache_misses\n";
+  for (const MoveRecord& r : merged()) {
+    std::ostringstream line;
+    line << r.group << "," << r.cand << ",";
+    std::string tail;
+    append_csv_field(tail, r.kind);
+    tail += ",";
+    append_csv_field(tail, r.desc);
+    line << tail << "," << r.pass << "," << r.depth << "," << r.gain << ","
+         << r.cost_before << "," << move_status_name(r.status) << ","
+         << r.eval_us << "," << r.cache_hits << "," << r.cache_misses;
+    out += line.str();
+    out += "\n";
+  }
+  return out;
+}
+
+bool MoveLedger::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  out << (csv ? to_csv() : to_jsonl());
+  return static_cast<bool>(out);
+}
+
+std::map<std::string, MoveClassSummary> MoveLedger::summary() const {
+  std::map<std::string, MoveClassSummary> out;
+  for (const MoveRecord& r : merged()) {
+    MoveClassSummary& s = out[r.kind];
+    ++s.attempted;
+    switch (r.status) {
+      case MoveStatus::Infeasible: ++s.infeasible; break;
+      case MoveStatus::Applied:
+      case MoveStatus::RolledBack: ++s.applied; break;
+      case MoveStatus::Accepted:
+        ++s.applied;
+        ++s.accepted;
+        s.accepted_gain += r.gain;
+        break;
+      case MoveStatus::Evaluated: break;
+    }
+  }
+  return out;
+}
+
+std::string MoveLedger::summary_table() const {
+  const auto sum = summary();
+  TextTable t;
+  t.row({"move class", "attempted", "infeasible", "applied", "accepted",
+         "accept %", "accepted gain"});
+  t.rule();
+  MoveClassSummary total;
+  for (const auto& [kind, s] : sum) {
+    std::ostringstream pct, gain;
+    pct.precision(1);
+    pct << std::fixed
+        << (s.attempted != 0
+                ? 100.0 * static_cast<double>(s.accepted) /
+                      static_cast<double>(s.attempted)
+                : 0.0);
+    gain.precision(4);
+    gain << s.accepted_gain;
+    t.row({kind, std::to_string(s.attempted), std::to_string(s.infeasible),
+           std::to_string(s.applied), std::to_string(s.accepted), pct.str(),
+           gain.str()});
+    total.attempted += s.attempted;
+    total.infeasible += s.infeasible;
+    total.applied += s.applied;
+    total.accepted += s.accepted;
+    total.accepted_gain += s.accepted_gain;
+  }
+  t.rule();
+  std::ostringstream pct, gain;
+  pct.precision(1);
+  pct << std::fixed
+      << (total.attempted != 0
+              ? 100.0 * static_cast<double>(total.accepted) /
+                    static_cast<double>(total.attempted)
+              : 0.0);
+  gain.precision(4);
+  gain << total.accepted_gain;
+  t.row({"total", std::to_string(total.attempted),
+         std::to_string(total.infeasible), std::to_string(total.applied),
+         std::to_string(total.accepted), pct.str(), gain.str()});
+  return t.render();
+}
+
+CandidateScope::CandidateScope(std::uint64_t group, std::int32_t cand)
+    : prev_group_(t_tag.group),
+      prev_cand_(t_tag.cand),
+      prev_active_(t_tag.active) {
+  t_tag.group = group;
+  t_tag.cand = cand;
+  t_tag.active = true;
+}
+
+CandidateScope::~CandidateScope() {
+  t_tag.group = prev_group_;
+  t_tag.cand = prev_cand_;
+  t_tag.active = prev_active_;
+}
+
+bool CandidateScope::active() { return t_tag.active; }
+std::uint64_t CandidateScope::current_group() { return t_tag.group; }
+std::int32_t CandidateScope::current_cand() { return t_tag.cand; }
+
+ImproveScope::ImproveScope(int pass) : prev_pass_(t_tag.pass) {
+  t_tag.pass = pass;
+}
+ImproveScope::~ImproveScope() { t_tag.pass = prev_pass_; }
+int ImproveScope::current_pass() { return t_tag.pass; }
+
+ResynthScope::ResynthScope() : prev_depth_(t_tag.depth) { ++t_tag.depth; }
+ResynthScope::~ResynthScope() { t_tag.depth = prev_depth_; }
+int ResynthScope::current_depth() { return t_tag.depth; }
+
+}  // namespace hsyn::obs

@@ -1,0 +1,185 @@
+// Move ledger: a structured record of every move the improvement engine
+// attempted -- move class, target, gain, accept/reject outcome, and
+// (observational) evaluation time and cache traffic.
+//
+// Determinism contract. Candidate enumeration is serial: every move
+// generator builds its candidate list on the enumerating thread before
+// fanning evaluation out through runtime::parallel_best. The ledger
+// exploits this: begin_group() is called at each (serial, totally
+// ordered) enumeration site and returns a fresh group id from a global
+// counter; inside the parallel evaluation lambda a CandidateScope tags
+// the worker thread with (group, candidate index). finish_move() reads
+// the tag and appends the record to a per-thread buffer with no
+// cross-thread synchronization. merged() sorts by (group, cand) -- both
+// ids are assigned independently of which worker ran the evaluation, so
+// the merged ledger is identical at any thread count.
+//
+// Outcome marks (applied / rolled back / accepted) are produced by the
+// serial improvement loop after evaluation, keyed by the same
+// (group, cand), and folded in at merge time.
+//
+// eval_us and cache_hits/misses are the exception: the evaluation
+// caches are shared, so which candidate pays a miss depends on arrival
+// order. They are exported for profiling but excluded from the
+// determinism guarantee (to_jsonl(/*include_timing=*/false) omits
+// them; that is what the determinism test compares).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hsyn::obs {
+
+enum class MoveStatus : std::uint8_t {
+  Evaluated = 0,   ///< scheduled + costed, never applied
+  Infeasible = 1,  ///< failed scheduling/validation (no gain)
+  Applied = 2,     ///< applied during a pass, prefix selection pending
+  RolledBack = 3,  ///< applied then undone by best-prefix selection
+  Accepted = 4,    ///< applied and kept in the best prefix
+};
+
+const char* move_status_name(MoveStatus s);
+
+/// One attempted move.
+struct MoveRecord {
+  std::uint64_t group = 0;  ///< serial enumeration-site id
+  std::int32_t cand = 0;    ///< candidate index within the group
+  std::string kind;         ///< move class ("A:replace-fu", "C:share", ...)
+  std::string desc;         ///< human-readable target description
+  int pass = 0;             ///< improvement pass (outermost improve())
+  int depth = 0;            ///< resynthesis nesting depth (move B)
+  double gain = 0;          ///< cost(before) - cost(after)
+  double cost_before = 0;
+  MoveStatus status = MoveStatus::Evaluated;
+  // Observational fields (excluded from the determinism contract):
+  double eval_us = 0;              ///< wall time of schedule + cost
+  std::uint64_t cache_hits = 0;    ///< eval-cache hits during evaluation
+  std::uint64_t cache_misses = 0;  ///< eval-cache misses during evaluation
+};
+
+/// Per-move-class rollup for the final report.
+struct MoveClassSummary {
+  std::uint64_t attempted = 0;   ///< records of any status
+  std::uint64_t infeasible = 0;
+  std::uint64_t applied = 0;     ///< Applied + RolledBack + Accepted
+  std::uint64_t accepted = 0;
+  double accepted_gain = 0;      ///< cumulative gain of accepted moves
+};
+
+class MoveLedger {
+ public:
+  static MoveLedger& instance();
+
+  MoveLedger(const MoveLedger&) = delete;
+  MoveLedger& operator=(const MoveLedger&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Drop all records, marks, and the group counter.
+  void reset();
+
+  /// Allocate the id of the next enumeration group. Must be called from
+  /// serial code (a generator's enumeration site), never from inside a
+  /// parallel region -- the total order of calls is what makes ledger
+  /// output thread-count independent.
+  std::uint64_t begin_group();
+
+  /// Append one record to the calling thread's buffer (lock-free with
+  /// respect to other recording threads).
+  void record(MoveRecord rec);
+
+  /// Mark the outcome of record (group, cand). Serial code only (the
+  /// improvement loop); marks overwrite earlier marks for the same key.
+  void set_status(std::uint64_t group, std::int32_t cand, MoveStatus status);
+
+  /// All records, sorted by (group, cand) with outcome marks applied.
+  /// Must not race with active recording (call between runs).
+  std::vector<MoveRecord> merged() const;
+
+  /// Records as JSON-lines, one object per move. With
+  /// include_timing=false the observational fields (eval_us,
+  /// cache_hits, cache_misses) are omitted and the output is
+  /// bit-identical at any thread count.
+  std::string to_jsonl(bool include_timing = true) const;
+
+  /// Records as CSV with a header row (same columns as the JSONL).
+  std::string to_csv() const;
+
+  /// Write to_jsonl() (or to_csv() when `path` ends in ".csv") to
+  /// `path`; false on failure.
+  bool write(const std::string& path) const;
+
+  /// Per-move-class rollup, keyed by `kind`.
+  std::map<std::string, MoveClassSummary> summary() const;
+
+  /// The rollup rendered as the report's ASCII table.
+  std::string summary_table() const;
+
+ private:
+  MoveLedger() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_group_{0};
+};
+
+/// RAII tag: "records produced on this thread belong to candidate
+/// `cand` of group `group`". Constructed inside the parallel evaluation
+/// lambda, immediately around the finish_move call chain.
+class CandidateScope {
+ public:
+  CandidateScope(std::uint64_t group, std::int32_t cand);
+  ~CandidateScope();
+  CandidateScope(const CandidateScope&) = delete;
+  CandidateScope& operator=(const CandidateScope&) = delete;
+
+  /// The innermost active scope on this thread (group/cand of -1 when
+  /// none): finish_move records only when a scope is active.
+  static bool active();
+  static std::uint64_t current_group();
+  static std::int32_t current_cand();
+
+ private:
+  std::uint64_t prev_group_;
+  std::int32_t prev_cand_;
+  bool prev_active_;
+};
+
+/// RAII pass context: set by improve() around each pass so records
+/// carry the pass number. Thread-local; nested improve() (move B
+/// resynthesis) runs on the enumerating thread and restores the outer
+/// value on exit.
+class ImproveScope {
+ public:
+  explicit ImproveScope(int pass);
+  ~ImproveScope();
+  ImproveScope(const ImproveScope&) = delete;
+  ImproveScope& operator=(const ImproveScope&) = delete;
+
+  static int current_pass();
+
+ private:
+  int prev_pass_;
+};
+
+/// RAII resynthesis-depth context: move B wraps its nested improve()
+/// call so records from the inner engine carry depth > 0.
+class ResynthScope {
+ public:
+  ResynthScope();
+  ~ResynthScope();
+  ResynthScope(const ResynthScope&) = delete;
+  ResynthScope& operator=(const ResynthScope&) = delete;
+
+  static int current_depth();
+
+ private:
+  int prev_depth_;
+};
+
+}  // namespace hsyn::obs

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace hsyn::obs {
+
+namespace {
+
+/// Index of the histogram bucket for `v`: 0 for v == 0, otherwise
+/// 1 + floor(log2(v)) so bucket i covers [2^(i-1), 2^i).
+int bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  int i = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++i;
+  }
+  return i < Histogram::kBuckets ? i : Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  // Leaked: instrument references handed out must stay valid through
+  // static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+void Registry::register_source(const std::string& name, CounterSourceFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_[name] = std::move(fn);
+}
+
+std::map<std::string, std::map<std::string, std::uint64_t>>
+Registry::poll_sources() const {
+  std::vector<std::pair<std::string, CounterSourceFn>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.assign(sources_.begin(), sources_.end());
+  }
+  std::map<std::string, std::map<std::string, std::uint64_t>> out;
+  for (const auto& [name, fn] : fns) out[name] = fn();
+  return out;
+}
+
+void Registry::reset_instruments() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string Registry::to_json() const {
+  const auto sources = poll_sources();  // polled outside mu_
+  JsonWriter w;
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c.value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g.value());
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("buckets").begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket(i);
+      if (n == 0) continue;
+      // [lower bound of bucket, count]
+      w.begin_array();
+      w.value(i == 0 ? std::uint64_t{0} : std::uint64_t{1} << (i - 1));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("sources").begin_object();
+  for (const auto& [sname, counters] : sources) {
+    w.key(sname).begin_object();
+    for (const auto& [cname, v] : counters) w.key(cname).value(v);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hsyn::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace hsyn::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Spans kept per thread before the ring wraps. 1<<16 spans x 32 bytes
+/// = 2 MB per recording thread; a full synthesis run of the built-in
+/// benchmarks fits with room to spare.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  /// Guards ring contents against snapshot/reset; the owning thread's
+  /// append takes it too, but it is per-thread and therefore
+  /// uncontended on the hot path.
+  mutable std::mutex mu;
+  std::vector<SpanEvent> ring;
+  std::size_t next = 0;      ///< wrap position
+  std::uint64_t total = 0;   ///< spans ever recorded
+  std::uint32_t depth = 0;   ///< current nesting depth (owner thread only)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+ThreadRing& local_ring() {
+  // The shared_ptr keeps the ring alive in the registry after the
+  // thread exits (the pool is rebuilt on set_threads; flushed traces
+  // must still include the old workers' spans).
+  thread_local std::shared_ptr<ThreadRing> tl = [] {
+    auto ring = std::make_shared<ThreadRing>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    ring->tid = r.next_tid++;
+    r.rings.push_back(ring);
+    return ring;
+  }();
+  return *tl;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+void Tracer::record(const char* name, std::uint64_t begin_ns,
+                    std::uint64_t end_ns, std::uint32_t depth) {
+  ThreadRing& r = local_ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const SpanEvent ev{name, begin_ns, end_ns, r.tid, depth};
+  if (r.ring.size() < kRingCapacity) {
+    r.ring.push_back(ev);
+  } else {
+    r.ring[r.next] = ev;
+    r.next = (r.next + 1) % kRingCapacity;
+  }
+  ++r.total;
+}
+
+void Span::open(const char* name) {
+  name_ = name;
+  ThreadRing& r = local_ring();
+  depth_ = r.depth++;
+  begin_ns_ = now_ns();
+}
+
+void Span::close() {
+  const std::uint64_t end = now_ns();
+  ThreadRing& r = local_ring();
+  if (r.depth > 0) --r.depth;
+  // Record even if tracing was toggled off mid-span: the span was
+  // opened under an enabled tracer and its depth accounting ran.
+  Tracer::instance().record(name_, begin_ns_, end, depth_);
+}
+
+void Tracer::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& ring : r.rings) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    ring->ring.clear();
+    ring->next = 0;
+    ring->total = 0;
+  }
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::vector<SpanEvent> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& ring : r.rings) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    // Oldest-first: the segment after the wrap position precedes the
+    // segment before it.
+    for (std::size_t i = ring->next; i < ring->ring.size(); ++i) {
+      out.push_back(ring->ring[i]);
+    }
+    for (std::size_t i = 0; i < ring->next; ++i) out.push_back(ring->ring[i]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.tid != b.tid ? a.tid < b.tid
+                                           : a.begin_ns < b.begin_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t d = 0;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& ring : r.rings) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    if (ring->total > ring->ring.size()) d += ring->total - ring->ring.size();
+  }
+  return d;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<SpanEvent> evs = events();
+  // Microsecond timestamps relative to the earliest span keep the
+  // numbers small and the Perfetto timeline anchored at zero.
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const SpanEvent& e : evs) t0 = std::min(t0, e.begin_ns);
+  if (evs.empty()) t0 = 0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const SpanEvent& e : evs) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("ph").value("X");
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+    w.key("ts").value(static_cast<double>(e.begin_ns - t0) * 1e-3);
+    w.key("dur").value(static_cast<double>(e.end_ns - e.begin_ns) * 1e-3);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("dropped_spans").value(dropped());
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hsyn::obs

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "eval/engine.h"
+#include "obs/trace.h"
 #include "rtl/cost.h"
 #include "rtl/fingerprint.h"
 #include "runtime/parallel.h"
@@ -76,6 +77,9 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
                       hash_final(ctx)};
   const auto cached = eng.energy_cache().get(key);
   if (cached && !eng.verify()) return *cached;
+  // Only the miss path (the actual estimation) gets a span; hits return
+  // above in sub-microsecond time.
+  obs::Span span("energy-of");
 
   const Dfg& dfg = *bi.dfg;
   const StructureCosts& sc = lib.costs();

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "eval/engine.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/hash.h"
@@ -75,6 +76,7 @@ constexpr std::uint64_t kEdgeValsContext = 0xEDEA15EDEA150003ull;
 /// The actual evaluator behind both eval_dfg_edges entry points.
 std::vector<std::vector<std::int32_t>> eval_dfg_edges_uncached(
     const Dfg& dfg, const BehaviorResolver& res, const Trace& inputs) {
+  obs::Span span("trace-replay");
   std::vector<std::vector<std::int32_t>> vals(
       inputs.size(), std::vector<std::int32_t>(dfg.edges().size(), 0));
   // Samples are independent (the DFG is a pure function of one sample's

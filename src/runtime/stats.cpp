@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "util/fmt.h"
 
 namespace hsyn::runtime {
@@ -15,17 +18,47 @@ std::atomic<std::uint64_t> g_chunks{0};
 std::atomic<std::uint64_t> g_tasks{0};
 std::atomic<std::uint64_t> g_max_region_chunks{0};
 
-std::mutex g_phase_mu;
-std::map<std::string, double>& phase_map() {
-  static std::map<std::string, double> m;
-  return m;
+/// Per-thread phase accumulator. The owning thread's ScopedPhase
+/// destructor takes the buffer's own mutex (uncontended on the hot
+/// path); snapshot/reset take every buffer's mutex in turn.
+struct PhaseBuf {
+  mutable std::mutex mu;
+  std::map<std::string, double> seconds;
+};
+
+struct PhaseRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<PhaseBuf>> bufs;
+};
+
+PhaseRegistry& phase_registry() {
+  static PhaseRegistry* r = new PhaseRegistry();
+  return *r;
 }
 
-using CounterSource = std::function<std::map<std::string, std::uint64_t>()>;
-std::mutex g_sources_mu;
-std::map<std::string, CounterSource>& source_map() {
-  static std::map<std::string, CounterSource> m;
-  return m;
+PhaseBuf& local_phase_buf() {
+  // shared_ptr keeps the buffer alive in the registry after the thread
+  // exits (the pool is rebuilt on set_threads; its workers' phase time
+  // must survive into later snapshots).
+  thread_local std::shared_ptr<PhaseBuf> tl = [] {
+    auto buf = std::make_shared<PhaseBuf>();
+    PhaseRegistry& r = phase_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.bufs.push_back(buf);
+    return buf;
+  }();
+  return *tl;
+}
+
+std::map<std::string, double> merged_phase_seconds() {
+  std::map<std::string, double> out;
+  PhaseRegistry& r = phase_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    for (const auto& [name, sec] : buf->seconds) out[name] += sec;
+  }
+  return out;
 }
 
 std::uint64_t now_ns() {
@@ -33,6 +66,32 @@ std::uint64_t now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Expose the runtime's own counters and phase timers as metrics
+/// sources, so --metrics-out includes them without a second registry.
+void ensure_registered() {
+  static const bool once = [] {
+    obs::Registry::instance().register_source("runtime", [] {
+      std::map<std::string, std::uint64_t> m;
+      m["regions"] = g_regions.load(std::memory_order_relaxed);
+      m["inline_regions"] = g_inline_regions.load(std::memory_order_relaxed);
+      m["chunks"] = g_chunks.load(std::memory_order_relaxed);
+      m["tasks"] = g_tasks.load(std::memory_order_relaxed);
+      m["max_region_chunks"] =
+          g_max_region_chunks.load(std::memory_order_relaxed);
+      return m;
+    });
+    obs::Registry::instance().register_source("runtime-phase-us", [] {
+      std::map<std::string, std::uint64_t> m;
+      for (const auto& [name, sec] : merged_phase_seconds()) {
+        m[name] = static_cast<std::uint64_t>(sec * 1e6);
+      }
+      return m;
+    });
+    return true;
+  }();
+  (void)once;
 }
 
 }  // namespace
@@ -60,31 +119,27 @@ std::string Stats::to_string() const {
 }
 
 Stats stats_snapshot() {
+  ensure_registered();
   Stats s;
   s.regions = g_regions.load(std::memory_order_relaxed);
   s.inline_regions = g_inline_regions.load(std::memory_order_relaxed);
   s.chunks = g_chunks.load(std::memory_order_relaxed);
   s.tasks = g_tasks.load(std::memory_order_relaxed);
   s.max_region_chunks = g_max_region_chunks.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(g_phase_mu);
-    s.phase_seconds = phase_map();
-  }
-  // Poll sources outside the registry lock: a source may take its own
-  // locks (shard mutexes) and must never nest under ours.
-  std::map<std::string, CounterSource> sources;
-  {
-    std::lock_guard<std::mutex> lock(g_sources_mu);
-    sources = source_map();
-  }
-  for (const auto& [name, fn] : sources) s.counters[name] = fn();
+  s.phase_seconds = merged_phase_seconds();
+  // Sources now live in the unified metrics registry; it polls them
+  // outside its own lock (a source may take shard mutexes).
+  s.counters = obs::Registry::instance().poll_sources();
+  // The runtime's own sources are redundant inside a runtime snapshot.
+  s.counters.erase("runtime");
+  s.counters.erase("runtime-phase-us");
   return s;
 }
 
 void register_counter_source(const std::string& name,
                              std::function<std::map<std::string, std::uint64_t>()> fn) {
-  std::lock_guard<std::mutex> lock(g_sources_mu);
-  source_map()[name] = std::move(fn);
+  ensure_registered();
+  obs::Registry::instance().register_source(name, std::move(fn));
 }
 
 void reset_stats() {
@@ -93,16 +148,22 @@ void reset_stats() {
   g_chunks.store(0, std::memory_order_relaxed);
   g_tasks.store(0, std::memory_order_relaxed);
   g_max_region_chunks.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_phase_mu);
-  phase_map().clear();
+  PhaseRegistry& r = phase_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->seconds.clear();
+  }
 }
 
-ScopedPhase::ScopedPhase(const char* name) : name_(name), start_ns_(now_ns()) {}
+ScopedPhase::ScopedPhase(const char* name)
+    : name_(name), start_ns_(now_ns()), span_(name) {}
 
 ScopedPhase::~ScopedPhase() {
   const double sec = static_cast<double>(now_ns() - start_ns_) * 1e-9;
-  std::lock_guard<std::mutex> lock(g_phase_mu);
-  phase_map()[name_] += sec;
+  PhaseBuf& buf = local_phase_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.seconds[name_] += sec;
 }
 
 namespace detail {

@@ -1,14 +1,24 @@
 // Lightweight counters for the deterministic parallel runtime.
 //
-// Every parallel region bumps a handful of relaxed atomics; phase wall
-// times are accumulated under a small mutex only when a ScopedPhase is
-// in scope. A Stats value is a plain snapshot, safe to copy and print.
+// Every parallel region bumps a handful of relaxed atomics. Phase wall
+// times (ScopedPhase) accumulate into per-thread maps that are merged
+// at snapshot time: a ScopedPhase destruction touches only its own
+// thread's (uncontended) buffer, never a global lock, so phase timing
+// inside parallel candidate evaluation no longer serializes workers.
+// A ScopedPhase also opens an obs::Span of the same name, so every
+// instrumented phase shows up in --trace-out traces for free.
+//
+// Counter sources registered here are forwarded to the unified metrics
+// registry (obs::Registry); stats_snapshot() polls them through it.
+// A Stats value is a plain snapshot, safe to copy and print.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+
+#include "obs/trace.h"
 
 namespace hsyn::runtime {
 
@@ -19,7 +29,8 @@ struct Stats {
   std::uint64_t chunks = 0;         ///< statically formed chunks executed
   std::uint64_t tasks = 0;          ///< individual task indices executed
   std::uint64_t max_region_chunks = 0;  ///< deepest steal-free queue observed
-  /// Wall seconds per instrumented phase (ScopedPhase name -> seconds).
+  /// Wall seconds per instrumented phase (ScopedPhase name -> seconds),
+  /// summed over all threads that ran the phase.
   std::map<std::string, double> phase_seconds;
   /// Named counter groups polled from registered sources (the evaluation
   /// caches register themselves here): source -> counter -> value.
@@ -33,18 +44,28 @@ Stats stats_snapshot();
 
 /// Register a named source of counters polled by every stats_snapshot()
 /// (e.g. a cache reporting hits/misses/evictions). Registering the same
-/// name again replaces the source. Sources own their counters:
-/// reset_stats() does not zero them.
+/// name again replaces the source. The source is stored in the unified
+/// metrics registry (obs::Registry::register_source), so it also appears
+/// in --metrics-out snapshots. Sources own their counters: reset_stats()
+/// does NOT zero them -- it resets only the runtime's own counters and
+/// phase timers. Callers comparing source counters across runs must
+/// diff successive snapshots (or reset the owning cache) themselves.
 void register_counter_source(
     const std::string& name,
     std::function<std::map<std::string, std::uint64_t>()> fn);
 
-/// Zero all counters and phase timers.
+/// Zero the runtime's counters and phase timers (not registered sources;
+/// see register_counter_source).
 void reset_stats();
 
 /// RAII wall-clock timer: accumulates its lifetime into
-/// stats.phase_seconds[name]. Nesting different names is fine; the cost
-/// is two steady_clock reads plus one mutex acquisition at destruction.
+/// stats.phase_seconds[name] and emits an obs::Span when tracing is on.
+/// Nesting different names is fine; destruction costs two steady_clock
+/// reads plus one uncontended per-thread mutex acquisition.
+///
+/// `name` must point at storage that outlives the process's use of
+/// stats (string literals, or stable registry strings like the check
+/// engine's per-pass phase names).
 class ScopedPhase {
  public:
   explicit ScopedPhase(const char* name);
@@ -55,6 +76,7 @@ class ScopedPhase {
  private:
   const char* name_;
   std::uint64_t start_ns_;
+  obs::Span span_;
 };
 
 namespace detail {

@@ -6,6 +6,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fmt.h"
 
 namespace hsyn {
@@ -315,6 +317,7 @@ bool fully_scheduled(const Datapath& dp) {
 
 SchedResult schedule_datapath(Datapath& dp, const Library& lib, const OpPoint& pt,
                               int deadline) {
+  obs::Span span("schedule");
   for (ChildUnit& c : dp.children) {
     if (fully_scheduled(*c.impl)) continue;
     const SchedResult r = schedule_datapath(*c.impl, lib, pt, kNoDeadline);
@@ -327,6 +330,11 @@ SchedResult schedule_datapath(Datapath& dp, const Library& lib, const OpPoint& p
     if (!r.ok) return r;
     worst.makespan = std::max(worst.makespan, r.makespan);
   }
+  // Schedule-length distribution; observations never feed back into any
+  // decision (metrics are observational only).
+  static obs::Histogram& makespan_hist =
+      obs::Registry::instance().histogram("sched.makespan");
+  makespan_hist.observe(static_cast<std::uint64_t>(worst.makespan));
   return worst;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "check/check.h"
+#include "obs/ledger.h"
+#include "obs/trace.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 #include "util/fmt.h"
@@ -13,6 +15,8 @@
 namespace hsyn {
 
 Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
+  obs::Span improve_span("improve");
+  obs::MoveLedger& ledger = obs::MoveLedger::instance();
   double cur_cost = cost_of(dp, cx);
   if (stats) stats->initial_cost = cur_cost;
   // The move-engine invariant gate: after every accepted move, re-verify
@@ -22,6 +26,8 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
   const bool gate = cx.opts.check_moves || lint::env_check_moves();
 
   for (int pass = 0; pass < cx.opts.max_passes; ++pass) {
+    obs::Span pass_span("improve-pass");
+    obs::ImproveScope pass_scope(pass);
     if (stats) ++stats->passes;
     // One pass: apply up to MAX_MOVES best moves, negative gains allowed.
     // The budget scales with the number of movable objects (KL style), so
@@ -32,6 +38,9 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
                                 std::max(4, objects));
     std::vector<Datapath> snapshots;
     std::vector<double> cum_gain;
+    /// Ledger keys of applied moves, parallel to snapshots; used to mark
+    /// accepted-vs-rolled-back after the best prefix is chosen.
+    std::vector<std::pair<std::uint64_t, std::int32_t>> applied_keys;
     Datapath cur = dp;
     double cum = 0;
     for (int mi = 0; mi < budget; ++mi) {
@@ -66,6 +75,10 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
       cum += m.gain;
       snapshots.push_back(cur);
       cum_gain.push_back(cum);
+      applied_keys.emplace_back(m.obs_group, m.obs_cand);
+      if (ledger.enabled() && m.obs_cand >= 0) {
+        ledger.set_status(m.obs_group, m.obs_cand, obs::MoveStatus::Applied);
+      }
       if (stats) ++stats->moves_applied;
     }
 
@@ -76,6 +89,16 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
       if (cum_gain[k] > best_gain) {
         best_gain = cum_gain[k];
         best_k = static_cast<int>(k);
+      }
+    }
+    if (ledger.enabled()) {
+      for (std::size_t k = 0; k < applied_keys.size(); ++k) {
+        const auto& [g, c] = applied_keys[k];
+        if (c < 0) continue;
+        ledger.set_status(g, c,
+                          static_cast<int>(k) <= best_k
+                              ? obs::MoveStatus::Accepted
+                              : obs::MoveStatus::RolledBack);
       }
     }
     if (best_k < 0) break;  // Pass_Gain <= 0

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/trace.h"
 #include "rtl/cost.h"
 #include "sched/scheduler.h"
 #include "util/fmt.h"
@@ -12,6 +13,7 @@ namespace hsyn {
 
 Datapath initial_solution(const Dfg& dfg, const std::string& behavior_name,
                           const SynthContext& cx) {
+  obs::Span span("initial-solution");
   const Library& lib = *cx.lib;
   Datapath dp(behavior_name + "_dp");
   BehaviorImpl bi;

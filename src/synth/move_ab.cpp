@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/ledger.h"
 #include "rtl/cost.h"
 #include "runtime/parallel.h"
 #include "sched/scheduler.h"
@@ -88,9 +89,12 @@ Move replace_fu(const Datapath& dp, int fu_idx, const SynthContext& cx,
     if (cx.lib->cycles(t, cx.pt) > budget) continue;  // guide; sched verifies
     types.push_back(t);
   }
+  // Ledger group id allocated here, on the (serial) enumerating thread.
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(types.size()), std::move(best),
       [&](int i) {
+        obs::CandidateScope oscope(grp, i);
         const int t = types[static_cast<std::size_t>(i)];
         Datapath cand = dp;
         cand.fus[static_cast<std::size_t>(fu_idx)].type = t;
@@ -156,9 +160,11 @@ Move replace_child(const Datapath& dp, int child_idx, const SynthContext& cx,
     cands.push_back({nullptr, variant});
   }
 
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(cands.size()), std::move(best),
       [&](int i) {
+        obs::CandidateScope oscope(grp, i);
         const Cand& c = cands[static_cast<std::size_t>(i)];
         Datapath impl =
             c.tmpl != nullptr
@@ -219,10 +225,18 @@ Move resynth_child(const Datapath& dp, int child_idx, const SynthContext& cx,
   inner.opts.group_size = std::min(cx.opts.group_size, 2);
   inner.opts.max_resynth_depth = cx.opts.max_resynth_depth - 1;
 
-  Datapath improved = improve(std::move(child), inner);
+  Datapath improved = [&] {
+    // The nested improvement engine's own moves are ledgered at
+    // depth + 1; this runs on the enumerating thread, so inner group
+    // allocation stays serial.
+    obs::ResynthScope rscope;
+    return improve(std::move(child), inner);
+  }();
   Datapath cand = dp;
   cand.children[static_cast<std::size_t>(child_idx)].impl =
       std::make_unique<Datapath>(std::move(improved));
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
+  obs::CandidateScope oscope(grp, 0);
   best = better_move(best,
                      finish_move(std::move(cand), cx, cost0, "B:resynth",
                                  strf("resynthesized child%d (%s) against "

@@ -18,6 +18,7 @@
 #include <set>
 
 #include "embed/embedder.h"
+#include "obs/ledger.h"
 #include "rtl/cost.h"
 #include "runtime/parallel.h"
 #include "synth/moves.h"
@@ -285,9 +286,11 @@ Move best_sharing_move(const Datapath& dp, const SynthContext& cx) {
   }
   // Candidates are independent: apply + reschedule + cost each on the
   // parallel runtime, reduced in enumeration order.
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(cands.size()), std::move(best),
       [&](int i) {
+        obs::CandidateScope oscope(grp, i);
         const Candidate& c = cands[static_cast<std::size_t>(i)];
         std::string desc;
         Datapath cand = apply_candidate(dp, c, cx, desc);

@@ -11,6 +11,7 @@
 //   * chain unfuse: a chained invocation breaks back into single ops.
 #include <algorithm>
 
+#include "obs/ledger.h"
 #include "rtl/cost.h"
 #include "runtime/parallel.h"
 #include "synth/moves.h"
@@ -37,9 +38,11 @@ Move split_fu(const Datapath& dp, const SynthContext& cx, double cost0) {
     if (dp.unit_load(inv.unit) < 2) continue;
     targets.push_back(i);
   }
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(targets.size()), Move{},
       [&](int k) {
+        obs::CandidateScope oscope(grp, k);
         const std::size_t i = targets[static_cast<std::size_t>(k)];
         const Invocation& inv = bi.invs[i];
         Datapath cand = dp;
@@ -79,9 +82,11 @@ Move split_reg(const Datapath& dp, const SynthContext& cx, double cost0) {
     if (r < 0 || dp.reg_load(r) < 2) continue;
     targets.push_back(e);
   }
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(targets.size()), Move{},
       [&](int k) {
+        obs::CandidateScope oscope(grp, k);
         const std::size_t e = targets[static_cast<std::size_t>(k)];
         Datapath cand = dp;
         const int new_reg = static_cast<int>(cand.regs.size());
@@ -120,9 +125,11 @@ Move split_child(const Datapath& dp, const SynthContext& cx, double cost0) {
     if (dp.unit_load(inv.unit) < 2) continue;
     targets.push_back(i);
   }
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(targets.size()), Move{},
       [&](int t) {
+        obs::CandidateScope oscope(grp, t);
         const std::size_t i = targets[static_cast<std::size_t>(t)];
         const Invocation& inv = bi.invs[i];
         Datapath cand = dp;
@@ -176,9 +183,11 @@ Move unfuse_chain(const Datapath& dp, const SynthContext& cx, double cost0) {
     if (inv.unit.kind != UnitRef::Kind::Fu || inv.nodes.size() < 2) continue;
     targets.push_back(i);
   }
+  const std::uint64_t grp = obs::MoveLedger::instance().begin_group();
   return runtime::parallel_best(
       static_cast<int>(targets.size()), Move{},
       [&](int t) {
+        obs::CandidateScope oscope(grp, t);
         const std::size_t i = targets[static_cast<std::size_t>(t)];
         const Invocation& inv = bi.invs[i];
         Datapath cand = dp;

@@ -3,6 +3,9 @@
 #include <atomic>
 
 #include "eval/engine.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "power/estimator.h"
 #include "rtl/cost.h"
 #include "runtime/stats.h"
@@ -102,25 +105,59 @@ double cost_of(const Datapath& dp, const SynthContext& cx) {
 Move finish_move(Datapath cand, const SynthContext& cx, double cost_before,
                  std::string kind, std::string desc, const Datapath* base,
                  const DirtyRegion* dirty) {
+  obs::Span span("eval-move");
+  // Ledger bookkeeping only when recording AND this evaluation runs
+  // under a tagged candidate scope; off means zero extra clock reads.
+  obs::MoveLedger& ledger = obs::MoveLedger::instance();
+  const bool rec = ledger.enabled() && obs::CandidateScope::active();
+  const std::uint64_t t0 = rec ? obs::now_ns() : 0;
+  const std::uint64_t hits0 = rec ? eval::thread_cache_hits() : 0;
+  const std::uint64_t misses0 = rec ? eval::thread_cache_misses() : 0;
+
   Move m;
   m.kind = std::move(kind);
   m.desc = std::move(desc);
   const bool pruned = cand.prune_unused();
   const SchedResult sr = schedule_datapath(cand, *cx.lib, cx.pt, cx.deadline);
-  if (!sr.ok) return m;
-  if (base != nullptr && dirty != nullptr && !pruned) {
-    // Seed the evaluation cache with the candidate's connectivity,
-    // derived incrementally from the base level's. Must happen after
-    // scheduling (the cache key is the post-schedule fingerprint) and
-    // only when pruning kept indices stable. Priming never changes what
-    // cost_of returns -- a complete hint yields exactly
-    // connectivity_of(cand) -- it only skips the recompute.
-    eval::EvalEngine& eng = eval::EvalEngine::instance();
-    eng.prime_connectivity(cand, eng.connectivity(*base), *dirty);
+  if (sr.ok) {
+    if (base != nullptr && dirty != nullptr && !pruned) {
+      // Seed the evaluation cache with the candidate's connectivity,
+      // derived incrementally from the base level's. Must happen after
+      // scheduling (the cache key is the post-schedule fingerprint) and
+      // only when pruning kept indices stable. Priming never changes what
+      // cost_of returns -- a complete hint yields exactly
+      // connectivity_of(cand) -- it only skips the recompute.
+      eval::EvalEngine& eng = eval::EvalEngine::instance();
+      eng.prime_connectivity(cand, eng.connectivity(*base), *dirty);
+    }
+    m.gain = cost_before - cost_of(cand, cx);
+    m.result = std::move(cand);
+    m.valid = true;
   }
-  m.gain = cost_before - cost_of(cand, cx);
-  m.result = std::move(cand);
-  m.valid = true;
+
+  if (rec) {
+    m.obs_group = obs::CandidateScope::current_group();
+    m.obs_cand = obs::CandidateScope::current_cand();
+    obs::MoveRecord r;
+    r.group = m.obs_group;
+    r.cand = m.obs_cand;
+    r.kind = m.kind;
+    r.desc = m.desc;
+    r.pass = obs::ImproveScope::current_pass();
+    r.depth = obs::ResynthScope::current_depth();
+    r.gain = m.gain;
+    r.cost_before = cost_before;
+    r.status =
+        m.valid ? obs::MoveStatus::Evaluated : obs::MoveStatus::Infeasible;
+    const std::uint64_t eval_ns = obs::now_ns() - t0;
+    r.eval_us = static_cast<double>(eval_ns) * 1e-3;
+    r.cache_hits = eval::thread_cache_hits() - hits0;
+    r.cache_misses = eval::thread_cache_misses() - misses0;
+    ledger.record(std::move(r));
+    static obs::Histogram& eval_hist =
+        obs::Registry::instance().histogram("eval.move_us");
+    eval_hist.observe(eval_ns / 1000);
+  }
   return m;
 }
 

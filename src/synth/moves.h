@@ -132,6 +132,11 @@ struct Move {
   std::string desc;
   double gain = 0;   ///< cost(before) - cost(after); positive = better
   Datapath result;
+  /// Move-ledger key of this evaluation (obs::MoveLedger), set by
+  /// finish_move when the ledger is recording; cand -1 otherwise. The
+  /// improvement loop uses it to mark the applied/accepted outcome.
+  std::uint64_t obs_group = 0;
+  std::int32_t obs_cand = -1;
 };
 
 /// Evaluate a mutated datapath: schedule against the context deadline,

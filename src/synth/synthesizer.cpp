@@ -7,6 +7,7 @@
 #include "check/check.h"
 #include "dfg/analysis.h"
 #include "dfg/flatten.h"
+#include "obs/trace.h"
 #include "power/estimator.h"
 #include "rtl/cost.h"
 #include "sched/scheduler.h"
@@ -71,6 +72,7 @@ double min_sample_period_ns(const Design& design, const Library& lib) {
 SynthResult synthesize(const Design& design, const Library& lib,
                        const ComplexLibrary* clib, double sample_period_ns,
                        Objective obj, Mode mode, const SynthOptions& opts) {
+  obs::Span synth_span("synthesize");
   const auto t0 = std::chrono::steady_clock::now();
 
   SynthResult best;
@@ -133,6 +135,8 @@ SynthResult synthesize(const Design& design, const Library& lib,
       Datapath init;
     };
     std::vector<Probe> feasible;
+    {
+    obs::Span probe_span("vdd-clock-probe");
     for (const double c : candidate_clocks(lib.fus(), vdd)) {
       const int deadline = static_cast<int>(sample_period_ns / c + 1e-9);
       if (deadline < 1) continue;
@@ -166,6 +170,7 @@ SynthResult synthesize(const Design& design, const Library& lib,
         if (!schedule_datapath(init, lib, cx.pt, deadline).ok) continue;
       }
       feasible.push_back({c, deadline, std::move(init)});
+    }
     }
     std::vector<std::size_t> picked_idx;
     if (static_cast<int>(feasible.size()) <= opts.max_clocks) {

@@ -1,18 +1,21 @@
 // hsyn-lint: standalone static checker for the textual H-SYN formats.
 //
 //   hsyn-lint [--json] [--library FILE] [--trace FILE] [--benchmarks]
-//             [DESIGN.dfg ...]
+//             [--metrics-out FILE] [DESIGN.dfg ...]
 //
 // Each positional file is parsed as a hierarchical-DFG design and run
 // through the full check-pass registry (parse failures surface as
 // error[PARSE] diagnostics with the reader's line-numbered message).
 // --library / --trace validate the other two textio formats the same
-// way; --benchmarks lints every built-in benchmark design. Exit status:
-// 0 when no errors were found, 1 when any lint or parse error fired,
-// 2 on usage errors or unreadable files.
+// way; --benchmarks lints every built-in benchmark design.
+// --metrics-out snapshots the unified obs metrics registry (targets
+// linted, diagnostics per severity) as JSON -- the same exporter the
+// hsyn CLI uses. Exit status: 0 when no errors were found, 1 when any
+// lint or parse error fired, 2 on usage errors or unreadable files.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,7 +24,9 @@
 #include "check/check.h"
 #include "dfg/textio.h"
 #include "library/textio.h"
+#include "obs/metrics.h"
 #include "power/trace_io.h"
+#include "util/json.h"
 
 namespace {
 
@@ -29,6 +34,7 @@ struct Args {
   std::vector<std::string> design_files;
   std::string library_file;
   std::string trace_file;
+  std::string metrics_out;
   bool benchmarks = false;
   bool json = false;
 };
@@ -36,7 +42,8 @@ struct Args {
 void usage() {
   std::fprintf(stderr,
                "usage: hsyn-lint [--json] [--library FILE] [--trace FILE]\n"
-               "                 [--benchmarks] [DESIGN.dfg ...]\n");
+               "                 [--benchmarks] [--metrics-out FILE] "
+               "[DESIGN.dfg ...]\n");
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -71,12 +78,9 @@ void print_json(const std::vector<Outcome>& outcomes) {
   std::printf("[\n");
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const Outcome& o = outcomes[i];
-    std::string name = o.name;  // names are paths/identifiers: escape quotes
-    for (std::size_t p = 0; (p = name.find('"', p)) != std::string::npos;
-         p += 2) {
-      name.replace(p, 1, "\\\"");
-    }
-    std::printf("{\"target\": \"%s\", ", name.c_str());
+    // Names are paths/identifiers; the shared escaper (util/json.h)
+    // handles quotes, backslashes, and control bytes alike.
+    std::printf("{\"target\": %s, ", hsyn::json_quote(o.name).c_str());
     if (!o.parse_error.empty()) {
       hsyn::lint::Report rep;
       rep.add("PARSE", hsyn::lint::Severity::Error, o.name, o.parse_error);
@@ -95,8 +99,18 @@ int main(int argc, char** argv) {
   using namespace hsyn;
   Args a;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // --flag=VALUE: split so both spellings hit the same handlers below.
+    std::optional<std::string> inline_val;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_val = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     auto next = [&]() -> const char* {
+      if (inline_val) return inline_val->c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--json") {
@@ -117,6 +131,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       a.trace_file = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      a.metrics_out = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage();
@@ -214,6 +235,28 @@ int main(int argc, char** argv) {
     print_json(outcomes);
   } else {
     print_text(outcomes);
+  }
+
+  if (!a.metrics_out.empty()) {
+    // Feed the lint totals into the unified metrics registry so the
+    // snapshot format matches the one `hsyn --metrics-out` writes.
+    obs::Registry& reg = obs::Registry::instance();
+    for (const Outcome& o : outcomes) {
+      reg.counter("lint.targets").add(1);
+      if (!o.parse_error.empty()) {
+        reg.counter("lint.parse_errors").add(1);
+        reg.counter("lint.errors").add(1);
+      } else {
+        reg.counter("lint.errors").add(
+            static_cast<std::uint64_t>(o.report.errors()));
+        reg.counter("lint.warnings").add(
+            static_cast<std::uint64_t>(o.report.warnings()));
+      }
+    }
+    if (!reg.write_json(a.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", a.metrics_out.c_str());
+      return 2;
+    }
   }
   return any_error ? 1 : 0;
 }

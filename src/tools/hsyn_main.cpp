@@ -2,15 +2,25 @@
 // synthesizes it under a throughput constraint, and writes the RTL
 // outputs (structural netlist, FSM controller, Graphviz of the input).
 //
-//   hsyn --design FILE [--objective power|area] [--mode hier|flat]
-//        [--laxity F | --period-ns T] [--netlist FILE] [--fsm FILE]
-//        [--dot FILE] [--no-verify] [--seed N] [--threads N]
-//        [--templates] [--verbose]
+//   hsyn (--design FILE | --benchmark NAME) [--objective power|area]
+//        [--mode hier|flat] [--laxity F | --period-ns T] [--netlist FILE]
+//        [--fsm FILE] [--dot FILE] [--no-verify] [--seed N] [--threads N]
+//        [--templates] [--verbose] [--trace-out FILE] [--move-log FILE]
+//        [--metrics-out FILE]
 //
-// With --templates, fast/low-power/compact complex-module templates are
-// generated for every non-top behavior (the Fig. 2 style library);
-// without it, synthesis builds module implementations from scratch.
+// Every flag also accepts the --flag=VALUE form. With --templates,
+// fast/low-power/compact complex-module templates are generated for
+// every non-top behavior (the Fig. 2 style library); without it,
+// synthesis builds module implementations from scratch.
+//
+// Observability (src/obs/): --trace-out writes a Chrome trace-event
+// JSON of the run's spans (Perfetto-loadable; HSYN_TRACE=FILE does the
+// same), --move-log records every attempted move to JSONL (or CSV when
+// the path ends in .csv) and prints the per-class accept-rate table,
+// --metrics-out writes the unified metrics registry snapshot. None of
+// them change synthesis results.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -23,6 +33,9 @@
 #include "dfg/textio.h"
 #include "dfg/transform.h"
 #include "library/textio.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "power/trace_io.h"
 #include "power/rtlsim.h"
 #include "rtl/controller.h"
@@ -37,6 +50,7 @@ namespace {
 
 struct Args {
   std::string design_file;
+  std::string benchmark;  ///< built-in benchmark name instead of --design
   hsyn::Objective objective = hsyn::Objective::Power;
   hsyn::Mode mode = hsyn::Mode::Hierarchical;
   double laxity = 2.2;
@@ -62,29 +76,61 @@ struct Args {
   /// built-in default. The cache only changes synthesis speed, never its
   /// results.
   int eval_cache_mb = 0;
+  // Observability exports (empty = off).
+  std::string trace_out;    ///< Chrome trace-event JSON (or HSYN_TRACE env)
+  std::string move_log;     ///< move ledger JSONL (.csv for CSV)
+  std::string metrics_out;  ///< metrics registry JSON snapshot
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: hsyn --design FILE [--objective power|area]\n"
+               "usage: hsyn (--design FILE | --benchmark NAME) [--objective power|area]\n"
                "            [--mode hier|flat] [--laxity F | --period-ns T]\n"
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
                "            [--no-verify] [--check-moves] [--templates] [--auto-variants] [--seed N] "
-               "[--threads N] [--eval-cache-mb N] [--verbose]\n");
+               "[--threads N] [--eval-cache-mb N] [--verbose]\n"
+               "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
+               "(each flag also accepts the --flag=VALUE form)\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // --flag=VALUE: split so both spellings hit the same handlers below.
+    std::optional<std::string> inline_val;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_val = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     auto next = [&]() -> const char* {
+      if (inline_val) return inline_val->c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--design") {
       const char* v = next();
       if (!v) return std::nullopt;
       a.design_file = v;
+    } else if (arg == "--benchmark") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.benchmark = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.trace_out = v;
+    } else if (arg == "--move-log") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.move_log = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.metrics_out = v;
     } else if (arg == "--objective") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -166,7 +212,9 @@ std::optional<Args> parse(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (a.design_file.empty()) return std::nullopt;
+  if (a.design_file.empty() == a.benchmark.empty()) {
+    return std::nullopt;  // exactly one of --design / --benchmark
+  }
   return a;
 }
 
@@ -203,16 +251,40 @@ int main(int argc, char** argv) {
                 eval::EvalEngine::instance().capacity_bytes() >> 20);
   }
 
-  std::ifstream in(args->design_file);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", args->design_file.c_str());
-    return 1;
+  // Observability: the span tracer costs one relaxed atomic load per
+  // span when disabled, so it is only switched on when an export was
+  // requested. HSYN_TRACE=FILE is the no-flag spelling of --trace-out.
+  std::string trace_out = args->trace_out;
+  if (trace_out.empty()) {
+    if (const char* env = std::getenv("HSYN_TRACE")) trace_out = env;
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+  if (!args->move_log.empty()) obs::MoveLedger::instance().set_enabled(true);
+
+  std::string design_text;
+  if (args->benchmark.empty()) {
+    std::ifstream in(args->design_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", args->design_file.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    design_text = buf.str();
+  }
 
   try {
-    Design design = design_from_text(buf.str());
+    // --benchmark keeps the whole Benchmark alive: its complex-library
+    // templates point into its design (see benchmarks.h).
+    std::optional<Benchmark> bench;
+    Design file_design;
+    Library lib = default_library();
+    if (!args->benchmark.empty()) {
+      bench.emplace(make_benchmark(args->benchmark, lib));
+    } else {
+      file_design = design_from_text(design_text);
+    }
+    Design& design = bench ? bench->design : file_design;
     if (args->auto_variants) {
       // Generate equivalent DFG variants (balanced / chained reduction
       // trees) for every non-top behavior so move A can swap them.
@@ -225,8 +297,13 @@ int main(int argc, char** argv) {
       std::printf("auto-variants: %d equivalent DFG variant(s) registered\n",
                   added);
     }
-    Library lib = default_library();
     if (!args->library_file.empty()) {
+      if (bench) {
+        std::fprintf(stderr,
+                     "--library cannot be combined with --benchmark "
+                     "(built-in benchmarks fix their library)\n");
+        return 2;
+      }
       std::ifstream lf(args->library_file);
       if (!lf) {
         std::fprintf(stderr, "cannot read %s\n", args->library_file.c_str());
@@ -238,13 +315,18 @@ int main(int argc, char** argv) {
       std::printf("library: %d functional-unit types loaded from %s\n",
                   lib.num_fu_types(), args->library_file.c_str());
     }
-    ComplexLibrary clib;
-    if (args->templates) clib = default_complex_library(design, lib);
+    ComplexLibrary local_clib;
+    if (args->templates && !bench) {
+      local_clib = default_complex_library(design, lib);
+    }
+    const ComplexLibrary* clib = nullptr;
+    if (args->templates) clib = bench ? &bench->clib : &local_clib;
 
     const double min_ts = min_sample_period_ns(design, lib);
     const double ts = args->period_ns.value_or(args->laxity * min_ts);
     std::printf("design %s: top '%s', %d behaviors, %d flattened ops\n",
-                args->design_file.c_str(), design.top_name().c_str(),
+                bench ? bench->name.c_str() : args->design_file.c_str(),
+                design.top_name().c_str(),
                 static_cast<int>(design.behavior_names().size()),
                 design.flattened_size(design.top_name()));
     std::printf("minimum sampling period %.1f ns, constraint %.1f ns "
@@ -266,15 +348,44 @@ int main(int argc, char** argv) {
       std::printf("trace: %zu samples loaded from %s\n",
                   opts.user_trace.size(), args->trace_file.c_str());
     }
-    const SynthResult r =
-        synthesize(design, lib, args->templates ? &clib : nullptr, ts,
-                   args->objective, args->mode, opts);
+    const SynthResult r = synthesize(design, lib, clib, ts, args->objective,
+                                     args->mode, opts);
     if (!r.ok) {
       std::fprintf(stderr, "synthesis failed: %s\n", r.fail_reason.c_str());
       return 1;
     }
     std::printf("%s\n%s", result_summary(r, lib).c_str(),
                 architecture_summary(r.dp, lib).c_str());
+
+    // ---- Observability exports (never alter synthesis results). ----------
+    if (obs::MoveLedger::instance().enabled()) {
+      std::printf("\nmove ledger (%zu attempts):\n%s",
+                  obs::MoveLedger::instance().merged().size(),
+                  obs::MoveLedger::instance().summary_table().c_str());
+      if (!args->move_log.empty() &&
+          !obs::MoveLedger::instance().write(args->move_log)) {
+        std::fprintf(stderr, "cannot write %s\n", args->move_log.c_str());
+        return 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      if (!obs::Tracer::instance().write_chrome_json(trace_out)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      if (args->verbose) {
+        std::printf("trace: %zu span(s) written to %s\n",
+                    obs::Tracer::instance().events().size(), trace_out.c_str());
+      }
+    }
+    if (!args->metrics_out.empty()) {
+      // runtime counters reach the snapshot through the sources the
+      // runtime registered in the obs registry (see runtime/stats.cpp).
+      if (!obs::Registry::instance().write_json(args->metrics_out)) {
+        std::fprintf(stderr, "cannot write %s\n", args->metrics_out.c_str());
+        return 1;
+      }
+    }
 
     if (args->verify) {
       const Trace trace =

@@ -1,0 +1,293 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace hsyn {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ",";
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += "{";
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_elem_.pop_back();
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += "[";
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_elem_.pop_back();
+  out_ += "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += json_quote(k);
+  out_ += ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += json_quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  // Shortest representation that round-trips: try increasing precision.
+  for (const int prec : {6, 9, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON checker over [p, end). Each parse_* advances p
+/// past the construct or returns false.
+struct Checker {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool lit(const char* s) {
+    const char* q = s;
+    const char* r = p;
+    while (*q && r < end && *r == *q) ++q, ++r;
+    if (*q) return false;
+    p = r;
+    return true;
+  }
+
+  bool string() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return false;
+        const char e = *p;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p))) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+        ++p;
+      } else if (c < 0x20) {
+        return false;
+      } else {
+        ++p;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return p > start;
+  }
+
+  bool value() {
+    if (++depth > 256) return false;
+    ws();
+    bool ok = false;
+    if (p >= end) {
+      ok = false;
+    } else if (*p == '{') {
+      ++p;
+      ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          ws();
+          if (!string()) return false;
+          ws();
+          if (p >= end || *p != ':') return false;
+          ++p;
+          if (!value()) return false;
+          ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) return false;
+          ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      ok = string();
+    } else if (*p == 't') {
+      ok = lit("true");
+    } else if (*p == 'f') {
+      ok = lit("false");
+    } else if (*p == 'n') {
+      ok = lit("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text) {
+  Checker c{text.data(), text.data() + text.size()};
+  if (!c.value()) return false;
+  c.ws();
+  return c.p == c.end;
+}
+
+}  // namespace hsyn

@@ -1,0 +1,74 @@
+// Minimal shared JSON emission (and a syntax validator for tests/tools).
+//
+// Every exporter in the tree -- the observability trace/ledger/metrics
+// writers (src/obs/), hsyn-lint's --json report, the bench JSON files --
+// goes through this one escaped-string writer instead of hand-rolled
+// printf JSON, so escaping is correct everywhere and output stays
+// mechanically parseable.
+//
+// JsonWriter is a streaming writer with automatic comma placement:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name").value("a \"quoted\" string");
+//   w.key("n").value(std::uint64_t{3});
+//   w.key("rows").begin_array();
+//   w.value(1.5).value(2.5);
+//   w.end_array();
+//   w.end_object();
+//   std::string out = w.str();
+//
+// Doubles are rendered with enough digits to round-trip (%.17g trimmed),
+// and non-finite doubles -- not representable in JSON -- render as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsyn {
+
+/// Backslash-escape `s` for inclusion inside a JSON string literal
+/// (quotes not included). Control characters become \u00XX.
+std::string json_escape(const std::string& s);
+
+/// `s` escaped and wrapped in double quotes.
+std::string json_quote(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open container: true = some element already written.
+  std::vector<bool> has_elem_;
+  bool after_key_ = false;
+};
+
+/// Strict-enough JSON syntax check (objects, arrays, strings with
+/// escapes, numbers, literals). Used by tests to assert exported traces
+/// and metrics snapshots are well-formed without an external parser.
+bool json_valid(const std::string& text);
+
+}  // namespace hsyn
