@@ -1,0 +1,214 @@
+// Trace-replay kernel benchmark: compiled batched replay (power/replay.h)
+// vs the per-time-step reference interpreter, on the hierarchical Paulin
+// benchmark and the largest bundled design (dct2d).
+//
+// For each design x backend x thread count the harness evaluates the full
+// edge matrix of the top behavior over fresh input traces (a new seed per
+// rep, so the shared edge-values cache never answers and the measured
+// work is the evaluator itself):
+//   * cold: evaluation caches cleared first, so the compiled backend pays
+//     program compilation (interp has no compile step; cold ~ warm),
+//   * warm: replay programs already memoized, traces still fresh.
+//
+// Also times the packed popcount toggle kernel (toggle_count) against the
+// scalar hamming16 loop it replaced.
+//
+// Emits BENCH_power.json (and the same object on stdout):
+//   * per design/backend/threads: cold and warm wall seconds and
+//     vectors/sec (trace samples evaluated per second, warm),
+//   * speedup_ok: warm compiled >= 3x warm interp at every thread count,
+//   * equivalent: compiled and interp matrices are bit-identical.
+// The exit code gates equivalence only; speedup is reported, not gated,
+// so a loaded CI box cannot turn a correctness job red.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "eval/engine.h"
+#include "power/replay.h"
+#include "power/trace.h"
+#include "runtime/thread_pool.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hsyn;
+
+constexpr int kTraceSamples = 512;
+constexpr int kReps = 4;
+
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+BehaviorResolver design_resolver(const Design& d) {
+  return [&d](const std::string& name) -> const Dfg* {
+    return d.has_behavior(name) ? &d.behavior(name) : nullptr;
+  };
+}
+
+struct Row {
+  std::string backend;
+  int threads = 0;
+  double cold_s = 0;
+  double warm_s = 0;
+  double vectors_per_s = 0;
+};
+
+// Scalar reference for the packed toggle kernel: the loop estimator.cpp
+// and rtlsim.cpp ran before the popcount rewrite.
+int scalar_toggles(const std::int32_t* v, std::size_t n) {
+  int total = 0;
+  for (std::size_t t = 1; t < n; ++t) total += hamming16(v[t - 1], v[t]);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsyn;
+  const Library lib = default_library();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("trace_replay");
+  w.key("trace_samples").value(kTraceSamples);
+  w.key("reps").value(kReps);
+
+  bool equivalent = true;
+  bool speedup_ok = true;
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+
+  w.key("designs").begin_array();
+  for (const std::string name : {"hier_paulin", "dct2d"}) {
+    const Benchmark bench = make_benchmark(name, lib);
+    const Dfg& top = bench.design.top();
+    const BehaviorResolver res = design_resolver(bench.design);
+
+    // Equivalence gate, independent of timing: both backends over one
+    // trace, bitwise-compared.
+    {
+      const Trace tr = make_trace(top.num_inputs(), kTraceSamples, 999);
+      eng.clear();
+      set_replay_mode(ReplayMode::Compiled);
+      const EdgeMatrix compiled = *eval_dfg_edges_shared(top, res, tr);
+      eng.clear();
+      set_replay_mode(ReplayMode::Interp);
+      const EdgeMatrix interp = *eval_dfg_edges_shared(top, res, tr);
+      equivalent = equivalent && compiled == interp;
+    }
+
+    std::vector<Row> rows;
+    for (const std::string backend : {"interp", "compiled"}) {
+      ReplayMode mode = ReplayMode::Compiled;
+      parse_replay_mode(backend, &mode);
+      set_replay_mode(mode);
+      for (const int threads : {1, 2, 8}) {
+        runtime::set_threads(threads);
+        Row row;
+        row.backend = backend;
+        row.threads = threads;
+        for (int rep = 0; rep < kReps; ++rep) {
+          // Fresh seeds: the shared edge-values cache must miss, so the
+          // measurement is the evaluator, not the memo.
+          const Trace cold_tr =
+              make_trace(top.num_inputs(), kTraceSamples,
+                         static_cast<std::uint64_t>(1000 + rep));
+          const Trace warm_tr =
+              make_trace(top.num_inputs(), kTraceSamples,
+                         static_cast<std::uint64_t>(2000 + rep));
+          eng.clear();  // cold: compiled pays program compilation
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)eval_dfg_edges_shared(top, res, cold_tr);
+          row.cold_s += now_minus(t0);
+          const auto t1 = std::chrono::steady_clock::now();
+          (void)eval_dfg_edges_shared(top, res, warm_tr);
+          row.warm_s += now_minus(t1);
+        }
+        row.vectors_per_s =
+            row.warm_s > 0 ? kReps * kTraceSamples / row.warm_s : 0;
+        rows.push_back(row);
+      }
+    }
+    runtime::set_threads(1);
+
+    w.begin_object();
+    w.key("design").value(name);
+    w.key("edges").value(static_cast<int>(top.edges().size()));
+    w.key("sweep").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.key("backend").value(r.backend);
+      w.key("threads").value(r.threads);
+      w.key("cold_s").value(r.cold_s);
+      w.key("warm_s").value(r.warm_s);
+      w.key("vectors_per_s").value(r.vectors_per_s);
+      w.end_object();
+    }
+    w.end_array();
+    // Speedup per thread count: warm compiled vs warm interp.
+    w.key("speedup").begin_array();
+    const std::size_t half = rows.size() / 2;  // interp rows, then compiled
+    for (std::size_t i = 0; i < half; ++i) {
+      const double s = rows[i + half].warm_s > 0
+                           ? rows[i].warm_s / rows[i + half].warm_s
+                           : 0;
+      speedup_ok = speedup_ok && s >= 3.0;
+      w.begin_object();
+      w.key("threads").value(rows[i].threads);
+      w.key("compiled_vs_interp").value(s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Packed popcount toggle kernel vs the scalar loop it replaced.
+  {
+    constexpr std::size_t kN = 1 << 16;
+    constexpr int kToggleReps = 200;
+    std::vector<std::int32_t> col(kN);
+    Rng rng(42);
+    for (auto& x : col) x = mask16(static_cast<std::int64_t>(rng.next()));
+    long long sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kToggleReps; ++r) {
+      sink += toggle_count(col.data(), col.size());
+    }
+    const double packed_s = now_minus(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kToggleReps; ++r) {
+      sink -= scalar_toggles(col.data(), col.size());
+    }
+    const double scalar_s = now_minus(t1);
+    equivalent = equivalent && sink == 0;  // packed == scalar, and a sink
+
+    const double total = static_cast<double>(kN) * kToggleReps;
+    w.key("toggle_kernel").begin_object();
+    w.key("elements").value(static_cast<int>(kN));
+    w.key("packed_ns_per_element").value(packed_s * 1e9 / total);
+    w.key("scalar_ns_per_element").value(scalar_s * 1e9 / total);
+    w.key("packed_speedup").value(packed_s > 0 ? scalar_s / packed_s : 0);
+    w.end_object();
+  }
+
+  w.key("speedup_ok").value(speedup_ok);
+  w.key("equivalent").value(equivalent);
+  w.end_object();
+  const std::string json = w.str() + "\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_power.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_power.json\n");
+    return 1;
+  }
+  return equivalent ? 0 : 1;
+}

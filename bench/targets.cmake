@@ -19,4 +19,5 @@ hsyn_bench(bench_transforms)
 hsyn_bench(bench_scaling)
 hsyn_bench(bench_runtime)
 hsyn_bench(bench_eval)
+hsyn_bench(bench_power)
 hsyn_bench(bench_obs)

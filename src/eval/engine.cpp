@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/trace.h"
+#include "power/replay.h"
 #include "rtl/fingerprint.h"
 #include "runtime/stats.h"
 #include "util/fmt.h"
@@ -78,10 +79,11 @@ EvalEngine& EvalEngine::instance() {
 EvalEngine::EvalEngine()
     : capacity_(env_capacity_bytes()),
       verify_(env_verify()),
-      energy_(capacity_.load() / 4),
-      area_(capacity_.load() / 4),
-      conn_(capacity_.load() / 4),
-      edge_vals_(capacity_.load() / 4) {
+      energy_(capacity_.load() / 5),
+      area_(capacity_.load() / 5),
+      conn_(capacity_.load() / 5),
+      edge_vals_(capacity_.load() / 5),
+      programs_(capacity_.load() / 5) {
   runtime::register_counter_source(
       "eval-energy-cache", [this] { return energy_.counter_map(); });
   runtime::register_counter_source(
@@ -90,6 +92,8 @@ EvalEngine::EvalEngine()
       "eval-conn-cache", [this] { return conn_.counter_map(); });
   runtime::register_counter_source(
       "eval-edge-vals-cache", [this] { return edge_vals_.counter_map(); });
+  runtime::register_counter_source(
+      "eval-program-cache", [this] { return programs_.counter_map(); });
 }
 
 std::shared_ptr<const Connectivity> EvalEngine::connectivity(const Datapath& dp) {
@@ -157,10 +161,11 @@ AreaBreakdown EvalEngine::area(const Datapath& dp, const Library& lib,
 void EvalEngine::set_capacity_mb(std::size_t mb) {
   const std::size_t bytes = mb << 20;
   capacity_.store(bytes, std::memory_order_relaxed);
-  energy_.set_capacity(bytes / 4);
-  area_.set_capacity(bytes / 4);
-  conn_.set_capacity(bytes / 4);
-  edge_vals_.set_capacity(bytes / 4);
+  energy_.set_capacity(bytes / 5);
+  area_.set_capacity(bytes / 5);
+  conn_.set_capacity(bytes / 5);
+  edge_vals_.set_capacity(bytes / 5);
+  programs_.set_capacity(bytes / 5);
 }
 
 void EvalEngine::clear() {
@@ -168,6 +173,7 @@ void EvalEngine::clear() {
   area_.clear();
   conn_.clear();
   edge_vals_.clear();
+  programs_.clear();
 }
 
 }  // namespace hsyn::eval

@@ -13,7 +13,7 @@
 //
 // Capacity: HSYN_EVAL_CACHE_MB environment variable or set_capacity_mb()
 // (the hsyn CLI exposes --eval-cache-mb). The budget is split evenly
-// over the four caches.
+// over the five caches.
 //
 // Verification: HSYN_EVAL_VERIFY=1 makes every hit recompute the value
 // and compare -- the cheap way to catch a stale-fingerprint bug in a
@@ -28,11 +28,12 @@
 #include "power/estimator.h"
 #include "rtl/cost.h"
 
-namespace hsyn::eval {
+namespace hsyn {
+class EdgeMatrix;      // power/replay.h: edge-major trace values
+struct ReplayProgram;  // power/replay.h: compiled DFG replay program
+}  // namespace hsyn
 
-/// Per-sample per-edge values of a DFG under a trace
-/// (eval_dfg_edges' result type, shared to avoid re-copies).
-using EdgeValues = std::vector<std::vector<std::int32_t>>;
+namespace hsyn::eval {
 
 class EvalEngine {
  public:
@@ -48,8 +49,13 @@ class EvalEngine {
   ShardedLruCache<std::shared_ptr<const Connectivity>>& connectivity_cache() {
     return conn_;
   }
-  ShardedLruCache<std::shared_ptr<const EdgeValues>>& edge_values_cache() {
+  ShardedLruCache<std::shared_ptr<const EdgeMatrix>>& edge_values_cache() {
     return edge_vals_;
+  }
+  /// Compiled replay programs (power/replay.h), keyed by Dfg content
+  /// hash: a DFG is compiled at most once per structural novelty.
+  ShardedLruCache<std::shared_ptr<const ReplayProgram>>& program_cache() {
+    return programs_;
   }
 
   // ---- High-level cached evaluations ------------------------------------
@@ -88,7 +94,8 @@ class EvalEngine {
   ShardedLruCache<EnergyBreakdown> energy_;
   ShardedLruCache<AreaBreakdown> area_;
   ShardedLruCache<std::shared_ptr<const Connectivity>> conn_;
-  ShardedLruCache<std::shared_ptr<const EdgeValues>> edge_vals_;
+  ShardedLruCache<std::shared_ptr<const EdgeMatrix>> edge_vals_;
+  ShardedLruCache<std::shared_ptr<const ReplayProgram>> programs_;
 };
 
 }  // namespace hsyn::eval

@@ -8,8 +8,10 @@
 
 #include "eval/engine.h"
 #include "obs/trace.h"
+#include "power/replay.h"
 #include "rtl/cost.h"
 #include "rtl/fingerprint.h"
+#include "runtime/arena.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/hash.h"
@@ -17,40 +19,18 @@
 namespace hsyn {
 namespace {
 
-void collect_behaviors(const Datapath& dp,
-                       std::map<std::string, const Dfg*>& out) {
-  for (const ChildUnit& c : dp.children) {
-    for (const BehaviorImpl& bi : c.impl->behaviors) {
-      out.emplace(bi.behavior, bi.dfg);
-    }
-    collect_behaviors(*c.impl, out);
-  }
-}
-
-/// Hamming distance between two operand tuples, in bits, plus the number
-/// of bits compared (for normalization). Mismatched arity is padded.
-std::pair<int, int> tuple_toggles(const std::vector<std::int32_t>& a,
-                                  const std::vector<std::int32_t>& b) {
-  const std::size_t n = std::max(a.size(), b.size());
-  int ham = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::int32_t va = i < a.size() ? a[i] : 0;
-    const std::int32_t vb = i < b.size() ? b[i] : 0;
-    ham += hamming16(va, vb);
-  }
-  return {ham, static_cast<int>(n) * 16};
-}
-
 constexpr std::uint64_t kEnergyTag = 0xE4E26FE4E26F0004ull;
 
 }  // namespace
 
 BehaviorResolver resolver_of(const Datapath& dp) {
-  auto map = std::make_shared<std::map<std::string, const Dfg*>>();
-  collect_behaviors(dp, *map);
-  return [map](const std::string& name) -> const Dfg* {
-    auto it = map->find(name);
-    return it == map->end() ? nullptr : it->second;
+  // The flat sorted table is cached inside the datapath per structural
+  // fingerprint (rtl/datapath.h), so repeated resolver_of calls -- one
+  // per energy_of/simulate_rtl -- cost an atomic load, not a recursive
+  // std::map rebuild.
+  std::shared_ptr<const BehaviorTable> table = dp.behavior_table();
+  return [table = std::move(table)](const std::string& name) -> const Dfg* {
+    return table->find(name);
   };
 }
 
@@ -84,19 +64,14 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
   const Dfg& dfg = *bi.dfg;
   const StructureCosts& sc = lib.costs();
   const double escale = energy_scale(pt.vdd);
-  // Average wire length -- and hence wire/mux capacitance -- grows with
-  // the layout's linear dimension (~sqrt(area)). This couples power to
-  // area the way placed-and-routed designs experience it, and is what
-  // stops the power objective from inflating the datapath without bound.
-  const double layout = area_of(dp, lib, top_level).total();
-  const double wire_scale = std::clamp(std::sqrt(layout / 1500.0), 0.7, 2.5);
+  const double wire_scale = wire_scale_of(dp, lib, top_level);
   const double wire_cap =
       (top_level ? sc.wire_cap_global : sc.wire_cap_local) * wire_scale;
   const double mux_cap = sc.mux_cap_per_input * wire_scale;
   const std::size_t T = trace.size();
 
-  const auto edge_vals_ptr = eval_dfg_edges_shared(dfg, resolver_of(dp), trace);
-  const auto& edge_vals = *edge_vals_ptr;
+  const auto mat_ptr = eval_dfg_edges_shared(dfg, resolver_of(dp), trace);
+  const EdgeMatrix& mat = *mat_ptr;
   const auto conn_ptr = eng.connectivity(dp);
   const Connectivity& conn = *conn_ptr;
 
@@ -109,74 +84,140 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
     return sa != sb ? sa < sb : a < c;
   });
 
-  // ---- Functional-unit streams, mux and wire deliveries. ----------------
-  struct FuState {
-    bool has_prev = false;
-    std::vector<std::int32_t> prev;
-    int prev_opbits = 0;
-  };
-  std::vector<FuState> fu_state(dp.fus.size());
-  // Per (unit kind, unit idx, port): previously delivered value.
-  std::map<std::tuple<int, int, int>, std::int32_t> port_prev;
-
-  // Cached input-edge lists per invocation.
+  // Cached input-edge lists and chained-op signatures per invocation.
   std::vector<std::vector<int>> inv_ins(bi.invs.size());
+  std::vector<int> inv_opbits(bi.invs.size(), 0);
   for (std::size_t i = 0; i < bi.invs.size(); ++i) {
     inv_ins[i] = dp.inv_input_edges(b, static_cast<int>(i));
+    if (bi.invs[i].unit.kind == UnitRef::Kind::Fu) {
+      int opbits = 0;
+      for (const int nid : bi.invs[i].nodes) {
+        opbits = opbits * 16 + static_cast<int>(dfg.node(nid).op);
+      }
+      inv_opbits[i] = opbits;
+    }
   }
 
-  // Child traces: per (child idx, behavior name) in first-seen order.
-  std::map<std::pair<int, std::string>, Trace> child_traces;
+  // Invocations grouped per physical unit, in schedule order: every
+  // activity stream below (functional-unit tuples, port deliveries,
+  // child traces) is a per-unit sequence over (sample, schedule slot).
+  std::vector<std::vector<int>> fu_invs(dp.fus.size());
+  std::vector<std::vector<int>> child_invs(dp.children.size());
+  for (const int i : order) {
+    const Invocation& inv = bi.invs[static_cast<std::size_t>(i)];
+    auto& bucket = inv.unit.kind == UnitRef::Kind::Fu
+                       ? fu_invs[static_cast<std::size_t>(inv.unit.idx)]
+                       : child_invs[static_cast<std::size_t>(inv.unit.idx)];
+    bucket.push_back(i);
+  }
 
-  for (std::size_t t = 0; t < T; ++t) {
-    const auto& ev = edge_vals[t];
-    for (const int i : order) {
-      const Invocation& inv = bi.invs[static_cast<std::size_t>(i)];
-      const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(i)];
-      std::vector<std::int32_t> operands;
-      operands.reserve(ins.size());
-      for (const int e : ins) operands.push_back(ev[static_cast<std::size_t>(e)]);
+  runtime::Arena& arena = runtime::Arena::local();
 
-      // Mux + wire energy per operand delivery.
-      const int ukind = static_cast<int>(inv.unit.kind);
-      const auto& ports = inv.unit.kind == UnitRef::Kind::Fu
-                              ? conn.fu_port_srcs[static_cast<std::size_t>(inv.unit.idx)]
-                              : conn.child_port_srcs[static_cast<std::size_t>(inv.unit.idx)];
-      for (std::size_t p = 0; p < operands.size(); ++p) {
-        auto key = std::make_tuple(ukind, inv.unit.idx, static_cast<int>(p));
-        auto it = port_prev.find(key);
-        if (it != port_prev.end()) {
-          const double act = hamming16(it->second, operands[p]) / 16.0;
-          const bool muxed = p < ports.size() && ports[p].size() > 1;
-          eb.wire += wire_cap * act * escale;
-          if (muxed) eb.mux += mux_cap * act * escale;
-          it->second = operands[p];
+  // ---- Functional-unit activity streams. ---------------------------------
+  // One pass down the unit's invocation stream: consecutive operand
+  // tuples on the same unit toggle its inputs; an op change (chained
+  // signature) adds a fixed control flip. The whole stream reads edge
+  // columns of the matrix -- no per-event vector allocation.
+  for (std::size_t u = 0; u < dp.fus.size(); ++u) {
+    const std::vector<int>& invs = fu_invs[u];
+    if (invs.empty()) continue;
+    const FuType& ft = lib.fu(dp.fus[u].type);
+    std::size_t max_arity = 1;
+    std::vector<std::vector<const std::int32_t*>> cols(invs.size());
+    for (std::size_t j = 0; j < invs.size(); ++j) {
+      const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(invs[j])];
+      max_arity = std::max(max_arity, ins.size());
+      cols[j].reserve(ins.size());
+      for (const int e : ins) cols[j].push_back(mat.col(e));
+    }
+    std::vector<std::int32_t> prev(max_arity), cur(max_arity);
+    std::size_t prev_n = 0;
+    int prev_opbits = 0;
+    bool has_prev = false;
+    double act = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t j = 0; j < invs.size(); ++j) {
+        const std::size_t n = cols[j].size();
+        for (std::size_t p = 0; p < n; ++p) cur[p] = cols[j][p][t];
+        if (has_prev) {
+          const int ham = hamming_tuple(prev.data(), prev_n, cur.data(), n);
+          const int bits = static_cast<int>(std::max(prev_n, n)) * 16;
+          const double opflip =
+              prev_opbits == inv_opbits[static_cast<std::size_t>(invs[j])] ? 0.0
+                                                                           : 4.0;
+          act += (ham + opflip) / (bits + 4);
         } else {
-          port_prev.emplace(key, operands[p]);
+          // First evaluation of this unit: half-activity startup.
+          act += 0.5;
         }
+        std::swap(prev, cur);
+        prev_n = n;
+        prev_opbits = inv_opbits[static_cast<std::size_t>(invs[j])];
+        has_prev = true;
       }
+    }
+    eb.fu += ft.cap_sw * act * escale;
+  }
 
-      if (inv.unit.kind == UnitRef::Kind::Fu) {
-        FuState& st = fu_state[static_cast<std::size_t>(inv.unit.idx)];
-        int opbits = 0;
-        for (const int nid : inv.nodes) opbits = opbits * 16 + static_cast<int>(dfg.node(nid).op);
-        if (st.has_prev) {
-          const auto [ham, bits] = tuple_toggles(st.prev, operands);
-          const double opflip = st.prev_opbits == opbits ? 0.0 : 4.0;
-          const double act = (ham + opflip) / (bits + 4);
-          const FuType& ft = lib.fu(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type);
-          eb.fu += ft.cap_sw * act * escale;
-        } else {
-          // First evaluation of this unit: charge half-activity startup.
-          const FuType& ft = lib.fu(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type);
-          eb.fu += ft.cap_sw * 0.5 * escale;
+  // ---- Mux and wire delivery streams. ------------------------------------
+  // Per (unit, input port): the delivered-value stream is the port's
+  // operand across the unit's invocations, sample-major. Its toggle sum
+  // is one packed popcount pass; the first delivery primes the port and
+  // never toggles (toggle_count's convention).
+  const auto port_streams =
+      [&](const std::vector<std::vector<int>>& unit_invs,
+          const std::vector<std::vector<std::set<int>>>& port_srcs) {
+        for (std::size_t u = 0; u < unit_invs.size(); ++u) {
+          const std::vector<int>& invs = unit_invs[u];
+          if (invs.empty()) continue;
+          const auto& ports = port_srcs[u];
+          std::size_t max_ports = 0;
+          for (const int i : invs) {
+            max_ports =
+                std::max(max_ports, inv_ins[static_cast<std::size_t>(i)].size());
+          }
+          for (std::size_t p = 0; p < max_ports; ++p) {
+            std::vector<const std::int32_t*> src;
+            src.reserve(invs.size());
+            for (const int i : invs) {
+              const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(i)];
+              if (p < ins.size()) src.push_back(mat.col(ins[p]));
+            }
+            int toggles = 0;
+            if (src.size() == 1) {
+              toggles = toggle_count(src[0], T);
+            } else {
+              runtime::Arena::Frame frame(arena);
+              std::int32_t* buf = arena.alloc_i32(src.size() * T);
+              std::size_t w = 0;
+              for (std::size_t t = 0; t < T; ++t) {
+                for (const std::int32_t* c : src) buf[w++] = c[t];
+              }
+              toggles = toggle_count(buf, w);
+            }
+            const double act = toggles / 16.0;
+            const bool muxed = p < ports.size() && ports[p].size() > 1;
+            eb.wire += wire_cap * act * escale;
+            if (muxed) eb.mux += mux_cap * act * escale;
+          }
         }
-        st.prev = std::move(operands);
-        st.prev_opbits = opbits;
-        st.has_prev = true;
-      } else {
-        const Node& n = dfg.node(inv.nodes.front());
-        child_traces[{inv.unit.idx, n.behavior}].push_back(std::move(operands));
+      };
+  port_streams(fu_invs, conn.fu_port_srcs);
+  port_streams(child_invs, conn.child_port_srcs);
+
+  // ---- Child traces: per (child idx, behavior name). ---------------------
+  std::map<std::pair<int, std::string>, Trace> child_traces;
+  for (std::size_t c = 0; c < dp.children.size(); ++c) {
+    const std::vector<int>& invs = child_invs[c];
+    if (invs.empty()) continue;
+    for (std::size_t t = 0; t < T; ++t) {
+      for (const int i : invs) {
+        const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(i)];
+        const Node& n =
+            dfg.node(bi.invs[static_cast<std::size_t>(i)].nodes.front());
+        Sample s(ins.size());
+        for (std::size_t p = 0; p < ins.size(); ++p) s[p] = mat.at(ins[p], t);
+        child_traces[{static_cast<int>(c), n.behavior}].push_back(std::move(s));
       }
     }
   }
@@ -194,20 +235,20 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
       const int tc = dp.edge_ready_time(b, c, lib, pt);
       return ta != tc ? ta < tc : a < c;
     });
-    bool has_prev = false;
-    std::int32_t prev = 0;
-    for (std::size_t t = 0; t < T; ++t) {
-      for (const int e : eids) {
-        const std::int32_t v = edge_vals[t][static_cast<std::size_t>(e)];
-        if (has_prev) {
-          eb.reg += lib.reg().cap_sw * (hamming16(prev, v) / 16.0) * escale;
-        } else {
-          eb.reg += lib.reg().cap_sw * 0.5 * escale;
-        }
-        prev = v;
-        has_prev = true;
+    int toggles = 0;
+    if (eids.size() == 1) {
+      toggles = toggle_count(mat.col(eids.front()), T);
+    } else {
+      runtime::Arena::Frame frame(arena);
+      std::int32_t* buf = arena.alloc_i32(eids.size() * T);
+      std::size_t w = 0;
+      for (std::size_t t = 0; t < T; ++t) {
+        for (const int e : eids) buf[w++] = mat.at(e, t);
       }
+      toggles = toggle_count(buf, w);
     }
+    // First write is a half-activity startup; every later write toggles.
+    eb.reg += lib.reg().cap_sw * (0.5 + toggles / 16.0) * escale;
   }
 
   // ---- Controller and register clock tree. -------------------------------
@@ -230,11 +271,11 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
     for (const auto& entry : child_traces) entries.push_back(&entry);
     const std::vector<double> child_totals = runtime::parallel_map(
         static_cast<int>(entries.size()), [&](int i) {
-          const auto& [key, ctrace] = *entries[static_cast<std::size_t>(i)];
+          const auto& [ckey, ctrace] = *entries[static_cast<std::size_t>(i)];
           const Datapath& child =
-              *dp.children[static_cast<std::size_t>(key.first)].impl;
-          const int cb = child.find_behavior(key.second);
-          check(cb >= 0, "energy_of: child lacks behavior " + key.second);
+              *dp.children[static_cast<std::size_t>(ckey.first)].impl;
+          const int cb = child.find_behavior(ckey.second);
+          check(cb >= 0, "energy_of: child lacks behavior " + ckey.second);
           const EnergyBreakdown ce =
               energy_of(child, cb, ctrace, lib, pt, /*top_level=*/false);
           // ce.total() is average per child invocation; ctrace has

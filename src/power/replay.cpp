@@ -1,0 +1,311 @@
+#include "power/replay.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "eval/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "power/trace.h"
+#include "runtime/arena.h"
+#include "runtime/parallel.h"
+#include "util/fmt.h"
+
+namespace hsyn {
+namespace {
+
+constexpr std::uint64_t kProgramContext = 0x9E91A79E91A70005ull;
+
+// -1 = not yet initialized from HSYN_REPLAY.
+std::atomic<int> g_mode{-1};
+
+}  // namespace
+
+std::vector<std::vector<std::int32_t>> EdgeMatrix::rows() const {
+  std::vector<std::vector<std::int32_t>> out(
+      samples_, std::vector<std::int32_t>(static_cast<std::size_t>(num_edges_)));
+  for (int e = 0; e < num_edges_; ++e) {
+    const std::int32_t* c = col(e);
+    for (std::size_t t = 0; t < samples_; ++t) {
+      out[t][static_cast<std::size_t>(e)] = c[t];
+    }
+  }
+  return out;
+}
+
+std::size_t ReplayProgram::bytes() const {
+  std::size_t b = sizeof(ReplayProgram);
+  b += (input_slots.size() + output_slots.size() + consts.size()) *
+       sizeof(std::int32_t);
+  b += steps.size() * sizeof(ReplayStep);
+  for (const ReplayHierCall& h : hier_calls) {
+    b += sizeof(ReplayHierCall) + h.behavior.size() +
+         (h.in_slots.size() + h.out_slots.size()) * sizeof(std::int32_t);
+  }
+  return b;
+}
+
+ReplayMode replay_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    ReplayMode parsed = ReplayMode::Compiled;
+    if (const char* s = std::getenv("HSYN_REPLAY")) {
+      check(parse_replay_mode(s, &parsed),
+            std::string("HSYN_REPLAY must be 'interp' or 'compiled', got '") +
+                s + "'");
+    }
+    m = static_cast<int>(parsed);
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<ReplayMode>(m);
+}
+
+void set_replay_mode(ReplayMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+bool parse_replay_mode(const std::string& s, ReplayMode* out) {
+  if (s == "interp") {
+    *out = ReplayMode::Interp;
+    return true;
+  }
+  if (s == "compiled") {
+    *out = ReplayMode::Compiled;
+    return true;
+  }
+  return false;
+}
+
+ReplayProgram compile_replay(const Dfg& dfg) {
+  check(dfg.validated(), "compile_replay: dfg must be validated");
+  ReplayProgram p;
+  p.dfg_hash = dfg.content_hash();
+  p.num_inputs = dfg.num_inputs();
+  p.num_outputs = dfg.num_outputs();
+  p.num_edges = static_cast<int>(dfg.edges().size());
+  p.input_slots.reserve(static_cast<std::size_t>(p.num_inputs));
+  for (int i = 0; i < p.num_inputs; ++i) {
+    p.input_slots.push_back(dfg.primary_input_edge(i));
+  }
+  p.output_slots.reserve(static_cast<std::size_t>(p.num_outputs));
+  for (int o = 0; o < p.num_outputs; ++o) {
+    p.output_slots.push_back(dfg.primary_output_edge(o));
+  }
+  const auto const_slot = [&p](std::int32_t v) -> std::int32_t {
+    for (std::size_t j = 0; j < p.consts.size(); ++j) {
+      if (p.consts[j] == v) return p.num_edges + static_cast<std::int32_t>(j);
+    }
+    p.consts.push_back(v);
+    return p.num_edges + static_cast<std::int32_t>(p.consts.size()) - 1;
+  };
+  for (const int nid : dfg.topo_order()) {
+    const Node& n = dfg.node(nid);
+    if (n.is_hier()) {
+      ReplayHierCall h;
+      h.behavior = n.behavior;
+      h.in_slots.reserve(static_cast<std::size_t>(n.num_inputs));
+      for (int q = 0; q < n.num_inputs; ++q) {
+        h.in_slots.push_back(dfg.input_edge(nid, q));
+      }
+      h.out_slots.reserve(static_cast<std::size_t>(n.num_outputs));
+      for (int q = 0; q < n.num_outputs; ++q) {
+        h.out_slots.push_back(dfg.output_edge(nid, q));
+      }
+      p.steps.push_back({Op::Hier,
+                         static_cast<std::int32_t>(p.hier_calls.size()), 0, 0});
+      p.hier_calls.push_back(std::move(h));
+      continue;
+    }
+    const int out = dfg.output_edge(nid, 0);
+    // A dead operation (unconsumed result) has no effect on any column;
+    // the interpreter skips the write too.
+    if (out < 0) continue;
+    const std::int32_t a = dfg.input_edge(nid, 0);
+    // Unary ops read the constant 0 as their second operand, matching
+    // eval_op's calling convention in the interpreter.
+    const std::int32_t b =
+        n.num_inputs > 1 ? dfg.input_edge(nid, 1) : const_slot(0);
+    p.steps.push_back({n.op, a, b, out});
+  }
+  return p;
+}
+
+std::shared_ptr<const ReplayProgram> replay_program_of(const Dfg& dfg) {
+  check(dfg.validated(), "replay_program_of: dfg must be validated");
+  eval::EvalEngine& eng = eval::EvalEngine::instance();
+  const eval::Key key{dfg.content_hash(), 0, kProgramContext};
+  if (auto hit = eng.program_cache().get(key)) {
+    if (!eng.verify()) return *hit;
+    check(**hit == compile_replay(dfg),
+          "eval verify: cached replay program diverges from recompile");
+    return *hit;
+  }
+  auto prog = std::make_shared<const ReplayProgram>(compile_replay(dfg));
+  static obs::Counter& compiled =
+      obs::Registry::instance().counter("replay.programs_compiled");
+  compiled.add();
+  eng.program_cache().put(key, prog, prog->bytes());
+  return prog;
+}
+
+namespace {
+
+/// Run `p` over `len` consecutive samples. `cols[s]` is the column for
+/// slot s (edges first, then the constant pool); input-edge columns are
+/// pre-filled by the caller, every other edge column starts zeroed.
+/// Hierarchical calls carve the child's columns out of `arena` and
+/// recurse over the same batch.
+void exec_program(const ReplayProgram& p, const BehaviorResolver& res,
+                  std::int32_t** cols, std::size_t len,
+                  runtime::Arena& arena) {
+  for (const ReplayStep& s : p.steps) {
+    if (s.op == Op::Hier) {
+      const ReplayHierCall& h =
+          p.hier_calls[static_cast<std::size_t>(s.a)];
+      const Dfg* child = res(h.behavior);
+      check(child != nullptr, "unresolved behavior " + h.behavior);
+      const auto cp = replay_program_of(*child);
+      check(static_cast<int>(h.in_slots.size()) == cp->num_inputs,
+            "eval_dfg_edges: input arity mismatch");
+      runtime::Arena::Frame frame(arena);
+      const std::size_t nedges = static_cast<std::size_t>(cp->num_edges);
+      std::int32_t* block = arena.alloc_i32(nedges * len);
+      std::memset(block, 0, nedges * len * sizeof(std::int32_t));
+      std::int32_t** ccols =
+          arena.alloc_ptrs<std::int32_t>(nedges + cp->consts.size());
+      for (std::size_t e = 0; e < nedges; ++e) ccols[e] = block + e * len;
+      for (std::size_t j = 0; j < cp->consts.size(); ++j) {
+        std::int32_t* c = arena.alloc_i32(len);
+        for (std::size_t t = 0; t < len; ++t) c[t] = cp->consts[j];
+        ccols[nedges + j] = c;
+      }
+      for (int i = 0; i < cp->num_inputs; ++i) {
+        const std::int32_t slot = cp->input_slots[static_cast<std::size_t>(i)];
+        if (slot >= 0) {
+          std::memcpy(ccols[slot], cols[h.in_slots[static_cast<std::size_t>(i)]],
+                      len * sizeof(std::int32_t));
+        }
+      }
+      exec_program(*cp, res, ccols, len, arena);
+      for (std::size_t o = 0; o < h.out_slots.size(); ++o) {
+        if (h.out_slots[o] < 0) continue;
+        const std::int32_t ce = cp->output_slots[o];
+        check(ce >= 0, "replay: hier output without child output edge");
+        std::memcpy(cols[h.out_slots[o]], ccols[ce],
+                    len * sizeof(std::int32_t));
+      }
+      continue;
+    }
+    const std::int32_t* a = cols[s.a];
+    const std::int32_t* b = cols[s.b];
+    std::int32_t* o = cols[s.out];
+    // One tight loop per opcode: all per-step decisions were made at
+    // compile time, the body is branch-free down the column.
+    switch (s.op) {
+      case Op::Add:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(static_cast<std::int64_t>(a[t]) + b[t]);
+        }
+        break;
+      case Op::Sub:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(static_cast<std::int64_t>(a[t]) - b[t]);
+        }
+        break;
+      case Op::Mult:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(static_cast<std::int64_t>(a[t]) * b[t]);
+        }
+        break;
+      case Op::ShiftL:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(static_cast<std::int64_t>(a[t]) << (b[t] & 15));
+        }
+        break;
+      case Op::ShiftR:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(a[t] >> (b[t] & 15));
+        }
+        break;
+      case Op::Cmp:
+        for (std::size_t t = 0; t < len; ++t) o[t] = a[t] < b[t] ? 1 : 0;
+        break;
+      case Op::And:
+        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] & b[t]);
+        break;
+      case Op::Or:
+        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] | b[t]);
+        break;
+      case Op::Xor:
+        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] ^ b[t]);
+        break;
+      case Op::Neg:
+        for (std::size_t t = 0; t < len; ++t) {
+          o[t] = mask16(-static_cast<std::int64_t>(a[t]));
+        }
+        break;
+      case Op::Hier:
+        break;  // handled above
+    }
+  }
+}
+
+}  // namespace
+
+EdgeMatrix replay_eval_matrix(const Dfg& dfg, const BehaviorResolver& res,
+                              const Trace& inputs) {
+  obs::Span span("trace-replay");
+  const auto prog = replay_program_of(dfg);
+  const std::size_t T = inputs.size();
+  EdgeMatrix mat(prog->num_edges, T);
+  if (T == 0) return mat;
+  const int n = static_cast<int>(T);
+  const int k = runtime::num_chunks(n);
+  // Chunks own disjoint [lo, hi) slices of every column, so the batch
+  // fans out over the runtime with bit-identical results at any thread
+  // count (every cell is an exact integer function of one sample).
+  runtime::pool().run(k, [&](int c) {
+    const int lo = runtime::chunk_begin(n, k, c);
+    const int hi = runtime::chunk_begin(n, k, c + 1);
+    if (lo >= hi) return;
+    const std::size_t len = static_cast<std::size_t>(hi - lo);
+    runtime::Arena& arena = runtime::Arena::local();
+    runtime::Arena::Frame frame(arena);
+    std::int32_t** cols = arena.alloc_ptrs<std::int32_t>(
+        static_cast<std::size_t>(prog->num_edges) + prog->consts.size());
+    for (int e = 0; e < prog->num_edges; ++e) {
+      cols[e] = mat.col_mut(e) + lo;
+    }
+    for (std::size_t j = 0; j < prog->consts.size(); ++j) {
+      std::int32_t* col = arena.alloc_i32(len);
+      for (std::size_t t = 0; t < len; ++t) col[t] = prog->consts[j];
+      cols[static_cast<std::size_t>(prog->num_edges) + j] = col;
+    }
+    // Transpose this chunk's samples into the primary-input columns.
+    for (int t = lo; t < hi; ++t) {
+      const Sample& in = inputs[static_cast<std::size_t>(t)];
+      check(static_cast<int>(in.size()) == prog->num_inputs,
+            "eval_dfg_edges: input arity mismatch");
+      for (int i = 0; i < prog->num_inputs; ++i) {
+        const std::int32_t slot = prog->input_slots[static_cast<std::size_t>(i)];
+        if (slot >= 0) cols[slot][t - lo] = in[static_cast<std::size_t>(i)];
+      }
+    }
+    exec_program(*prog, res, cols, len, arena);
+  });
+  {
+    obs::Registry& reg = obs::Registry::instance();
+    static obs::Counter& matrices = reg.counter("replay.matrices");
+    static obs::Counter& columns = reg.counter("replay.columns_evaluated");
+    static obs::Counter& samples = reg.counter("replay.samples");
+    static obs::Gauge& arena_bytes = reg.gauge("replay.arena_bytes");
+    matrices.add();
+    columns.add(static_cast<std::uint64_t>(prog->num_edges));
+    samples.add(T);
+    arena_bytes.set(static_cast<double>(runtime::Arena::total_reserved()));
+  }
+  return mat;
+}
+
+}  // namespace hsyn

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <optional>
 
+#include "eval/engine.h"
+#include "power/replay.h"
 #include "rtl/cost.h"
 #include "runtime/parallel.h"
 #include "runtime/stats.h"
@@ -51,10 +53,9 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
   const Dfg& dfg = *bi.dfg;
   const StructureCosts& sc = lib.costs();
   const double escale = energy_scale(pt.vdd);
-  // Wire length scales with the layout's linear dimension; see the
-  // matching comment in power/estimator.cpp.
-  const double layout = area_of(dp, lib, top_level).total();
-  const double wire_scale = std::clamp(std::sqrt(layout / 1500.0), 0.7, 2.5);
+  // Wire/mux pricing shares the estimator's layout-derived scale, served
+  // from the eval engine's area cache (rtl/cost.h).
+  const double wire_scale = wire_scale_of(dp, lib, top_level);
   const double wire_cap =
       (top_level ? sc.wire_cap_global : sc.wire_cap_local) * wire_scale;
   const double mux_cap = sc.mux_cap_per_input * wire_scale;
@@ -64,10 +65,14 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
     return res;
   }
 
-  // Reference values for checking reads and outputs.
-  const auto ref_vals = eval_dfg_edges(dfg, resolver_of(dp), trace);
-  const auto ref_outs = eval_dfg(dfg, resolver_of(dp), trace);
-  const Connectivity conn = connectivity_of(dp);
+  // Reference values for checking reads and outputs (shared edge matrix,
+  // one evaluation also serving eval_dfg below).
+  const BehaviorResolver resolver = resolver_of(dp);
+  const auto ref_vals_ptr = eval_dfg_edges_shared(dfg, resolver, trace);
+  const EdgeMatrix& ref_vals = *ref_vals_ptr;
+  const auto ref_outs = eval_dfg(dfg, resolver, trace);
+  const auto conn_ptr = eval::EvalEngine::instance().connectivity(dp);
+  const Connectivity& conn = *conn_ptr;
 
   // Static per-invocation info: input edges, per-port read offsets,
   // output schedule.
@@ -76,6 +81,7 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
   std::vector<std::vector<int>> inv_read_off(ninv);
   std::vector<const Datapath*> inv_child(ninv, nullptr);
   std::vector<int> inv_child_beh(ninv, -1);
+  std::vector<BehaviorResolver> inv_child_res(ninv);
   for (std::size_t i = 0; i < ninv; ++i) {
     const Invocation& inv = bi.invs[i];
     inv_ins[i] = dp.inv_input_edges(b, static_cast<int>(i));
@@ -88,6 +94,8 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
       check(cb >= 0, "simulate_rtl: child lacks behavior " + n.behavior);
       inv_child[i] = &child;
       inv_child_beh[i] = cb;
+      // Resolver hoisted out of the per-sample completion path.
+      inv_child_res[i] = resolver_of(child);
       const Profile p = child.profile(cb, lib, pt);
       // inv_input_edges order for a single hier node is its port order.
       for (std::size_t k = 0; k < inv_ins[i].size(); ++k) {
@@ -187,12 +195,9 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
         const FuType& ft =
             lib.fu(dp.fus[static_cast<std::size_t>(inv.unit.idx)].type);
         if (st.has_prev) {
-          int ham = 0;
           const std::size_t n = std::max(st.prev.size(), operands[i].size());
-          for (std::size_t k = 0; k < n; ++k) {
-            ham += hamming16(k < st.prev.size() ? st.prev[k] : 0,
-                             k < operands[i].size() ? operands[i][k] : 0);
-          }
+          const int ham = hamming_tuple(st.prev.data(), st.prev.size(),
+                                        operands[i].data(), operands[i].size());
           res.energy.fu +=
               ft.cap_sw * (static_cast<double>(ham) / (16.0 * n)) * escale;
         } else {
@@ -234,7 +239,7 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
         one[0] = operands[i];
         const std::vector<Sample> outs = eval_dfg(
             *child.behaviors[static_cast<std::size_t>(inv_child_beh[i])].dfg,
-            resolver_of(child), one);
+            inv_child_res[i], one);
         const Profile prof = child.profile(inv_child_beh[i], lib, pt);
         for (int port = 0; port < n.num_outputs; ++port) {
           const int e = dfg.output_edge(inv.nodes.front(), port);
@@ -270,10 +275,9 @@ RtlSimResult simulate_rtl(const Datapath& dp, int b, const Trace& trace,
                          rd.inv, e, r, st.tag, rd.time));
         }
         v = st.value;
-        if (st.has_value && st.tag == e &&
-            v != ref_vals[t][static_cast<std::size_t>(e)]) {
+        if (st.has_value && st.tag == e && v != ref_vals.at(e, t)) {
           violation(strf("inv %d edge %d: register value %d != reference %d",
-                         rd.inv, e, v, ref_vals[t][static_cast<std::size_t>(e)]));
+                         rd.inv, e, v, ref_vals.at(e, t)));
         }
       }
       operands[i][static_cast<std::size_t>(rd.port)] = v;

@@ -1,9 +1,11 @@
 #include "power/trace.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "eval/engine.h"
 #include "obs/trace.h"
+#include "power/replay.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/hash.h"
@@ -11,34 +13,41 @@
 
 namespace hsyn {
 
-std::int32_t mask16(std::int64_t x) {
-  const std::uint32_t u = static_cast<std::uint32_t>(x) & 0xFFFFu;
-  return (u & 0x8000u) ? static_cast<std::int32_t>(u) - 0x10000 :
-                         static_cast<std::int32_t>(u);
-}
-
-int hamming16(std::int32_t a, std::int32_t b) {
-  const std::uint32_t d = (static_cast<std::uint32_t>(a) ^
-                           static_cast<std::uint32_t>(b)) & 0xFFFFu;
-  return std::popcount(d);
-}
-
-std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b) {
-  switch (op) {
-    case Op::Add: return mask16(static_cast<std::int64_t>(a) + b);
-    case Op::Sub: return mask16(static_cast<std::int64_t>(a) - b);
-    case Op::Mult: return mask16(static_cast<std::int64_t>(a) * b);
-    case Op::ShiftL: return mask16(static_cast<std::int64_t>(a) << (b & 15));
-    case Op::ShiftR: return mask16(a >> (b & 15));
-    case Op::Cmp: return a < b ? 1 : 0;
-    case Op::And: return mask16(a & b);
-    case Op::Or: return mask16(a | b);
-    case Op::Xor: return mask16(a ^ b);
-    case Op::Neg: return mask16(-static_cast<std::int64_t>(a));
-    case Op::Hier: break;
+int toggle_count(const std::int32_t* v, std::size_t n) {
+  if (n < 2) return 0;
+  int total = 0;
+  std::uint64_t packed = 0;
+  int lanes = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint64_t d = (static_cast<std::uint32_t>(v[i - 1]) ^
+                             static_cast<std::uint32_t>(v[i])) & 0xFFFFu;
+    packed |= d << (16 * lanes);
+    if (++lanes == 4) {
+      total += std::popcount(packed);
+      packed = 0;
+      lanes = 0;
+    }
   }
-  check(false, "eval_op on hierarchical node");
-  return 0;
+  return total + std::popcount(packed);
+}
+
+int hamming_tuple(const std::int32_t* a, std::size_t na,
+                  const std::int32_t* b, std::size_t nb) {
+  const std::size_t n = std::max(na, nb);
+  int total = 0;
+  std::uint64_t packed = 0;
+  int lanes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t va = i < na ? static_cast<std::uint32_t>(a[i]) : 0;
+    const std::uint32_t vb = i < nb ? static_cast<std::uint32_t>(b[i]) : 0;
+    packed |= static_cast<std::uint64_t>((va ^ vb) & 0xFFFFu) << (16 * lanes);
+    if (++lanes == 4) {
+      total += std::popcount(packed);
+      packed = 0;
+      lanes = 0;
+    }
+  }
+  return total + std::popcount(packed);
 }
 
 Trace make_trace(int num_inputs, int num_samples, std::uint64_t seed,
@@ -73,9 +82,12 @@ namespace {
 
 constexpr std::uint64_t kEdgeValsContext = 0xEDEA15EDEA150003ull;
 
-/// The actual evaluator behind both eval_dfg_edges entry points.
-std::vector<std::vector<std::int32_t>> eval_dfg_edges_uncached(
-    const Dfg& dfg, const BehaviorResolver& res, const Trace& inputs) {
+/// The reference interpreter (HSYN_REPLAY=interp): per-time-step walk of
+/// the topological order, hierarchical nodes recursing one sample at a
+/// time. Kept verbatim as the semantic ground truth the compiled kernel
+/// (power/replay.cpp) is tested against.
+EdgeMatrix interp_eval_matrix(const Dfg& dfg, const BehaviorResolver& res,
+                              const Trace& inputs) {
   obs::Span span("trace-replay");
   std::vector<std::vector<std::int32_t>> vals(
       inputs.size(), std::vector<std::int32_t>(dfg.edges().size(), 0));
@@ -122,61 +134,73 @@ std::vector<std::vector<std::int32_t>> eval_dfg_edges_uncached(
       }
     }
   });
-  return vals;
+  // Transpose the rows into the edge-major shape the estimator consumes.
+  EdgeMatrix mat(static_cast<int>(dfg.edges().size()), inputs.size());
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const auto& ev = vals[t];
+    for (int e = 0; e < mat.num_edges(); ++e) {
+      mat.col_mut(e)[t] = ev[static_cast<std::size_t>(e)];
+    }
+  }
+  return mat;
+}
+
+/// Dispatch to the HSYN_REPLAY-selected backend.
+EdgeMatrix eval_matrix_uncached(const Dfg& dfg, const BehaviorResolver& res,
+                                const Trace& inputs) {
+  return replay_mode() == ReplayMode::Interp
+             ? interp_eval_matrix(dfg, res, inputs)
+             : replay_eval_matrix(dfg, res, inputs);
 }
 
 }  // namespace
 
-std::shared_ptr<const std::vector<std::vector<std::int32_t>>>
+std::shared_ptr<const EdgeMatrix>
 eval_dfg_edges_shared(const Dfg& dfg, const BehaviorResolver& res,
                       const Trace& inputs) {
   check(dfg.validated(), "eval_dfg_edges: dfg must be validated");
   eval::EvalEngine& eng = eval::EvalEngine::instance();
   const eval::Key key{dfg.content_hash(), trace_fingerprint(inputs),
                       kEdgeValsContext};
-  // Hierarchical-node recursion evaluates child DFGs one sample at a
-  // time; those tiny results would churn the cache, so only multi-sample
-  // evaluations -- the move engine's hot path -- are memoized.
+  // The interpreter's hierarchical-node recursion evaluates child DFGs
+  // one sample at a time; those tiny results would churn the cache, so
+  // only multi-sample evaluations -- the move engine's hot path -- are
+  // memoized.
   const bool cacheable = inputs.size() > 1;
-  std::shared_ptr<const std::vector<std::vector<std::int32_t>>> cached;
+  std::shared_ptr<const EdgeMatrix> cached;
   if (cacheable) {
     if (auto hit = eng.edge_values_cache().get(key)) {
       if (!eng.verify()) return *hit;
       cached = *hit;
     }
   }
-  auto vals = std::make_shared<const std::vector<std::vector<std::int32_t>>>(
-      eval_dfg_edges_uncached(dfg, res, inputs));
+  auto vals =
+      std::make_shared<const EdgeMatrix>(eval_matrix_uncached(dfg, res, inputs));
   if (cached != nullptr) {
     check(*cached == *vals,
           "eval verify: cached edge values diverge from recompute");
     return cached;
   }
-  if (cacheable) {
-    const std::size_t bytes =
-        inputs.size() * (sizeof(std::vector<std::int32_t>) +
-                         dfg.edges().size() * sizeof(std::int32_t));
-    eng.edge_values_cache().put(key, vals, bytes);
-  }
+  if (cacheable) eng.edge_values_cache().put(key, vals, vals->bytes());
   return vals;
 }
 
 std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
                                                       const BehaviorResolver& res,
                                                       const Trace& inputs) {
-  return *eval_dfg_edges_shared(dfg, res, inputs);
+  return eval_dfg_edges_shared(dfg, res, inputs)->rows();
 }
 
 std::vector<Sample> eval_dfg(const Dfg& dfg, const BehaviorResolver& res,
                              const Trace& inputs) {
-  const auto edge_vals_ptr = eval_dfg_edges_shared(dfg, res, inputs);
-  const auto& edge_vals = *edge_vals_ptr;
+  const auto mat_ptr = eval_dfg_edges_shared(dfg, res, inputs);
+  const EdgeMatrix& mat = *mat_ptr;
   std::vector<Sample> out(inputs.size(),
                           Sample(static_cast<std::size_t>(dfg.num_outputs())));
-  for (std::size_t t = 0; t < inputs.size(); ++t) {
-    for (int o = 0; o < dfg.num_outputs(); ++o) {
-      out[t][static_cast<std::size_t>(o)] =
-          edge_vals[t][static_cast<std::size_t>(dfg.primary_output_edge(o))];
+  for (int o = 0; o < dfg.num_outputs(); ++o) {
+    const std::int32_t* col = mat.col(dfg.primary_output_edge(o));
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+      out[t][static_cast<std::size_t>(o)] = col[t];
     }
   }
   return out;

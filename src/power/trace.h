@@ -9,8 +9,14 @@
 //
 // All arithmetic is 16-bit two's complement (wrap-around), the datapath
 // width of the synthesized circuits.
+//
+// Evaluation is served by one of two backends selected by HSYN_REPLAY
+// (power/replay.h): the compiled batched replay kernel (default) or the
+// per-time-step reference interpreter. Both are bit-identical at any
+// thread count.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -18,20 +24,63 @@
 #include <vector>
 
 #include "dfg/dfg.h"
+#include "util/fmt.h"
 
 namespace hsyn {
+
+class EdgeMatrix;  // power/replay.h
 
 using Sample = std::vector<std::int32_t>;  ///< one value per primary input
 using Trace = std::vector<Sample>;
 
 /// Sign-extend the low 16 bits (datapath width) of x.
-std::int32_t mask16(std::int64_t x);
+inline std::int32_t mask16(std::int64_t x) {
+  const std::uint32_t u = static_cast<std::uint32_t>(x) & 0xFFFFu;
+  return (u & 0x8000u) ? static_cast<std::int32_t>(u) - 0x10000 :
+                         static_cast<std::int32_t>(u);
+}
 
 /// Hamming distance between the low 16 bits of a and b.
-int hamming16(std::int32_t a, std::int32_t b);
+inline int hamming16(std::int32_t a, std::int32_t b) {
+  const std::uint32_t d = (static_cast<std::uint32_t>(a) ^
+                           static_cast<std::uint32_t>(b)) & 0xFFFFu;
+  return std::popcount(d);
+}
 
 /// Evaluate one operation on 16-bit operands.
-std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b);
+inline std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b) {
+  switch (op) {
+    case Op::Add: return mask16(static_cast<std::int64_t>(a) + b);
+    case Op::Sub: return mask16(static_cast<std::int64_t>(a) - b);
+    case Op::Mult: return mask16(static_cast<std::int64_t>(a) * b);
+    case Op::ShiftL: return mask16(static_cast<std::int64_t>(a) << (b & 15));
+    case Op::ShiftR: return mask16(a >> (b & 15));
+    case Op::Cmp: return a < b ? 1 : 0;
+    case Op::And: return mask16(a & b);
+    case Op::Or: return mask16(a | b);
+    case Op::Xor: return mask16(a ^ b);
+    case Op::Neg: return mask16(-static_cast<std::int64_t>(a));
+    case Op::Hier: break;
+  }
+  check(false, "eval_op on hierarchical node");
+  return 0;
+}
+
+// ---- Packed toggle counting ----------------------------------------------
+// Values are 16 bits wide, so four XOR lanes fit one uint64_t: pack four
+// lane differences, popcount once. One popcount per four events replaces
+// one per event -- the scalar hamming16 accumulation the power estimator
+// used to run per delivery.
+
+/// Total toggles between consecutive elements of `v`:
+/// sum over i in [1, n) of hamming16(v[i-1], v[i]). Zero when n < 2
+/// (the first event of a stream primes it, it never toggles).
+int toggle_count(const std::int32_t* v, std::size_t n);
+
+/// Hamming distance between two operand tuples in bits, padding the
+/// shorter tuple with zeros (the estimator's tuple activity measure).
+int hamming_tuple(const std::int32_t* a, std::size_t na,
+                  const std::int32_t* b, std::size_t nb);
 
 /// Correlated random-walk trace: `num_samples` samples of `num_inputs`
 /// channels; each channel steps by roughly `step_fraction` of full scale.
@@ -46,19 +95,22 @@ std::uint64_t trace_fingerprint(const Trace& t);
 /// (any functionally equivalent variant produces the same values).
 using BehaviorResolver = std::function<const Dfg*(const std::string&)>;
 
-/// Per-sample value of every edge of `dfg` under `inputs`.
-/// result[sample][edge_id].
+/// Per-sample value of every edge of `dfg` under `inputs`, sample-major:
+/// result[sample][edge_id]. Copies out of the shared edge matrix; hot
+/// paths should use eval_dfg_edges_shared and read columns directly.
 std::vector<std::vector<std::int32_t>> eval_dfg_edges(const Dfg& dfg,
                                                       const BehaviorResolver& res,
                                                       const Trace& inputs);
 
-/// Same values, shared: the result is memoized in the process-wide
-/// evaluation cache under (Dfg::content_hash, trace_fingerprint) -- a
-/// content key, so a recycled allocation can never alias a stale entry
-/// -- and handed out by shared_ptr so repeated evaluation of one
-/// (dfg, trace) pair costs no copies. Functionally equivalent resolver
-/// variants share entries by the BehaviorResolver contract above.
-std::shared_ptr<const std::vector<std::vector<std::int32_t>>>
+/// Edge-major values of every edge (EdgeMatrix, power/replay.h), shared:
+/// the result is memoized in the process-wide evaluation cache under
+/// (Dfg::content_hash, trace_fingerprint) -- a content key, so a recycled
+/// allocation can never alias a stale entry -- and handed out by
+/// shared_ptr so repeated evaluation of one (dfg, trace) pair costs no
+/// copies. Functionally equivalent resolver variants share entries by the
+/// BehaviorResolver contract above. Backed by the HSYN_REPLAY-selected
+/// evaluator; both backends produce bit-identical matrices.
+std::shared_ptr<const EdgeMatrix>
 eval_dfg_edges_shared(const Dfg& dfg, const BehaviorResolver& res,
                       const Trace& inputs);
 

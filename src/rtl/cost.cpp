@@ -1,6 +1,7 @@
 #include "rtl/cost.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "eval/engine.h"
@@ -189,6 +190,11 @@ AreaBreakdown area_of_level(const Datapath& dp, const Library& lib,
 
 AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level) {
   return eval::EvalEngine::instance().area(dp, lib, top_level);
+}
+
+double wire_scale_of(const Datapath& dp, const Library& lib, bool top_level) {
+  const double layout = area_of(dp, lib, top_level).total();
+  return std::clamp(std::sqrt(layout / 1500.0), 0.7, 2.5);
 }
 
 }  // namespace hsyn

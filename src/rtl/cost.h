@@ -95,6 +95,16 @@ AreaBreakdown area_of(const Datapath& dp, const Library& lib, bool top_level = t
 AreaBreakdown area_of_level(const Datapath& dp, const Library& lib,
                             bool top_level, const Connectivity& conn);
 
+/// Wire-length scale factor of the placed layout: average wire length --
+/// and hence wire/mux capacitance -- grows with the layout's linear
+/// dimension (~sqrt(area), clamped to [0.7, 2.5] around a 1500-unit
+/// reference block). Backed by the eval engine's area cache, so the
+/// power estimator and the RTL simulator never recompute layout per
+/// simulation. This couples power to area the way placed-and-routed
+/// designs experience it, and is what stops the power objective from
+/// inflating the datapath without bound.
+double wire_scale_of(const Datapath& dp, const Library& lib, bool top_level);
+
 /// Number of controller states at this level: behaviors time-share one
 /// FSM, so states add up across behaviors.
 int controller_states(const Datapath& dp);

@@ -65,6 +65,48 @@ Datapath& Datapath::operator=(Datapath&& other) noexcept {
   return *this;
 }
 
+const Dfg* BehaviorTable::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  return it != entries.end() && it->first == name ? it->second : nullptr;
+}
+
+namespace {
+
+void collect_behaviors(const Datapath& dp,
+                       std::vector<std::pair<std::string, const Dfg*>>& out) {
+  for (const ChildUnit& c : dp.children) {
+    for (const BehaviorImpl& bi : c.impl->behaviors) {
+      out.emplace_back(bi.behavior, bi.dfg);
+    }
+    collect_behaviors(*c.impl, out);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const BehaviorTable> Datapath::behavior_table() const {
+  const std::uint64_t fp = fingerprint();
+  auto cur = beh_table_.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->fp == fp) return cur;
+  auto table = std::make_shared<BehaviorTable>();
+  table->fp = fp;
+  collect_behaviors(*this, table->entries);
+  // Stable sort + first-wins dedup preserves pre-order priority for
+  // duplicate behavior names, matching the old std::map::emplace
+  // collector (any implementation of a name is value-equivalent by the
+  // BehaviorResolver contract, but determinism wants one canonical pick).
+  std::stable_sort(table->entries.begin(), table->entries.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  table->entries.erase(
+      std::unique(table->entries.begin(), table->entries.end(),
+                  [](const auto& a, const auto& b) { return a.first == b.first; }),
+      table->entries.end());
+  beh_table_.store(table, std::memory_order_release);
+  return table;
+}
+
 int BehaviorImpl::inv_of(int node) const {
   check(node >= 0 && node < static_cast<int>(node_inv.size()),
         "inv_of: node out of range");

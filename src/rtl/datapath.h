@@ -80,6 +80,24 @@ struct RegUnit {
 
 class Datapath;
 
+/// Flat behavior-name -> DFG table over every descendant module of a
+/// datapath: the sorted-vector backing of resolver_of (power/estimator.h).
+/// Built once per structural fingerprint and cached inside the Datapath,
+/// so the table (and the Dfg pointers it holds) can never outlive the
+/// datapath tree that owns them -- unlike a process-wide cache keyed by
+/// fingerprint, which a structurally identical datapath built after the
+/// original's destruction would alias.
+struct BehaviorTable {
+  std::uint64_t fp = 0;  ///< fingerprint the table was built against
+  /// Sorted by name; duplicates resolved first-seen-wins in pre-order
+  /// (matching the std::map::emplace semantics of the old per-call
+  /// collector).
+  std::vector<std::pair<std::string, const Dfg*>> entries;
+
+  /// nullptr when `name` is implemented by no descendant.
+  [[nodiscard]] const Dfg* find(const std::string& name) const;
+};
+
 /// A complex RTL module instance: an owned nested datapath.
 struct ChildUnit {
   std::unique_ptr<Datapath> impl;
@@ -187,10 +205,19 @@ class Datapath {
     fp_cache_.store(0, std::memory_order_relaxed);
   }
 
+  /// The flat descendant-behavior table, built at most once per
+  /// structural fingerprint (stale tables are detected by their stored
+  /// fingerprint and rebuilt). Shared so resolvers stay valid while a
+  /// caller holds them even if the datapath mutates meanwhile.
+  [[nodiscard]] std::shared_ptr<const BehaviorTable> behavior_table() const;
+
  private:
   // 0 = not cached. Computed fingerprints are remapped away from 0. Benign
   // racing recomputes store the same value, so relaxed ordering suffices.
   mutable std::atomic<std::uint64_t> fp_cache_{0};
+  // Cached behavior table; like fp_cache_, benign races rebuild equal
+  // tables. Not copied (a copy re-derives its own on first use).
+  mutable std::atomic<std::shared_ptr<const BehaviorTable>> beh_table_{};
 };
 
 }  // namespace hsyn

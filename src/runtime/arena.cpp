@@ -1,0 +1,62 @@
+#include "runtime/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hsyn::runtime {
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlock = std::size_t{256} << 10;  // 256 KiB
+
+std::atomic<std::uint64_t> g_total_reserved{0};
+
+std::size_t align_up(std::size_t x) { return (x + (kAlign - 1)) & ~(kAlign - 1); }
+
+}  // namespace
+
+Arena& Arena::local() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void* Arena::alloc(std::size_t bytes) {
+  bytes = align_up(std::max<std::size_t>(bytes, 1));
+  // Advance past blocks too small for this request (their tail space is
+  // reclaimed when the enclosing Frame closes).
+  while (cur_block_ < blocks_.size() &&
+         cur_off_ + bytes > blocks_[cur_block_].size) {
+    ++cur_block_;
+    cur_off_ = 0;
+  }
+  if (cur_block_ == blocks_.size()) grow(bytes);
+  std::byte* p = blocks_[cur_block_].data.get() + cur_off_;
+  cur_off_ += bytes;
+  return p;
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  std::size_t size = blocks_.empty() ? kMinBlock : blocks_.back().size * 2;
+  size = std::max(size, align_up(min_bytes));
+  Block b;
+  // Every bump is a multiple of kAlign from the block base, so columns
+  // never straddle each other's cache lines.
+  b.data = std::make_unique<std::byte[]>(size);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  cur_block_ = blocks_.size() - 1;
+  cur_off_ = 0;
+  g_total_reserved.fetch_add(size, std::memory_order_relaxed);
+}
+
+std::size_t Arena::reserved() const {
+  std::size_t b = 0;
+  for (const Block& blk : blocks_) b += blk.size;
+  return b;
+}
+
+std::uint64_t Arena::total_reserved() {
+  return g_total_reserved.load(std::memory_order_relaxed);
+}
+
+}  // namespace hsyn::runtime

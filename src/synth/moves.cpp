@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "power/estimator.h"
+#include "power/replay.h"
 #include "rtl/cost.h"
 #include "runtime/stats.h"
 #include "sched/scheduler.h"
@@ -177,7 +178,7 @@ Trace child_input_trace(const Datapath& dp, int b, int child_idx,
   const BehaviorImpl& bi = dp.behaviors.at(static_cast<std::size_t>(b));
   const auto edge_vals_ptr =
       eval_dfg_edges_shared(*bi.dfg, resolver_of(dp), cx.trace);
-  const auto& edge_vals = *edge_vals_ptr;
+  const EdgeMatrix& edge_vals = *edge_vals_ptr;
   // Invocations of this child+behavior, in schedule order.
   std::vector<std::pair<int, int>> invs;  // (start, inv)
   for (std::size_t i = 0; i < bi.invs.size(); ++i) {
@@ -195,9 +196,9 @@ Trace child_input_trace(const Datapath& dp, int b, int child_idx,
       const Node& n = bi.dfg->node(bi.invs[static_cast<std::size_t>(i)].nodes.front());
       Sample s(static_cast<std::size_t>(n.num_inputs));
       for (int p = 0; p < n.num_inputs; ++p) {
-        s[static_cast<std::size_t>(p)] =
-            edge_vals[t][static_cast<std::size_t>(
-                bi.dfg->input_edge(bi.invs[static_cast<std::size_t>(i)].nodes.front(), p))];
+        s[static_cast<std::size_t>(p)] = edge_vals.at(
+            bi.dfg->input_edge(bi.invs[static_cast<std::size_t>(i)].nodes.front(), p),
+            t);
       }
       out.push_back(std::move(s));
     }

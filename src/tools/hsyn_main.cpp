@@ -36,6 +36,7 @@
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "power/replay.h"
 #include "power/trace_io.h"
 #include "power/rtlsim.h"
 #include "rtl/controller.h"
@@ -76,6 +77,9 @@ struct Args {
   /// built-in default. The cache only changes synthesis speed, never its
   /// results.
   int eval_cache_mb = 0;
+  /// Trace-replay backend override (power/replay.h); empty = HSYN_REPLAY
+  /// env, else the compiled kernel. Both backends are bit-identical.
+  std::string replay;
   // Observability exports (empty = off).
   std::string trace_out;    ///< Chrome trace-event JSON (or HSYN_TRACE env)
   std::string move_log;     ///< move ledger JSONL (.csv for CSV)
@@ -89,7 +93,7 @@ void usage() {
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
                "            [--no-verify] [--check-moves] [--templates] [--auto-variants] [--seed N] "
-               "[--threads N] [--eval-cache-mb N] [--verbose]\n"
+               "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
                "(each flag also accepts the --flag=VALUE form)\n");
 }
@@ -207,6 +211,12 @@ std::optional<Args> parse(int argc, char** argv) {
       if (!v) return std::nullopt;
       a.eval_cache_mb = std::atoi(v);
       if (a.eval_cache_mb <= 0) return std::nullopt;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.replay = v;
+      hsyn::ReplayMode mode;
+      if (!hsyn::parse_replay_mode(a.replay, &mode)) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -245,10 +255,18 @@ int main(int argc, char** argv) {
     eval::EvalEngine::instance().set_capacity_mb(
         static_cast<std::size_t>(args->eval_cache_mb));
   }
+  if (!args->replay.empty()) {
+    ReplayMode mode = ReplayMode::Compiled;
+    parse_replay_mode(args->replay, &mode);  // validated by parse()
+    set_replay_mode(mode);
+  }
   if (args->verbose) {
     std::printf("runtime: %d thread(s)\n", runtime::threads());
     std::printf("eval cache: %zu MB\n",
                 eval::EvalEngine::instance().capacity_bytes() >> 20);
+    std::printf("trace replay: %s\n",
+                replay_mode() == ReplayMode::Interp ? "interpreter"
+                                                    : "compiled kernel");
   }
 
   // Observability: the span tracer costs one relaxed atomic load per

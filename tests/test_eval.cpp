@@ -17,6 +17,7 @@
 #include "eval/cache.h"
 #include "eval/engine.h"
 #include "power/estimator.h"
+#include "power/replay.h"
 #include "power/trace.h"
 #include "rtl/cost.h"
 #include "runtime/stats.h"
@@ -183,7 +184,14 @@ TEST(EvalEngine, SharedEdgeValuesAreMemoized) {
   const auto p1 = eval_dfg_edges_shared(*d, kNoHier, tr);
   const auto p2 = eval_dfg_edges_shared(*d, kNoHier, tr);
   EXPECT_EQ(p1.get(), p2.get());  // second call hits: same allocation
-  EXPECT_EQ(eval_dfg_edges(*d, kNoHier, tr), *p1);
+  const auto rows = eval_dfg_edges(*d, kNoHier, tr);
+  ASSERT_EQ(rows.size(), tr.size());
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    ASSERT_EQ(rows[t].size(), static_cast<std::size_t>(p1->num_edges()));
+    for (int e = 0; e < p1->num_edges(); ++e) {
+      EXPECT_EQ(rows[t][static_cast<std::size_t>(e)], p1->at(e, t));
+    }
+  }
 }
 
 // ---- EvalEngine determinism ---------------------------------------------

@@ -1,0 +1,349 @@
+// The compiled trace-replay kernel (power/replay.h): program compilation,
+// packed toggle counting, and -- the load-bearing property -- bit
+// identity between the compiled kernel and the reference interpreter on
+// every bundled benchmark, at every thread count, through the full
+// synthesis flow.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "eval/engine.h"
+#include "power/estimator.h"
+#include "power/replay.h"
+#include "power/trace.h"
+#include "random_dfg.h"
+#include "runtime/arena.h"
+#include "runtime/thread_pool.h"
+#include "synth/report.h"
+#include "synth/synthesizer.h"
+#include "util/rng.h"
+
+namespace hsyn {
+namespace {
+
+/// Behavior resolver backed by a Design.
+BehaviorResolver design_resolver(const Design& d) {
+  return [&d](const std::string& name) -> const Dfg* {
+    return d.has_behavior(name) ? &d.behavior(name) : nullptr;
+  };
+}
+
+const BehaviorResolver kNoHier = [](const std::string&) -> const Dfg* {
+  return nullptr;
+};
+
+/// Sets the replay mode for one scope; restores the previous mode and
+/// drops the shared eval cache on both transitions (both backends store
+/// results under the same key, so a stale cache would mask divergence).
+class ReplayModeScope {
+ public:
+  explicit ReplayModeScope(ReplayMode m) : prev_(replay_mode()) {
+    eval::EvalEngine::instance().clear();
+    set_replay_mode(m);
+  }
+  ~ReplayModeScope() {
+    eval::EvalEngine::instance().clear();
+    set_replay_mode(prev_);
+  }
+
+ private:
+  ReplayMode prev_;
+};
+
+/// Edge matrix of `dfg` computed fresh (cache dropped first) under `m`.
+EdgeMatrix matrix_under(ReplayMode m, const Dfg& dfg,
+                        const BehaviorResolver& res, const Trace& tr) {
+  ReplayModeScope scope(m);
+  return *eval_dfg_edges_shared(dfg, res, tr);
+}
+
+// ---- Packed toggle counting ---------------------------------------------
+
+int scalar_toggles(const std::vector<std::int32_t>& v) {
+  int total = 0;
+  for (std::size_t t = 1; t < v.size(); ++t) {
+    total += hamming16(v[t - 1], v[t]);
+  }
+  return total;
+}
+
+TEST(PackedToggles, MatchesScalarHamming) {
+  Rng rng(7);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u,
+                              100u, 257u}) {
+    std::vector<std::int32_t> v(n);
+    for (auto& x : v) x = mask16(static_cast<std::int64_t>(rng.next()));
+    EXPECT_EQ(toggle_count(v.data(), v.size()), scalar_toggles(v))
+        << "length " << n;
+  }
+}
+
+TEST(PackedToggles, ShortStreamsAreZero) {
+  const std::int32_t one = 0x5A5A & 0xFFFF;
+  EXPECT_EQ(toggle_count(nullptr, 0), 0);
+  EXPECT_EQ(toggle_count(&one, 1), 0);
+}
+
+TEST(PackedHammingTuple, MatchesScalarWithZeroPadding) {
+  Rng rng(11);
+  for (const std::size_t na : {0u, 1u, 2u, 3u, 4u, 5u, 9u}) {
+    for (const std::size_t nb : {0u, 1u, 2u, 3u, 4u, 5u, 9u}) {
+      std::vector<std::int32_t> a(na), b(nb);
+      for (auto& x : a) x = mask16(static_cast<std::int64_t>(rng.next()));
+      for (auto& x : b) x = mask16(static_cast<std::int64_t>(rng.next()));
+      int want = 0;
+      for (std::size_t i = 0; i < std::max(na, nb); ++i) {
+        want += hamming16(i < na ? a[i] : 0, i < nb ? b[i] : 0);
+      }
+      EXPECT_EQ(hamming_tuple(a.data(), na, b.data(), nb), want)
+          << na << " vs " << nb;
+    }
+  }
+}
+
+// ---- Program compilation ------------------------------------------------
+
+TEST(ReplayProgramTest, CompilesBinaryDfg) {
+  Dfg d("g", 2, 1);
+  const int a = d.connect({kPrimaryIn, 0}, {});
+  const int b = d.connect({kPrimaryIn, 1}, {});
+  const int n = d.add_node(Op::Add);
+  d.add_consumer(a, {n, 0});
+  d.add_consumer(b, {n, 1});
+  d.connect({n, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+
+  const ReplayProgram p = compile_replay(d);
+  EXPECT_EQ(p.dfg_hash, d.content_hash());
+  EXPECT_EQ(p.num_inputs, 2);
+  EXPECT_EQ(p.num_outputs, 1);
+  EXPECT_EQ(p.num_edges, 3);
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].op, Op::Add);
+  EXPECT_TRUE(p.hier_calls.empty());
+}
+
+TEST(ReplayProgramTest, UnaryOpsShareOneConstantSlot) {
+  // Two Neg nodes: both take the pooled constant 0 as their second
+  // operand, and the pool must deduplicate it.
+  Dfg d("g", 1, 2);
+  const int a = d.connect({kPrimaryIn, 0}, {});
+  const int n1 = d.add_node(Op::Neg);
+  const int n2 = d.add_node(Op::Neg);
+  d.add_consumer(a, {n1, 0});
+  const int m = d.connect({n1, 0}, {{kPrimaryOut, 0}});
+  d.add_consumer(m, {n2, 0});
+  d.connect({n2, 0}, {{kPrimaryOut, 1}});
+  d.validate();
+
+  const ReplayProgram p = compile_replay(d);
+  ASSERT_EQ(p.consts.size(), 1u);
+  EXPECT_EQ(p.consts[0], 0);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].b, p.num_edges);  // both read the pooled zero
+  EXPECT_EQ(p.steps[1].b, p.num_edges);
+}
+
+TEST(ReplayProgramTest, MemoizedByContentHash) {
+  const Dfg d1 = testing_support::random_dfg(3, 12);
+  const Dfg d2 = testing_support::random_dfg(3, 12);  // same content
+  const Dfg d3 = testing_support::random_dfg(4, 12);
+  const auto p1 = replay_program_of(d1);
+  const auto p2 = replay_program_of(d2);
+  const auto p3 = replay_program_of(d3);
+  EXPECT_EQ(p1.get(), p2.get());  // one compile per content hash
+  EXPECT_NE(p1.get(), p3.get());
+}
+
+// ---- Kernel vs interpreter, small shapes --------------------------------
+
+void expect_same_matrix(const Dfg& d, const BehaviorResolver& res,
+                        const Trace& tr) {
+  const EdgeMatrix compiled = matrix_under(ReplayMode::Compiled, d, res, tr);
+  const EdgeMatrix interp = matrix_under(ReplayMode::Interp, d, res, tr);
+  ASSERT_EQ(compiled.num_edges(), interp.num_edges());
+  ASSERT_EQ(compiled.samples(), interp.samples());
+  EXPECT_EQ(compiled, interp) << d.name();
+}
+
+TEST(ReplayEquivalence, PassThroughDfg) {
+  Dfg d("wire", 1, 1);
+  d.connect({kPrimaryIn, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  expect_same_matrix(d, kNoHier, make_trace(1, 9, 21));
+}
+
+TEST(ReplayEquivalence, UnaryNegDfg) {
+  Dfg d("neg", 1, 1);
+  const int a = d.connect({kPrimaryIn, 0}, {});
+  const int n = d.add_node(Op::Neg);
+  d.add_consumer(a, {n, 0});
+  d.connect({n, 0}, {{kPrimaryOut, 0}});
+  d.validate();
+  const Trace tr = make_trace(1, 16, 22);
+  expect_same_matrix(d, kNoHier, tr);
+  const EdgeMatrix m = matrix_under(ReplayMode::Compiled, d, kNoHier, tr);
+  for (std::size_t t = 0; t < tr.size(); ++t) {
+    EXPECT_EQ(m.at(1, t), eval_op(Op::Neg, tr[t][0], 0));
+  }
+}
+
+TEST(ReplayEquivalence, EmptyTrace) {
+  const Dfg d = testing_support::random_dfg(5, 10);
+  const EdgeMatrix m = matrix_under(ReplayMode::Compiled, d, kNoHier, Trace{});
+  EXPECT_EQ(m.samples(), 0u);
+  EXPECT_EQ(m.num_edges(), static_cast<int>(d.edges().size()));
+  expect_same_matrix(d, kNoHier, Trace{});
+}
+
+TEST(ReplayEquivalence, SingleSampleTrace) {
+  const Dfg d = testing_support::random_dfg(6, 10);
+  expect_same_matrix(d, kNoHier, make_trace(d.num_inputs(), 1, 23));
+}
+
+TEST(ReplayEquivalence, RandomDfgs) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Dfg d = testing_support::random_dfg(seed, 4 + 3 * static_cast<int>(seed));
+    expect_same_matrix(d, kNoHier, make_trace(d.num_inputs(), 24, seed));
+  }
+}
+
+// ---- Kernel vs interpreter, bundled benchmarks --------------------------
+
+class ReplayBenchmarkEquivalence
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReplayBenchmarkEquivalence, TopBehaviorMatchesInterpreter) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  const Dfg& top = bench.design.top();
+  const BehaviorResolver res = design_resolver(bench.design);
+  expect_same_matrix(top, res, make_trace(top.num_inputs(), 32, 97));
+}
+
+TEST_P(ReplayBenchmarkEquivalence, CompiledIsThreadCountInvariant) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  const Dfg& top = bench.design.top();
+  const BehaviorResolver res = design_resolver(bench.design);
+  const Trace tr = make_trace(top.num_inputs(), 33, 98);  // odd: ragged chunks
+  const int before = runtime::threads();
+  runtime::set_threads(1);
+  const EdgeMatrix m1 = matrix_under(ReplayMode::Compiled, top, res, tr);
+  runtime::set_threads(2);
+  const EdgeMatrix m2 = matrix_under(ReplayMode::Compiled, top, res, tr);
+  runtime::set_threads(8);
+  const EdgeMatrix m8 = matrix_under(ReplayMode::Compiled, top, res, tr);
+  runtime::set_threads(before);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(m1, m8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ReplayBenchmarkEquivalence,
+                         ::testing::Values("avenhaus_cascade", "lat", "dct",
+                                           "iir", "hier_paulin", "test1",
+                                           "fir16", "dct2d"));
+
+// ---- Full synthesis bit-identity ----------------------------------------
+
+SynthOptions quick_opts() {
+  SynthOptions o;
+  o.max_passes = 2;
+  o.max_moves_per_pass = 6;
+  o.max_candidates = 8;
+  o.trace_samples = 16;
+  o.max_clocks = 2;
+  return o;
+}
+
+struct SynthSnapshot {
+  double area = 0, energy = 0, power = 0;
+  int makespan = 0, deadline = 0;
+  double vdd = 0, clk = 0;
+  std::string summary;  // report text minus the wall-clock line
+
+  friend bool operator==(const SynthSnapshot&, const SynthSnapshot&) = default;
+};
+
+SynthSnapshot run_synthesis(ReplayMode mode, int threads) {
+  ReplayModeScope scope(mode);
+  const int before = runtime::threads();
+  runtime::set_threads(threads);
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark("hier_paulin", lib);
+  const double ts = 1.8 * min_sample_period_ns(bench.design, lib);
+  const SynthResult r =
+      synthesize(bench.design, lib, &bench.clib, ts, Objective::Power,
+                 Mode::Hierarchical, quick_opts());
+  runtime::set_threads(before);
+  EXPECT_TRUE(r.ok) << r.fail_reason;
+  SynthSnapshot s;
+  s.area = r.area;
+  s.energy = r.energy;
+  s.power = r.power;
+  s.makespan = r.makespan;
+  s.deadline = r.deadline_cycles;
+  s.vdd = r.pt.vdd;
+  s.clk = r.pt.clk_ns;
+  std::istringstream in(result_summary(r, lib));
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("time") != std::string::npos) continue;  // wall clock
+    s.summary += line;
+    s.summary += '\n';
+  }
+  return s;
+}
+
+TEST(ReplaySynthesisIdentity, BitIdenticalAcrossModesAndThreadCounts) {
+  const SynthSnapshot golden = run_synthesis(ReplayMode::Interp, 1);
+  for (const ReplayMode mode : {ReplayMode::Compiled, ReplayMode::Interp}) {
+    for (const int threads : {1, 2, 8}) {
+      const SynthSnapshot got = run_synthesis(mode, threads);
+      EXPECT_EQ(got, golden)
+          << (mode == ReplayMode::Compiled ? "compiled" : "interp") << " @ "
+          << threads << " threads";
+    }
+  }
+}
+
+// ---- Mode plumbing and arena --------------------------------------------
+
+TEST(ReplayModeTest, ParseAcceptsOnlyKnownNames) {
+  ReplayMode m;
+  EXPECT_TRUE(parse_replay_mode("interp", &m));
+  EXPECT_EQ(m, ReplayMode::Interp);
+  EXPECT_TRUE(parse_replay_mode("compiled", &m));
+  EXPECT_EQ(m, ReplayMode::Compiled);
+  EXPECT_FALSE(parse_replay_mode("", &m));
+  EXPECT_FALSE(parse_replay_mode("fast", &m));
+  EXPECT_FALSE(parse_replay_mode("INTERP", &m));
+}
+
+TEST(ArenaTest, FramesNestAndReleaseInLifoOrder) {
+  runtime::Arena& a = runtime::Arena::local();
+  runtime::Arena::Frame outer(a);
+  std::int32_t* x = a.alloc_i32(100);
+  x[0] = 1;
+  x[99] = 2;
+  {
+    runtime::Arena::Frame inner(a);
+    std::int32_t* y = a.alloc_i32(1 << 16);
+    y[0] = 3;
+    y[(1 << 16) - 1] = 4;
+  }
+  // The outer allocation survives the inner frame.
+  EXPECT_EQ(x[0], 1);
+  EXPECT_EQ(x[99], 2);
+  std::int32_t* z = a.alloc_i32(8);
+  z[7] = 5;
+  EXPECT_EQ(z[7], 5);
+  EXPECT_GT(a.reserved(), 0u);
+}
+
+}  // namespace
+}  // namespace hsyn
