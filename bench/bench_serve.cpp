@@ -1,0 +1,205 @@
+// Daemon throughput benchmark: one in-process hsyn daemon on a unix
+// socket serves every bundled benchmark twice -- a cold pass from
+// cleared evaluation caches, then a warm pass over the same specs --
+// and the client-side latencies are compared.
+//
+// What this demonstrates end to end:
+//   * the serve pipeline's bit-identity -- each warm report must equal
+//     its cold report byte for byte (timing line stripped), even though
+//     the second pass runs entirely out of caches populated by other
+//     jobs (every job has a fresh job id, so a warm hit IS a cross-job
+//     hit),
+//   * the value of a long-lived daemon -- warm latency and the shared
+//     eval-cache hit rates quantify what a fleet of one-shot CLI
+//     processes would recompute from scratch.
+//
+// Emits BENCH_serve.json (and the same object on stdout). The exit code
+// gates identity only; latency numbers are informational (CI machines
+// are noisy).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "eval/engine.h"
+#include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace hsyn;
+using namespace hsyn::serve;
+
+constexpr int kSessions = 4;
+
+std::string strip_timing(const std::string& report) {
+  std::istringstream in(report);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("synthesis time") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+struct LookupStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Hit/miss totals over all five shared eval caches.
+LookupStats cache_stats() {
+  eval::EvalEngine& e = eval::EvalEngine::instance();
+  LookupStats s;
+  for (const eval::CacheCounters& c :
+       {e.energy_cache().counters(), e.area_cache().counters(),
+        e.connectivity_cache().counters(), e.edge_values_cache().counters(),
+        e.program_cache().counters()}) {
+    s.hits += c.hits;
+    s.misses += c.misses;
+  }
+  return s;
+}
+
+double hit_rate(const LookupStats& before, const LookupStats& after) {
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t total = hits + (after.misses - before.misses);
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+}
+
+struct Row {
+  std::string design;
+  double cold_s = 0;
+  double warm_s = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  runtime::set_threads(0);
+  // The six headline benchmarks plus the two extra designs
+  // make_benchmark accepts -- the full bundled set of eight.
+  std::vector<std::string> designs = benchmark_names();
+  designs.push_back("fir16");
+  designs.push_back("dct2d");
+
+  const std::string path =
+      "/tmp/hsyn_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  Server server(ServerOptions{path, 0, kSessions});
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::thread daemon([&] { server.run(); });
+
+  Client client;
+  if (!client.connect(path, &err) || !client.ping(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    return 1;
+  }
+
+  const auto run_one = [&](const std::string& design, double* seconds,
+                           std::string* report) -> bool {
+    JobSpec spec;
+    spec.benchmark = design;
+    spec.seed = 42;
+    spec.verify = false;
+    JobOutcome out;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!client.run_job(spec, nullptr, &out, &err)) {
+      std::fprintf(stderr, "bench_serve: %s: %s\n", design.c_str(),
+                   err.c_str());
+      return false;
+    }
+    *seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    if (!out.ok) {
+      std::fprintf(stderr, "bench_serve: %s: %s\n", design.c_str(),
+                   out.error.c_str());
+      return false;
+    }
+    *report = strip_timing(out.report);
+    return true;
+  };
+
+  eval::EvalEngine::instance().clear();
+  std::vector<Row> rows;
+  std::vector<std::string> cold_reports;
+  const LookupStats before_cold = cache_stats();
+  for (const std::string& design : designs) {
+    Row row;
+    row.design = design;
+    std::string report;
+    if (!run_one(design, &row.cold_s, &report)) return 1;
+    cold_reports.push_back(std::move(report));
+    rows.push_back(std::move(row));
+  }
+  const LookupStats after_cold = cache_stats();
+  bool identical = true;
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    std::string report;
+    if (!run_one(designs[i], &rows[i].warm_s, &report)) return 1;
+    rows[i].identical = report == cold_reports[i];
+    identical = identical && rows[i].identical;
+  }
+  const LookupStats after_warm = cache_stats();
+
+  if (!client.shutdown_server(&err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+    return 1;
+  }
+  daemon.join();
+
+  double cold_total = 0, warm_total = 0;
+  for (const Row& r : rows) {
+    cold_total += r.cold_s;
+    warm_total += r.warm_s;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("serve");
+  w.key("sessions").value(kSessions);
+  w.key("threads").value(runtime::threads());
+  w.key("designs").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("design").value(r.design);
+    w.key("cold_s").value(r.cold_s);
+    w.key("warm_s").value(r.warm_s);
+    w.key("speedup").value(r.warm_s > 0 ? r.cold_s / r.warm_s : 0.0);
+    w.key("identical").value(r.identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cold_total_s").value(cold_total);
+  w.key("warm_total_s").value(warm_total);
+  w.key("warm_speedup").value(warm_total > 0 ? cold_total / warm_total : 0.0);
+  w.key("cold_hit_rate").value(hit_rate(before_cold, after_cold));
+  w.key("warm_hit_rate").value(hit_rate(after_cold, after_warm));
+  w.key("identical").value(identical);
+  w.end_object();
+  const std::string json = w.str() + "\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  return identical ? 0 : 1;
+}

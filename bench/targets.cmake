@@ -21,3 +21,4 @@ hsyn_bench(bench_runtime)
 hsyn_bench(bench_eval)
 hsyn_bench(bench_power)
 hsyn_bench(bench_obs)
+hsyn_bench(bench_serve)

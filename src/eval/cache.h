@@ -57,6 +57,9 @@ struct CacheCounters {
   /// Hits served to a thread other than the inserting one -- nonzero
   /// proves the cache is shared across workers.
   std::uint64_t cross_thread_hits = 0;
+  /// Inserts skipped because the calling job's cache budget was
+  /// exhausted (serve daemon; see EvalEngine::set_job_cache_budget).
+  std::uint64_t budget_rejects = 0;
   std::uint64_t entries = 0;  ///< current entry count (gauge)
   std::uint64_t bytes = 0;    ///< current charged bytes (gauge)
 };
@@ -65,6 +68,15 @@ namespace detail {
 /// Small dense id for the calling thread (not the opaque std::thread::id),
 /// stored per entry to detect cross-thread reuse.
 std::uint64_t thread_token();
+
+/// Per-job insertion gate, defined in engine.cpp next to the budget
+/// registry. Charges `bytes` against the calling thread's obs job
+/// (obs::current_job()) and returns whether the insert may proceed.
+/// Always true for job 0 (solo CLI runs) and for jobs without a budget.
+/// A rejected insert is a pure cache bypass: the value was already
+/// computed and is returned to the caller either way, so budgets change
+/// only speed, never results.
+bool admit_current_job(std::size_t bytes);
 
 /// Per-thread lookup totals summed over every ShardedLruCache instance.
 /// The move ledger reads deltas around one candidate evaluation to
@@ -113,6 +125,10 @@ class ShardedLruCache {
   /// than thrashing).
   void put(const Key& k, V v, std::size_t value_bytes) {
     const std::size_t bytes = value_bytes + kEntryOverhead;
+    if (!detail::admit_current_job(bytes)) {
+      budget_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     Shard& s = shard(k);
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.index.find(k);
@@ -173,6 +189,7 @@ class ShardedLruCache {
     c.insertions = insertions_.load(std::memory_order_relaxed);
     c.evictions = evictions_.load(std::memory_order_relaxed);
     c.cross_thread_hits = cross_thread_hits_.load(std::memory_order_relaxed);
+    c.budget_rejects = budget_rejects_.load(std::memory_order_relaxed);
     for (const Shard& s : shards_) {
       std::lock_guard<std::mutex> lock(s.mu);
       c.entries += s.lru.size();
@@ -189,6 +206,7 @@ class ShardedLruCache {
             {"insertions", c.insertions},
             {"evictions", c.evictions},
             {"cross_thread_hits", c.cross_thread_hits},
+            {"budget_rejects", c.budget_rejects},
             {"entries", c.entries},
             {"bytes", c.bytes}};
   }
@@ -222,6 +240,7 @@ class ShardedLruCache {
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> cross_thread_hits_{0};
+  std::atomic<std::uint64_t> budget_rejects_{0};
 };
 
 }  // namespace hsyn::eval

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 
+#include "obs/job.h"
 #include "obs/trace.h"
 #include "power/replay.h"
 #include "rtl/fingerprint.h"
@@ -58,6 +60,45 @@ std::uint64_t area_context(const Library& lib, bool top_level) {
   return hash_final(h);
 }
 
+/// One job's insertion account. Shared-ptr'd so a thread-local cache of
+/// the lookup stays valid after clear_job_cache_budget on another thread.
+struct JobBudget {
+  std::atomic<std::size_t> limit{0};
+  std::atomic<std::size_t> charged{0};
+  std::atomic<std::uint64_t> rejected{0};
+};
+
+struct BudgetRegistry {
+  mutable std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobBudget>> budgets;
+  /// Bumped on every set/clear; invalidates the thread-local lookup
+  /// caches so the mutex stays off the put() hot path.
+  std::atomic<std::uint64_t> generation{0};
+};
+
+BudgetRegistry& budget_registry() {
+  static BudgetRegistry* r = new BudgetRegistry();
+  return *r;
+}
+
+std::shared_ptr<JobBudget> budget_for(std::uint64_t job) {
+  struct Cached {
+    std::uint64_t job = 0;
+    std::uint64_t gen = ~std::uint64_t{0};
+    std::shared_ptr<JobBudget> budget;
+  };
+  thread_local Cached c;
+  BudgetRegistry& r = budget_registry();
+  const std::uint64_t gen = r.generation.load(std::memory_order_acquire);
+  if (c.job == job && c.gen == gen) return c.budget;
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.budgets.find(job);
+  c.job = job;
+  c.gen = gen;
+  c.budget = it == r.budgets.end() ? nullptr : it->second;
+  return c.budget;
+}
+
 }  // namespace
 
 namespace detail {
@@ -67,6 +108,21 @@ std::uint64_t thread_token() {
   thread_local const std::uint64_t token =
       next.fetch_add(1, std::memory_order_relaxed);
   return token;
+}
+
+bool admit_current_job(std::size_t bytes) {
+  const std::uint64_t job = obs::current_job();
+  if (job == 0) return true;
+  const std::shared_ptr<JobBudget> b = budget_for(job);
+  if (b == nullptr) return true;
+  // Charge optimistically, refund on reject: `charged` stays an accurate
+  // gauge of admitted bytes without a lock.
+  const std::size_t before =
+      b->charged.fetch_add(bytes, std::memory_order_relaxed);
+  if (before + bytes <= b->limit.load(std::memory_order_relaxed)) return true;
+  b->charged.fetch_sub(bytes, std::memory_order_relaxed);
+  b->rejected.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 }  // namespace detail
@@ -174,6 +230,45 @@ void EvalEngine::clear() {
   conn_.clear();
   edge_vals_.clear();
   programs_.clear();
+}
+
+void EvalEngine::set_job_cache_budget(std::uint64_t job,
+                                      std::size_t limit_bytes) {
+  if (job == 0) return;  // job 0 means "no job": never budgeted
+  BudgetRegistry& r = budget_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (limit_bytes == 0) {
+    r.budgets.erase(job);
+  } else {
+    auto& slot = r.budgets[job];
+    if (slot == nullptr) slot = std::make_shared<JobBudget>();
+    slot->limit.store(limit_bytes, std::memory_order_relaxed);
+  }
+  r.generation.fetch_add(1, std::memory_order_release);
+}
+
+void EvalEngine::clear_job_cache_budget(std::uint64_t job) {
+  BudgetRegistry& r = budget_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.budgets.erase(job);
+  r.generation.fetch_add(1, std::memory_order_release);
+}
+
+JobCacheUsage EvalEngine::job_cache_usage(std::uint64_t job) const {
+  BudgetRegistry& r = budget_registry();
+  std::shared_ptr<JobBudget> b;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.budgets.find(job);
+    if (it != r.budgets.end()) b = it->second;
+  }
+  JobCacheUsage u;
+  if (b != nullptr) {
+    u.limit_bytes = b->limit.load(std::memory_order_relaxed);
+    u.charged_bytes = b->charged.load(std::memory_order_relaxed);
+    u.rejected = b->rejected.load(std::memory_order_relaxed);
+  }
+  return u;
 }
 
 }  // namespace hsyn::eval

@@ -35,6 +35,13 @@ struct ReplayProgram;  // power/replay.h: compiled DFG replay program
 
 namespace hsyn::eval {
 
+/// Snapshot of one job's cache-budget account (see set_job_cache_budget).
+struct JobCacheUsage {
+  std::uint64_t limit_bytes = 0;    ///< configured insertion budget
+  std::uint64_t charged_bytes = 0;  ///< bytes admitted so far
+  std::uint64_t rejected = 0;       ///< inserts skipped over budget
+};
+
 class EvalEngine {
  public:
   /// The process-wide engine (thread-safe).
@@ -85,6 +92,18 @@ class EvalEngine {
   void clear();
   /// True when HSYN_EVAL_VERIFY=1: hits recompute and compare.
   bool verify() const { return verify_; }
+
+  // ---- Per-job cache budgets (serve daemon) -------------------------------
+  /// Cap the bytes that threads tagged with obs job `job` may insert
+  /// into the shared caches (across all five caches together). Over
+  /// budget, puts become no-ops -- a pure cache bypass that slows the
+  /// job down but cannot change its results. Job 0 (solo CLI) is never
+  /// budgeted. `limit_bytes == 0` removes the cap for `job`.
+  void set_job_cache_budget(std::uint64_t job, std::size_t limit_bytes);
+  /// Drop `job`'s account entirely (job finished or was cancelled).
+  void clear_job_cache_budget(std::uint64_t job);
+  /// Current account for `job`; all-zero when no budget is set.
+  JobCacheUsage job_cache_usage(std::uint64_t job) const;
 
  private:
   EvalEngine();

@@ -1,0 +1,16 @@
+#include "obs/job.h"
+
+namespace hsyn::obs {
+namespace {
+
+thread_local std::uint64_t t_job = 0;
+
+}  // namespace
+
+std::uint64_t current_job() { return t_job; }
+
+JobScope::JobScope(std::uint64_t job) : prev_(t_job) { t_job = job; }
+
+JobScope::~JobScope() { t_job = prev_; }
+
+}  // namespace hsyn::obs

@@ -1,0 +1,37 @@
+// Per-job observability scoping.
+//
+// The serve daemon (src/serve/) multiplexes many synthesis jobs over one
+// process: one global move ledger, one metrics registry, one set of eval
+// caches. A JobScope tags the current thread with the job it is working
+// for, so per-job consumers (the ledger's job-filtered views, the eval
+// engine's per-job cache budgets) can attribute records and bytes to the
+// right job without any per-record locking.
+//
+// Propagation: the deterministic thread pool captures the submitting
+// thread's job id when a parallel region is dispatched and re-applies it
+// on every lane that executes the region's chunks (see
+// runtime/thread_pool.cpp), so work fanned out by a job stays attributed
+// to that job. Job id 0 means "no job" -- the solo CLI path -- and every
+// per-job consumer treats it as unscoped.
+#pragma once
+
+#include <cstdint>
+
+namespace hsyn::obs {
+
+/// The job the calling thread is currently working for (0 = none).
+std::uint64_t current_job();
+
+/// RAII: tag this thread with `job` for the scope's lifetime.
+class JobScope {
+ public:
+  explicit JobScope(std::uint64_t job);
+  ~JobScope();
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace hsyn::obs

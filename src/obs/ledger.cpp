@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/job.h"
 #include "util/json.h"
 #include "util/table.h"
 
@@ -128,6 +129,7 @@ std::uint64_t MoveLedger::begin_group() {
 }
 
 void MoveLedger::record(MoveRecord rec) {
+  rec.job = current_job();
   ThreadBuf& b = local_buf();
   std::lock_guard<std::mutex> lock(b.mu);
   if (b.records.size() >= kMaxRecordsPerThread) {
@@ -144,7 +146,7 @@ void MoveLedger::set_status(std::uint64_t group, std::int32_t cand,
   s.marks.push_back(Mark{group, cand, status});
 }
 
-std::vector<MoveRecord> MoveLedger::merged() const {
+std::vector<MoveRecord> MoveLedger::merged(std::uint64_t job) const {
   LedgerState& s = state();
   std::vector<MoveRecord> out;
   std::vector<Mark> marks;
@@ -153,7 +155,9 @@ std::vector<MoveRecord> MoveLedger::merged() const {
     std::lock_guard<std::mutex> lock(s.mu);
     for (const auto& buf : s.bufs) {
       std::lock_guard<std::mutex> bl(buf->mu);
-      out.insert(out.end(), buf->records.begin(), buf->records.end());
+      for (const MoveRecord& r : buf->records) {
+        if (job == kAllJobs || r.job == job) out.push_back(r);
+      }
     }
     marks = s.marks;
     group_meta = s.group_meta;
@@ -186,12 +190,13 @@ std::vector<MoveRecord> MoveLedger::merged() const {
   return out;
 }
 
-std::string MoveLedger::to_jsonl(bool include_timing) const {
+std::string MoveLedger::to_jsonl(bool include_timing, std::uint64_t job) const {
   std::string out;
-  for (const MoveRecord& r : merged()) {
+  for (const MoveRecord& r : merged(job)) {
     JsonWriter w;
     w.begin_object();
     w.key("group").value(r.group);
+    w.key("job").value(r.job);
     w.key("cand").value(static_cast<std::int64_t>(r.cand));
     w.key("kind").value(r.kind);
     w.key("desc").value(r.desc);
@@ -212,13 +217,13 @@ std::string MoveLedger::to_jsonl(bool include_timing) const {
   return out;
 }
 
-std::string MoveLedger::to_csv() const {
+std::string MoveLedger::to_csv(std::uint64_t job) const {
   std::string out =
-      "group,cand,kind,desc,pass,depth,gain,cost_before,status,"
+      "group,job,cand,kind,desc,pass,depth,gain,cost_before,status,"
       "eval_us,cache_hits,cache_misses\n";
-  for (const MoveRecord& r : merged()) {
+  for (const MoveRecord& r : merged(job)) {
     std::ostringstream line;
-    line << r.group << "," << r.cand << ",";
+    line << r.group << "," << r.job << "," << r.cand << ",";
     std::string tail;
     append_csv_field(tail, r.kind);
     tail += ",";
@@ -241,9 +246,10 @@ bool MoveLedger::write(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-std::map<std::string, MoveClassSummary> MoveLedger::summary() const {
+std::map<std::string, MoveClassSummary> MoveLedger::summary(
+    std::uint64_t job) const {
   std::map<std::string, MoveClassSummary> out;
-  for (const MoveRecord& r : merged()) {
+  for (const MoveRecord& r : merged(job)) {
     MoveClassSummary& s = out[r.kind];
     ++s.attempted;
     switch (r.status) {
@@ -261,8 +267,8 @@ std::map<std::string, MoveClassSummary> MoveLedger::summary() const {
   return out;
 }
 
-std::string MoveLedger::summary_table() const {
-  const auto sum = summary();
+std::string MoveLedger::summary_table(std::uint64_t job) const {
+  const auto sum = summary(job);
   TextTable t;
   t.row({"move class", "attempted", "infeasible", "applied", "accepted",
          "accept %", "accepted gain"});

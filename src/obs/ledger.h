@@ -46,6 +46,7 @@ const char* move_status_name(MoveStatus s);
 /// One attempted move.
 struct MoveRecord {
   std::uint64_t group = 0;  ///< serial enumeration-site id
+  std::uint64_t job = 0;    ///< obs::current_job() of the recording scope
   std::int32_t cand = 0;    ///< candidate index within the group
   std::string kind;         ///< move class ("A:replace-fu", "C:share", ...)
   std::string desc;         ///< human-readable target description
@@ -71,6 +72,11 @@ struct MoveClassSummary {
 
 class MoveLedger {
  public:
+  /// Job filter accepting every record (see obs/job.h; the daemon passes
+  /// a concrete job id to carve one job's moves out of the shared
+  /// ledger).
+  static constexpr std::uint64_t kAllJobs = ~std::uint64_t{0};
+
   static MoveLedger& instance();
 
   MoveLedger(const MoveLedger&) = delete;
@@ -98,28 +104,31 @@ class MoveLedger {
   /// improvement loop); marks overwrite earlier marks for the same key.
   void set_status(std::uint64_t group, std::int32_t cand, MoveStatus status);
 
-  /// All records, sorted by (group, cand) with outcome marks applied.
-  /// Must not race with active recording (call between runs).
-  std::vector<MoveRecord> merged() const;
+  /// Records (of one job, or all of them), sorted by (group, cand) with
+  /// outcome marks applied. Must not race with active recording (call
+  /// between runs, or for a job that has finished).
+  std::vector<MoveRecord> merged(std::uint64_t job = kAllJobs) const;
 
   /// Records as JSON-lines, one object per move. With
   /// include_timing=false the observational fields (eval_us,
   /// cache_hits, cache_misses) are omitted and the output is
   /// bit-identical at any thread count.
-  std::string to_jsonl(bool include_timing = true) const;
+  std::string to_jsonl(bool include_timing = true,
+                       std::uint64_t job = kAllJobs) const;
 
   /// Records as CSV with a header row (same columns as the JSONL).
-  std::string to_csv() const;
+  std::string to_csv(std::uint64_t job = kAllJobs) const;
 
   /// Write to_jsonl() (or to_csv() when `path` ends in ".csv") to
   /// `path`; false on failure.
   bool write(const std::string& path) const;
 
   /// Per-move-class rollup, keyed by `kind`.
-  std::map<std::string, MoveClassSummary> summary() const;
+  std::map<std::string, MoveClassSummary> summary(
+      std::uint64_t job = kAllJobs) const;
 
   /// The rollup rendered as the report's ASCII table.
-  std::string summary_table() const;
+  std::string summary_table(std::uint64_t job = kAllJobs) const;
 
  private:
   MoveLedger() = default;

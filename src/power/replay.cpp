@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 #include "eval/engine.h"
 #include "obs/metrics.h"
@@ -251,6 +253,49 @@ void exec_program(const ReplayProgram& p, const BehaviorResolver& res,
   }
 }
 
+/// Minimum element-operations (program steps x samples, hierarchy
+/// resolved) before a replay batch is worth fanning out over the pool.
+/// Below it the pool's wake/sleep handshake dominates the column sweeps
+/// themselves -- the cause of 8-thread replay measuring *slower* than
+/// 2-thread on small designs. Tunable via HSYN_REPLAY_SERIAL_CUTOFF
+/// (element-ops; 0 disables the serial fallback).
+std::size_t serial_cutoff() {
+  static const std::size_t cutoff = [] {
+    if (const char* s = std::getenv("HSYN_REPLAY_SERIAL_CUTOFF")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(s, &end, 10);
+      if (end != s && v >= 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{1} << 18;
+  }();
+  return cutoff;
+}
+
+/// Steps per sample of `p` with hierarchical calls resolved recursively
+/// (plus the per-call port copies). Memoized by dfg_hash: the estimate
+/// is a pure function of the program tree and is consulted on every
+/// replay batch.
+std::size_t program_weight(const ReplayProgram& p, const BehaviorResolver& res) {
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::size_t>* memo =
+      new std::unordered_map<std::uint64_t, std::size_t>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = memo->find(p.dfg_hash);
+    if (it != memo->end()) return it->second;
+  }
+  std::size_t w = p.steps.size();
+  for (const ReplayHierCall& h : p.hier_calls) {
+    const Dfg* child = res(h.behavior);
+    if (child == nullptr) continue;
+    w += h.in_slots.size() + h.out_slots.size();
+    w += program_weight(*replay_program_of(*child), res);
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  memo->emplace(p.dfg_hash, w);
+  return w;
+}
+
 }  // namespace
 
 EdgeMatrix replay_eval_matrix(const Dfg& dfg, const BehaviorResolver& res,
@@ -261,7 +306,13 @@ EdgeMatrix replay_eval_matrix(const Dfg& dfg, const BehaviorResolver& res,
   EdgeMatrix mat(prog->num_edges, T);
   if (T == 0) return mat;
   const int n = static_cast<int>(T);
-  const int k = runtime::num_chunks(n);
+  const std::size_t cutoff = serial_cutoff();
+  // Sub-threshold batches run serially (k = 1): chunking is free to vary
+  // because every cell is an exact integer function of one sample, so
+  // the chunk count changes only speed, never values.
+  const int k = cutoff != 0 && program_weight(*prog, res) * T < cutoff
+                    ? 1
+                    : runtime::num_chunks(n);
   // Chunks own disjoint [lo, hi) slices of every column, so the batch
   // fans out over the runtime with bit-identical results at any thread
   // count (every cell is an exact integer function of one sample).

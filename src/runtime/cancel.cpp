@@ -1,0 +1,74 @@
+#include "runtime/cancel.h"
+
+#include <chrono>
+#include <csignal>
+
+namespace hsyn::runtime {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<int> g_signal{0};
+
+extern "C" void hsyn_signal_handler(int sig) { note_signal(sig); }
+
+}  // namespace
+
+void CancelToken::request(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reason_.empty()) reason_ = reason;
+  }
+  flag_.store(true, std::memory_order_release);
+}
+
+void CancelToken::set_deadline_after_ms(std::int64_t ms) {
+  deadline_ns_.store(ms > 0 ? steady_now_ns() + ms * 1'000'000 : 0,
+                     std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_acquire)) return true;
+  if (signal_linked_.load(std::memory_order_relaxed) && signal_received() != 0) {
+    return true;
+  }
+  const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  return dl != 0 && steady_now_ns() >= dl;
+}
+
+std::string CancelToken::reason() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!reason_.empty()) return reason_;
+  }
+  if (flag_.load(std::memory_order_acquire)) return "cancelled";
+  if (signal_linked_.load(std::memory_order_relaxed)) {
+    const int sig = signal_received();
+    if (sig != 0) {
+      return sig == SIGTERM ? "interrupted by SIGTERM" : "interrupted by SIGINT";
+    }
+  }
+  const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  if (dl != 0 && steady_now_ns() >= dl) return "time budget exceeded";
+  return "";
+}
+
+void CancelToken::throw_if_cancelled() const {
+  if (cancelled()) throw Cancelled(reason());
+}
+
+void note_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+int signal_received() { return g_signal.load(std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  // std::signal is enough: the handler only stores to an atomic int.
+  std::signal(SIGINT, hsyn_signal_handler);
+  std::signal(SIGTERM, hsyn_signal_handler);
+}
+
+}  // namespace hsyn::runtime

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/job.h"
 #include "runtime/stats.h"
 
 namespace hsyn::runtime {
@@ -42,10 +43,14 @@ void ThreadPool::drain_region() {
   std::unique_lock<std::mutex> lock(mu_, std::adopt_lock);
   while (next_chunk_ < job_chunks_) {
     const int c = next_chunk_++;
+    const std::uint64_t owner = job_owner_;
     ++busy_;
     lock.unlock();
     {
       RegionGuard guard;
+      // Attribute this lane's work to the submitting job (per-job ledger
+      // records and cache-budget charges; see obs/job.h).
+      obs::JobScope job_scope(owner);
       try {
         (*job_)(c);
       } catch (...) {
@@ -82,8 +87,13 @@ void ThreadPool::run(int nchunks, const std::function<void(int)>& fn) {
     return;
   }
 
+  // Serialize whole regions across concurrent submitters: the serve
+  // daemon's job sessions all share this pool, and the region state
+  // below (job_, next_chunk_, errors_) describes exactly one region.
+  std::lock_guard<std::mutex> submit(submit_mu_);
   std::unique_lock<std::mutex> lock(mu_);
   job_ = &fn;
+  job_owner_ = obs::current_job();
   job_chunks_ = nchunks;
   next_chunk_ = 0;
   errors_.assign(static_cast<std::size_t>(nchunks), nullptr);

@@ -47,6 +47,15 @@ class ThreadPool {
   /// (serially, in index order) when the pool is serial, nchunks <= 1,
   /// or the calling thread is already inside a region. The first
   /// exception by chunk index is rethrown.
+  ///
+  /// Concurrent submitters are safe: when several job threads reach
+  /// run() at once (the serve daemon's sessions share this pool), their
+  /// regions are serialized through a submit lock -- one region at a
+  /// time, each still deterministic in isolation, later submitters
+  /// blocking until the pool frees up. The submitting thread's
+  /// obs::current_job() tag is re-applied on every lane that executes a
+  /// chunk, so per-job attribution (ledger records, cache-budget
+  /// charges) survives the fan-out.
   void run(int nchunks, const std::function<void(int)>& fn);
 
   /// True when the current thread is executing inside a region (worker
@@ -61,12 +70,18 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  /// Held by a submitter for the whole lifetime of its region: regions
+  /// from concurrent top-level callers run one after another instead of
+  /// corrupting each other's job state.
+  std::mutex submit_mu_;
+
   std::mutex mu_;
   std::condition_variable cv_work_;   ///< workers wait for a new region
   std::condition_variable cv_done_;   ///< caller waits for region drain
   bool stop_ = false;
   std::uint64_t generation_ = 0;      ///< bumped per region
   const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t job_owner_ = 0;       ///< obs job id of the submitting thread
   int job_chunks_ = 0;
   int next_chunk_ = 0;                ///< next unclaimed chunk (under mu_)
   int busy_ = 0;                      ///< lanes currently inside the region

@@ -1,0 +1,118 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include "serve/listener.h"
+
+namespace hsyn::serve {
+
+bool Client::connect(const std::string& addr, std::string* err) {
+  close();
+  fd_ = connect_addr(addr, err);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<FrameReader>(fd_);
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+bool Client::send(const std::string& frame, std::string* err) {
+  if (fd_ < 0) {
+    if (err) *err = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_, frame)) {
+    if (err) *err = "connection lost while sending";
+    return false;
+  }
+  return true;
+}
+
+bool Client::recv(Response* out, std::string* err) {
+  std::string frame;
+  if (!reader_ || !reader_->next(&frame)) {
+    if (err) *err = "connection closed by daemon";
+    return false;
+  }
+  return parse_response(frame, out, err);
+}
+
+bool Client::run_job(
+    const JobSpec& spec,
+    const std::function<void(const SynthProgress&)>& on_progress,
+    JobOutcome* outcome, std::string* err) {
+  if (!send(encode_submit(spec, "job"), err)) return false;
+  Response r;
+  if (!recv(&r, err)) return false;
+  if (r.type == Response::Type::Error) {
+    if (err) *err = r.message;
+    return false;
+  }
+  if (r.type != Response::Type::Ack) {
+    if (err) *err = "expected an ack from the daemon";
+    return false;
+  }
+  const std::uint64_t job = r.job;
+  for (;;) {
+    if (!recv(&r, err)) return false;
+    switch (r.type) {
+      case Response::Type::Progress:
+        if (r.job == job && on_progress) on_progress(r.progress);
+        break;
+      case Response::Type::Result:
+        if (r.job != job) break;  // a stale frame from a prior job
+        if (outcome) *outcome = std::move(r.outcome);
+        return true;
+      case Response::Type::Error:
+        if (err) *err = r.message;
+        return false;
+      default:
+        break;  // tolerate pongs etc. on a shared connection
+    }
+  }
+}
+
+bool Client::ping(std::string* err) {
+  if (!send(encode_ping(), err)) return false;
+  Response r;
+  if (!recv(&r, err)) return false;
+  if (r.type != Response::Type::Pong) {
+    if (err) *err = "expected a pong";
+    return false;
+  }
+  return true;
+}
+
+bool Client::status(std::vector<JobStatus>* jobs, int* sessions,
+                    std::uint64_t* queued, std::string* err) {
+  if (!send(encode_status_request(), err)) return false;
+  Response r;
+  if (!recv(&r, err)) return false;
+  if (r.type != Response::Type::Status) {
+    if (err) *err = "expected a status response";
+    return false;
+  }
+  if (jobs) *jobs = std::move(r.jobs);
+  if (sessions) *sessions = r.sessions;
+  if (queued) *queued = r.queued;
+  return true;
+}
+
+bool Client::shutdown_server(std::string* err) {
+  if (!send(encode_shutdown(), err)) return false;
+  Response r;
+  if (!recv(&r, err)) return false;
+  if (r.type == Response::Type::Error) {
+    if (err) *err = r.message;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hsyn::serve

@@ -1,0 +1,40 @@
+// Newline-delimited JSON framing over a socket/file descriptor.
+//
+// One frame = one JSON document followed by '\n'. JSON string escaping
+// guarantees the payload itself never contains a raw newline, so the
+// delimiter is unambiguous and a frame reader needs no length prefix.
+// Frames are capped (64 MB) so a broken or hostile peer cannot balloon
+// the reader's buffer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hsyn::serve {
+
+/// Buffered frame reader over a blocking fd. Not thread-safe; one
+/// reader per connection.
+class FrameReader {
+ public:
+  /// Frames larger than `max_frame` bytes poison the reader.
+  explicit FrameReader(int fd, std::size_t max_frame = std::size_t{64} << 20)
+      : fd_(fd), max_frame_(max_frame) {}
+
+  /// Block for the next complete frame (the '\n' is stripped). False on
+  /// EOF, read error, or an oversized frame -- after which the
+  /// connection is dead and the reader must not be reused.
+  bool next(std::string* frame);
+
+ private:
+  int fd_;
+  std::size_t max_frame_;
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+/// Write `frame` + '\n' fully, retrying partial writes and EINTR.
+/// False on any unrecoverable write error (peer gone). Callers guard
+/// concurrent writers of one fd with their own mutex.
+bool write_frame(int fd, const std::string& frame);
+
+}  // namespace hsyn::serve

@@ -1,0 +1,151 @@
+// Job model of the hsyn synthesis service: what a client may ask for
+// (JobSpec), what it gets back (JobOutcome), the shared run_job()
+// pipeline both the daemon and the direct CLI execute, and the FIFO
+// queue the scheduler drains.
+//
+// Bit-identity contract. run_job() is THE synthesis pipeline: the CLI's
+// direct mode calls it in-process and prints `outcome.report` verbatim;
+// a daemon session calls it on a scheduler thread and ships the same
+// string over the wire. The report is a pure function of the spec (all
+// randomness derives from spec.seed, the runtime is thread-count
+// invariant, and the shared eval caches only ever change speed), so a
+// client-rendered result is bit-identical to a solo in-process run at
+// any thread count and regardless of what other jobs the daemon served
+// first. The move-ledger exports are the one exception: group ids come
+// from a process-global counter, so they are stable for a solo process
+// but shift when a daemon interleaves jobs (the per-class summary table
+// is count-based and stays comparable).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "synth/synthesizer.h"
+
+namespace hsyn::runtime {
+class CancelToken;
+}
+
+namespace hsyn::serve {
+
+/// Everything a synthesis job needs, self-contained (file contents are
+/// shipped as text -- the daemon never touches the client filesystem).
+struct JobSpec {
+  std::string benchmark;     ///< built-in benchmark name...
+  std::string design_text;   ///< ...or a textual design (exactly one)
+  std::string design_name;   ///< report label for design_text jobs
+  std::string library_text;  ///< optional textual library (design_text only)
+  std::string trace_text;    ///< optional user input trace (textual)
+  Objective objective = Objective::Power;
+  Mode mode = Mode::Hierarchical;
+  double laxity = 2.2;
+  double period_ns = 0;  ///< >0 overrides laxity
+  std::uint64_t seed = 42;
+  bool templates = false;
+  bool auto_variants = false;
+  bool verify = true;
+  bool check_moves = false;
+  /// Budgets (0 = unlimited). Time cancels the job cooperatively via
+  /// its CancelToken deadline; cache caps the bytes the job may insert
+  /// into the shared eval caches (a pure slowdown, never a result
+  /// change).
+  std::int64_t time_budget_ms = 0;
+  std::int64_t cache_budget_mb = 0;
+  bool want_progress = false;  ///< stream SynthProgress events
+  bool want_ledger = false;    ///< record + return the move ledger
+};
+
+/// What run_job produced. `report` is the full human-readable result
+/// text (header, summaries, verification line); the CLI prints it
+/// verbatim and the daemon ships it verbatim.
+struct JobOutcome {
+  bool ok = false;         ///< synthesis produced a feasible circuit
+  bool cancelled = false;  ///< unwound on the job's cancel token
+  bool verify_ok = true;   ///< RTL simulation matched (when requested)
+  std::string error;       ///< failure or cancellation reason
+  std::string report;
+  // Headline metrics, duplicated out of `result` for cheap serialization.
+  double area = 0;
+  double power = 0;
+  double energy = 0;
+  double synth_seconds = 0;
+  // Move ledger (filled when spec.want_ledger).
+  std::string ledger_table;
+  std::string ledger_jsonl;
+  std::uint64_t ledger_attempts = 0;
+  // Cache-budget account at job end (zero when unbudgeted).
+  std::uint64_t cache_budget_charged = 0;
+  std::uint64_t cache_budget_rejects = 0;
+  /// The raw result plus everything its Datapath points into, for
+  /// CLI-side file outputs (netlist/verilog/fsm/dot). Null for failed
+  /// or remote jobs.
+  std::shared_ptr<SynthResult> result;
+  std::shared_ptr<Benchmark> bench;   ///< keeps benchmark designs alive
+  std::shared_ptr<Design> design;     ///< keeps textual designs alive
+  std::shared_ptr<const Library> lib;
+  std::shared_ptr<ComplexLibrary> clib;  ///< generated templates (if any)
+};
+
+/// Per-job callbacks and identity, supplied by the caller (scheduler or
+/// CLI), not by the client.
+struct JobHooks {
+  /// Cooperative cancellation; run_job adds the spec's time budget as a
+  /// deadline. Null = not cancellable.
+  std::shared_ptr<runtime::CancelToken> cancel;
+  /// Progress sink, invoked from the job's serial control thread.
+  std::function<void(const SynthProgress&)> progress;
+  /// obs job id: tags this job's ledger records and cache-budget
+  /// charges across the shared thread pool. 0 = solo CLI (unscoped).
+  std::uint64_t job_id = 0;
+};
+
+/// Run one synthesis job start to finish on the calling thread.
+/// Never throws: parse errors, synthesis failures, and cancellation all
+/// come back inside the outcome.
+JobOutcome run_job(const JobSpec& spec, const JobHooks& hooks);
+
+/// One queued job as the scheduler sees it.
+struct QueuedJob {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  std::shared_ptr<runtime::CancelToken> cancel;
+  std::function<void(const SynthProgress&)> progress;
+  std::function<void(const JobOutcome&)> done;
+};
+
+/// Unbounded FIFO handing submissions to the scheduler's session
+/// threads. close() wakes every waiter with "no more work".
+class JobQueue {
+ public:
+  /// False once closed (the job is not enqueued).
+  bool push(QueuedJob job);
+
+  /// Block for the next job; false when the queue is closed and empty.
+  bool pop(QueuedJob* out);
+
+  /// Remove a not-yet-started job, handing its payload back (so its
+  /// completion callback can still fire). True when it was still queued.
+  bool remove(std::uint64_t id, QueuedJob* out);
+
+  /// Remove and return every queued job (the shutdown path, so their
+  /// completion callbacks can still fire).
+  std::vector<QueuedJob> drain();
+
+  void close();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedJob> q_;
+  bool closed_ = false;
+};
+
+}  // namespace hsyn::serve

@@ -1,0 +1,166 @@
+#include "serve/listener.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hsyn::serve {
+namespace {
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool Listener::listen_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err) *err = "unix socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  // A stale socket file from a dead daemon would make bind fail; a live
+  // daemon still answers connect, so probe (on a throwaway fd -- a
+  // failed connect leaves a socket unusable) before replacing the file.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool alive = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                 sizeof addr) == 0;
+    ::close(probe);
+    if (alive) {
+      if (err) *err = "another daemon is already listening on " + path;
+      return false;
+    }
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = errno_str("socket");
+    return false;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    if (err) *err = errno_str(("bind/listen " + path).c_str());
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  unix_path_ = path;
+  return true;
+}
+
+bool Listener::listen_tcp(int port, std::string* err) {
+  if (port <= 0 || port > 65535) {
+    if (err) *err = "port out of range";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = errno_str("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    if (err) *err = errno_str("bind/listen 127.0.0.1");
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+int Listener::accept_next() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (fd_ < 0) return -1;
+    pollfd p{fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, /*timeout_ms=*/100);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) continue;  // timeout: re-check stop_
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return conn;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return -1;
+  }
+  return -1;
+}
+
+void Listener::shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+void Listener::close() {
+  shutdown();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+int connect_addr(const std::string& addr, std::string* err) {
+  if (addr.find('/') != std::string::npos) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (addr.size() >= sizeof sa.sun_path) {
+      if (err) *err = "unix socket path too long: " + addr;
+      return -1;
+    }
+    std::memcpy(sa.sun_path, addr.c_str(), addr.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err) *err = errno_str("socket");
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+      if (err) *err = errno_str(("connect " + addr).c_str());
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  char* end = nullptr;
+  const long port = std::strtol(addr.c_str(), &end, 10);
+  if (end == addr.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    if (err) *err = "address must be a unix socket path or a TCP port";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = errno_str("socket");
+    return -1;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+    if (err) *err = errno_str(("connect 127.0.0.1:" + addr).c_str());
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace hsyn::serve

@@ -1,0 +1,53 @@
+// Local-socket plumbing for the hsyn service: bind/listen/accept and
+// the matching client connect, over unix-domain sockets (--serve-unix)
+// or TCP on the loopback interface only (--serve). The daemon is a
+// local multiplexer, not a network service -- it never binds a
+// routable address.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace hsyn::serve {
+
+/// Listening socket (owns the fd; closes on destruction). unlink()s the
+/// unix socket path it bound.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on a unix-domain socket at `path` (an existing stale
+  /// socket file is replaced). False with `err` on failure.
+  bool listen_unix(const std::string& path, std::string* err);
+
+  /// Bind + listen on 127.0.0.1:`port`. False with `err` on failure.
+  bool listen_tcp(int port, std::string* err);
+
+  /// Block for the next connection, polling so shutdown() wins within
+  /// ~100 ms. Returns the connected fd, or -1 once shut down / on error.
+  int accept_next();
+
+  /// Wake accept_next() and close the listening socket. Idempotent;
+  /// safe from a different thread than the accept loop.
+  void shutdown();
+
+  /// shutdown() plus close the fd and unlink the unix socket path.
+  void close();
+
+  bool listening() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string unix_path_;  ///< unlinked on close
+  std::atomic<bool> stop_{false};
+};
+
+/// Connect to a server address: an address containing '/' is a unix
+/// socket path, anything else is a TCP port on 127.0.0.1. Returns the
+/// connected fd or -1 with `err`.
+int connect_addr(const std::string& addr, std::string* err);
+
+}  // namespace hsyn::serve

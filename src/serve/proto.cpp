@@ -1,0 +1,384 @@
+#include "serve/proto.h"
+
+#include "util/json.h"
+
+namespace hsyn::serve {
+namespace {
+
+const char* stage_name(SynthProgress::Stage s) {
+  switch (s) {
+    case SynthProgress::Stage::Probe: return "probe";
+    case SynthProgress::Stage::Pass: return "pass";
+    case SynthProgress::Stage::OpPoint: return "op-point";
+  }
+  return "?";
+}
+
+bool parse_stage(const std::string& s, SynthProgress::Stage* out) {
+  if (s == "probe") {
+    *out = SynthProgress::Stage::Probe;
+    return true;
+  }
+  if (s == "pass") {
+    *out = SynthProgress::Stage::Pass;
+    return true;
+  }
+  if (s == "op-point") {
+    *out = SynthProgress::Stage::OpPoint;
+    return true;
+  }
+  return false;
+}
+
+/// Shared JobSpec -> JSON body (inside an already-open object).
+void write_spec(JsonWriter& w, const JobSpec& spec) {
+  if (!spec.benchmark.empty()) w.key("benchmark").value(spec.benchmark);
+  if (!spec.design_text.empty()) w.key("design").value(spec.design_text);
+  if (!spec.design_name.empty()) w.key("design_name").value(spec.design_name);
+  if (!spec.library_text.empty()) w.key("library").value(spec.library_text);
+  if (!spec.trace_text.empty()) w.key("trace").value(spec.trace_text);
+  w.key("objective").value(objective_name(spec.objective));
+  w.key("mode").value(mode_name(spec.mode));
+  w.key("laxity").value(spec.laxity);
+  if (spec.period_ns > 0) w.key("period_ns").value(spec.period_ns);
+  w.key("seed").value(spec.seed);
+  w.key("templates").value(spec.templates);
+  w.key("auto_variants").value(spec.auto_variants);
+  w.key("verify").value(spec.verify);
+  w.key("check_moves").value(spec.check_moves);
+  if (spec.time_budget_ms > 0) {
+    w.key("time_budget_ms").value(spec.time_budget_ms);
+  }
+  if (spec.cache_budget_mb > 0) {
+    w.key("cache_budget_mb").value(spec.cache_budget_mb);
+  }
+  w.key("progress").value(spec.want_progress);
+  w.key("ledger").value(spec.want_ledger);
+}
+
+bool read_spec(const JsonValue& v, JobSpec* spec, std::string* err) {
+  spec->benchmark = v.str_or("benchmark", "");
+  spec->design_text = v.str_or("design", "");
+  spec->design_name = v.str_or("design_name", "");
+  spec->library_text = v.str_or("library", "");
+  spec->trace_text = v.str_or("trace", "");
+  const std::string obj = v.str_or("objective", "power");
+  if (obj == "power") {
+    spec->objective = Objective::Power;
+  } else if (obj == "area") {
+    spec->objective = Objective::Area;
+  } else {
+    if (err) *err = "objective must be 'power' or 'area'";
+    return false;
+  }
+  const std::string mode = v.str_or("mode", "hier");
+  if (mode == "hier") {
+    spec->mode = Mode::Hierarchical;
+  } else if (mode == "flat") {
+    spec->mode = Mode::Flattened;
+  } else {
+    if (err) *err = "mode must be 'hier' or 'flat'";
+    return false;
+  }
+  spec->laxity = v.num_or("laxity", 2.2);
+  spec->period_ns = v.num_or("period_ns", 0);
+  spec->seed = static_cast<std::uint64_t>(v.int_or("seed", 42));
+  spec->templates = v.bool_or("templates", false);
+  spec->auto_variants = v.bool_or("auto_variants", false);
+  spec->verify = v.bool_or("verify", true);
+  spec->check_moves = v.bool_or("check_moves", false);
+  spec->time_budget_ms = v.int_or("time_budget_ms", 0);
+  spec->cache_budget_mb = v.int_or("cache_budget_mb", 0);
+  spec->want_progress = v.bool_or("progress", false);
+  spec->want_ledger = v.bool_or("ledger", false);
+  if (spec->benchmark.empty() == spec->design_text.empty()) {
+    if (err) *err = "exactly one of 'benchmark' and 'design' must be given";
+    return false;
+  }
+  return true;
+}
+
+void write_job_status(JsonWriter& w, const JobStatus& j) {
+  w.begin_object();
+  w.key("job").value(j.id);
+  w.key("state").value(job_state_name(j.state));
+  if (!j.error.empty()) w.key("error").value(j.error);
+  w.end_object();
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool parse_request(const std::string& frame, Request* out, std::string* err) {
+  JsonValue v;
+  if (!json_parse(frame, &v, err)) return false;
+  if (!v.is_object()) {
+    if (err) *err = "request frame must be a JSON object";
+    return false;
+  }
+  const std::string type = v.str_or("type", "");
+  out->tag = v.str_or("tag", "");
+  if (type == "submit") {
+    out->type = Request::Type::Submit;
+    return read_spec(v, &out->spec, err);
+  }
+  if (type == "cancel") {
+    out->type = Request::Type::Cancel;
+    out->job = static_cast<std::uint64_t>(v.int_or("job", 0));
+    if (out->job == 0) {
+      if (err) *err = "cancel requires a 'job' id";
+      return false;
+    }
+    return true;
+  }
+  if (type == "status") {
+    out->type = Request::Type::Status;
+    return true;
+  }
+  if (type == "ping") {
+    out->type = Request::Type::Ping;
+    return true;
+  }
+  if (type == "shutdown") {
+    out->type = Request::Type::Shutdown;
+    return true;
+  }
+  if (err) *err = "unknown request type '" + type + "'";
+  return false;
+}
+
+std::string encode_ack(const std::string& tag, std::uint64_t job) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("ack");
+  if (!tag.empty()) w.key("tag").value(tag);
+  w.key("job").value(job);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_error(const std::string& tag, const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("error");
+  if (!tag.empty()) w.key("tag").value(tag);
+  w.key("message").value(message);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_progress(std::uint64_t job, const SynthProgress& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("progress");
+  w.key("job").value(job);
+  w.key("stage").value(stage_name(ev.stage));
+  w.key("vdd").value(ev.vdd);
+  w.key("clock_ns").value(ev.clock_ns);
+  w.key("pass").value(ev.pass);
+  w.key("moves_applied").value(ev.moves_applied);
+  w.key("moves_kept").value(ev.moves_kept);
+  w.key("cost").value(ev.cost);
+  w.key("area").value(ev.area);
+  w.key("power").value(ev.power);
+  w.key("feasible_clocks").value(ev.feasible_clocks);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_result(std::uint64_t job, const JobOutcome& outcome) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("result");
+  w.key("job").value(job);
+  w.key("ok").value(outcome.ok);
+  w.key("cancelled").value(outcome.cancelled);
+  w.key("verify_ok").value(outcome.verify_ok);
+  if (!outcome.error.empty()) w.key("error").value(outcome.error);
+  w.key("report").value(outcome.report);
+  w.key("area").value(outcome.area);
+  w.key("power").value(outcome.power);
+  w.key("energy").value(outcome.energy);
+  w.key("synth_seconds").value(outcome.synth_seconds);
+  if (!outcome.ledger_table.empty()) {
+    w.key("ledger_table").value(outcome.ledger_table);
+    w.key("ledger_attempts").value(outcome.ledger_attempts);
+    w.key("ledger_jsonl").value(outcome.ledger_jsonl);
+  }
+  if (outcome.cache_budget_charged != 0 || outcome.cache_budget_rejects != 0) {
+    w.key("cache_budget_charged").value(outcome.cache_budget_charged);
+    w.key("cache_budget_rejects").value(outcome.cache_budget_rejects);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_status(const std::vector<JobStatus>& jobs, int sessions,
+                          std::size_t queued) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("status");
+  w.key("sessions").value(sessions);
+  w.key("queued").value(static_cast<std::uint64_t>(queued));
+  w.key("jobs").begin_array();
+  for (const JobStatus& j : jobs) write_job_status(w, j);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_pong() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("pong");
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_submit(const JobSpec& spec, const std::string& tag) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("submit");
+  if (!tag.empty()) w.key("tag").value(tag);
+  write_spec(w, spec);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_cancel(std::uint64_t job) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("cancel");
+  w.key("job").value(job);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_ping() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("ping");
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_status_request() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("status");
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_shutdown() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("shutdown");
+  w.end_object();
+  return w.str();
+}
+
+bool parse_response(const std::string& frame, Response* out, std::string* err) {
+  JsonValue v;
+  if (!json_parse(frame, &v, err)) return false;
+  if (!v.is_object()) {
+    if (err) *err = "response frame must be a JSON object";
+    return false;
+  }
+  const std::string type = v.str_or("type", "");
+  out->tag = v.str_or("tag", "");
+  out->job = static_cast<std::uint64_t>(v.int_or("job", 0));
+  if (type == "ack") {
+    out->type = Response::Type::Ack;
+    return true;
+  }
+  if (type == "error") {
+    out->type = Response::Type::Error;
+    out->message = v.str_or("message", "");
+    return true;
+  }
+  if (type == "pong") {
+    out->type = Response::Type::Pong;
+    return true;
+  }
+  if (type == "progress") {
+    out->type = Response::Type::Progress;
+    SynthProgress& p = out->progress;
+    if (!parse_stage(v.str_or("stage", ""), &p.stage)) {
+      if (err) *err = "progress frame with unknown stage";
+      return false;
+    }
+    p.vdd = v.num_or("vdd", 0);
+    p.clock_ns = v.num_or("clock_ns", 0);
+    p.pass = static_cast<int>(v.int_or("pass", 0));
+    p.moves_applied = static_cast<int>(v.int_or("moves_applied", 0));
+    p.moves_kept = static_cast<int>(v.int_or("moves_kept", 0));
+    p.cost = v.num_or("cost", 0);
+    p.area = v.num_or("area", 0);
+    p.power = v.num_or("power", 0);
+    p.feasible_clocks = static_cast<int>(v.int_or("feasible_clocks", 0));
+    return true;
+  }
+  if (type == "result") {
+    out->type = Response::Type::Result;
+    JobOutcome& o = out->outcome;
+    o.ok = v.bool_or("ok", false);
+    o.cancelled = v.bool_or("cancelled", false);
+    o.verify_ok = v.bool_or("verify_ok", true);
+    o.error = v.str_or("error", "");
+    o.report = v.str_or("report", "");
+    o.area = v.num_or("area", 0);
+    o.power = v.num_or("power", 0);
+    o.energy = v.num_or("energy", 0);
+    o.synth_seconds = v.num_or("synth_seconds", 0);
+    o.ledger_table = v.str_or("ledger_table", "");
+    o.ledger_jsonl = v.str_or("ledger_jsonl", "");
+    o.ledger_attempts =
+        static_cast<std::uint64_t>(v.int_or("ledger_attempts", 0));
+    o.cache_budget_charged =
+        static_cast<std::uint64_t>(v.int_or("cache_budget_charged", 0));
+    o.cache_budget_rejects =
+        static_cast<std::uint64_t>(v.int_or("cache_budget_rejects", 0));
+    return true;
+  }
+  if (type == "status") {
+    out->type = Response::Type::Status;
+    out->sessions = static_cast<int>(v.int_or("sessions", 0));
+    out->queued = static_cast<std::uint64_t>(v.int_or("queued", 0));
+    if (const JsonValue* jobs = v.get("jobs"); jobs && jobs->is_array()) {
+      for (const JsonValue& j : jobs->items()) {
+        JobStatus s;
+        s.id = static_cast<std::uint64_t>(j.int_or("job", 0));
+        const std::string st = j.str_or("state", "queued");
+        if (st == "running") {
+          s.state = JobState::Running;
+        } else if (st == "done") {
+          s.state = JobState::Done;
+        } else if (st == "failed") {
+          s.state = JobState::Failed;
+        } else if (st == "cancelled") {
+          s.state = JobState::Cancelled;
+        } else {
+          s.state = JobState::Queued;
+        }
+        s.error = j.str_or("error", "");
+        out->jobs.push_back(std::move(s));
+      }
+    }
+    return true;
+  }
+  if (err) *err = "unknown response type '" + type + "'";
+  return false;
+}
+
+}  // namespace hsyn::serve

@@ -1,0 +1,86 @@
+// Wire protocol of the hsyn synthesis service (docs/PROTOCOL.md).
+//
+// Messages are newline-delimited JSON objects (one frame per line; see
+// serve/framing.h). Requests are parsed with util/json.h's JsonValue,
+// responses are emitted with JsonWriter, so escaping is correct in both
+// directions and multi-line report text travels inside one frame.
+//
+// Request types:   submit, cancel, status, ping, shutdown
+// Response types:  ack, progress, result, status, pong, error
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/jobs.h"
+#include "synth/moves.h"
+
+namespace hsyn::serve {
+
+/// A decoded client request.
+struct Request {
+  enum class Type { Submit, Cancel, Status, Ping, Shutdown };
+  Type type = Type::Ping;
+  std::string tag;        ///< client correlation tag, echoed in the ack
+  std::uint64_t job = 0;  ///< cancel: which job
+  JobSpec spec;           ///< submit: the job
+};
+
+/// Parse one request frame. False (and `err`) on malformed JSON, an
+/// unknown type, or invalid field values.
+bool parse_request(const std::string& frame, Request* out, std::string* err);
+
+/// One job's lifecycle state as reported by `status`.
+enum class JobState : int {
+  Queued = 0,
+  Running = 1,
+  Done = 2,
+  Failed = 3,
+  Cancelled = 4,
+};
+
+const char* job_state_name(JobState s);
+
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  std::string error;  ///< failure/cancellation reason once finished
+};
+
+// ---- Response encoders (each returns one full frame, no newline) --------
+
+std::string encode_ack(const std::string& tag, std::uint64_t job);
+std::string encode_error(const std::string& tag, const std::string& message);
+std::string encode_progress(std::uint64_t job, const SynthProgress& ev);
+std::string encode_result(std::uint64_t job, const JobOutcome& outcome);
+std::string encode_status(const std::vector<JobStatus>& jobs, int sessions,
+                          std::size_t queued);
+std::string encode_pong();
+
+// ---- Client-side encode/decode ------------------------------------------
+
+std::string encode_submit(const JobSpec& spec, const std::string& tag);
+std::string encode_cancel(std::uint64_t job);
+std::string encode_ping();
+std::string encode_status_request();
+std::string encode_shutdown();
+
+/// A decoded server response (the union of all response payloads; check
+/// `type` before reading type-specific fields).
+struct Response {
+  enum class Type { Ack, Error, Progress, Result, Status, Pong };
+  Type type = Type::Pong;
+  std::string tag;
+  std::uint64_t job = 0;
+  std::string message;  ///< error text
+  SynthProgress progress;
+  JobOutcome outcome;  ///< result: report/metrics/ledger fields only
+  std::vector<JobStatus> jobs;
+  int sessions = 0;
+  std::uint64_t queued = 0;
+};
+
+bool parse_response(const std::string& frame, Response* out, std::string* err);
+
+}  // namespace hsyn::serve

@@ -1,0 +1,159 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/cancel.h"
+
+namespace hsyn::serve {
+
+JobEngine::JobEngine(int sessions) {
+  const int n = std::max(1, sessions);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { session_loop(); });
+  }
+}
+
+JobEngine::~JobEngine() { shutdown(); }
+
+std::uint64_t JobEngine::submit(
+    JobSpec spec,
+    std::function<void(std::uint64_t, const SynthProgress&)> progress,
+    std::function<void(std::uint64_t, const JobOutcome&)> done) {
+  QueuedJob job;
+  job.cancel = std::make_shared<runtime::CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return 0;
+    job.id = next_id_++;
+    records_[job.id] = Record{JobState::Queued, "", job.cancel};
+  }
+  const std::uint64_t id = job.id;
+  job.spec = std::move(spec);
+  if (progress && job.spec.want_progress) {
+    job.progress = [id, progress = std::move(progress)](
+                       const SynthProgress& ev) { progress(id, ev); };
+  }
+  if (done) {
+    job.done = [id, done = std::move(done)](const JobOutcome& out) {
+      done(id, out);
+    };
+  }
+  if (!queue_.push(std::move(job))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.erase(id);
+    return 0;
+  }
+  return id;
+}
+
+bool JobEngine::cancel(std::uint64_t job, const std::string& reason) {
+  std::shared_ptr<runtime::CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = records_.find(job);
+    if (it == records_.end() || it->second.state == JobState::Done ||
+        it->second.state == JobState::Failed ||
+        it->second.state == JobState::Cancelled) {
+      return false;
+    }
+    token = it->second.cancel;
+  }
+  // Request first: if a session claims the job between here and
+  // remove(), the token makes run_job unwind at its first cancel point
+  // and finish() records the outcome through the normal path.
+  if (token) token->request(reason);
+  // Still queued -> never reaches a session thread; synthesize the
+  // cancelled outcome here and fire its done callback ourselves.
+  QueuedJob dropped;
+  if (!queue_.remove(job, &dropped)) return true;
+  JobOutcome out;
+  out.cancelled = true;
+  out.error = reason;
+  finish(job, out);
+  if (dropped.done) dropped.done(out);
+  return true;
+}
+
+std::vector<JobStatus> JobEngine::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    out.push_back(JobStatus{id, rec.state, rec.error});
+  }
+  return out;
+}
+
+void JobEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_) return;
+    down_ = true;
+  }
+  queue_.close();
+  // Drop everything still queued (their done callbacks fire cancelled),
+  // then pull the rug from running jobs cooperatively.
+  for (QueuedJob& job : queue_.drain()) {
+    JobOutcome out;
+    out.cancelled = true;
+    out.error = "daemon shutting down";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = records_.find(job.id);
+      if (it != records_.end()) {
+        it->second.state = JobState::Cancelled;
+        it->second.error = out.error;
+      }
+    }
+    if (job.done) job.done(out);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, rec] : records_) {
+      if (rec.state == JobState::Running && rec.cancel) {
+        rec.cancel->request("daemon shutting down");
+      }
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void JobEngine::session_loop() {
+  QueuedJob job;
+  while (queue_.pop(&job)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = records_.find(job.id);
+      // cancel() may have won the race after pop; the token is already
+      // set, run_job unwinds at the first cancel point.
+      if (it != records_.end() && it->second.state == JobState::Queued) {
+        it->second.state = JobState::Running;
+      }
+    }
+    JobHooks hooks;
+    hooks.cancel = job.cancel;
+    hooks.progress = job.progress;
+    hooks.job_id = job.id;
+    const JobOutcome out = run_job(job.spec, hooks);
+    finish(job.id, out);
+    if (job.done) job.done(out);
+    job = QueuedJob{};  // release spec/design text before blocking again
+  }
+}
+
+void JobEngine::finish(std::uint64_t id, const JobOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  it->second.state = outcome.cancelled ? JobState::Cancelled
+                     : outcome.ok      ? JobState::Done
+                                       : JobState::Failed;
+  it->second.error = outcome.error;
+  it->second.cancel.reset();
+}
+
+}  // namespace hsyn::serve

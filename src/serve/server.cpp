@@ -1,0 +1,77 @@
+#include "serve/server.h"
+
+#include <chrono>
+
+#include "runtime/cancel.h"
+
+namespace hsyn::serve {
+
+Server::~Server() {
+  request_shutdown();
+  if (engine_) engine_->shutdown();
+  listener_.close();
+}
+
+bool Server::start(std::string* err) {
+  if (opts_.unix_path.empty() == (opts_.tcp_port == 0)) {
+    if (err) *err = "exactly one of a unix path and a TCP port must be given";
+    return false;
+  }
+  if (!opts_.unix_path.empty()) {
+    return listener_.listen_unix(opts_.unix_path, err);
+  }
+  return listener_.listen_tcp(opts_.tcp_port, err);
+}
+
+int Server::run() {
+  engine_ = std::make_unique<JobEngine>(opts_.sessions);
+
+  // SIGINT/SIGTERM land in an atomic (runtime::note_signal); poll it so
+  // a ^C turns into the same graceful teardown a `shutdown` request
+  // does.
+  std::thread watcher([this] {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      if (runtime::signal_received() != 0) {
+        request_shutdown();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  while (true) {
+    const int fd = listener_.accept_next();
+    if (fd < 0) break;  // shutdown requested or listener error
+    auto conn = std::make_shared<ClientConn>(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] {
+      serve_connection(conn, *engine_,
+                       [this] { request_shutdown(); });
+      conn->close();
+    });
+  }
+
+  // Graceful teardown. Engine first: in-flight jobs unwind and their
+  // cancelled result frames still reach clients whose connections are
+  // open. Then drop the connections so their request threads see EOF.
+  engine_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : conns_) conn->close();
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  listener_.close();
+  stopping_.store(true, std::memory_order_relaxed);
+  if (watcher.joinable()) watcher.join();
+  return 0;
+}
+
+void Server::request_shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.shutdown();
+}
+
+}  // namespace hsyn::serve

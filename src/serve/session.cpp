@@ -1,0 +1,115 @@
+#include "serve/session.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/framing.h"
+#include "serve/proto.h"
+#include "serve/scheduler.h"
+
+namespace hsyn::serve {
+namespace {
+
+/// Open-once gate: job callbacks wait on it so the submit ack always
+/// reaches the client before the first progress/result frame.
+class AckGate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+void handle_submit(const std::shared_ptr<ClientConn>& conn, JobEngine& engine,
+                   Request& req) {
+  auto gate = std::make_shared<AckGate>();
+  const std::uint64_t id = engine.submit(
+      std::move(req.spec),
+      [conn, gate](std::uint64_t job, const SynthProgress& ev) {
+        gate->wait();
+        conn->send(encode_progress(job, ev));
+      },
+      [conn, gate](std::uint64_t job, const JobOutcome& out) {
+        gate->wait();
+        conn->send(encode_result(job, out));
+      });
+  if (id == 0) {
+    conn->send(encode_error(req.tag, "daemon is shutting down"));
+  } else {
+    conn->send(encode_ack(req.tag, id));
+  }
+  gate->open();
+}
+
+}  // namespace
+
+bool ClientConn::send(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!alive_.load(std::memory_order_relaxed)) return false;
+  if (write_frame(fd_, frame)) return true;
+  alive_.store(false, std::memory_order_release);
+  return false;
+}
+
+void ClientConn::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!alive_.exchange(false, std::memory_order_acq_rel)) return;
+  // Both halves: a reader blocked in next() gets EOF immediately.
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+}
+
+void serve_connection(const std::shared_ptr<ClientConn>& conn,
+                      JobEngine& engine,
+                      const std::function<void()>& request_shutdown) {
+  FrameReader reader(conn->fd());
+  std::string frame;
+  while (conn->alive() && reader.next(&frame)) {
+    Request req;
+    std::string err;
+    if (!parse_request(frame, &req, &err)) {
+      conn->send(encode_error(req.tag, err));
+      continue;
+    }
+    switch (req.type) {
+      case Request::Type::Submit:
+        handle_submit(conn, engine, req);
+        break;
+      case Request::Type::Cancel:
+        if (engine.cancel(req.job, "cancelled by client")) {
+          conn->send(encode_ack(req.tag, req.job));
+        } else {
+          conn->send(encode_error(req.tag, "no such queued or running job"));
+        }
+        break;
+      case Request::Type::Status:
+        conn->send(
+            encode_status(engine.status(), engine.sessions(), engine.queued()));
+        break;
+      case Request::Type::Ping:
+        conn->send(encode_pong());
+        break;
+      case Request::Type::Shutdown:
+        conn->send(encode_ack(req.tag, 0));
+        request_shutdown();
+        break;
+    }
+  }
+}
+
+}  // namespace hsyn::serve

@@ -7,12 +7,25 @@
 #include "check/check.h"
 #include "obs/ledger.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 #include "util/fmt.h"
 #include "util/log.h"
 
 namespace hsyn {
+namespace {
+
+/// Progress/cancel hooks fire only from the outermost serial improvement
+/// loop: move B's nested improve() runs at resynth depth > 0 (and, when
+/// parallelized, on pool workers inside a region), where a sink call
+/// would race and a cancel unwind would corrupt the enclosing move.
+bool at_top_level() {
+  return obs::ResynthScope::current_depth() == 0 &&
+         !runtime::ThreadPool::in_region();
+}
+
+}  // namespace
 
 Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
   obs::Span improve_span("improve");
@@ -26,6 +39,7 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
   const bool gate = cx.opts.check_moves || lint::env_check_moves();
 
   for (int pass = 0; pass < cx.opts.max_passes; ++pass) {
+    if (cx.opts.cancel && at_top_level()) cx.opts.cancel->throw_if_cancelled();
     obs::Span pass_span("improve-pass");
     obs::ImproveScope pass_scope(pass);
     if (stats) ++stats->passes;
@@ -44,6 +58,9 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
     Datapath cur = dp;
     double cum = 0;
     for (int mi = 0; mi < budget; ++mi) {
+      if (cx.opts.cancel && at_top_level()) {
+        cx.opts.cancel->throw_if_cancelled();
+      }
       // Full module resynthesis (move B) is the costliest generator; try
       // it early in the pass where it matters most, then fall back to
       // the cheap selection-only form.
@@ -100,6 +117,19 @@ Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
                               ? obs::MoveStatus::Accepted
                               : obs::MoveStatus::RolledBack);
       }
+    }
+    if (cx.opts.progress && at_top_level()) {
+      SynthProgress ev;
+      ev.stage = SynthProgress::Stage::Pass;
+      ev.vdd = cx.pt.vdd;
+      ev.clock_ns = cx.pt.clk_ns;
+      ev.pass = pass;
+      ev.moves_applied = static_cast<int>(snapshots.size());
+      ev.moves_kept = best_k + 1;
+      ev.cost = best_k < 0 ? cur_cost
+                           : cost_of(snapshots[static_cast<std::size_t>(best_k)],
+                                     cx);
+      cx.opts.progress(ev);
     }
     if (best_k < 0) break;  // Pass_Gain <= 0
     dp = std::move(snapshots[static_cast<std::size_t>(best_k)]);

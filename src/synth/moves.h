@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -24,6 +25,10 @@
 
 namespace hsyn {
 
+namespace runtime {
+class CancelToken;  // runtime/cancel.h
+}
+
 struct DirtyRegion;  // rtl/cost.h
 
 enum class Objective { Area, Power };
@@ -31,6 +36,29 @@ enum class Objective { Area, Power };
 inline const char* objective_name(Objective o) {
   return o == Objective::Area ? "area" : "power";
 }
+
+/// One progress beat from the synthesizer, delivered through
+/// SynthOptions::progress. Events fire only from serial control points
+/// of the top-level engine (never from pool workers or move B's nested
+/// improvement), so a sink needs no synchronization of its own beyond
+/// being callable from the thread that runs synthesize().
+struct SynthProgress {
+  enum class Stage {
+    Probe,    ///< clock probing at one supply finished
+    Pass,     ///< one improvement pass finished
+    OpPoint,  ///< one (vdd, clock) candidate fully evaluated
+  };
+  Stage stage = Stage::Pass;
+  double vdd = 0;       ///< supply voltage of the current operating point
+  double clock_ns = 0;  ///< clock period of the current operating point
+  int pass = 0;         ///< improvement pass index (Pass events)
+  int moves_applied = 0;  ///< moves applied during this pass
+  int moves_kept = 0;     ///< best-prefix length kept after the pass
+  double cost = 0;        ///< objective cost after the pass / candidate
+  double area = 0;        ///< OpPoint events: candidate area
+  double power = 0;       ///< OpPoint events: candidate power
+  int feasible_clocks = 0;  ///< Probe events: clocks that scheduled
+};
 
 /// Tunables of the engine; also the ablation switches.
 struct SynthOptions {
@@ -62,6 +90,16 @@ struct SynthOptions {
   /// Also enabled by HSYN_CHECK_MOVES=1. Read-only over the IR, so
   /// results are bit-identical with or without it.
   bool check_moves = false;
+  /// Cooperative cancellation: checked at serial control points (per
+  /// improvement move, per pass, per operating point). On a cancelled
+  /// token the engine throws runtime::Cancelled out of synthesize().
+  /// Null disables the checks. Cancellation never corrupts state -- it
+  /// unwinds between moves, so catching the exception is safe.
+  std::shared_ptr<runtime::CancelToken> cancel;
+  /// Progress sink (see SynthProgress). Null disables events. Invoked
+  /// synchronously from the engine's serial control thread only, never
+  /// from inside a parallel region or a nested (move B) improvement.
+  std::function<void(const SynthProgress&)> progress;
 };
 
 /// Cache of library templates already instantiated and scheduled at an

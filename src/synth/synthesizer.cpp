@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "power/estimator.h"
 #include "rtl/cost.h"
+#include "runtime/cancel.h"
 #include "sched/scheduler.h"
 #include "synth/initial.h"
 #include "util/fmt.h"
@@ -138,6 +139,7 @@ SynthResult synthesize(const Design& design, const Library& lib,
     {
     obs::Span probe_span("vdd-clock-probe");
     for (const double c : candidate_clocks(lib.fus(), vdd)) {
+      if (opts.cancel) opts.cancel->throw_if_cancelled();
       const int deadline = static_cast<int>(sample_period_ns / c + 1e-9);
       if (deadline < 1) continue;
       // Bound the controller: schedules beyond ~100 states per sample
@@ -172,6 +174,13 @@ SynthResult synthesize(const Design& design, const Library& lib,
       feasible.push_back({c, deadline, std::move(init)});
     }
     }
+    if (opts.progress) {
+      SynthProgress ev;
+      ev.stage = SynthProgress::Stage::Probe;
+      ev.vdd = vdd;
+      ev.feasible_clocks = static_cast<int>(feasible.size());
+      opts.progress(ev);
+    }
     std::vector<std::size_t> picked_idx;
     if (static_cast<int>(feasible.size()) <= opts.max_clocks) {
       for (std::size_t i = 0; i < feasible.size(); ++i) picked_idx.push_back(i);
@@ -186,6 +195,7 @@ SynthResult synthesize(const Design& design, const Library& lib,
     }
 
     for (const std::size_t pi : picked_idx) {
+      if (opts.cancel) opts.cancel->throw_if_cancelled();
       Probe& probe = feasible[pi];
       const double clk = probe.clk;
       const int deadline = probe.deadline;
@@ -221,6 +231,16 @@ SynthResult synthesize(const Design& design, const Library& lib,
       log_info(strf("config Vdd=%.1f clk=%.1fns: area %.1f energy %.1f "
                     "power %.4f",
                     vdd, clk, cand.area, cand.energy, cand.power));
+      if (opts.progress) {
+        SynthProgress ev;
+        ev.stage = SynthProgress::Stage::OpPoint;
+        ev.vdd = vdd;
+        ev.clock_ns = clk;
+        ev.cost = objective_value(cand, obj);
+        ev.area = cand.area;
+        ev.power = cand.power;
+        opts.progress(ev);
+      }
       // Primary comparison on the objective; near-ties (within 8%) break
       // toward lower power -- "minimum area, then minimum power" is what
       // a designer means by area-optimized, and it stops the area

@@ -13,12 +13,22 @@
 // every non-top behavior (the Fig. 2 style library); without it,
 // synthesis builds module implementations from scratch.
 //
+// Server mode (src/serve/, docs/PROTOCOL.md): `hsyn --serve-unix PATH`
+// or `hsyn --serve PORT` runs a daemon that accepts synthesis jobs over
+// a local socket and multiplexes up to --sessions of them over one
+// shared runtime; `hsyn --connect ADDR` plus the normal design flags
+// submits one job and renders the result bit-identically to a direct
+// run. --job-time-ms / --job-cache-mb attach per-job budgets, --progress
+// streams progress events to stderr, --ping / --shutdown talk to a
+// running daemon.
+//
 // Observability (src/obs/): --trace-out writes a Chrome trace-event
 // JSON of the run's spans (Perfetto-loadable; HSYN_TRACE=FILE does the
 // same), --move-log records every attempted move to JSONL (or CSV when
 // the path ends in .csv) and prints the per-class accept-rate table,
 // --metrics-out writes the unified metrics registry snapshot. None of
-// them change synthesis results.
+// them change synthesis results. A SIGINT/SIGTERM cancels the in-flight
+// run cooperatively and the exports are still flushed on the way out.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,22 +40,20 @@
 #include "benchmarks/benchmarks.h"
 #include "dfg/dot.h"
 #include "eval/engine.h"
-#include "dfg/textio.h"
-#include "dfg/transform.h"
-#include "library/textio.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "power/replay.h"
-#include "power/trace_io.h"
-#include "power/rtlsim.h"
 #include "rtl/controller.h"
 #include "rtl/netlist.h"
+#include "runtime/cancel.h"
 #include "runtime/thread_pool.h"
-#include "synth/report.h"
+#include "serve/client.h"
+#include "serve/jobs.h"
+#include "serve/server.h"
 #include "synth/synthesizer.h"
-#include "verilog/verilog.h"
 #include "util/log.h"
+#include "verilog/verilog.h"
 
 namespace {
 
@@ -84,6 +92,16 @@ struct Args {
   std::string trace_out;    ///< Chrome trace-event JSON (or HSYN_TRACE env)
   std::string move_log;     ///< move ledger JSONL (.csv for CSV)
   std::string metrics_out;  ///< metrics registry JSON snapshot
+  // Server mode.
+  int serve_port = 0;        ///< --serve PORT: daemon on loopback TCP
+  std::string serve_unix;    ///< --serve-unix PATH: daemon on a unix socket
+  int sessions = 4;          ///< --sessions: concurrent daemon jobs
+  std::string connect;       ///< --connect ADDR: submit via a daemon
+  bool ping = false;         ///< --connect + --ping: liveness probe
+  bool shutdown = false;     ///< --connect + --shutdown: stop the daemon
+  bool progress = false;     ///< stream progress events to stderr
+  std::int64_t job_time_ms = 0;   ///< per-job time budget (0 = none)
+  std::int64_t job_cache_mb = 0;  ///< per-job eval-cache budget (0 = none)
 };
 
 void usage() {
@@ -95,6 +113,9 @@ void usage() {
                "            [--no-verify] [--check-moves] [--templates] [--auto-variants] [--seed N] "
                "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
+               "            [--progress] [--job-time-ms N] [--job-cache-mb N]\n"
+               "       hsyn (--serve PORT | --serve-unix PATH) [--sessions N] [runtime flags]\n"
+               "       hsyn --connect ADDR (design flags | --ping | --shutdown)\n"
                "(each flag also accepts the --flag=VALUE form)\n");
 }
 
@@ -197,6 +218,12 @@ std::optional<Args> parse(int argc, char** argv) {
       a.auto_variants = true;
     } else if (arg == "--verbose") {
       a.verbose = true;
+    } else if (arg == "--progress") {
+      a.progress = true;
+    } else if (arg == "--ping") {
+      a.ping = true;
+    } else if (arg == "--shutdown") {
+      a.shutdown = true;
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -217,12 +244,47 @@ std::optional<Args> parse(int argc, char** argv) {
       a.replay = v;
       hsyn::ReplayMode mode;
       if (!hsyn::parse_replay_mode(a.replay, &mode)) return std::nullopt;
+    } else if (arg == "--serve") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.serve_port = std::atoi(v);
+      if (a.serve_port <= 0 || a.serve_port > 65535) return std::nullopt;
+    } else if (arg == "--serve-unix") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.serve_unix = v;
+    } else if (arg == "--sessions") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.sessions = std::atoi(v);
+      if (a.sessions <= 0) return std::nullopt;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.connect = v;
+    } else if (arg == "--job-time-ms") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.job_time_ms = std::atoll(v);
+      if (a.job_time_ms <= 0) return std::nullopt;
+    } else if (arg == "--job-cache-mb") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.job_cache_mb = std::atoll(v);
+      if (a.job_cache_mb <= 0) return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
     }
   }
-  if (a.design_file.empty() == a.benchmark.empty()) {
+  const bool serving = a.serve_port != 0 || !a.serve_unix.empty();
+  if (serving && (a.serve_port != 0 && !a.serve_unix.empty())) {
+    return std::nullopt;  // one listen address
+  }
+  if (serving && !a.connect.empty()) return std::nullopt;
+  if ((a.ping || a.shutdown) && a.connect.empty()) return std::nullopt;
+  const bool needs_design = !serving && !a.ping && !a.shutdown;
+  if (needs_design && a.design_file.empty() == a.benchmark.empty()) {
     return std::nullopt;  // exactly one of --design / --benchmark
   }
   return a;
@@ -238,29 +300,60 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace hsyn;
-  const std::optional<Args> args = parse(argc, argv);
-  if (!args) {
-    usage();
-    return 2;
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
   }
-  if (args->verbose) set_log_level(LogLevel::Info);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Progress events go to stderr so stdout stays bit-identical to a run
+/// without --progress.
+void print_progress(const hsyn::SynthProgress& ev) {
+  using Stage = hsyn::SynthProgress::Stage;
+  switch (ev.stage) {
+    case Stage::Probe:
+      std::fprintf(stderr, "progress: probe vdd=%.2f feasible-clocks=%d\n",
+                   ev.vdd, ev.feasible_clocks);
+      break;
+    case Stage::Pass:
+      std::fprintf(stderr,
+                   "progress: vdd=%.2f clk=%.1f pass=%d moves=%d kept=%d "
+                   "cost=%.6g\n",
+                   ev.vdd, ev.clock_ns, ev.pass, ev.moves_applied,
+                   ev.moves_kept, ev.cost);
+      break;
+    case Stage::OpPoint:
+      std::fprintf(stderr,
+                   "progress: op-point vdd=%.2f clk=%.1f cost=%.6g "
+                   "area=%.1f power=%.4f\n",
+                   ev.vdd, ev.clock_ns, ev.cost, ev.area, ev.power);
+      break;
+  }
+}
+
+/// Configure the shared runtime from the CLI flags (direct and serve
+/// modes; a --connect client leaves all of this to the daemon).
+void setup_runtime(const Args& args) {
+  using namespace hsyn;
   // Parallel runtime: --threads N, else HSYN_THREADS, else all cores.
   // Synthesis results are bit-identical for every thread count.
-  runtime::set_threads(args->threads);
-  if (args->eval_cache_mb > 0) {
+  runtime::set_threads(args.threads);
+  if (args.eval_cache_mb > 0) {
     eval::EvalEngine::instance().set_capacity_mb(
-        static_cast<std::size_t>(args->eval_cache_mb));
+        static_cast<std::size_t>(args.eval_cache_mb));
   }
-  if (!args->replay.empty()) {
+  if (!args.replay.empty()) {
     ReplayMode mode = ReplayMode::Compiled;
-    parse_replay_mode(args->replay, &mode);  // validated by parse()
+    parse_replay_mode(args.replay, &mode);  // validated by parse()
     set_replay_mode(mode);
   }
-  if (args->verbose) {
+  if (args.verbose) {
     std::printf("runtime: %d thread(s)\n", runtime::threads());
     std::printf("eval cache: %zu MB\n",
                 eval::EvalEngine::instance().capacity_bytes() >> 20);
@@ -268,172 +361,274 @@ int main(int argc, char** argv) {
                 replay_mode() == ReplayMode::Interp ? "interpreter"
                                                     : "compiled kernel");
   }
+}
 
-  // Observability: the span tracer costs one relaxed atomic load per
-  // span when disabled, so it is only switched on when an export was
-  // requested. HSYN_TRACE=FILE is the no-flag spelling of --trace-out.
-  std::string trace_out = args->trace_out;
+/// Resolve --trace-out (or HSYN_TRACE) and switch on the requested
+/// observability sinks. The span tracer costs one relaxed atomic load
+/// per span when disabled, so it is only enabled when an export was
+/// requested.
+std::string setup_obs(const Args& args) {
+  std::string trace_out = args.trace_out;
   if (trace_out.empty()) {
     if (const char* env = std::getenv("HSYN_TRACE")) trace_out = env;
   }
-  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
-  if (!args->move_log.empty()) obs::MoveLedger::instance().set_enabled(true);
-
-  std::string design_text;
-  if (args->benchmark.empty()) {
-    std::ifstream in(args->design_file);
-    if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", args->design_file.c_str());
-      return 1;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    design_text = buf.str();
+  if (!trace_out.empty()) hsyn::obs::Tracer::instance().set_enabled(true);
+  if (!args.move_log.empty()) {
+    hsyn::obs::MoveLedger::instance().set_enabled(true);
   }
+  return trace_out;
+}
 
-  try {
-    // --benchmark keeps the whole Benchmark alive: its complex-library
-    // templates point into its design (see benchmarks.h).
-    std::optional<Benchmark> bench;
-    Design file_design;
-    Library lib = default_library();
-    if (!args->benchmark.empty()) {
-      bench.emplace(make_benchmark(args->benchmark, lib));
-    } else {
-      file_design = design_from_text(design_text);
+/// Flush the trace/ledger/metrics exports (the tail of a direct run, a
+/// cancelled run on its way out, and daemon shutdown all come through
+/// here). Returns false when a file could not be written.
+bool flush_obs(const Args& args, const std::string& trace_out) {
+  using namespace hsyn;
+  bool ok = true;
+  if (!args.move_log.empty() && obs::MoveLedger::instance().enabled() &&
+      !obs::MoveLedger::instance().write(args.move_log)) {
+    std::fprintf(stderr, "cannot write %s\n", args.move_log.c_str());
+    ok = false;
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::instance().write_chrome_json(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      ok = false;
+    } else if (args.verbose) {
+      std::printf("trace: %zu span(s) written to %s\n",
+                  obs::Tracer::instance().events().size(), trace_out.c_str());
     }
-    Design& design = bench ? bench->design : file_design;
-    if (args->auto_variants) {
-      // Generate equivalent DFG variants (balanced / chained reduction
-      // trees) for every non-top behavior so move A can swap them.
-      int added = 0;
-      const std::vector<std::string> names = design.behavior_names();
-      for (const std::string& b : names) {
-        if (b == design.top_name()) continue;
-        added += register_variants(design, b);
-      }
-      std::printf("auto-variants: %d equivalent DFG variant(s) registered\n",
-                  added);
+  }
+  if (!args.metrics_out.empty()) {
+    // runtime counters reach the snapshot through the sources the
+    // runtime registered in the obs registry (see runtime/stats.cpp).
+    if (!obs::Registry::instance().write_json(args.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      ok = false;
     }
-    if (!args->library_file.empty()) {
-      if (bench) {
-        std::fprintf(stderr,
-                     "--library cannot be combined with --benchmark "
-                     "(built-in benchmarks fix their library)\n");
-        return 2;
-      }
-      std::ifstream lf(args->library_file);
-      if (!lf) {
-        std::fprintf(stderr, "cannot read %s\n", args->library_file.c_str());
-        return 1;
-      }
-      std::stringstream lb;
-      lb << lf.rdbuf();
-      lib = library_from_text(lb.str());
-      std::printf("library: %d functional-unit types loaded from %s\n",
-                  lib.num_fu_types(), args->library_file.c_str());
-    }
-    ComplexLibrary local_clib;
-    if (args->templates && !bench) {
-      local_clib = default_complex_library(design, lib);
-    }
-    const ComplexLibrary* clib = nullptr;
-    if (args->templates) clib = bench ? &bench->clib : &local_clib;
+  }
+  return ok;
+}
 
-    const double min_ts = min_sample_period_ns(design, lib);
-    const double ts = args->period_ns.value_or(args->laxity * min_ts);
-    std::printf("design %s: top '%s', %d behaviors, %d flattened ops\n",
-                bench ? bench->name.c_str() : args->design_file.c_str(),
-                design.top_name().c_str(),
-                static_cast<int>(design.behavior_names().size()),
-                design.flattened_size(design.top_name()));
-    std::printf("minimum sampling period %.1f ns, constraint %.1f ns "
-                "(L.F. %.2f)\n\n",
-                min_ts, ts, ts / min_ts);
+/// Build the JobSpec both the direct path and the --connect client
+/// submit; file contents are read here, on the client side.
+bool spec_from_args(const Args& args, hsyn::serve::JobSpec* spec) {
+  spec->benchmark = args.benchmark;
+  if (!args.design_file.empty()) {
+    if (!read_file(args.design_file, &spec->design_text)) return false;
+    spec->design_name = args.design_file;
+  }
+  if (!args.library_file.empty() &&
+      !read_file(args.library_file, &spec->library_text)) {
+    return false;
+  }
+  if (!args.trace_file.empty() &&
+      !read_file(args.trace_file, &spec->trace_text)) {
+    return false;
+  }
+  spec->objective = args.objective;
+  spec->mode = args.mode;
+  spec->laxity = args.laxity;
+  spec->period_ns = args.period_ns.value_or(0);
+  spec->seed = args.seed;
+  spec->templates = args.templates;
+  spec->auto_variants = args.auto_variants;
+  spec->verify = args.verify;
+  spec->check_moves = args.check_moves;
+  spec->time_budget_ms = args.job_time_ms;
+  spec->cache_budget_mb = args.job_cache_mb;
+  spec->want_progress = args.progress;
+  spec->want_ledger = !args.move_log.empty();
+  return true;
+}
 
-    SynthOptions opts;
-    opts.seed = args->seed;
-    opts.check_moves = args->check_moves;
-    if (!args->trace_file.empty()) {
-      std::ifstream tf(args->trace_file);
-      if (!tf) {
-        std::fprintf(stderr, "cannot read %s\n", args->trace_file.c_str());
-        return 1;
-      }
-      std::stringstream tb;
-      tb << tf.rdbuf();
-      opts.user_trace = trace_from_text(tb.str());
-      std::printf("trace: %zu samples loaded from %s\n",
-                  opts.user_trace.size(), args->trace_file.c_str());
-    }
-    const SynthResult r = synthesize(design, lib, clib, ts, args->objective,
-                                     args->mode, opts);
-    if (!r.ok) {
-      std::fprintf(stderr, "synthesis failed: %s\n", r.fail_reason.c_str());
-      return 1;
-    }
-    std::printf("%s\n%s", result_summary(r, lib).c_str(),
-                architecture_summary(r.dp, lib).c_str());
+/// Render a finished job the way every mode does: the report verbatim
+/// on stdout, the ledger table after it, errors on stderr. Returns the
+/// process exit code (130 = cancelled, mirroring 128+SIGINT).
+int render_outcome(const Args& args, const hsyn::serve::JobOutcome& outcome) {
+  std::fputs(outcome.report.c_str(), stdout);
+  if (outcome.ok && !args.move_log.empty()) {
+    std::printf("\nmove ledger (%llu attempts):\n%s",
+                static_cast<unsigned long long>(outcome.ledger_attempts),
+                outcome.ledger_table.c_str());
+  }
+  if (outcome.cancelled) {
+    std::fprintf(stderr, "cancelled: %s\n", outcome.error.c_str());
+    return 130;
+  }
+  if (!outcome.ok) {
+    std::fprintf(stderr, "%s\n", outcome.error.c_str());
+    return 1;
+  }
+  if (args.verify && !outcome.verify_ok) return 1;
+  return 0;
+}
 
-    // ---- Observability exports (never alter synthesis results). ----------
-    if (obs::MoveLedger::instance().enabled()) {
-      std::printf("\nmove ledger (%zu attempts):\n%s",
-                  obs::MoveLedger::instance().merged().size(),
-                  obs::MoveLedger::instance().summary_table().c_str());
-      if (!args->move_log.empty() &&
-          !obs::MoveLedger::instance().write(args->move_log)) {
-        std::fprintf(stderr, "cannot write %s\n", args->move_log.c_str());
-        return 1;
-      }
-    }
-    if (!trace_out.empty()) {
-      if (!obs::Tracer::instance().write_chrome_json(trace_out)) {
-        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-        return 1;
-      }
-      if (args->verbose) {
-        std::printf("trace: %zu span(s) written to %s\n",
-                    obs::Tracer::instance().events().size(), trace_out.c_str());
-      }
-    }
-    if (!args->metrics_out.empty()) {
-      // runtime counters reach the snapshot through the sources the
-      // runtime registered in the obs registry (see runtime/stats.cpp).
-      if (!obs::Registry::instance().write_json(args->metrics_out)) {
-        std::fprintf(stderr, "cannot write %s\n", args->metrics_out.c_str());
-        return 1;
-      }
-    }
+/// The classic one-shot CLI, now the same pipeline the daemon runs.
+int run_direct(const Args& args) {
+  using namespace hsyn;
+  setup_runtime(args);
+  const std::string trace_out = setup_obs(args);
 
-    if (args->verify) {
-      const Trace trace =
-          make_trace(r.dp.behaviors[0].dfg->num_inputs(), 32, args->seed + 1);
-      const RtlSimResult sim = simulate_rtl(r.dp, 0, trace, lib, r.pt);
-      std::printf("\nRTL verification: %s\n",
-                  sim.ok ? "PASS (outputs match the behavioral model)"
-                         : sim.violations.front().c_str());
-      if (!sim.ok) return 1;
-    }
-    if (!args->netlist_file.empty() &&
-        !write_file(args->netlist_file, netlist_to_text(r.dp, lib))) {
-      return 1;
-    }
-    if (!args->verilog_file.empty() &&
-        !write_file(args->verilog_file, to_verilog(r.dp, lib, r.pt))) {
-      return 1;
-    }
-    if (!args->fsm_file.empty()) {
-      const Controller fsm = build_controller(r.dp, lib, r.pt);
-      if (!write_file(args->fsm_file, controller_to_text(fsm))) return 1;
-    }
-    if (!args->dot_file.empty() &&
-        !write_file(args->dot_file,
+  serve::JobSpec spec;
+  if (!spec_from_args(args, &spec)) return 1;
+
+  serve::JobHooks hooks;
+  hooks.cancel = std::make_shared<runtime::CancelToken>();
+  hooks.cancel->link_to_signals();
+  runtime::install_signal_handlers();
+  if (args.progress) hooks.progress = print_progress;
+  // A per-job cache budget needs a nonzero job id for attribution; the
+  // ledger and report are unaffected by the id itself.
+  if (spec.cache_budget_mb > 0) hooks.job_id = 1;
+
+  const serve::JobOutcome outcome = serve::run_job(spec, hooks);
+
+  const int rc = render_outcome(args, outcome);
+  if (!flush_obs(args, trace_out) && rc == 0) return 1;
+  if (rc != 0) return rc;
+
+  // File outputs (direct mode only; a --connect client has no Datapath).
+  const SynthResult& r = *outcome.result;
+  const Library& lib = *outcome.lib;
+  if (!args.netlist_file.empty() &&
+      !write_file(args.netlist_file, netlist_to_text(r.dp, lib))) {
+    return 1;
+  }
+  if (!args.verilog_file.empty() &&
+      !write_file(args.verilog_file, to_verilog(r.dp, lib, r.pt))) {
+    return 1;
+  }
+  if (!args.fsm_file.empty()) {
+    const Controller fsm = build_controller(r.dp, lib, r.pt);
+    if (!write_file(args.fsm_file, controller_to_text(fsm))) return 1;
+  }
+  if (!args.dot_file.empty()) {
+    const Design& design = outcome.bench ? outcome.bench->design
+                                         : *outcome.design;
+    if (!write_file(args.dot_file,
                     dfg_to_dot(design.behavior(design.top_name())))) {
       return 1;
     }
+  }
+  return 0;
+}
+
+/// `hsyn --serve[-unix]`: run the daemon until a signal or a client
+/// shutdown request, then flush the observability exports.
+int run_serve(const Args& args) {
+  using namespace hsyn;
+  setup_runtime(args);
+  const std::string trace_out = setup_obs(args);
+  runtime::install_signal_handlers();
+
+  serve::ServerOptions opts;
+  opts.unix_path = args.serve_unix;
+  opts.tcp_port = args.serve_port;
+  opts.sessions = args.sessions;
+  serve::Server server(std::move(opts));
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+    return 1;
+  }
+  if (!args.serve_unix.empty()) {
+    std::fprintf(stderr, "hsyn: serving on %s (%d session(s), %d thread(s))\n",
+                 args.serve_unix.c_str(), args.sessions, runtime::threads());
+  } else {
+    std::fprintf(stderr,
+                 "hsyn: serving on 127.0.0.1:%d (%d session(s), %d thread(s))\n",
+                 args.serve_port, args.sessions, runtime::threads());
+  }
+  const int rc = server.run();
+  std::fprintf(stderr, "hsyn: daemon stopped\n");
+  if (!flush_obs(args, trace_out) && rc == 0) return 1;
+  return rc;
+}
+
+/// `hsyn --connect`: the CLI as a thin client of a running daemon.
+int run_connect(const Args& args) {
+  using namespace hsyn;
+  // Everything that shapes the daemon's process (threads, caches,
+  // replay backend) or needs the Datapath locally is a direct-mode
+  // concern.
+  if (!args.netlist_file.empty() || !args.verilog_file.empty() ||
+      !args.fsm_file.empty() || !args.dot_file.empty()) {
+    std::fprintf(stderr,
+                 "hsyn: file outputs (--netlist/--verilog/--fsm/--dot) "
+                 "require a direct run, not --connect\n");
+    return 2;
+  }
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+    std::fprintf(stderr,
+                 "hsyn: --trace-out/--metrics-out describe the daemon "
+                 "process; pass them to --serve instead of --connect\n");
+    return 2;
+  }
+  if (args.threads != 0 || args.eval_cache_mb != 0 || !args.replay.empty()) {
+    std::fprintf(stderr,
+                 "hsyn: --threads/--eval-cache-mb/--replay are fixed by "
+                 "the daemon; pass them to --serve\n");
+    return 2;
+  }
+
+  serve::Client client;
+  std::string err;
+  if (!client.connect(args.connect, &err)) {
+    std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+    return 1;
+  }
+  if (args.ping) {
+    if (!client.ping(&err)) {
+      std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (args.shutdown) {
+    if (!client.shutdown_server(&err)) {
+      std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  serve::JobSpec spec;
+  if (!spec_from_args(args, &spec)) return 1;
+  serve::JobOutcome outcome;
+  if (!client.run_job(spec, args.progress ? print_progress : nullptr,
+                      &outcome, &err)) {
+    std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+    return 1;
+  }
+  const int rc = render_outcome(args, outcome);
+  // The move log the daemon recorded for this job, written client-side.
+  // (JSONL only: group ids come from the daemon's global counter.)
+  if (rc == 0 && !args.move_log.empty() &&
+      !write_file(args.move_log, outcome.ledger_jsonl)) {
+    return 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> args = parse(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->verbose) hsyn::set_log_level(hsyn::LogLevel::Info);
+  try {
+    if (args->serve_port != 0 || !args->serve_unix.empty()) {
+      return run_serve(*args);
+    }
+    if (!args->connect.empty()) return run_connect(*args);
+    return run_direct(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace hsyn {
 
@@ -288,6 +289,304 @@ bool json_valid(const std::string& text) {
   if (!c.value()) return false;
   c.ws();
   return c.p == c.end;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) found = &v;  // last duplicate wins
+  }
+  return found;
+}
+
+std::string JsonValue::str_or(const std::string& key,
+                              const std::string& fallback) const {
+  const JsonValue* v = get(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+double JsonValue::num_or(const std::string& key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::int64_t JsonValue::int_or(const std::string& key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v && v->is_number() ? v->as_int() : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v && v->is_bool() ? v->as_bool() : fallback;
+}
+
+/// Recursive-descent parser building JsonValue trees. Same grammar and
+/// nesting cap as the Checker above, plus \uXXXX decoding to UTF-8.
+class JsonParser {
+ public:
+  JsonParser(const char* begin, const char* end) : begin_(begin), p_(begin), end_(end) {}
+
+  bool parse(JsonValue* out, std::string* err) {
+    if (!value(out)) {
+      if (err) *err = error_.empty() ? fail("invalid JSON value") : error_;
+      return false;
+    }
+    ws();
+    if (p_ != end_) {
+      if (err) *err = fail("trailing characters after JSON document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " at offset %lld",
+                  static_cast<long long>(p_ - begin_));
+    return what + buf;
+  }
+
+  bool set_error(const std::string& what) {
+    if (error_.empty()) error_ = fail(what);
+    return false;
+  }
+
+  void ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool lit(const char* s) {
+    const char* q = s;
+    const char* r = p_;
+    while (*q && r < end_ && *r == *q) ++q, ++r;
+    if (*q) return set_error(std::string("invalid literal (expected ") + s + ")");
+    p_ = r;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p_ >= end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+        return set_error("invalid \\u escape (expected 4 hex digits)");
+      }
+      const char c = *p_++;
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else v |= static_cast<unsigned>(c - 'A' + 10);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (p_ >= end_ || *p_ != '"') return set_error("expected string");
+    ++p_;
+    out->clear();
+    while (p_ < end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ >= end_) return set_error("unterminated escape");
+        const char e = *p_++;
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!hex4(&cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must pair with \uDC00..\uDFFF.
+              if (p_ + 1 >= end_ || p_[0] != '\\' || p_[1] != 'u') {
+                return set_error("unpaired high surrogate");
+              }
+              p_ += 2;
+              unsigned lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return set_error("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return set_error("unpaired low surrogate");
+            }
+            append_utf8(*out, cp);
+            break;
+          }
+          default: return set_error("invalid escape character");
+        }
+      } else if (c < 0x20) {
+        return set_error("raw control character in string");
+      } else {
+        *out += static_cast<char>(c);
+        ++p_;
+      }
+    }
+    return set_error("unterminated string");
+  }
+
+  bool number(double* out) {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      p_ = start;
+      return set_error("invalid number");
+    }
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ < end_ && *p_ == '.') {
+      ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return set_error("digit expected after decimal point");
+      }
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ < end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return set_error("digit expected in exponent");
+      }
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    const std::string tok(start, p_);
+    *out = std::strtod(tok.c_str(), nullptr);
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (++depth_ > 256) return set_error("nesting too deep");
+    ws();
+    bool ok = false;
+    if (p_ >= end_) {
+      ok = set_error("unexpected end of input");
+    } else if (*p_ == '{') {
+      ++p_;
+      out->kind_ = JsonValue::Kind::Object;
+      ws();
+      if (p_ < end_ && *p_ == '}') {
+        ++p_;
+        ok = true;
+      } else {
+        for (;;) {
+          ws();
+          std::string key;
+          if (!string(&key)) break;
+          ws();
+          if (p_ >= end_ || *p_ != ':') {
+            set_error("expected ':' after object key");
+            break;
+          }
+          ++p_;
+          JsonValue member;
+          if (!value(&member)) break;
+          out->obj_.emplace_back(std::move(key), std::move(member));
+          ws();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            ok = true;
+          } else {
+            set_error("expected ',' or '}' in object");
+          }
+          break;
+        }
+      }
+    } else if (*p_ == '[') {
+      ++p_;
+      out->kind_ = JsonValue::Kind::Array;
+      ws();
+      if (p_ < end_ && *p_ == ']') {
+        ++p_;
+        ok = true;
+      } else {
+        for (;;) {
+          JsonValue elem;
+          if (!value(&elem)) break;
+          out->arr_.push_back(std::move(elem));
+          ws();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            ok = true;
+          } else {
+            set_error("expected ',' or ']' in array");
+          }
+          break;
+        }
+      }
+    } else if (*p_ == '"') {
+      out->kind_ = JsonValue::Kind::String;
+      ok = string(&out->str_);
+    } else if (*p_ == 't') {
+      out->kind_ = JsonValue::Kind::Bool;
+      out->bool_ = true;
+      ok = lit("true");
+    } else if (*p_ == 'f') {
+      out->kind_ = JsonValue::Kind::Bool;
+      out->bool_ = false;
+      ok = lit("false");
+    } else if (*p_ == 'n') {
+      out->kind_ = JsonValue::Kind::Null;
+      ok = lit("null");
+    } else {
+      out->kind_ = JsonValue::Kind::Number;
+      ok = number(&out->num_);
+    }
+    --depth_;
+    return ok;
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+  int depth_ = 0;
+  std::string error_;
+};
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* err) {
+  *out = JsonValue();
+  JsonParser parser(text.data(), text.data() + text.size());
+  return parser.parse(out, err);
 }
 
 }  // namespace hsyn

@@ -71,4 +71,76 @@ class JsonWriter {
 /// and metrics snapshots are well-formed without an external parser.
 bool json_valid(const std::string& text);
 
+/// A parsed JSON document node (the request side of the server protocol;
+/// JsonWriter covers the response side). Object member order is
+/// preserved; duplicate keys keep the last value on lookup. Accessors
+/// are total: asking an object for a number yields the fallback instead
+/// of throwing, so protocol handlers read optional fields in one line:
+///
+///   JsonValue v;
+///   std::string err;
+///   if (!json_parse(text, &v, &err)) ...;
+///   const std::string type = v.str_or("type", "");
+///   const double laxity = v.num_or("laxity", 2.2);
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const {
+    return is_number() ? num_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& items() const { return arr_; }
+  /// Object members in document order (empty unless is_object()).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+  /// Member lookup (last duplicate wins); null when absent or not an
+  /// object.
+  const JsonValue* get(const std::string& key) const;
+
+  // One-line optional-field reads for protocol handlers.
+  std::string str_or(const std::string& key, const std::string& fallback) const;
+  double num_or(const std::string& key, double fallback) const;
+  std::int64_t int_or(const std::string& key, std::int64_t fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, anything else
+/// is an error). On failure returns false and, when `err` is non-null,
+/// fills it with a message naming the byte offset. Nesting is capped at
+/// 256 levels, matching json_valid; \uXXXX escapes decode to UTF-8
+/// (surrogate pairs included).
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* err = nullptr);
+
 }  // namespace hsyn

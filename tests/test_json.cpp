@@ -1,0 +1,146 @@
+// Unit tests of the util/json recursive-descent parser (the request
+// side of the serve protocol): escapes, nesting, numbers, and the full
+// catalogue of malformed inputs a client can throw at the daemon.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace hsyn {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(json_parse(text, &v, &err)) << text << ": " << err;
+  return v;
+}
+
+std::string parse_err(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse(text, &v, &err)) << text;
+  EXPECT_FALSE(err.empty()) << text;
+  return err;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool(true));
+  EXPECT_DOUBLE_EQ(parse_ok("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_ok("  123  ").as_int(), 123);
+}
+
+TEST(JsonParse, Escapes) {
+  EXPECT_EQ(parse_ok("\"a\\\"b\\\\c\\/d\"").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_ok("\"\\b\\f\\n\\r\\t\"").as_string(), "\b\f\n\r\t");
+  EXPECT_EQ(parse_ok("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+  // BMP three-byte and astral (surrogate pair) code points.
+  EXPECT_EQ(parse_ok("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RoundTripsWriterEscaping) {
+  const std::string raw = "line1\nline2\t\"quoted\" \\ slash \x01 control";
+  const JsonValue v = parse_ok(json_quote(raw));
+  EXPECT_EQ(v.as_string(), raw);
+}
+
+TEST(JsonParse, ObjectsPreserveOrderAndLookup) {
+  const JsonValue v =
+      parse_ok(R"({"b": 1, "a": {"nested": [1, 2, {"deep": true}]}, "b": 2})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  // Duplicate keys: lookup returns the last occurrence.
+  EXPECT_EQ(v.int_or("b", -1), 2);
+  const JsonValue* a = v.get("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* nested = a->get("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_TRUE(nested->is_array());
+  ASSERT_EQ(nested->items().size(), 3u);
+  EXPECT_EQ(nested->items()[1].as_int(), 2);
+  EXPECT_TRUE(nested->items()[2].bool_or("deep", false));
+}
+
+TEST(JsonParse, TotalAccessorsFallBack) {
+  const JsonValue v = parse_ok(R"({"s": "x", "n": 7, "b": true})");
+  EXPECT_EQ(v.str_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.str_or("n", "dflt"), "dflt");  // wrong kind -> fallback
+  EXPECT_DOUBLE_EQ(v.num_or("s", 1.5), 1.5);
+  EXPECT_TRUE(v.bool_or("missing", true));
+  EXPECT_EQ(v.get("missing"), nullptr);
+  // Scalar values answer object lookups with the fallback, not a crash.
+  EXPECT_EQ(parse_ok("3").str_or("k", "d"), "d");
+}
+
+TEST(JsonParse, DeepNestingWithinCap) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  const JsonValue v = parse_ok(deep);
+  const JsonValue* p = &v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(p->is_array());
+    ASSERT_EQ(p->items().size(), 1u);
+    p = &p->items()[0];
+  }
+  EXPECT_EQ(p->as_int(), 1);
+}
+
+TEST(JsonParse, NestingBeyondCapFails) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 300; ++i) deep += "]";
+  EXPECT_NE(parse_err(deep).find("nesting"), std::string::npos);
+}
+
+TEST(JsonParse, MalformedInputs) {
+  parse_err("");
+  parse_err("{");
+  parse_err("}");
+  parse_err("[1,");
+  parse_err("[1 2]");
+  parse_err("{\"a\" 1}");
+  parse_err("{\"a\": }");
+  parse_err("{a: 1}");
+  parse_err("\"unterminated");
+  parse_err("\"bad \\q escape\"");
+  parse_err("\"\\u12\"");       // truncated hex
+  parse_err("\"\\ud800\"");     // unpaired high surrogate
+  parse_err("\"\\udc00\"");     // unpaired low surrogate
+  parse_err("1.");
+  parse_err("1e");
+  parse_err("-");
+  parse_err("tru");
+  parse_err("nul");
+  parse_err("1 2");              // trailing garbage
+  parse_err("\"a\" \"b\"");
+  parse_err(std::string("\"raw\x01control\""));
+}
+
+TEST(JsonParse, ErrorsNameAnOffset) {
+  EXPECT_NE(parse_err("[1, ]").find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, AgreesWithJsonValid) {
+  const std::string cases[] = {
+      "null", "[]", "{}", "[1,2,3]", R"({"k": [true, null, -2e-3]})",
+      "{", "[1,", "x", "\"\\u12\"", "1..2",
+  };
+  for (const std::string& c : cases) {
+    JsonValue v;
+    EXPECT_EQ(json_parse(c, &v), json_valid(c)) << c;
+  }
+}
+
+}  // namespace
+}  // namespace hsyn
