@@ -1,0 +1,184 @@
+// Portfolio-vs-single-seed acceptance benchmark.
+//
+// For every bundled design, runs the single-seed engine and a
+// multi-strategy portfolio (synth/portfolio.h) under the same options
+// and compares the objective achieved. The portfolio's explorers run
+// concurrently on the deterministic pool, so its wall clock stays in
+// the same league as one serial trajectory while it searches N of them.
+//
+// The exit code gates the claim the portfolio exists to make:
+//   * never worse -- portfolio cost <= single-seed cost on EVERY design
+//     (strategy 0 is an exact baseline replica, so this can only fail
+//     if the best-of reduction is broken),
+//   * actually useful -- strictly better on >= 4 of the 8 designs.
+//
+// Emits BENCH_portfolio.json (and the same object on stdout). Wall
+// times are informational only; costs are deterministic and gate.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.h"
+#include "library/library.h"
+#include "runtime/thread_pool.h"
+#include "synth/portfolio.h"
+#include "synth/synthesizer.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace hsyn;
+
+/// Seconds since construction (steady clock).
+class Timer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_ =
+      std::chrono::steady_clock::now();
+};
+
+constexpr int kStrategies = 6;
+constexpr int kRounds = 2;
+constexpr double kLaxity = 2.2;
+
+struct Row {
+  std::string design;
+  bool ok = false;
+  double solo_area = 0, solo_power = 0, solo_cost = 0, solo_s = 0;
+  double pf_area = 0, pf_power = 0, pf_cost = 0, pf_s = 0;
+  int winner = -1;
+  std::string winner_name;
+};
+
+}  // namespace
+
+int main() {
+  runtime::set_threads(0);
+  const Library lib = default_library();
+  std::vector<std::string> designs = benchmark_names();
+  designs.push_back("fir16");
+  designs.push_back("dct2d");
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+  for (const std::string& name : designs) {
+    Row row;
+    row.design = name;
+    const Benchmark bench = make_benchmark(name, lib);
+    const double ts = kLaxity * min_sample_period_ns(bench.design, lib);
+
+    Timer t_solo;
+    const SynthResult solo =
+        synthesize(bench.design, lib, &bench.clib, ts, Objective::Power,
+                   Mode::Hierarchical);
+    row.solo_s = t_solo.seconds();
+
+    PortfolioOptions popts;
+    popts.num_strategies = kStrategies;
+    popts.rounds = kRounds;
+    Timer t_pf;
+    const PortfolioResult pf =
+        portfolio_synthesize(bench.design, lib, &bench.clib, ts,
+                             Objective::Power, Mode::Hierarchical, {}, popts);
+    row.pf_s = t_pf.seconds();
+
+    row.ok = solo.ok && pf.best.ok;
+    if (!row.ok) {
+      std::fprintf(stderr, "bench_portfolio: %s: solo %s / portfolio %s\n",
+                   name.c_str(),
+                   solo.ok ? "ok" : solo.fail_reason.c_str(),
+                   pf.best.ok ? "ok" : pf.best.fail_reason.c_str());
+      all_ok = false;
+    } else {
+      row.solo_area = solo.area;
+      row.solo_power = solo.power;
+      row.solo_cost = solo.power;
+      row.pf_area = pf.best.area;
+      row.pf_power = pf.best.power;
+      row.pf_cost = pf.best.power;
+      row.winner = pf.winner;
+      row.winner_name =
+          pf.reports[static_cast<std::size_t>(pf.winner)].strategy.name;
+      std::fprintf(stderr,
+                   "%-14s solo %.4f (%.2fs)  portfolio %.4f (%.2fs)  "
+                   "winner %s%s\n",
+                   name.c_str(), row.solo_cost, row.solo_s, row.pf_cost,
+                   row.pf_s, row.winner_name.c_str(),
+                   row.pf_cost < row.solo_cost ? "  [improved]" : "");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  int never_worse = 0;
+  int strictly_better = 0;
+  for (const Row& r : rows) {
+    if (!r.ok) continue;
+    if (r.pf_cost <= r.solo_cost) ++never_worse;
+    if (r.pf_cost < r.solo_cost) ++strictly_better;
+  }
+  const int n = static_cast<int>(rows.size());
+  const bool gate_never_worse = all_ok && never_worse == n;
+  const bool gate_improves = strictly_better >= 4;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("portfolio");
+  w.key("strategies").value(kStrategies);
+  w.key("rounds").value(kRounds);
+  w.key("threads").value(runtime::threads());
+  w.key("designs").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("design").value(r.design);
+    w.key("ok").value(r.ok);
+    w.key("solo_area").value(r.solo_area);
+    w.key("solo_power").value(r.solo_power);
+    w.key("portfolio_area").value(r.pf_area);
+    w.key("portfolio_power").value(r.pf_power);
+    w.key("improvement_pct")
+        .value(r.solo_cost > 0
+                   ? 100.0 * (r.solo_cost - r.pf_cost) / r.solo_cost
+                   : 0.0);
+    w.key("winner").value(r.winner_name);
+    w.key("solo_s").value(r.solo_s);
+    w.key("portfolio_s").value(r.pf_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("never_worse").value(never_worse);
+  w.key("strictly_better").value(strictly_better);
+  w.key("gate_never_worse").value(gate_never_worse);
+  w.key("gate_improves").value(gate_improves);
+  w.end_object();
+  const std::string json = w.str() + "\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (std::FILE* f = std::fopen("BENCH_portfolio.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench_portfolio: cannot write BENCH_portfolio.json\n");
+    return 1;
+  }
+  if (!gate_never_worse) {
+    std::fprintf(stderr,
+                 "bench_portfolio: FAIL: portfolio worse than single-seed on "
+                 "%d design(s)\n",
+                 n - never_worse);
+    return 1;
+  }
+  if (!gate_improves) {
+    std::fprintf(stderr,
+                 "bench_portfolio: FAIL: strictly better on only %d/%d "
+                 "designs (need >= 4)\n",
+                 strictly_better, n);
+    return 1;
+  }
+  return 0;
+}

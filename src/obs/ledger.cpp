@@ -44,15 +44,25 @@ struct Mark {
   MoveStatus status;
 };
 
+struct GroupMeta {
+  int pass = 0;
+  int depth = 0;
+  std::int32_t strategy = -1;
+};
+
 struct LedgerState {
   std::mutex mu;
   std::vector<std::shared_ptr<ThreadBuf>> bufs;
-  std::vector<Mark> marks;  ///< serial improvement loop only
-  /// Per group id: (pass, resynth depth) captured at begin_group() time.
-  /// Pass/depth scopes are thread-local to the serial enumerating
-  /// thread; a worker evaluating the candidate would read its own stale
-  /// values, so merged() stamps records from this table instead.
-  std::vector<std::pair<int, int>> group_meta;
+  std::vector<Mark> marks;  ///< strategy-serial improvement loops only
+  /// Per group id: (pass, depth, strategy) captured at begin_group()
+  /// time. Pass/depth/strategy scopes are thread-local to the
+  /// enumerating thread; a worker evaluating the candidate would read
+  /// its own stale values, so merged() stamps records from this table
+  /// instead. A map because portfolio group ids are sparse (strategy
+  /// tag in the high bits).
+  std::map<std::uint64_t, GroupMeta> group_meta;
+  /// Per-strategy group sequence counters (portfolio explorers).
+  std::map<std::int32_t, std::uint64_t> strategy_seq;
 };
 
 LedgerState& state() {
@@ -79,6 +89,7 @@ struct Tag {
   bool active = false;
   int pass = 0;
   int depth = 0;
+  std::int32_t strategy = -1;
 };
 
 thread_local Tag t_tag;
@@ -113,18 +124,29 @@ void MoveLedger::reset() {
   }
   s.marks.clear();
   s.group_meta.clear();
+  s.strategy_seq.clear();
   next_group_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t MoveLedger::begin_group() {
-  const std::uint64_t id = next_group_.fetch_add(1, std::memory_order_relaxed);
   // Capture the enumerating thread's improvement context here, where it
   // is authoritative (see group_meta).
   LedgerState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.group_meta.size() <= id) s.group_meta.resize(id + 1, {0, 0});
+  const std::int32_t strat = StrategyScope::current();
+  std::uint64_t id;
+  if (strat < 0) {
+    // Solo path: one process-global serial sequence, exactly as before.
+    id = next_group_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Portfolio explorer: the strategy's own sequence, so the id is a
+    // pure function of the strategy's deterministic trajectory no
+    // matter how explorers interleave.
+    id = (static_cast<std::uint64_t>(strat) + 1) << kStrategyShift |
+         s.strategy_seq[strat]++;
+  }
   s.group_meta[id] = {ImproveScope::current_pass(),
-                      ResynthScope::current_depth()};
+                      ResynthScope::current_depth(), strat};
   return id;
 }
 
@@ -150,7 +172,7 @@ std::vector<MoveRecord> MoveLedger::merged(std::uint64_t job) const {
   LedgerState& s = state();
   std::vector<MoveRecord> out;
   std::vector<Mark> marks;
-  std::vector<std::pair<int, int>> group_meta;
+  std::map<std::uint64_t, GroupMeta> group_meta;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     for (const auto& buf : s.bufs) {
@@ -167,12 +189,14 @@ std::vector<MoveRecord> MoveLedger::merged(std::uint64_t job) const {
                      return a.group != b.group ? a.group < b.group
                                                : a.cand < b.cand;
                    });
-  // Pass/depth come from the serial enumeration context, not from
-  // whichever worker happened to evaluate the candidate.
+  // Pass/depth/strategy come from the serial enumeration context, not
+  // from whichever worker happened to evaluate the candidate.
   for (MoveRecord& r : out) {
-    if (r.group < group_meta.size()) {
-      r.pass = group_meta[static_cast<std::size_t>(r.group)].first;
-      r.depth = group_meta[static_cast<std::size_t>(r.group)].second;
+    const auto it = group_meta.find(r.group);
+    if (it != group_meta.end()) {
+      r.pass = it->second.pass;
+      r.depth = it->second.depth;
+      r.strategy = it->second.strategy;
     }
   }
   // Marks are few (one or two per applied move); linear probe per mark
@@ -198,6 +222,7 @@ std::string MoveLedger::to_jsonl(bool include_timing, std::uint64_t job) const {
     w.key("group").value(r.group);
     w.key("job").value(r.job);
     w.key("cand").value(static_cast<std::int64_t>(r.cand));
+    w.key("strategy").value(static_cast<std::int64_t>(r.strategy));
     w.key("kind").value(r.kind);
     w.key("desc").value(r.desc);
     w.key("pass").value(r.pass);
@@ -219,11 +244,12 @@ std::string MoveLedger::to_jsonl(bool include_timing, std::uint64_t job) const {
 
 std::string MoveLedger::to_csv(std::uint64_t job) const {
   std::string out =
-      "group,job,cand,kind,desc,pass,depth,gain,cost_before,status,"
+      "group,job,cand,strategy,kind,desc,pass,depth,gain,cost_before,status,"
       "eval_us,cache_hits,cache_misses\n";
   for (const MoveRecord& r : merged(job)) {
     std::ostringstream line;
-    line << r.group << "," << r.job << "," << r.cand << ",";
+    line << r.group << "," << r.job << "," << r.cand << "," << r.strategy
+         << ",";
     std::string tail;
     append_csv_field(tail, r.kind);
     tail += ",";
@@ -251,6 +277,27 @@ std::map<std::string, MoveClassSummary> MoveLedger::summary(
   std::map<std::string, MoveClassSummary> out;
   for (const MoveRecord& r : merged(job)) {
     MoveClassSummary& s = out[r.kind];
+    ++s.attempted;
+    switch (r.status) {
+      case MoveStatus::Infeasible: ++s.infeasible; break;
+      case MoveStatus::Applied:
+      case MoveStatus::RolledBack: ++s.applied; break;
+      case MoveStatus::Accepted:
+        ++s.applied;
+        ++s.accepted;
+        s.accepted_gain += r.gain;
+        break;
+      case MoveStatus::Evaluated: break;
+    }
+  }
+  return out;
+}
+
+std::map<std::int32_t, std::map<std::string, MoveClassSummary>>
+MoveLedger::summary_by_strategy(std::uint64_t job) const {
+  std::map<std::int32_t, std::map<std::string, MoveClassSummary>> out;
+  for (const MoveRecord& r : merged(job)) {
+    MoveClassSummary& s = out[r.strategy][r.kind];
     ++s.attempted;
     switch (r.status) {
       case MoveStatus::Infeasible: ++s.infeasible; break;
@@ -333,6 +380,13 @@ ImproveScope::ImproveScope(int pass) : prev_pass_(t_tag.pass) {
 }
 ImproveScope::~ImproveScope() { t_tag.pass = prev_pass_; }
 int ImproveScope::current_pass() { return t_tag.pass; }
+
+StrategyScope::StrategyScope(std::int32_t strategy) : prev_(t_tag.strategy) {
+  t_tag.strategy = strategy;
+}
+StrategyScope::~StrategyScope() { t_tag.strategy = prev_; }
+bool StrategyScope::active() { return t_tag.strategy >= 0; }
+std::int32_t StrategyScope::current() { return t_tag.strategy; }
 
 ResynthScope::ResynthScope() : prev_depth_(t_tag.depth) { ++t_tag.depth; }
 ResynthScope::~ResynthScope() { t_tag.depth = prev_depth_; }

@@ -18,6 +18,17 @@
 // serial improvement loop after evaluation, keyed by the same
 // (group, cand), and folded in at merge time.
 //
+// Portfolio search relaxes "serial" to "serial per explorer": each
+// concurrent search strategy runs its whole trajectory on one pool lane
+// under a StrategyScope, and begin_group() then allocates from that
+// strategy's *own* sequence counter, encoded into the group id
+// ((strategy + 1) << kStrategyShift | seq). Group ids -- and therefore
+// the merged, (group, cand)-sorted ledger -- stay a pure function of
+// each strategy's deterministic trajectory, byte-identical at any
+// thread count even when explorers interleave arbitrarily. Records are
+// stamped with the allocating strategy (-1 outside any scope), exported
+// as the `strategy` JSONL/CSV column.
+//
 // eval_us and cache_hits/misses are the exception: the evaluation
 // caches are shared, so which candidate pays a miss depends on arrival
 // order. They are exported for profiling but excluded from the
@@ -48,6 +59,9 @@ struct MoveRecord {
   std::uint64_t group = 0;  ///< serial enumeration-site id
   std::uint64_t job = 0;    ///< obs::current_job() of the recording scope
   std::int32_t cand = 0;    ///< candidate index within the group
+  /// Portfolio strategy that enumerated the group (-1 = no strategy
+  /// scope was active; stamped at merge time from the group table).
+  std::int32_t strategy = -1;
   std::string kind;         ///< move class ("A:replace-fu", "C:share", ...)
   std::string desc;         ///< human-readable target description
   int pass = 0;             ///< improvement pass (outermost improve())
@@ -77,6 +91,13 @@ class MoveLedger {
   /// ledger).
   static constexpr std::uint64_t kAllJobs = ~std::uint64_t{0};
 
+  /// Bit position of the strategy tag inside portfolio group ids:
+  /// group = (strategy + 1) << kStrategyShift | per-strategy sequence.
+  /// 2^40 groups per strategy is unreachable in practice, and ids sort
+  /// by (strategy, sequence) -- exactly the deterministic order the
+  /// merged ledger needs.
+  static constexpr int kStrategyShift = 40;
+
   static MoveLedger& instance();
 
   MoveLedger(const MoveLedger&) = delete;
@@ -91,9 +112,10 @@ class MoveLedger {
   void reset();
 
   /// Allocate the id of the next enumeration group. Must be called from
-  /// serial code (a generator's enumeration site), never from inside a
-  /// parallel region -- the total order of calls is what makes ledger
-  /// output thread-count independent.
+  /// strategy-serial code (a generator's enumeration site): outside any
+  /// StrategyScope the total order of calls is what makes ledger output
+  /// thread-count independent; inside one, the per-strategy sequence
+  /// counter is, so concurrent explorers may enumerate freely.
   std::uint64_t begin_group();
 
   /// Append one record to the calling thread's buffer (lock-free with
@@ -129,6 +151,12 @@ class MoveLedger {
 
   /// The rollup rendered as the report's ASCII table.
   std::string summary_table(std::uint64_t job = kAllJobs) const;
+
+  /// Per-strategy per-move-class rollup (key -1 collects records made
+  /// outside any StrategyScope). The portfolio engine reads this to
+  /// report per-strategy win rates and derive accept-rate priors.
+  std::map<std::int32_t, std::map<std::string, MoveClassSummary>>
+  summary_by_strategy(std::uint64_t job = kAllJobs) const;
 
  private:
   MoveLedger() = default;
@@ -174,6 +202,26 @@ class ImproveScope {
 
  private:
   int prev_pass_;
+};
+
+/// RAII strategy context: the portfolio engine wraps each explorer's
+/// whole trajectory (one pool lane; nested regions run inline on it) so
+/// begin_group() allocates from the strategy's own deterministic
+/// sequence and records carry the strategy id. Thread-local.
+class StrategyScope {
+ public:
+  explicit StrategyScope(std::int32_t strategy);
+  ~StrategyScope();
+  StrategyScope(const StrategyScope&) = delete;
+  StrategyScope& operator=(const StrategyScope&) = delete;
+
+  /// True when the calling thread is inside a StrategyScope.
+  static bool active();
+  /// The innermost scope's strategy id (-1 when none).
+  static std::int32_t current();
+
+ private:
+  std::int32_t prev_;
 };
 
 /// RAII resynthesis-depth context: move B wraps its nested improve()

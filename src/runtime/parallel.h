@@ -96,4 +96,50 @@ Acc parallel_best(int n, Acc init, Eval&& eval, Keep&& keep) {
   return out;
 }
 
+/// A candidate in an explicit (cost, index)-ordered best-of reduction.
+/// index < 0 means "empty" (the fold identity).
+template <typename T>
+struct Scored {
+  double cost = 0;
+  int index = -1;
+  T value{};
+};
+
+/// The explicit comparator for portfolio-style best-of reductions:
+/// strictly lower cost wins; equal cost breaks toward the lower index.
+/// Reduction order can therefore never flip the winner between
+/// equal-cost candidates -- unlike a bare "keep when strictly better"
+/// fold, whose tie-break is implicit in visit order.
+template <typename T>
+bool scored_better(const Scored<T>& a, const Scored<T>& b) {
+  if (b.index < 0) return false;
+  if (a.index < 0) return true;
+  if (a.cost != b.cost) return b.cost < a.cost;
+  return b.index < a.index;
+}
+
+/// keep() combiner over Scored<T>: associative, identity = empty.
+template <typename T>
+void keep_scored(Scored<T>& acc, Scored<T>&& cand) {
+  if (scored_better(acc, cand)) acc = std::move(cand);
+}
+
+/// parallel_best with the explicit (cost, index) tie-break baked in:
+/// eval(i) returns a Scored<T> (callers set cost and value; index is
+/// overwritten with i). Returns the minimum-cost candidate, lowest
+/// index on ties, identical at any thread count.
+template <typename Eval>
+auto parallel_best_indexed(int n, Eval&& eval)
+    -> decltype(eval(0)) {
+  using S = decltype(eval(0));
+  return parallel_best(
+      n, S{},
+      [&](int i) {
+        S s = eval(i);
+        s.index = i;
+        return s;
+      },
+      [](S& acc, S&& cand) { keep_scored(acc, std::move(cand)); });
+}
+
 }  // namespace hsyn::runtime

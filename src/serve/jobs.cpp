@@ -12,6 +12,7 @@
 #include "power/trace.h"
 #include "power/trace_io.h"
 #include "runtime/cancel.h"
+#include "synth/portfolio.h"
 #include "synth/report.h"
 #include "util/fmt.h"
 
@@ -108,17 +109,53 @@ JobOutcome run_job_body(const JobSpec& spec, const JobHooks& hooks) {
                      static_cast<int>(opts.user_trace.size()));
     }
 
-    auto result = std::make_shared<SynthResult>(synthesize(
-        *dsn, *lib, clib, ts, spec.objective, spec.mode, opts));
+    std::shared_ptr<SynthResult> result;
+    if (spec.portfolio > 0 || !spec.strategies.empty()) {
+      PortfolioOptions popts;
+      popts.num_strategies = spec.portfolio > 0 ? spec.portfolio : 4;
+      popts.rounds = spec.portfolio_rounds;
+      if (!spec.strategies.empty()) {
+        std::string perr;
+        int rounds = popts.rounds;
+        if (!parse_strategies(spec.strategies, spec.objective,
+                              &popts.strategies, &rounds, &perr)) {
+          out.error = "bad strategies spec: " + perr;
+          out.report = std::move(report);
+          return out;
+        }
+        popts.rounds = rounds;
+      }
+      PortfolioResult pr = portfolio_synthesize(*dsn, *lib, clib, ts,
+                                                spec.objective, spec.mode,
+                                                opts, popts);
+      if (pr.cancelled) {
+        // Best-so-far semantics: the portfolio returns whatever its
+        // explorers finished before the trip, exactly once, with the
+        // cancellation surfaced alongside.
+        out.cancelled = true;
+        out.error = pr.cancel_reason.empty() ? "cancelled" : pr.cancel_reason;
+      }
+      const int n_strats = popts.strategies.empty()
+                               ? popts.num_strategies
+                               : static_cast<int>(popts.strategies.size());
+      report += strf("portfolio: %d strategies, %d round(s)\n", n_strats,
+                     popts.rounds) +
+                pr.summary_table() + "\n";
+      result = std::make_shared<SynthResult>(std::move(pr.best));
+    } else {
+      result = std::make_shared<SynthResult>(synthesize(
+          *dsn, *lib, clib, ts, spec.objective, spec.mode, opts));
+    }
     if (!result->ok) {
-      out.error = "synthesis failed: " + result->fail_reason;
+      out.error = out.cancelled ? out.error
+                                : "synthesis failed: " + result->fail_reason;
       out.report = std::move(report);
       return out;
     }
     report += result_summary(*result, *lib) + "\n" +
               architecture_summary(result->dp, *lib);
 
-    if (spec.verify) {
+    if (spec.verify && !out.cancelled) {
       const Trace vt = make_trace(result->dp.behaviors[0].dfg->num_inputs(),
                                   32, spec.seed + 1);
       const RtlSimResult sim = simulate_rtl(result->dp, 0, vt, *lib,

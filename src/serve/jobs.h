@@ -60,6 +60,17 @@ struct JobSpec {
   std::int64_t cache_budget_mb = 0;
   bool want_progress = false;  ///< stream SynthProgress events
   bool want_ledger = false;    ///< record + return the move ledger
+  /// Portfolio search (synth/portfolio.h): > 0 runs that many
+  /// concurrent strategies under the same cache/time budgets and keeps
+  /// the deterministic best-of; 0 = the single-seed engine. A cancelled
+  /// portfolio job returns its best-so-far solution (ok stays true)
+  /// with cancelled set.
+  int portfolio = 0;
+  int portfolio_rounds = 1;  ///< learning rounds (priors between rounds)
+  /// Explicit strategy spec (see synth/strategy.h parse_strategies);
+  /// non-empty implies a portfolio job and overrides `portfolio`'s
+  /// default strategy set.
+  std::string strategies;
 };
 
 /// What run_job produced. `report` is the full human-readable result

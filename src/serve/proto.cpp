@@ -10,6 +10,7 @@ const char* stage_name(SynthProgress::Stage s) {
     case SynthProgress::Stage::Probe: return "probe";
     case SynthProgress::Stage::Pass: return "pass";
     case SynthProgress::Stage::OpPoint: return "op-point";
+    case SynthProgress::Stage::Strategy: return "strategy";
   }
   return "?";
 }
@@ -25,6 +26,10 @@ bool parse_stage(const std::string& s, SynthProgress::Stage* out) {
   }
   if (s == "op-point") {
     *out = SynthProgress::Stage::OpPoint;
+    return true;
+  }
+  if (s == "strategy") {
+    *out = SynthProgress::Stage::Strategy;
     return true;
   }
   return false;
@@ -54,6 +59,11 @@ void write_spec(JsonWriter& w, const JobSpec& spec) {
   }
   w.key("progress").value(spec.want_progress);
   w.key("ledger").value(spec.want_ledger);
+  if (spec.portfolio > 0) w.key("portfolio").value(spec.portfolio);
+  if (spec.portfolio_rounds != 1) {
+    w.key("portfolio_rounds").value(spec.portfolio_rounds);
+  }
+  if (!spec.strategies.empty()) w.key("strategies").value(spec.strategies);
 }
 
 bool read_spec(const JsonValue& v, JobSpec* spec, std::string* err) {
@@ -91,6 +101,13 @@ bool read_spec(const JsonValue& v, JobSpec* spec, std::string* err) {
   spec->cache_budget_mb = v.int_or("cache_budget_mb", 0);
   spec->want_progress = v.bool_or("progress", false);
   spec->want_ledger = v.bool_or("ledger", false);
+  spec->portfolio = static_cast<int>(v.int_or("portfolio", 0));
+  spec->portfolio_rounds = static_cast<int>(v.int_or("portfolio_rounds", 1));
+  spec->strategies = v.str_or("strategies", "");
+  if (spec->portfolio < 0) {
+    if (err) *err = "portfolio must be >= 0";
+    return false;
+  }
   if (spec->benchmark.empty() == spec->design_text.empty()) {
     if (err) *err = "exactly one of 'benchmark' and 'design' must be given";
     return false;

@@ -1,146 +1,21 @@
 #include "synth/improve.h"
 
-#include <algorithm>
-#include <optional>
-#include <vector>
+#include <utility>
 
-#include "check/check.h"
-#include "obs/ledger.h"
-#include "obs/trace.h"
-#include "runtime/cancel.h"
-#include "runtime/stats.h"
-#include "runtime/thread_pool.h"
-#include "util/fmt.h"
-#include "util/log.h"
+#include "synth/search_core.h"
 
 namespace hsyn {
-namespace {
 
-/// Progress/cancel hooks fire only from the outermost serial improvement
-/// loop: move B's nested improve() runs at resynth depth > 0 (and, when
-/// parallelized, on pool workers inside a region), where a sink call
-/// would race and a cancel unwind would corrupt the enclosing move.
-bool at_top_level() {
-  return obs::ResynthScope::current_depth() == 0 &&
-         !runtime::ThreadPool::in_region();
-}
-
-}  // namespace
-
+// The legacy fixed-recipe entry point: one default-constructed
+// SearchStrategy through the strategy-parameterized engine. The default
+// strategy reproduces the paper's recipe exactly (move order A/B, C,
+// D-when-sharing-loses; resynthesis on the first two moves of each pass;
+// a single objective throughout), so this wrapper is bit-identical to
+// the pre-refactor monolith. Move B's nested resynthesis calls back in
+// here, so inner improvements always run the baseline recipe regardless
+// of the outer strategy.
 Datapath improve(Datapath dp, const SynthContext& cx, ImproveStats* stats) {
-  obs::Span improve_span("improve");
-  obs::MoveLedger& ledger = obs::MoveLedger::instance();
-  double cur_cost = cost_of(dp, cx);
-  if (stats) stats->initial_cost = cur_cost;
-  // The move-engine invariant gate: after every accepted move, re-verify
-  // the whole datapath with the static-check registry and throw on the
-  // first illegal circuit -- a move generator bug is then caught at the
-  // move that introduced it instead of surfacing as a bad final netlist.
-  const bool gate = cx.opts.check_moves || lint::env_check_moves();
-
-  for (int pass = 0; pass < cx.opts.max_passes; ++pass) {
-    if (cx.opts.cancel && at_top_level()) cx.opts.cancel->throw_if_cancelled();
-    obs::Span pass_span("improve-pass");
-    obs::ImproveScope pass_scope(pass);
-    if (stats) ++stats->passes;
-    // One pass: apply up to MAX_MOVES best moves, negative gains allowed.
-    // The budget scales with the number of movable objects (KL style), so
-    // flattened designs work proportionally harder per pass.
-    const int objects = static_cast<int>(dp.fus.size() + dp.children.size() +
-                                         dp.regs.size() / 2);
-    const int budget = std::min(cx.opts.max_moves_per_pass,
-                                std::max(4, objects));
-    std::vector<Datapath> snapshots;
-    std::vector<double> cum_gain;
-    /// Ledger keys of applied moves, parallel to snapshots; used to mark
-    /// accepted-vs-rolled-back after the best prefix is chosen.
-    std::vector<std::pair<std::uint64_t, std::int32_t>> applied_keys;
-    Datapath cur = dp;
-    double cum = 0;
-    for (int mi = 0; mi < budget; ++mi) {
-      if (cx.opts.cancel && at_top_level()) {
-        cx.opts.cancel->throw_if_cancelled();
-      }
-      // Full module resynthesis (move B) is the costliest generator; try
-      // it early in the pass where it matters most, then fall back to
-      // the cheap selection-only form.
-      // Wall time of move selection (the dominant, parallelized cost);
-      // only the outermost improvement loop is accounted -- move B's
-      // nested improve() runs inside a region and is skipped.
-      std::optional<runtime::ScopedPhase> phase;
-      if (!runtime::ThreadPool::in_region()) phase.emplace("move-select");
-      SynthContext move_cx = cx;
-      move_cx.opts.enable_resynth = cx.opts.enable_resynth && mi < 2;
-      Move m1 = best_replace_move(cur, move_cx);
-      Move m3 = best_sharing_move(cur, cx);
-      if (!m3.valid || m3.gain < 0) {
-        // Fig. 4 statements 9-10: when the best sharing move loses,
-        // consider splitting instead.
-        m3 = better_move(m3, best_splitting_move(cur, cx));
-      }
-      const Move& m = better_move(m1, m3);
-      if (!m.valid) break;
-      if (!cx.opts.enable_negative_gain && m.gain <= 1e-9) break;
-      log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
-                     m.kind.c_str(), m.desc.c_str(), m.gain));
-      cur = m.result;
-      if (gate) {
-        lint::verify_move(cur, *cx.lib, cx.pt, cx.deadline,
-                          strf("pass %d move %d: %s (%s)", pass, mi,
-                               m.kind.c_str(), m.desc.c_str()));
-      }
-      cum += m.gain;
-      snapshots.push_back(cur);
-      cum_gain.push_back(cum);
-      applied_keys.emplace_back(m.obs_group, m.obs_cand);
-      if (ledger.enabled() && m.obs_cand >= 0) {
-        ledger.set_status(m.obs_group, m.obs_cand, obs::MoveStatus::Applied);
-      }
-      if (stats) ++stats->moves_applied;
-    }
-
-    // Keep the prefix with the best cumulative gain (statement 14-16).
-    int best_k = -1;
-    double best_gain = 1e-9;
-    for (std::size_t k = 0; k < cum_gain.size(); ++k) {
-      if (cum_gain[k] > best_gain) {
-        best_gain = cum_gain[k];
-        best_k = static_cast<int>(k);
-      }
-    }
-    if (ledger.enabled()) {
-      for (std::size_t k = 0; k < applied_keys.size(); ++k) {
-        const auto& [g, c] = applied_keys[k];
-        if (c < 0) continue;
-        ledger.set_status(g, c,
-                          static_cast<int>(k) <= best_k
-                              ? obs::MoveStatus::Accepted
-                              : obs::MoveStatus::RolledBack);
-      }
-    }
-    if (cx.opts.progress && at_top_level()) {
-      SynthProgress ev;
-      ev.stage = SynthProgress::Stage::Pass;
-      ev.vdd = cx.pt.vdd;
-      ev.clock_ns = cx.pt.clk_ns;
-      ev.pass = pass;
-      ev.moves_applied = static_cast<int>(snapshots.size());
-      ev.moves_kept = best_k + 1;
-      ev.cost = best_k < 0 ? cur_cost
-                           : cost_of(snapshots[static_cast<std::size_t>(best_k)],
-                                     cx);
-      cx.opts.progress(ev);
-    }
-    if (best_k < 0) break;  // Pass_Gain <= 0
-    dp = std::move(snapshots[static_cast<std::size_t>(best_k)]);
-    cur_cost = cost_of(dp, cx);
-    if (stats) stats->moves_kept += best_k + 1;
-    log_info(strf("pass %d kept %d moves, gain %.3f, cost %.3f", pass,
-                  best_k + 1, best_gain, cur_cost));
-  }
-
-  if (stats) stats->final_cost = cur_cost;
-  return dp;
+  return search_improve(std::move(dp), cx, SearchStrategy{}, stats);
 }
 
 }  // namespace hsyn

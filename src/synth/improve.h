@@ -5,11 +5,26 @@
 // even when its gain is negative; at the end of the pass the prefix with
 // the best cumulative gain is kept (classic Kernighan-Lin variable-depth
 // search [11]). Passes repeat until one yields no positive gain.
+//
+// improve() is the legacy-recipe entry point; the strategy-parameterized
+// engine it wraps lives in synth/search_core.h.
 #pragma once
+
+#include <array>
 
 #include "synth/moves.h"
 
 namespace hsyn {
+
+/// Outcome tallies for one top-level move class (replace/share/split;
+/// moves A and B share the replace slot). The portfolio engine folds
+/// these across strategies into accept-rate priors that reorder
+/// adaptive strategies' move_order in later rounds.
+struct MoveClassCounters {
+  int applied = 0;        ///< moves of this class applied during passes
+  int accepted = 0;       ///< applied moves kept by best-prefix selection
+  double accepted_gain = 0;  ///< cumulative gain of the accepted moves
+};
 
 struct ImproveStats {
   int passes = 0;
@@ -17,7 +32,13 @@ struct ImproveStats {
   int moves_kept = 0;
   double initial_cost = 0;
   double final_cost = 0;
+  /// Indexed by MoveClass (synth/strategy.h): 0 replace, 1 share, 2 split.
+  std::array<MoveClassCounters, 3> by_class{};
 };
+
+/// Fold `from` into `into` (counter-wise; costs keep `into`'s). Used to
+/// aggregate stats across the operating points of one search trajectory.
+void merge_stats(ImproveStats& into, const ImproveStats& from);
 
 /// Improve `dp` (must be scheduled and feasible) under `cx`. Returns the
 /// best solution found.

@@ -47,6 +47,7 @@ struct SynthProgress {
     Probe,    ///< clock probing at one supply finished
     Pass,     ///< one improvement pass finished
     OpPoint,  ///< one (vdd, clock) candidate fully evaluated
+    Strategy, ///< one portfolio strategy finished (pass = strategy index)
   };
   Stage stage = Stage::Pass;
   double vdd = 0;       ///< supply voltage of the current operating point

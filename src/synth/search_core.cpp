@@ -1,0 +1,520 @@
+#include "synth/search_core.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "dfg/analysis.h"
+#include "dfg/flatten.h"
+#include "obs/ledger.h"
+#include "obs/trace.h"
+#include "power/estimator.h"
+#include "rtl/cost.h"
+#include "runtime/cancel.h"
+#include "runtime/stats.h"
+#include "runtime/task_rng.h"
+#include "runtime/thread_pool.h"
+#include "sched/scheduler.h"
+#include "synth/initial.h"
+#include "util/fmt.h"
+#include "util/log.h"
+
+namespace hsyn {
+namespace {
+
+/// Progress/cancel hooks fire only from strategy-serial code: move B's
+/// nested improvement runs at resynth depth > 0 (and, when parallelized,
+/// on pool workers inside a region), where a sink call would race and a
+/// cancel unwind would corrupt the enclosing move. A portfolio explorer
+/// *is* strategy-serial even though it runs inside the portfolio's pool
+/// region (nested regions execute inline on its lane), so an active
+/// StrategyScope re-enables the checks there.
+bool at_search_top() {
+  return obs::ResynthScope::current_depth() == 0 &&
+         (obs::StrategyScope::active() || !runtime::ThreadPool::in_region());
+}
+
+/// Longest path through the flattened DFG in nanoseconds, each operation
+/// at its fastest library delay (chains allowed).
+double critical_ns(const Dfg& flat, const Library& lib) {
+  std::vector<double> finish(flat.nodes().size(), 0);
+  double worst = 0;
+  for (const int nid : flat.topo_order()) {
+    const Node& n = flat.node(nid);
+    double start = 0;
+    for (int p = 0; p < n.num_inputs; ++p) {
+      const Edge& e = flat.edge(flat.input_edge(nid, p));
+      if (e.src.node >= 0) {
+        start = std::max(start, finish[static_cast<std::size_t>(e.src.node)]);
+      }
+    }
+    finish[static_cast<std::size_t>(nid)] = start + lib.min_delay_ns(n.op);
+    worst = std::max(worst, finish[static_cast<std::size_t>(nid)]);
+  }
+  return worst;
+}
+
+double objective_value(const SynthResult& r, Objective obj) {
+  return obj == Objective::Area ? r.area : r.power;
+}
+
+void fill_metrics(SynthResult& r, const Library& lib, const Trace& trace) {
+  r.area = area_of(r.dp, lib).total();
+  r.energy = energy_of(r.dp, 0, trace, lib, r.pt).total();
+  r.power = r.energy / r.sample_period_ns;
+  r.makespan = r.dp.behaviors[0].makespan;
+}
+
+/// Top-level class of a recorded move kind ("A:..."/"B:..." -> Replace).
+MoveClass class_of_kind(const std::string& kind) {
+  switch (kind.empty() ? 'A' : kind[0]) {
+    case 'C': return MoveClass::Share;
+    case 'D': return MoveClass::Split;
+    default: return MoveClass::Replace;
+  }
+}
+
+}  // namespace
+
+void merge_stats(ImproveStats& into, const ImproveStats& from) {
+  into.passes += from.passes;
+  into.moves_applied += from.moves_applied;
+  into.moves_kept += from.moves_kept;
+  for (std::size_t i = 0; i < into.by_class.size(); ++i) {
+    into.by_class[i].applied += from.by_class[i].applied;
+    into.by_class[i].accepted += from.by_class[i].accepted;
+    into.by_class[i].accepted_gain += from.by_class[i].accepted_gain;
+  }
+}
+
+Datapath search_improve(Datapath dp, const SynthContext& cx,
+                        const SearchStrategy& strat, ImproveStats* stats) {
+  obs::Span improve_span("improve");
+  obs::MoveLedger& ledger = obs::MoveLedger::instance();
+  const int max_passes =
+      strat.max_passes > 0 ? strat.max_passes : cx.opts.max_passes;
+  const int max_moves = strat.max_moves_per_pass > 0 ? strat.max_moves_per_pass
+                                                     : cx.opts.max_moves_per_pass;
+  double cur_cost = cost_of(dp, cx);
+  if (stats) stats->initial_cost = cur_cost;
+  // The move-engine invariant gate: after every accepted move, re-verify
+  // the whole datapath with the static-check registry and throw on the
+  // first illegal circuit -- a move generator bug is then caught at the
+  // move that introduced it instead of surfacing as a bad final netlist.
+  const bool gate = cx.opts.check_moves || lint::env_check_moves();
+  // Tie-jitter stream: a pure function of (seed, offset, strategy index),
+  // consumed only when the strategy asks for jitter, so the default
+  // strategy draws nothing and matches the legacy engine exactly.
+  Rng jitter = runtime::task_rng(cx.opts.seed + strat.seed_offset,
+                                 static_cast<std::uint64_t>(strat.index));
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    if (cx.opts.cancel && at_search_top()) cx.opts.cancel->throw_if_cancelled();
+    obs::Span pass_span("improve-pass");
+    obs::ImproveScope pass_scope(pass);
+    if (stats) ++stats->passes;
+    // Objective schedule: warm passes may optimize the other metric to
+    // escape the real objective's local minima; prefix selection inside
+    // the pass follows the warm objective, the cross-pass `cur_cost`
+    // always the real one.
+    SynthContext pass_cx = cx;
+    bool warm = false;
+    if (strat.schedule != ObjSchedule::Fixed && pass < strat.warm_passes) {
+      pass_cx.obj = strat.schedule == ObjSchedule::AreaFirst ? Objective::Area
+                                                             : Objective::Power;
+      warm = pass_cx.obj != cx.obj;
+    }
+    // One pass: apply up to MAX_MOVES best moves, negative gains allowed.
+    // The budget scales with the number of movable objects (KL style), so
+    // flattened designs work proportionally harder per pass.
+    const int objects = static_cast<int>(dp.fus.size() + dp.children.size() +
+                                         dp.regs.size() / 2);
+    const int budget = std::min(max_moves, std::max(4, objects));
+    std::vector<Datapath> snapshots;
+    std::vector<double> cum_gain;
+    /// Ledger keys of applied moves, parallel to snapshots; used to mark
+    /// accepted-vs-rolled-back after the best prefix is chosen.
+    std::vector<std::pair<std::uint64_t, std::int32_t>> applied_keys;
+    std::vector<std::pair<MoveClass, double>> applied_class;
+    Datapath cur = dp;
+    double cum = 0;
+    for (int mi = 0; mi < budget; ++mi) {
+      if (cx.opts.cancel && at_search_top()) {
+        cx.opts.cancel->throw_if_cancelled();
+      }
+      // Wall time of move selection (the dominant, parallelized cost);
+      // only the outermost improvement loop is accounted -- move B's
+      // nested improve() runs inside a region and is skipped.
+      std::optional<runtime::ScopedPhase> phase;
+      if (!runtime::ThreadPool::in_region()) phase.emplace("move-select");
+      // Full module resynthesis (move B) is the costliest generator; try
+      // it early in the pass where it matters most, then fall back to
+      // the cheap selection-only form.
+      SynthContext move_cx = pass_cx;
+      move_cx.opts.enable_resynth =
+          pass_cx.opts.enable_resynth && mi < strat.resynth_head;
+      std::vector<MoveClass> order = strat.move_order;
+      if (strat.seed_offset != 0 && order.size() > 1) {
+        const auto r = jitter.below(order.size());
+        std::rotate(order.begin(), order.begin() + static_cast<long>(r),
+                    order.end());
+      }
+      // Fold the generators in strategy order; keep_better's first-wins
+      // tie-break makes the fold equal to the legacy better_move chain
+      // for the default order.
+      Move best_m;
+      bool share_ran = false;
+      bool share_lost = true;
+      for (const MoveClass mc : order) {
+        switch (mc) {
+          case MoveClass::Replace:
+            keep_better(best_m, best_replace_move(cur, move_cx));
+            break;
+          case MoveClass::Share: {
+            Move m = best_sharing_move(cur, pass_cx);
+            share_ran = true;
+            share_lost = !m.valid || m.gain < 0;
+            keep_better(best_m, std::move(m));
+            break;
+          }
+          case MoveClass::Split:
+            // Fig. 4 statements 9-10: when the best sharing move loses,
+            // consider splitting instead. (Strategies may force it, or
+            // order split before share -- then it always runs.)
+            if (strat.always_split || !share_ran || share_lost) {
+              keep_better(best_m, best_splitting_move(cur, pass_cx));
+            }
+            break;
+        }
+      }
+      const Move& m = best_m;
+      if (!m.valid) break;
+      if (!cx.opts.enable_negative_gain && m.gain <= 1e-9) break;
+      log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
+                     m.kind.c_str(), m.desc.c_str(), m.gain));
+      cur = m.result;
+      if (gate) {
+        lint::verify_move(cur, *cx.lib, cx.pt, cx.deadline,
+                          strf("pass %d move %d: %s (%s)", pass, mi,
+                               m.kind.c_str(), m.desc.c_str()));
+      }
+      cum += m.gain;
+      snapshots.push_back(cur);
+      cum_gain.push_back(cum);
+      applied_keys.emplace_back(m.obs_group, m.obs_cand);
+      applied_class.emplace_back(class_of_kind(m.kind), m.gain);
+      if (ledger.enabled() && m.obs_cand >= 0) {
+        ledger.set_status(m.obs_group, m.obs_cand, obs::MoveStatus::Applied);
+      }
+      if (stats) {
+        ++stats->moves_applied;
+        ++stats->by_class[static_cast<std::size_t>(applied_class.back().first)]
+              .applied;
+      }
+    }
+
+    // Keep the prefix with the best cumulative gain (statement 14-16).
+    int best_k = -1;
+    double best_gain = 1e-9;
+    for (std::size_t k = 0; k < cum_gain.size(); ++k) {
+      if (cum_gain[k] > best_gain) {
+        best_gain = cum_gain[k];
+        best_k = static_cast<int>(k);
+      }
+    }
+    if (ledger.enabled()) {
+      for (std::size_t k = 0; k < applied_keys.size(); ++k) {
+        const auto& [g, c] = applied_keys[k];
+        if (c < 0) continue;
+        ledger.set_status(g, c,
+                          static_cast<int>(k) <= best_k
+                              ? obs::MoveStatus::Accepted
+                              : obs::MoveStatus::RolledBack);
+      }
+    }
+    if (stats) {
+      for (int k = 0; k <= best_k; ++k) {
+        const auto& [mc, gain] = applied_class[static_cast<std::size_t>(k)];
+        ++stats->by_class[static_cast<std::size_t>(mc)].accepted;
+        stats->by_class[static_cast<std::size_t>(mc)].accepted_gain += gain;
+      }
+    }
+    if (cx.opts.progress && at_search_top()) {
+      SynthProgress ev;
+      ev.stage = SynthProgress::Stage::Pass;
+      ev.vdd = cx.pt.vdd;
+      ev.clock_ns = cx.pt.clk_ns;
+      ev.pass = pass;
+      ev.moves_applied = static_cast<int>(snapshots.size());
+      ev.moves_kept = best_k + 1;
+      ev.cost = best_k < 0 ? cur_cost
+                           : cost_of(snapshots[static_cast<std::size_t>(best_k)],
+                                     pass_cx);
+      cx.opts.progress(ev);
+    }
+    if (best_k < 0) {
+      // Pass_Gain <= 0. A dry warm pass only ends the warm phase (the
+      // real objective still deserves its passes); a dry pass under the
+      // real objective ends the search, exactly as in Fig. 4.
+      if (warm) continue;
+      break;
+    }
+    dp = std::move(snapshots[static_cast<std::size_t>(best_k)]);
+    cur_cost = cost_of(dp, cx);
+    if (stats) stats->moves_kept += best_k + 1;
+    log_info(strf("pass %d kept %d moves, gain %.3f, cost %.3f", pass,
+                  best_k + 1, best_gain, cur_cost));
+  }
+
+  if (stats) stats->final_cost = cur_cost;
+  return dp;
+}
+
+SearchCore::SearchCore(const Design& design, const Library& lib,
+                       const ComplexLibrary* clib, double sample_period_ns,
+                       Objective obj, Mode mode, const SynthOptions& opts)
+    : design_(design),
+      lib_(lib),
+      clib_(clib),
+      sample_period_ns_(sample_period_ns),
+      obj_(obj),
+      mode_(mode),
+      opts_(opts) {
+  if (mode == Mode::Flattened) {
+    flat_ = std::make_shared<const Dfg>(flatten_top(design));
+    dfg_ = flat_.get();
+    behavior_name_ = flat_->name();
+  } else {
+    dfg_ = &design.top();
+    behavior_name_ = design.top_name();
+  }
+
+  const double crit = mode == Mode::Flattened
+                          ? critical_ns(*dfg_, lib)
+                          : critical_ns(flatten_top(design), lib);
+  vdds_ = obj == Objective::Area
+              ? std::vector<double>{kVref}
+              : prune_vdds(default_vdds(), crit, sample_period_ns);
+  // Vdd pruning per [10]: the quadratic energy law makes the lowest
+  // feasible supplies dominate; keep only the three lowest candidates
+  // (cycle quantization occasionally favors the second- or third-lowest).
+  if (obj == Objective::Power && vdds_.size() > 3) {
+    vdds_.erase(vdds_.begin(), vdds_.end() - 3);
+  }
+  if (opts.force_vdd > 0) vdds_ = {opts.force_vdd};
+  if (vdds_.empty()) {
+    viable_ = false;
+    fail_reason_ = "sampling period below critical path even at 5 V";
+    return;
+  }
+
+  if (!opts.user_trace.empty()) {
+    check(static_cast<int>(opts.user_trace[0].size()) == dfg_->num_inputs(),
+          "user trace arity does not match the design's primary inputs");
+    trace_ = opts.user_trace;
+  } else {
+    trace_ = make_trace(dfg_->num_inputs(), opts.trace_samples, opts.seed);
+  }
+}
+
+SearchOutcome SearchCore::run(const SearchStrategy& strat) const {
+  SearchOutcome out;
+  SynthResult& best = out.result;
+  best.obj = obj_;
+  best.mode = mode_;
+  best.sample_period_ns = sample_period_ns_;
+  best.flat_dfg = flat_;
+  if (!viable_) {
+    best.fail_reason = fail_reason_;
+    return out;
+  }
+
+  SynthOptions opts = opts_;
+  if (strat.max_resynth_depth > 0) opts.max_resynth_depth = strat.max_resynth_depth;
+
+  std::vector<double> vdds = vdds_;
+  if (strat.reverse_vdds) std::reverse(vdds.begin(), vdds.end());
+
+  double best_obj = std::numeric_limits<double>::max();
+  try {
+    for (const double vdd : vdds) {
+      // Probe every candidate clock with a cheap feasibility check (build
+      // the fully parallel initial solution and schedule it), then run the
+      // expensive improvement only on an even sample of the feasible
+      // clocks: long clocks mean few controller states, short clocks mean
+      // fine-grained schedules -- both ends of the trade-off deserve a
+      // look. This is the clock-set pruning of [10].
+      struct Probe {
+        double clk;
+        int deadline;
+        Datapath init;
+      };
+      std::vector<Probe> feasible;
+      {
+        obs::Span probe_span("vdd-clock-probe");
+        for (const double c : candidate_clocks(lib_.fus(), vdd)) {
+          if (opts.cancel) opts.cancel->throw_if_cancelled();
+          const int deadline = static_cast<int>(sample_period_ns_ / c + 1e-9);
+          if (deadline < 1) continue;
+          // Bound the controller: schedules beyond ~100 states per sample
+          // mean a needlessly fine clock whose FSM and register clock tree
+          // dwarf the datapath (real designs re-time the clock instead).
+          if (deadline > 96) continue;
+          SynthContext cx;
+          cx.design = mode_ == Mode::Hierarchical ? &design_ : nullptr;
+          cx.lib = &lib_;
+          cx.clib = mode_ == Mode::Hierarchical ? clib_ : nullptr;
+          cx.pt = {vdd, c};
+          cx.deadline = deadline;
+          cx.obj = obj_;
+          cx.opts = opts;
+          Datapath init;
+          try {
+            init = initial_solution(*dfg_, behavior_name_, cx);
+          } catch (const std::logic_error& e) {
+            log_warn(strf("initial solution failed at Vdd=%.1f clk=%.1f: %s",
+                          vdd, c, e.what()));
+            continue;
+          }
+          // Cheap probe first; when the unaligned schedule misses the
+          // deadline, profile alignment (overlapping children with their
+          // producers) often recovers it -- hierarchy otherwise serializes
+          // cascades. Full alignment for every surviving clock happens once
+          // below, on the picked subset only.
+          if (!schedule_datapath(init, lib_, cx.pt, deadline).ok) {
+            align_child_profiles(init, lib_, cx.pt);
+            if (!schedule_datapath(init, lib_, cx.pt, deadline).ok) continue;
+          }
+          feasible.push_back({c, deadline, std::move(init)});
+        }
+      }
+      if (opts.progress) {
+        SynthProgress ev;
+        ev.stage = SynthProgress::Stage::Probe;
+        ev.vdd = vdd;
+        ev.feasible_clocks = static_cast<int>(feasible.size());
+        opts.progress(ev);
+      }
+      std::vector<std::size_t> picked_idx;
+      if (static_cast<int>(feasible.size()) <= opts.max_clocks) {
+        for (std::size_t i = 0; i < feasible.size(); ++i)
+          picked_idx.push_back(i);
+      } else {
+        const std::size_t n = feasible.size();
+        for (int i = 0; i < opts.max_clocks; ++i) {
+          picked_idx.push_back(i * (n - 1) /
+                               static_cast<std::size_t>(opts.max_clocks - 1));
+        }
+        picked_idx.erase(std::unique(picked_idx.begin(), picked_idx.end()),
+                         picked_idx.end());
+      }
+      if (strat.reverse_clocks) {
+        std::reverse(picked_idx.begin(), picked_idx.end());
+      }
+
+      for (const std::size_t pi : picked_idx) {
+        if (opts.cancel) opts.cancel->throw_if_cancelled();
+        Probe& probe = feasible[pi];
+        const double clk = probe.clk;
+        const int deadline = probe.deadline;
+        align_child_profiles(probe.init, lib_, {vdd, clk});
+        if (!schedule_datapath(probe.init, lib_, {vdd, clk}, deadline).ok) {
+          continue;  // cannot happen in practice; alignment never worsens
+        }
+
+        SynthContext cx;
+        cx.design = mode_ == Mode::Hierarchical ? &design_ : nullptr;
+        cx.lib = &lib_;
+        cx.clib = mode_ == Mode::Hierarchical ? clib_ : nullptr;
+        cx.pt = {vdd, clk};
+        cx.deadline = deadline;
+        cx.trace = trace_;
+        cx.obj = obj_;
+        cx.opts = opts;
+
+        ImproveStats stats;
+        Datapath improved = search_improve(std::move(probe.init), cx, strat,
+                                           &stats);
+        merge_stats(out.total_stats, stats);
+
+        SynthResult cand;
+        cand.ok = true;
+        cand.dp = std::move(improved);
+        cand.flat_dfg = flat_;
+        cand.pt = cx.pt;
+        cand.sample_period_ns = sample_period_ns_;
+        cand.deadline_cycles = deadline;
+        cand.obj = obj_;
+        cand.mode = mode_;
+        cand.stats = stats;
+        fill_metrics(cand, lib_, trace_);
+        log_info(strf("config Vdd=%.1f clk=%.1fns: area %.1f energy %.1f "
+                      "power %.4f",
+                      vdd, clk, cand.area, cand.energy, cand.power));
+        if (opts.progress) {
+          SynthProgress ev;
+          ev.stage = SynthProgress::Stage::OpPoint;
+          ev.vdd = vdd;
+          ev.clock_ns = clk;
+          ev.cost = objective_value(cand, obj_);
+          ev.area = cand.area;
+          ev.power = cand.power;
+          opts.progress(ev);
+        }
+        // Primary comparison on the objective; near-ties (within 8%) break
+        // toward lower power -- "minimum area, then minimum power" is what
+        // a designer means by area-optimized, and it stops the area
+        // objective from picking needlessly hot fine-grained clocks.
+        const double v = objective_value(cand, obj_);
+        const bool better =
+            v < best_obj * (1.0 - 1e-9) ||
+            (best.ok && v <= best_obj * 1.08 && cand.power < best.power);
+        if (!best.ok || better) {
+          best_obj = std::min(v, best_obj);
+          best = std::move(cand);
+        }
+      }
+    }
+  } catch (const runtime::Cancelled& e) {
+    // Best-so-far semantics at a strategy-serial boundary: everything
+    // under the unwound frames was owned by them, `best` is intact.
+    out.cancelled = true;
+    out.cancel_reason = e.what();
+  }
+
+  if (!best.ok && best.fail_reason.empty()) {
+    best.fail_reason = out.cancelled
+                           ? "cancelled before any feasible operating point"
+                           : "no feasible operating point";
+  }
+  return out;
+}
+
+void SearchCore::verify_result(const SynthResult& r, const Design& design,
+                               const Library& lib) {
+#ifndef NDEBUG
+  if (!r.ok) return;
+  // Debug builds always verify the winning circuit with the cheap
+  // check passes; release builds opt in per move via --check-moves /
+  // HSYN_CHECK_MOVES=1.
+  lint::CheckContext ccx;
+  ccx.design = &design;
+  ccx.dp = &r.dp;
+  ccx.lib = &lib;
+  ccx.pt = r.pt;
+  ccx.deadline = r.deadline_cycles;
+  ccx.sample_period_ns = r.sample_period_ns;
+  const lint::Report rep =
+      lint::CheckEngine::instance().run(ccx, /*cheap_only=*/true);
+  check(rep.ok(), "post-synthesis static checks failed:\n" + rep.to_text());
+#else
+  (void)r;
+  (void)design;
+  (void)lib;
+#endif
+}
+
+}  // namespace hsyn

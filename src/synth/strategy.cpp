@@ -1,0 +1,307 @@
+#include "synth/strategy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace hsyn {
+
+namespace {
+
+const std::vector<MoveClass> kLegacyOrder = {MoveClass::Replace,
+                                             MoveClass::Share,
+                                             MoveClass::Split};
+
+char move_class_letter(MoveClass c) {
+  switch (c) {
+    case MoveClass::Replace: return 'a';
+    case MoveClass::Share: return 'c';
+    case MoveClass::Split: return 'd';
+  }
+  return '?';
+}
+
+bool parse_order(const std::string& letters, std::vector<MoveClass>* out,
+                 std::string* err) {
+  std::vector<MoveClass> order;
+  for (char ch : letters) {
+    MoveClass c;
+    switch (ch) {
+      case 'a': case 'A': case 'b': case 'B': c = MoveClass::Replace; break;
+      case 'c': case 'C': c = MoveClass::Share; break;
+      case 'd': case 'D': c = MoveClass::Split; break;
+      default:
+        *err = std::string("unknown move-class letter '") + ch +
+               "' in order=" + letters;
+        return false;
+    }
+    if (std::find(order.begin(), order.end(), c) == order.end())
+      order.push_back(c);
+  }
+  if (order.empty()) {
+    *err = "order= must name at least one move class";
+    return false;
+  }
+  *out = std::move(order);
+  return true;
+}
+
+bool parse_int(const std::string& key, const std::string& val, int* out,
+               std::string* err) {
+  char* end = nullptr;
+  const long v = std::strtol(val.c_str(), &end, 10);
+  if (end == val.c_str() || *end != '\0' || v < 0 || v > 1'000'000) {
+    *err = key + "= expects a small non-negative integer, got '" + val + "'";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// The named presets of default_portfolio(), reachable from specs via
+/// preset=NAME so a hand-written spec can start from a stock variant.
+bool apply_preset(const std::string& name, Objective obj, SearchStrategy* s,
+                  std::string* err) {
+  *s = SearchStrategy{};
+  s->name = name;
+  if (name == "base") {
+    return true;
+  }
+  if (name == "share-first") {
+    s->move_order = {MoveClass::Share, MoveClass::Replace, MoveClass::Split};
+    s->always_split = true;
+    s->adaptive = true;
+    return true;
+  }
+  if (name == "rev-probe") {
+    s->reverse_vdds = true;
+    s->reverse_clocks = true;
+    s->adaptive = true;
+    return true;
+  }
+  if (name == "obj-flip") {
+    s->schedule =
+        obj == Objective::Power ? ObjSchedule::AreaFirst : ObjSchedule::PowerFirst;
+    s->warm_passes = 2;
+    s->adaptive = true;
+    return true;
+  }
+  if (name == "split-happy") {
+    s->move_order = {MoveClass::Split, MoveClass::Replace, MoveClass::Share};
+    s->always_split = true;
+    s->reverse_clocks = true;
+    s->adaptive = true;
+    return true;
+  }
+  if (name == "deep") {
+    s->resynth_head = 4;
+    s->max_passes = 12;
+    s->adaptive = true;
+    return true;
+  }
+  if (name == "jitter") {
+    s->seed_offset = 0x9e37;
+    s->adaptive = true;
+    return true;
+  }
+  *err = "unknown preset '" + name + "'";
+  return false;
+}
+
+bool parse_one(const std::string& field, Objective obj, SearchStrategy* out,
+               std::string* err) {
+  SearchStrategy s;
+  bool named = false;
+  std::istringstream pairs(field);
+  std::string pair;
+  while (std::getline(pairs, pair, ',')) {
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      *err = "expected key=value, got '" + pair + "'";
+      return false;
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    if (key == "preset") {
+      const std::string keep_name = named ? s.name : "";
+      if (!apply_preset(val, obj, &s, err)) return false;
+      if (named) s.name = keep_name;
+    } else if (key == "name") {
+      s.name = val;
+      named = true;
+    } else if (key == "order") {
+      if (!parse_order(val, &s.move_order, err)) return false;
+    } else if (key == "vdd") {
+      if (val != "asc" && val != "desc") {
+        *err = "vdd= expects asc or desc";
+        return false;
+      }
+      s.reverse_vdds = (val == "desc");
+    } else if (key == "clocks") {
+      if (val != "asc" && val != "desc") {
+        *err = "clocks= expects asc or desc";
+        return false;
+      }
+      s.reverse_clocks = (val == "desc");
+    } else if (key == "schedule") {
+      if (val == "fixed") {
+        s.schedule = ObjSchedule::Fixed;
+      } else if (val == "area-first") {
+        s.schedule = ObjSchedule::AreaFirst;
+      } else if (val == "power-first") {
+        s.schedule = ObjSchedule::PowerFirst;
+      } else {
+        *err = "schedule= expects fixed, area-first or power-first";
+        return false;
+      }
+    } else if (key == "warm") {
+      if (!parse_int(key, val, &s.warm_passes, err)) return false;
+    } else if (key == "seed") {
+      int v = 0;
+      if (!parse_int(key, val, &v, err)) return false;
+      s.seed_offset = static_cast<std::uint64_t>(v);
+    } else if (key == "split") {
+      if (val == "always") {
+        s.always_split = true;
+      } else if (val == "after-share") {
+        s.always_split = false;
+      } else {
+        *err = "split= expects always or after-share";
+        return false;
+      }
+    } else if (key == "passes") {
+      if (!parse_int(key, val, &s.max_passes, err)) return false;
+    } else if (key == "moves") {
+      if (!parse_int(key, val, &s.max_moves_per_pass, err)) return false;
+    } else if (key == "depth") {
+      if (!parse_int(key, val, &s.max_resynth_depth, err)) return false;
+    } else if (key == "resynth-head") {
+      if (!parse_int(key, val, &s.resynth_head, err)) return false;
+    } else if (key == "adaptive") {
+      if (val != "0" && val != "1") {
+        *err = "adaptive= expects 0 or 1";
+        return false;
+      }
+      s.adaptive = (val == "1");
+    } else {
+      *err = "unknown strategy key '" + key + "'";
+      return false;
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace
+
+const char* move_class_name(MoveClass c) {
+  switch (c) {
+    case MoveClass::Replace: return "replace";
+    case MoveClass::Share: return "share";
+    case MoveClass::Split: return "split";
+  }
+  return "?";
+}
+
+const char* obj_schedule_name(ObjSchedule s) {
+  switch (s) {
+    case ObjSchedule::Fixed: return "fixed";
+    case ObjSchedule::AreaFirst: return "area-first";
+    case ObjSchedule::PowerFirst: return "power-first";
+  }
+  return "?";
+}
+
+bool SearchStrategy::is_baseline() const {
+  return seed_offset == 0 && move_order == kLegacyOrder && !always_split &&
+         !reverse_vdds && !reverse_clocks && schedule == ObjSchedule::Fixed &&
+         max_passes == 0 && max_moves_per_pass == 0 && max_resynth_depth == 0 &&
+         resynth_head == 2 && !adaptive;
+}
+
+std::vector<SearchStrategy> default_portfolio(int n, Objective obj) {
+  // Index 0 is always the untouched baseline so the portfolio's best-of
+  // can never lose to the single-seed engine. The rest cycle through the
+  // stock presets; past one full cycle, repeats get increasing rng
+  // jitter so no two strategies follow identical trajectories.
+  static const char* kCycle[] = {"share-first", "rev-probe",   "obj-flip",
+                                 "split-happy", "deep",        "jitter"};
+  constexpr int kCycleLen = static_cast<int>(sizeof(kCycle) / sizeof(kCycle[0]));
+  std::vector<SearchStrategy> out;
+  if (n <= 0) return out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::string err;
+  SearchStrategy base;
+  out.push_back(base);
+  for (int i = 1; i < n; ++i) {
+    SearchStrategy s;
+    const int slot = (i - 1) % kCycleLen;
+    const int lap = (i - 1) / kCycleLen;
+    apply_preset(kCycle[slot], obj, &s, &err);
+    if (lap > 0) {
+      s.seed_offset += static_cast<std::uint64_t>(lap) * 0x1009ULL;
+      s.name += "+" + std::to_string(lap);
+    }
+    out.push_back(std::move(s));
+  }
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)].index = i;
+  return out;
+}
+
+bool parse_strategies(const std::string& spec, Objective obj,
+                      std::vector<SearchStrategy>* out, int* rounds,
+                      std::string* err) {
+  out->clear();
+  std::istringstream fields(spec);
+  std::string field;
+  bool first = true;
+  while (std::getline(fields, field, ';')) {
+    if (field.empty()) continue;
+    if (first && field.rfind("rounds=", 0) == 0) {
+      first = false;
+      int r = 0;
+      if (!parse_int("rounds", field.substr(7), &r, err)) return false;
+      if (r < 1) {
+        *err = "rounds= must be >= 1";
+        return false;
+      }
+      if (rounds) *rounds = r;
+      continue;
+    }
+    first = false;
+    SearchStrategy s;
+    if (!parse_one(field, obj, &s, err)) return false;
+    s.index = static_cast<int>(out->size());
+    out->push_back(std::move(s));
+  }
+  if (out->empty()) {
+    *err = "strategy spec defines no strategies";
+    return false;
+  }
+  return true;
+}
+
+std::string strategy_to_string(const SearchStrategy& s) {
+  std::ostringstream o;
+  o << "name=" << s.name;
+  if (s.move_order != kLegacyOrder) {
+    o << ",order=";
+    for (MoveClass c : s.move_order) o << move_class_letter(c);
+  }
+  if (s.reverse_vdds) o << ",vdd=desc";
+  if (s.reverse_clocks) o << ",clocks=desc";
+  if (s.schedule != ObjSchedule::Fixed)
+    o << ",schedule=" << obj_schedule_name(s.schedule) << ",warm="
+      << s.warm_passes;
+  if (s.seed_offset != 0) o << ",seed=" << s.seed_offset;
+  if (s.always_split) o << ",split=always";
+  if (s.max_passes != 0) o << ",passes=" << s.max_passes;
+  if (s.max_moves_per_pass != 0) o << ",moves=" << s.max_moves_per_pass;
+  if (s.max_resynth_depth != 0) o << ",depth=" << s.max_resynth_depth;
+  if (s.resynth_head != 2) o << ",resynth-head=" << s.resynth_head;
+  if (s.adaptive) o << ",adaptive=1";
+  return o.str();
+}
+
+}  // namespace hsyn

@@ -1,0 +1,131 @@
+// SearchStrategy: the descriptor that parameterizes one trajectory of
+// the variable-depth improvement engine (src/synth/search_core.h).
+//
+// The paper's engine is greedy from one initial solution under one
+// fixed recipe: probe supplies low-to-high, clocks coarse-to-fine, try
+// move A/B first, share before split, one objective throughout. A
+// SearchStrategy makes every one of those choices explicit so a
+// portfolio (src/synth/portfolio.h) can run many deterministic
+// variations concurrently and keep the best. The default-constructed
+// strategy reproduces the legacy engine exactly, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/moves.h"
+
+namespace hsyn {
+
+/// The three top-level move-generator slots of one improvement step
+/// (paper Fig. 4). Replace covers moves A and B (reselection and
+/// resynthesis share a generator), Share is move C, Split is move D.
+enum class MoveClass : std::uint8_t { Replace, Share, Split };
+
+const char* move_class_name(MoveClass c);
+
+/// Objective played during the first `warm_passes` improvement passes;
+/// the run's real objective always ranks the final candidates.
+enum class ObjSchedule : std::uint8_t {
+  Fixed,      ///< every pass optimizes the job objective (legacy)
+  AreaFirst,  ///< warm passes minimize area, then switch to the objective
+  PowerFirst, ///< warm passes minimize energy, then switch
+};
+
+const char* obj_schedule_name(ObjSchedule s);
+
+struct SearchStrategy {
+  /// Label for reports and the portfolio win table.
+  std::string name = "base";
+
+  /// Position in the portfolio. Tie-break of the best-of reduction
+  /// (equal cost -> lowest index wins) and the strategy's rng stream
+  /// selector; assigned by the portfolio engine.
+  int index = 0;
+
+  /// Nonzero: a per-strategy SplitMix64 stream (seeded with
+  /// opts.seed + seed_offset, decorrelated by index) rotates the
+  /// move-class order before every improvement step, deterministically
+  /// jittering which generator wins equal-gain ties. Zero: no jitter
+  /// (the legacy fixed order).
+  std::uint64_t seed_offset = 0;
+
+  /// Order the move generators are evaluated in within one improvement
+  /// step. Earlier wins equal-gain ties (the fold keeps the first
+  /// best). The default is the paper's order.
+  std::vector<MoveClass> move_order = {MoveClass::Replace, MoveClass::Share,
+                                       MoveClass::Split};
+
+  /// Legacy Fig. 4 statements 9-10: the split generator runs only when
+  /// the best sharing move of this step lost (invalid or negative
+  /// gain). true: always consider splitting.
+  bool always_split = false;
+
+  /// Probe supply voltages highest-first instead of lowest-first. The
+  /// op-point near-tie rule (8% band toward lower power) makes the
+  /// visit order part of the result.
+  bool reverse_vdds = false;
+
+  /// Visit the picked clock candidates fine-to-coarse instead of
+  /// coarse-to-fine.
+  bool reverse_clocks = false;
+
+  ObjSchedule schedule = ObjSchedule::Fixed;
+  int warm_passes = 1;  ///< passes played under `schedule` (when not Fixed)
+
+  // Depth limits; 0 = inherit the SynthOptions value.
+  int max_passes = 0;
+  int max_moves_per_pass = 0;
+  int max_resynth_depth = 0;
+
+  /// Moves at the head of each pass allowed to attempt full module
+  /// resynthesis (move B, the costliest generator). The legacy engine
+  /// hard-codes 2.
+  int resynth_head = 2;
+
+  /// Portfolio rounds > 0 may overwrite move_order with the accept-rate
+  /// priors learned from the previous round's ledger. The baseline
+  /// strategy keeps adaptive = false so the portfolio always contains
+  /// one exact replica of the single-seed engine.
+  bool adaptive = false;
+
+  /// True when every field still has its default value (the strategy is
+  /// an exact replica of the legacy single-seed engine).
+  bool is_baseline() const;
+};
+
+/// `n` deterministic, diverse strategies: index 0 is always the exact
+/// baseline; the rest cycle through probe-order reversals, move-order
+/// permutations, objective warm-ups, split policies, and rng jitter.
+/// `obj` picks the flip direction of the objective-schedule variants.
+std::vector<SearchStrategy> default_portfolio(int n, Objective obj);
+
+/// Parse a --strategies spec: strategies separated by ';', each a
+/// comma-separated list of key=value pairs:
+///
+///   preset=NAME        base | share-first | rev-probe | obj-flip |
+///                      split-happy | deep | jitter  (start from it)
+///   order=LETTERS      permutation of "acd" (a=replace, c=share, d=split)
+///   vdd=asc|desc       supply probe order
+///   clocks=asc|desc    clock visit order
+///   schedule=fixed|area-first|power-first
+///   warm=N             warm passes under the schedule objective
+///   seed=N             rng jitter offset (0 = none)
+///   split=always|after-share
+///   passes=N moves=N depth=N resynth-head=N   depth limits (0 = inherit)
+///   adaptive=0|1       may be reordered by learned priors
+///   name=LABEL
+///
+/// A leading `rounds=N` element (its own ';'-separated field) sets the
+/// portfolio round count instead of defining a strategy.
+/// Returns false (and *err) on an unknown key or malformed value.
+bool parse_strategies(const std::string& spec, Objective obj,
+                      std::vector<SearchStrategy>* out, int* rounds,
+                      std::string* err);
+
+/// One-line render of a strategy (spec syntax, round-trippable through
+/// parse_strategies).
+std::string strategy_to_string(const SearchStrategy& s);
+
+}  // namespace hsyn

@@ -12,36 +12,11 @@
 #include "rtl/cost.h"
 #include "runtime/cancel.h"
 #include "sched/scheduler.h"
-#include "synth/initial.h"
+#include "synth/search_core.h"
 #include "util/fmt.h"
-#include "util/log.h"
 
 namespace hsyn {
 namespace {
-
-/// Longest path through the flattened DFG in nanoseconds, each operation
-/// at its fastest library delay (chains allowed).
-double critical_ns(const Dfg& flat, const Library& lib) {
-  std::vector<double> finish(flat.nodes().size(), 0);
-  double worst = 0;
-  for (const int nid : flat.topo_order()) {
-    const Node& n = flat.node(nid);
-    double start = 0;
-    for (int p = 0; p < n.num_inputs; ++p) {
-      const Edge& e = flat.edge(flat.input_edge(nid, p));
-      if (e.src.node >= 0) {
-        start = std::max(start, finish[static_cast<std::size_t>(e.src.node)]);
-      }
-    }
-    finish[static_cast<std::size_t>(nid)] = start + lib.min_delay_ns(n.op);
-    worst = std::max(worst, finish[static_cast<std::size_t>(nid)]);
-  }
-  return worst;
-}
-
-double objective_value(const SynthResult& r, Objective obj) {
-  return obj == Objective::Area ? r.area : r.power;
-}
 
 void fill_metrics(SynthResult& r, const Library& lib, const Trace& trace) {
   r.area = area_of(r.dp, lib).total();
@@ -70,211 +45,22 @@ double min_sample_period_ns(const Design& design, const Library& lib) {
   return best;
 }
 
+// Thin wrapper since the portfolio refactor: one SearchCore, one
+// default (baseline) strategy. The core's run() converts cancellation
+// into a best-so-far outcome for the portfolio's sake; this legacy
+// entry point keeps its original contract and rethrows.
 SynthResult synthesize(const Design& design, const Library& lib,
                        const ComplexLibrary* clib, double sample_period_ns,
                        Objective obj, Mode mode, const SynthOptions& opts) {
   obs::Span synth_span("synthesize");
   const auto t0 = std::chrono::steady_clock::now();
 
-  SynthResult best;
-  best.obj = obj;
-  best.mode = mode;
-  best.sample_period_ns = sample_period_ns;
+  const SearchCore core(design, lib, clib, sample_period_ns, obj, mode, opts);
+  SearchOutcome out = core.run(SearchStrategy{});
+  if (out.cancelled) throw runtime::Cancelled(out.cancel_reason);
 
-  std::shared_ptr<const Dfg> flat;
-  const Dfg* dfg = nullptr;
-  std::string behavior_name;
-  if (mode == Mode::Flattened) {
-    flat = std::make_shared<const Dfg>(flatten_top(design));
-    dfg = flat.get();
-    behavior_name = flat->name();
-  } else {
-    dfg = &design.top();
-    behavior_name = design.top_name();
-  }
-  best.flat_dfg = flat;
-
-  const Dfg flat_for_analysis =
-      mode == Mode::Flattened ? *dfg : flatten_top(design);
-  const double crit = critical_ns(flat_for_analysis, lib);
-  std::vector<double> vdds =
-      obj == Objective::Area
-          ? std::vector<double>{kVref}
-          : prune_vdds(default_vdds(), crit, sample_period_ns);
-  // Vdd pruning per [10]: the quadratic energy law makes the lowest
-  // feasible supplies dominate; keep only the three lowest candidates
-  // (cycle quantization occasionally favors the second- or third-lowest).
-  if (obj == Objective::Power && vdds.size() > 3) {
-    vdds.erase(vdds.begin(), vdds.end() - 3);
-  }
-  if (opts.force_vdd > 0) vdds = {opts.force_vdd};
-  if (vdds.empty()) {
-    best.fail_reason = "sampling period below critical path even at 5 V";
-    return best;
-  }
-
-  Trace trace;
-  if (!opts.user_trace.empty()) {
-    check(static_cast<int>(opts.user_trace[0].size()) == dfg->num_inputs(),
-          "user trace arity does not match the design's primary inputs");
-    trace = opts.user_trace;
-  } else {
-    trace = make_trace(dfg->num_inputs(), opts.trace_samples, opts.seed);
-  }
-
-  double best_obj = std::numeric_limits<double>::max();
-  for (const double vdd : vdds) {
-    // Probe every candidate clock with a cheap feasibility check (build
-    // the fully parallel initial solution and schedule it), then run the
-    // expensive improvement only on an even sample of the feasible
-    // clocks: long clocks mean few controller states, short clocks mean
-    // fine-grained schedules -- both ends of the trade-off deserve a
-    // look. This is the clock-set pruning of [10].
-    struct Probe {
-      double clk;
-      int deadline;
-      Datapath init;
-    };
-    std::vector<Probe> feasible;
-    {
-    obs::Span probe_span("vdd-clock-probe");
-    for (const double c : candidate_clocks(lib.fus(), vdd)) {
-      if (opts.cancel) opts.cancel->throw_if_cancelled();
-      const int deadline = static_cast<int>(sample_period_ns / c + 1e-9);
-      if (deadline < 1) continue;
-      // Bound the controller: schedules beyond ~100 states per sample
-      // mean a needlessly fine clock whose FSM and register clock tree
-      // dwarf the datapath (real designs re-time the clock instead).
-      if (deadline > 96) continue;
-      SynthContext cx;
-      cx.design = mode == Mode::Hierarchical ? &design : nullptr;
-      cx.lib = &lib;
-      cx.clib = mode == Mode::Hierarchical ? clib : nullptr;
-      cx.pt = {vdd, c};
-      cx.deadline = deadline;
-      cx.obj = obj;
-      cx.opts = opts;
-      Datapath init;
-      try {
-        init = initial_solution(*dfg, behavior_name, cx);
-      } catch (const std::logic_error& e) {
-        log_warn(strf("initial solution failed at Vdd=%.1f clk=%.1f: %s", vdd,
-                      c, e.what()));
-        continue;
-      }
-      // Cheap probe first; when the unaligned schedule misses the
-      // deadline, profile alignment (overlapping children with their
-      // producers) often recovers it -- hierarchy otherwise serializes
-      // cascades. Full alignment for every surviving clock happens once
-      // below, on the picked subset only.
-      if (!schedule_datapath(init, lib, cx.pt, deadline).ok) {
-        align_child_profiles(init, lib, cx.pt);
-        if (!schedule_datapath(init, lib, cx.pt, deadline).ok) continue;
-      }
-      feasible.push_back({c, deadline, std::move(init)});
-    }
-    }
-    if (opts.progress) {
-      SynthProgress ev;
-      ev.stage = SynthProgress::Stage::Probe;
-      ev.vdd = vdd;
-      ev.feasible_clocks = static_cast<int>(feasible.size());
-      opts.progress(ev);
-    }
-    std::vector<std::size_t> picked_idx;
-    if (static_cast<int>(feasible.size()) <= opts.max_clocks) {
-      for (std::size_t i = 0; i < feasible.size(); ++i) picked_idx.push_back(i);
-    } else {
-      const std::size_t n = feasible.size();
-      for (int i = 0; i < opts.max_clocks; ++i) {
-        picked_idx.push_back(i * (n - 1) /
-                             static_cast<std::size_t>(opts.max_clocks - 1));
-      }
-      picked_idx.erase(std::unique(picked_idx.begin(), picked_idx.end()),
-                       picked_idx.end());
-    }
-
-    for (const std::size_t pi : picked_idx) {
-      if (opts.cancel) opts.cancel->throw_if_cancelled();
-      Probe& probe = feasible[pi];
-      const double clk = probe.clk;
-      const int deadline = probe.deadline;
-      align_child_profiles(probe.init, lib, {vdd, clk});
-      if (!schedule_datapath(probe.init, lib, {vdd, clk}, deadline).ok) {
-        continue;  // cannot happen in practice; alignment never worsens
-      }
-
-      SynthContext cx;
-      cx.design = mode == Mode::Hierarchical ? &design : nullptr;
-      cx.lib = &lib;
-      cx.clib = mode == Mode::Hierarchical ? clib : nullptr;
-      cx.pt = {vdd, clk};
-      cx.deadline = deadline;
-      cx.trace = trace;
-      cx.obj = obj;
-      cx.opts = opts;
-
-      ImproveStats stats;
-      Datapath improved = improve(std::move(probe.init), cx, &stats);
-
-      SynthResult cand;
-      cand.ok = true;
-      cand.dp = std::move(improved);
-      cand.flat_dfg = flat;
-      cand.pt = cx.pt;
-      cand.sample_period_ns = sample_period_ns;
-      cand.deadline_cycles = deadline;
-      cand.obj = obj;
-      cand.mode = mode;
-      cand.stats = stats;
-      fill_metrics(cand, lib, trace);
-      log_info(strf("config Vdd=%.1f clk=%.1fns: area %.1f energy %.1f "
-                    "power %.4f",
-                    vdd, clk, cand.area, cand.energy, cand.power));
-      if (opts.progress) {
-        SynthProgress ev;
-        ev.stage = SynthProgress::Stage::OpPoint;
-        ev.vdd = vdd;
-        ev.clock_ns = clk;
-        ev.cost = objective_value(cand, obj);
-        ev.area = cand.area;
-        ev.power = cand.power;
-        opts.progress(ev);
-      }
-      // Primary comparison on the objective; near-ties (within 8%) break
-      // toward lower power -- "minimum area, then minimum power" is what
-      // a designer means by area-optimized, and it stops the area
-      // objective from picking needlessly hot fine-grained clocks.
-      const double v = objective_value(cand, obj);
-      const bool better =
-          v < best_obj * (1.0 - 1e-9) ||
-          (best.ok && v <= best_obj * 1.08 && cand.power < best.power);
-      if (!best.ok || better) {
-        best_obj = std::min(v, best_obj);
-        best = std::move(cand);
-      }
-    }
-  }
-
-  if (!best.ok) best.fail_reason = "no feasible operating point";
-#ifndef NDEBUG
-  if (best.ok) {
-    // Debug builds always verify the winning circuit with the cheap
-    // check passes; release builds opt in per move via --check-moves /
-    // HSYN_CHECK_MOVES=1.
-    lint::CheckContext ccx;
-    ccx.design = &design;
-    ccx.dp = &best.dp;
-    ccx.lib = &lib;
-    ccx.pt = best.pt;
-    ccx.deadline = best.deadline_cycles;
-    ccx.sample_period_ns = best.sample_period_ns;
-    const lint::Report rep =
-        lint::CheckEngine::instance().run(ccx, /*cheap_only=*/true);
-    check(rep.ok(),
-          "post-synthesis static checks failed:\n" + rep.to_text());
-  }
-#endif
+  SynthResult best = std::move(out.result);
+  SearchCore::verify_result(best, design, lib);
   best.synth_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return best;

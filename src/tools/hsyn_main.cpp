@@ -8,6 +8,12 @@
 //        [--templates] [--verbose] [--trace-out FILE] [--move-log FILE]
 //        [--metrics-out FILE]
 //
+// Portfolio search (src/synth/portfolio.h): --portfolio N explores N
+// concurrent search strategies over the shared runtime and keeps the
+// deterministic best-of; --strategies SPEC names them explicitly,
+// --portfolio-rounds N adds learning rounds, and HSYN_PORTFOLIO=N is the
+// environment spelling. Results are bit-identical at any thread count.
+//
 // Every flag also accepts the --flag=VALUE form. With --templates,
 // fast/low-power/compact complex-module templates are generated for
 // every non-top behavior (the Fig. 2 style library); without it,
@@ -102,6 +108,11 @@ struct Args {
   bool progress = false;     ///< stream progress events to stderr
   std::int64_t job_time_ms = 0;   ///< per-job time budget (0 = none)
   std::int64_t job_cache_mb = 0;  ///< per-job eval-cache budget (0 = none)
+  /// --portfolio N (or HSYN_PORTFOLIO): N concurrent search strategies,
+  /// deterministic best-of (synth/portfolio.h). 0 = single-seed engine.
+  int portfolio = 0;
+  int portfolio_rounds = 1;  ///< --portfolio-rounds: learning rounds
+  std::string strategies;    ///< --strategies SPEC: explicit strategy list
 };
 
 void usage() {
@@ -114,6 +125,7 @@ void usage() {
                "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
                "            [--progress] [--job-time-ms N] [--job-cache-mb N]\n"
+               "            [--portfolio N] [--portfolio-rounds N] [--strategies SPEC]\n"
                "       hsyn (--serve PORT | --serve-unix PATH) [--sessions N] [runtime flags]\n"
                "       hsyn --connect ADDR (design flags | --ping | --shutdown)\n"
                "(each flag also accepts the --flag=VALUE form)\n");
@@ -272,9 +284,31 @@ std::optional<Args> parse(int argc, char** argv) {
       if (!v) return std::nullopt;
       a.job_cache_mb = std::atoll(v);
       if (a.job_cache_mb <= 0) return std::nullopt;
+    } else if (arg == "--portfolio") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.portfolio = std::atoi(v);
+      if (a.portfolio < 0) return std::nullopt;
+    } else if (arg == "--portfolio-rounds") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.portfolio_rounds = std::atoi(v);
+      if (a.portfolio_rounds < 1) return std::nullopt;
+    } else if (arg == "--strategies") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.strategies = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
+    }
+  }
+  // HSYN_PORTFOLIO=N turns any run into a portfolio run without touching
+  // the command line (explicit --portfolio wins).
+  if (a.portfolio == 0 && a.strategies.empty()) {
+    if (const char* env = std::getenv("HSYN_PORTFOLIO")) {
+      const int n = std::atoi(env);
+      if (n > 0) a.portfolio = n;
     }
   }
   const bool serving = a.serve_port != 0 || !a.serve_unix.empty();
@@ -333,6 +367,13 @@ void print_progress(const hsyn::SynthProgress& ev) {
                    "progress: op-point vdd=%.2f clk=%.1f cost=%.6g "
                    "area=%.1f power=%.4f\n",
                    ev.vdd, ev.clock_ns, ev.cost, ev.area, ev.power);
+      break;
+    case Stage::Strategy:
+      std::fprintf(stderr,
+                   "progress: strategy %d done cost=%.6g area=%.1f "
+                   "power=%.4f moves=%d kept=%d\n",
+                   ev.pass, ev.cost, ev.area, ev.power, ev.moves_applied,
+                   ev.moves_kept);
       break;
   }
 }
@@ -439,6 +480,9 @@ bool spec_from_args(const Args& args, hsyn::serve::JobSpec* spec) {
   spec->cache_budget_mb = args.job_cache_mb;
   spec->want_progress = args.progress;
   spec->want_ledger = !args.move_log.empty();
+  spec->portfolio = args.portfolio;
+  spec->portfolio_rounds = args.portfolio_rounds;
+  spec->strategies = args.strategies;
   return true;
 }
 

@@ -170,5 +170,64 @@ TEST(Synthesis, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(netlist_to_text(serial.dp, lib), netlist_to_text(parallel.dp, lib));
 }
 
+// Regression for the explicit (cost, index) comparator: equal-cost
+// candidates must always resolve to the lowest index, at every thread
+// count, no matter how the reduction tree groups the chunks. A bare
+// "keep when strictly better" fold gets this right only by accident of
+// visit order.
+TEST(ParallelBestIndexed, EqualCostBreaksTowardLowestIndex) {
+  constexpr int kN = 97;
+  for (const int threads : {1, 2, 3, 8}) {
+    runtime::set_threads(threads);
+
+    // All candidates tie: index 0 must win.
+    runtime::Scored<int> all_tied = runtime::parallel_best_indexed(
+        kN, [](int i) { return runtime::Scored<int>{5.0, -1, i * 10}; });
+    EXPECT_EQ(all_tied.index, 0) << "threads=" << threads;
+    EXPECT_EQ(all_tied.value, 0) << "threads=" << threads;
+
+    // A tie at the minimum deep inside the range: the lowest tied index
+    // wins, not whichever chunk reduced last.
+    runtime::Scored<int> deep_tie = runtime::parallel_best_indexed(
+        kN, [](int i) {
+          const double cost = (i == 23 || i == 71) ? 1.0 : 2.0 + i;
+          return runtime::Scored<int>{cost, -1, i};
+        });
+    EXPECT_EQ(deep_tie.index, 23) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(deep_tie.cost, 1.0) << "threads=" << threads;
+
+    // Strictly lower cost still beats any index.
+    runtime::Scored<int> strict = runtime::parallel_best_indexed(
+        kN, [](int i) {
+          return runtime::Scored<int>{i == kN - 1 ? 0.5 : 1.0, -1, i};
+        });
+    EXPECT_EQ(strict.index, kN - 1) << "threads=" << threads;
+  }
+  runtime::set_threads(0);
+}
+
+TEST(ParallelBestIndexed, CombinerIsAssociativeWithEmptyIdentity) {
+  using S = runtime::Scored<int>;
+  S empty;
+  S a{3.0, 4, 40};
+  S b{3.0, 2, 20};
+  EXPECT_FALSE(runtime::scored_better(a, empty));
+  EXPECT_TRUE(runtime::scored_better(empty, a));
+  EXPECT_TRUE(runtime::scored_better(a, b));   // equal cost, lower index
+  EXPECT_FALSE(runtime::scored_better(b, a));
+
+  // (empty ⊕ a) ⊕ b == empty ⊕ (a ⊕ b)
+  S left = empty;
+  runtime::keep_scored(left, S(a));
+  runtime::keep_scored(left, S(b));
+  S inner = a;
+  runtime::keep_scored(inner, S(b));
+  S right = empty;
+  runtime::keep_scored(right, std::move(inner));
+  EXPECT_EQ(left.index, right.index);
+  EXPECT_EQ(left.value, right.value);
+  EXPECT_EQ(left.index, 2);
+}
+
 }  // namespace
 }  // namespace hsyn

@@ -81,6 +81,9 @@ TEST(ServeProto, SubmitRoundTrip) {
   spec.cache_budget_mb = 64;
   spec.want_progress = true;
   spec.want_ledger = true;
+  spec.portfolio = 6;
+  spec.portfolio_rounds = 2;
+  spec.strategies = "preset=deep;order=cad,name=share-lead";
 
   Request req;
   std::string err;
@@ -99,6 +102,32 @@ TEST(ServeProto, SubmitRoundTrip) {
   EXPECT_EQ(req.spec.cache_budget_mb, 64);
   EXPECT_TRUE(req.spec.want_progress);
   EXPECT_TRUE(req.spec.want_ledger);
+  EXPECT_EQ(req.spec.portfolio, 6);
+  EXPECT_EQ(req.spec.portfolio_rounds, 2);
+  EXPECT_EQ(req.spec.strategies, spec.strategies);
+}
+
+TEST(ServeProto, SubmitDefaultsOmitPortfolioFields) {
+  // A plain single-seed spec must not grow portfolio keys on the wire
+  // (old clients and old daemons keep interoperating), and parsing a
+  // frame without them must yield the single-seed defaults.
+  JobSpec spec;
+  spec.benchmark = "test1";
+  const std::string frame = encode_submit(spec, "t-2");
+  EXPECT_EQ(frame.find("portfolio"), std::string::npos);
+  EXPECT_EQ(frame.find("strategies"), std::string::npos);
+
+  Request req;
+  std::string err;
+  ASSERT_TRUE(parse_request(frame, &req, &err)) << err;
+  EXPECT_EQ(req.spec.portfolio, 0);
+  EXPECT_EQ(req.spec.portfolio_rounds, 1);
+  EXPECT_TRUE(req.spec.strategies.empty());
+  EXPECT_EQ(req.spec.seed, 42u);  // documented default
+
+  EXPECT_FALSE(parse_request(
+      "{\"type\":\"submit\",\"benchmark\":\"test1\",\"portfolio\":-1}", &req,
+      &err));
 }
 
 TEST(ServeProto, SubmitRequiresExactlyOneSource) {
