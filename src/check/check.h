@@ -34,6 +34,7 @@
 #include "check/diagnostics.h"
 #include "dfg/design.h"
 #include "library/library.h"
+#include "power/trace.h"
 #include "rtl/controller.h"
 #include "rtl/datapath.h"
 
@@ -52,6 +53,11 @@ struct CheckContext {
   OpPoint pt{};           ///< operating point of `dp`'s schedule
   int deadline = 0;       ///< >0: throughput constraint in cycles at `pt`
   double sample_period_ns = 0;  ///< >0: sampling period for cross-checks
+  /// Optional stimulus: the dataflow passes (passes_dataflow.cpp) seed
+  /// the design's *top* behavior's input facts from it, which is the
+  /// only way value ranges tighten in an IR whose constants arrive as
+  /// primary inputs. Null analyzes with unconstrained inputs.
+  const Trace* trace = nullptr;
 };
 
 /// One analysis pass. Passes are stateless; all inputs come from the
@@ -109,7 +115,9 @@ class CheckEngine {
 // ---- Convenience front ends ---------------------------------------------
 
 /// Lint a whole design (DFG + hierarchy passes over every behavior).
-Report lint_design(const Design& design);
+/// A non-null `trace` seeds the dataflow passes' input facts of the top
+/// behavior (hsyn-lint --trace), sharpening constant/range findings.
+Report lint_design(const Design& design, const Trace* trace = nullptr);
 
 /// Verify a synthesized/mutated datapath end to end (all passes).
 Report lint_datapath(const Datapath& dp, const Library& lib, const OpPoint& pt,
@@ -118,6 +126,16 @@ Report lint_datapath(const Datapath& dp, const Library& lib, const OpPoint& pt,
 /// True when the HSYN_CHECK_MOVES environment variable enables the move
 /// gate (value "1"; cached after first read).
 bool env_check_moves();
+
+/// True when HSYN_VERIFY_REWRITES=1 enables the rewrite-equivalence
+/// gate (check/equiv.h) in the search core; cached after first read.
+bool env_verify_rewrites();
+
+/// DFGs referenced by a context, deduplicated in deterministic order:
+/// the single-DFG override, else every design behavior followed by the
+/// datapath tree's behavior implementations. Shared by the DFG-level
+/// passes (passes_dfg.cpp, passes_dataflow.cpp).
+std::vector<const Dfg*> context_dfgs(const CheckContext& cx);
 
 /// The move-engine invariant gate: re-verify `dp` with every pass and
 /// throw std::logic_error carrying the full diagnostic text when any
@@ -131,6 +149,10 @@ void verify_move(const Datapath& dp, const Library& lib, const OpPoint& pt,
 
 std::unique_ptr<Pass> make_dfg_wellformed_pass();   // passes_dfg.cpp
 std::unique_ptr<Pass> make_dfg_hierarchy_pass();    // passes_dfg.cpp
+std::unique_ptr<Pass> make_dfg_deadcode_pass();     // passes_dataflow.cpp
+std::unique_ptr<Pass> make_dfg_const_fold_pass();   // passes_dataflow.cpp
+std::unique_ptr<Pass> make_dfg_range_overflow_pass();  // passes_dataflow.cpp
+std::unique_ptr<Pass> make_dfg_width_waste_pass();  // passes_dataflow.cpp
 std::unique_ptr<Pass> make_rtl_binding_pass();      // passes_rtl.cpp
 std::unique_ptr<Pass> make_sched_legality_pass();   // passes_rtl.cpp
 std::unique_ptr<Pass> make_ctrl_consistency_pass(); // passes_ctrl.cpp

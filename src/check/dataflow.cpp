@@ -1,0 +1,505 @@
+#include "check/dataflow.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/engine.h"
+#include "util/hash.h"
+
+namespace hsyn::lint {
+namespace {
+
+constexpr std::int32_t kMin16 = -32768;
+constexpr std::int32_t kMax16 = 32767;
+
+/// Context tag keeping the facts cache's key space disjoint from the
+/// other typed caches (eval/engine.cpp uses the same convention).
+constexpr std::uint64_t kFactsTag = 0xDA7AF1029EF1A007ull;
+
+// ---- Known-bits arithmetic ------------------------------------------------
+
+/// Three-valued bit: 0, 1, or -1 (unknown).
+int bit_of(const KnownBits& k, int i) {
+  if ((k.ones >> i) & 1) return 1;
+  if ((k.zeros >> i) & 1) return 0;
+  return -1;
+}
+
+void set_bit(KnownBits& k, int i, int v) {
+  if (v == 1) {
+    k.ones = static_cast<std::uint16_t>(k.ones | (1u << i));
+  } else if (v == 0) {
+    k.zeros = static_cast<std::uint16_t>(k.zeros | (1u << i));
+  }
+}
+
+KnownBits kb_not(const KnownBits& a) { return {a.ones, a.zeros}; }
+
+/// Three-valued ripple-carry adder: out = a + b + carry_in. The sum bit
+/// is known only when all three addend bits are; the carry-out is known
+/// whenever two addend bits agree (majority function).
+KnownBits kb_add(const KnownBits& a, const KnownBits& b, int carry) {
+  KnownBits out;
+  for (int i = 0; i < 16; ++i) {
+    const int ab = bit_of(a, i);
+    const int bb = bit_of(b, i);
+    int sum = -1;
+    int cout = -1;
+    if (ab >= 0 && bb >= 0 && carry >= 0) {
+      const int t = ab + bb + carry;
+      sum = t & 1;
+      cout = t >> 1;
+    } else {
+      const int ones = (ab == 1) + (bb == 1) + (carry == 1);
+      const int zeros = (ab == 0) + (bb == 0) + (carry == 0);
+      if (ones >= 2) cout = 1;
+      if (zeros >= 2) cout = 0;
+    }
+    set_bit(out, i, sum);
+    carry = cout;
+  }
+  return out;
+}
+
+KnownBits kb_and(const KnownBits& a, const KnownBits& b) {
+  return {static_cast<std::uint16_t>(a.zeros | b.zeros),
+          static_cast<std::uint16_t>(a.ones & b.ones)};
+}
+
+KnownBits kb_or(const KnownBits& a, const KnownBits& b) {
+  return {static_cast<std::uint16_t>(a.zeros & b.zeros),
+          static_cast<std::uint16_t>(a.ones | b.ones)};
+}
+
+KnownBits kb_xor(const KnownBits& a, const KnownBits& b) {
+  const auto known = static_cast<std::uint16_t>(a.known() & b.known());
+  const auto val = static_cast<std::uint16_t>((a.ones ^ b.ones) & known);
+  return {static_cast<std::uint16_t>(known & ~val), val};
+}
+
+/// Consecutive low bits proved zero (caps the precision of kb_mult).
+int trailing_zeros(const KnownBits& a) {
+  int n = 0;
+  while (n < 16 && ((a.zeros >> n) & 1)) ++n;
+  return n;
+}
+
+KnownBits kb_mult(const KnownBits& a, const KnownBits& b) {
+  // A product's trailing zeros are at least the sum of its factors'.
+  const int tz = std::min(16, trailing_zeros(a) + trailing_zeros(b));
+  KnownBits out;
+  out.zeros = static_cast<std::uint16_t>((1u << tz) - 1);
+  return out;
+}
+
+/// Shift amount when the low four bits of `b` are decided (-1 otherwise);
+/// eval_op masks the amount with 15, so the upper bits never matter.
+int known_shift_amount(const KnownBits& b) {
+  return (b.known() & 0xF) == 0xF ? (b.ones & 0xF) : -1;
+}
+
+KnownBits kb_shl(const KnownBits& a, const KnownBits& b) {
+  const int k = known_shift_amount(b);
+  if (k >= 0) {
+    return {static_cast<std::uint16_t>(((a.zeros << k) | ((1u << k) - 1)) &
+                                       0xFFFFu),
+            static_cast<std::uint16_t>((a.ones << k) & 0xFFFFu)};
+  }
+  // Unknown amount: shifting left never clears trailing zeros.
+  KnownBits out;
+  out.zeros = static_cast<std::uint16_t>((1u << trailing_zeros(a)) - 1);
+  return out;
+}
+
+KnownBits kb_shr(const KnownBits& a, const KnownBits& b) {
+  const int k = known_shift_amount(b);
+  KnownBits out;
+  if (k >= 0) {
+    // Arithmetic: result bit i mirrors source bit min(i+k, 15).
+    for (int i = 0; i < 16; ++i) {
+      set_bit(out, i, bit_of(a, std::min(i + k, 15)));
+    }
+    return out;
+  }
+  // Unknown amount: the leading run of same-valued known bits survives
+  // any arithmetic shift (each result bit i >= j mirrors a source bit
+  // >= j, still inside the run).
+  const int sign = bit_of(a, 15);
+  if (sign < 0) return out;
+  int j = 15;
+  while (j >= 0 && bit_of(a, j) == sign) --j;
+  for (int i = j + 1; i < 16; ++i) set_bit(out, i, sign);
+  return out;
+}
+
+// ---- Range arithmetic -----------------------------------------------------
+
+/// Clamp an exact 64-bit interval to the representable space; any
+/// possibility of wraparound widens to the full range (sound, coarse).
+ValueRange fit(std::int64_t lo, std::int64_t hi) {
+  if (lo < kMin16 || hi > kMax16) return {};
+  return {static_cast<std::int32_t>(lo), static_cast<std::int32_t>(hi)};
+}
+
+ValueRange range_mult(const ValueRange& a, const ValueRange& b) {
+  const std::int64_t p[4] = {
+      static_cast<std::int64_t>(a.lo) * b.lo,
+      static_cast<std::int64_t>(a.lo) * b.hi,
+      static_cast<std::int64_t>(a.hi) * b.lo,
+      static_cast<std::int64_t>(a.hi) * b.hi};
+  return fit(*std::min_element(p, p + 4), *std::max_element(p, p + 4));
+}
+
+ValueRange range_shl(const ValueRange& a, const KnownBits& b) {
+  const int k = known_shift_amount(b);
+  if (k < 0) {
+    return a.lo == 0 && a.hi == 0 ? ValueRange{0, 0} : ValueRange{};
+  }
+  return fit(static_cast<std::int64_t>(a.lo) << k,
+             static_cast<std::int64_t>(a.hi) << k);
+}
+
+ValueRange range_shr(const ValueRange& a, const KnownBits& b) {
+  const int k = known_shift_amount(b);
+  if (k >= 0) return {a.lo >> k, a.hi >> k};
+  // Any amount in [0, 15]: `v >> k` moves monotonically toward 0 / -1
+  // as k grows, so the extremes are at k = 0 and k = 15.
+  return {std::min(a.lo, a.lo >> 15), std::max(a.hi, a.hi >> 15)};
+}
+
+// ---- Fact reconciliation --------------------------------------------------
+
+/// Signed bounds implied by the known bits alone (unknown bits free).
+ValueRange range_of_bits(const KnownBits& k) {
+  const auto unknown = static_cast<std::uint16_t>(~k.known());
+  const auto min_u = static_cast<std::uint16_t>(k.ones | (unknown & 0x8000u));
+  const auto max_u = static_cast<std::uint16_t>(k.ones | (unknown & 0x7FFFu));
+  return {mask16(min_u), mask16(max_u)};
+}
+
+/// Cross-pollinate the two domains: each one may tighten the other.
+/// Applied after every transfer function, so e.g. a Cmp-derived [0, 1]
+/// range also pins bits 1..15 to zero.
+void reconcile(EdgeFact& f) {
+  const ValueRange br = range_of_bits(f.bits);
+  f.range.lo = std::max(f.range.lo, br.lo);
+  f.range.hi = std::min(f.range.hi, br.hi);
+  if (f.range.lo > f.range.hi) {
+    // Domains disagree -- only possible on facts merged from two
+    // different graphs (equiv.cpp); keep the bits-implied range.
+    f.range = br;
+  }
+  if (f.range.is_constant()) {
+    f.bits = KnownBits::constant(f.range.lo);
+    return;
+  }
+  if (f.range.lo >= 0) {
+    // Non-negative: every bit above the highest bit of `hi` is zero.
+    for (int b = 15; b >= 0 && f.range.hi < (1 << b); --b) set_bit(f.bits, b, 0);
+  } else if (f.range.hi < 0) {
+    // Negative: bits b..15 are all ones once lo >= -(2^b).
+    for (int b = 15; b >= 0 && f.range.lo >= -(1 << b); --b) {
+      set_bit(f.bits, b, 1);
+    }
+  }
+}
+
+EdgeFact constant_fact(std::int32_t v) {
+  EdgeFact f;
+  f.bits = KnownBits::constant(v);
+  f.range = {v, v};
+  return f;
+}
+
+// ---- The forward / backward sweeps ---------------------------------------
+
+/// Resolver identity folded into the cache key: hierarchical summaries
+/// depend on which child DFG each behavior name resolves to, so two
+/// resolvers mapping a name to structurally different (if equivalent)
+/// variants must not share entries -- diagnostics stay deterministic.
+std::uint64_t resolver_context(const Dfg& dfg, const BehaviorResolver& res) {
+  std::uint64_t h = kFactsTag;
+  for (const Node& n : dfg.nodes()) {
+    if (!n.is_hier()) continue;
+    h = hash_mix(h, std::hash<std::string>{}(n.behavior));
+    const Dfg* child = res ? res(n.behavior) : nullptr;
+    h = hash_mix(h, child != nullptr && child->validated()
+                        ? child->content_hash()
+                        : 0);
+  }
+  return hash_final(h);
+}
+
+/// Per-input seed facts from a trace: range over the samples, bits every
+/// sample agrees on (a constant channel becomes a constant fact).
+std::vector<EdgeFact> trace_input_facts(const Dfg& dfg, const Trace& trace) {
+  std::vector<EdgeFact> facts(static_cast<std::size_t>(
+      std::max(0, dfg.num_inputs())));
+  if (trace.empty()) return facts;
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    std::int32_t lo = kMax16;
+    std::int32_t hi = kMin16;
+    std::uint16_t always1 = 0xFFFFu;
+    std::uint16_t always0 = 0xFFFFu;
+    bool seen = false;
+    for (const Sample& s : trace) {
+      if (i >= s.size()) continue;
+      const std::int32_t v = mask16(s[i]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      const auto u = static_cast<std::uint16_t>(v & 0xFFFF);
+      always1 &= u;
+      always0 &= static_cast<std::uint16_t>(~u);
+      seen = true;
+    }
+    if (!seen) continue;
+    facts[i].bits = {always0, always1};
+    facts[i].range = {lo, hi};
+    reconcile(facts[i]);
+  }
+  return facts;
+}
+
+/// Hashes of DFGs currently being analyzed on this thread: a recursive
+/// hierarchy (invalid, diagnosed by HIER checks) degrades to an
+/// unconstrained child summary instead of infinite recursion.
+thread_local std::unordered_set<std::uint64_t>* t_in_progress = nullptr;
+
+std::shared_ptr<const DataflowFacts> analyze_cached(const Dfg& dfg,
+                                                    const BehaviorResolver& res,
+                                                    const Trace* trace);
+
+/// Transfer function for one operation node; `in` holds the operand
+/// facts, `same` flags operands wired to the *same edge* (x - x == 0
+/// and friends, decided structurally, no constants needed).
+EdgeFact transfer(Op op, const EdgeFact& a, const EdgeFact& b, bool same) {
+  // Fully decided operands: run the concrete semantics.
+  if (a.is_constant() && (op == Op::Neg || b.is_constant())) {
+    return constant_fact(
+        eval_op(op, a.constant(), op == Op::Neg ? 0 : b.constant()));
+  }
+  EdgeFact out;
+  switch (op) {
+    case Op::Add:
+      out.bits = kb_add(a.bits, b.bits, 0);
+      out.range = fit(static_cast<std::int64_t>(a.range.lo) + b.range.lo,
+                      static_cast<std::int64_t>(a.range.hi) + b.range.hi);
+      break;
+    case Op::Sub:
+      if (same) return constant_fact(0);
+      out.bits = kb_add(a.bits, kb_not(b.bits), 1);
+      out.range = fit(static_cast<std::int64_t>(a.range.lo) - b.range.hi,
+                      static_cast<std::int64_t>(a.range.hi) - b.range.lo);
+      break;
+    case Op::Mult:
+      out.bits = kb_mult(a.bits, b.bits);
+      out.range = range_mult(a.range, b.range);
+      break;
+    case Op::ShiftL:
+      out.bits = kb_shl(a.bits, b.bits);
+      out.range = range_shl(a.range, b.bits);
+      break;
+    case Op::ShiftR:
+      out.bits = kb_shr(a.bits, b.bits);
+      out.range = range_shr(a.range, b.bits);
+      break;
+    case Op::Cmp:
+      if (same || a.range.lo >= b.range.hi) return constant_fact(0);
+      if (a.range.hi < b.range.lo) return constant_fact(1);
+      out.range = {0, 1};
+      break;
+    case Op::And:
+      if (same) return a;
+      out.bits = kb_and(a.bits, b.bits);
+      break;
+    case Op::Or:
+      if (same) return a;
+      out.bits = kb_or(a.bits, b.bits);
+      break;
+    case Op::Xor:
+      if (same) return constant_fact(0);
+      out.bits = kb_xor(a.bits, b.bits);
+      break;
+    case Op::Neg:
+      // -a == ~a + 1.
+      out.bits = kb_add(kb_not(a.bits), KnownBits::constant(0), 1);
+      if (a.range.lo > kMin16) out.range = {-a.range.hi, -a.range.lo};
+      break;
+    case Op::Hier:
+      break;  // handled by the caller
+  }
+  reconcile(out);
+  return out;
+}
+
+DataflowFacts analyze_impl(const Dfg& dfg, const BehaviorResolver& res,
+                           const Trace* trace) {
+  DataflowFacts facts;
+  facts.dfg_hash = dfg.content_hash();
+  facts.edges.resize(dfg.edges().size());
+  facts.node_live.assign(dfg.nodes().size(), 0);
+  facts.input_live.assign(static_cast<std::size_t>(
+                              std::max(0, dfg.num_inputs())), 0);
+
+  // Primary-input seeds.
+  const std::vector<EdgeFact> seeds =
+      trace != nullptr ? trace_input_facts(dfg, *trace)
+                       : std::vector<EdgeFact>(
+                             static_cast<std::size_t>(
+                                 std::max(0, dfg.num_inputs())));
+  for (const Edge& e : dfg.edges()) {
+    if (e.src.node != kPrimaryIn) continue;
+    const auto idx = static_cast<std::size_t>(e.src.port);
+    facts.edges[static_cast<std::size_t>(e.id)] =
+        idx < seeds.size() ? seeds[idx] : EdgeFact{};
+  }
+
+  // Forward sweep in topological order. Child summaries are kept for
+  // the backward sweep's per-input liveness.
+  std::vector<std::shared_ptr<const DataflowFacts>> child_facts(
+      dfg.nodes().size());
+  for (const int nid : dfg.topo_order()) {
+    const Node& n = dfg.node(nid);
+    if (n.is_hier()) {
+      const Dfg* child = res ? res(n.behavior) : nullptr;
+      std::shared_ptr<const DataflowFacts> cf;
+      if (child != nullptr && child->validated() &&
+          child->num_inputs() == n.num_inputs &&
+          child->num_outputs() == n.num_outputs) {
+        // Context-free summary: the child analyzed with unconstrained
+        // inputs, shared between every call site through the cache.
+        cf = analyze_cached(*child, res, nullptr);
+      }
+      if (cf == nullptr) facts.incomplete = true;
+      child_facts[static_cast<std::size_t>(nid)] = cf;
+      for (int p = 0; p < n.num_outputs; ++p) {
+        const int eid = dfg.output_edge(nid, p);
+        if (eid < 0) continue;
+        EdgeFact f;
+        if (cf != nullptr) {
+          const int ceid = child->primary_output_edge(p);
+          if (ceid >= 0) {
+            f = cf->edges[static_cast<std::size_t>(ceid)];
+            f.live = false;
+          }
+        }
+        facts.edges[static_cast<std::size_t>(eid)] = f;
+      }
+      continue;
+    }
+    const int ea = dfg.input_edge(nid, 0);
+    const int eb = n.num_inputs > 1 ? dfg.input_edge(nid, 1) : -1;
+    const EdgeFact& fa = facts.edges[static_cast<std::size_t>(ea)];
+    const EdgeFact& fb = eb >= 0 ? facts.edges[static_cast<std::size_t>(eb)]
+                                 : EdgeFact{};
+    const int eo = dfg.output_edge(nid, 0);
+    if (eo < 0) continue;
+    facts.edges[static_cast<std::size_t>(eo)] =
+        transfer(n.op, fa, fb, eb >= 0 && ea == eb);
+  }
+
+  // Backward liveness sweep. A consumer keeps an edge alive when it is
+  // a primary output, a live operation node (every operand of a live op
+  // matters), or a live hierarchical node whose corresponding child
+  // input can reach a child output.
+  auto consumer_live = [&](const PortRef& dst) {
+    if (dst.node == kPrimaryOut) return true;
+    if (dst.node < 0) return false;
+    if (!facts.node_live[static_cast<std::size_t>(dst.node)]) return false;
+    const auto& cf = child_facts[static_cast<std::size_t>(dst.node)];
+    if (dfg.node(dst.node).is_hier() && cf != nullptr) {
+      const auto p = static_cast<std::size_t>(dst.port);
+      return p < cf->input_live.size() && cf->input_live[p] != 0;
+    }
+    return true;
+  };
+  const std::vector<int>& topo = dfg.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Node& n = dfg.node(*it);
+    bool live = false;
+    for (int p = 0; p < n.num_outputs; ++p) {
+      const int eid = dfg.output_edge(*it, p);
+      if (eid < 0) continue;
+      EdgeFact& f = facts.edges[static_cast<std::size_t>(eid)];
+      for (const PortRef& dst : dfg.edge(eid).dsts) {
+        if (consumer_live(dst)) {
+          f.live = true;
+          break;
+        }
+      }
+      live = live || f.live;
+    }
+    facts.node_live[static_cast<std::size_t>(*it)] = live ? 1 : 0;
+  }
+  for (const Edge& e : dfg.edges()) {
+    if (e.src.node != kPrimaryIn) continue;
+    EdgeFact& f = facts.edges[static_cast<std::size_t>(e.id)];
+    for (const PortRef& dst : e.dsts) {
+      if (consumer_live(dst)) {
+        f.live = true;
+        break;
+      }
+    }
+    const auto idx = static_cast<std::size_t>(e.src.port);
+    if (f.live && idx < facts.input_live.size()) facts.input_live[idx] = 1;
+  }
+  return facts;
+}
+
+std::shared_ptr<const DataflowFacts> analyze_cached(const Dfg& dfg,
+                                                    const BehaviorResolver& res,
+                                                    const Trace* trace) {
+  if (!dfg.validated()) return nullptr;
+  auto& cache = eval::EvalEngine::instance().facts_cache();
+  const eval::Key key{
+      dfg.content_hash(),
+      trace != nullptr ? trace_fingerprint(*trace) : 0,
+      resolver_context(dfg, res)};
+  if (auto hit = cache.get(key)) return *hit;
+
+  // Recursion guard: re-entering a DFG already on this thread's
+  // analysis stack means the hierarchy is cyclic; degrade to an
+  // unconstrained summary rather than recurse forever.
+  std::unordered_set<std::uint64_t>* stack = t_in_progress;
+  std::unordered_set<std::uint64_t> local;
+  if (stack == nullptr) {
+    stack = &local;
+    t_in_progress = stack;
+  }
+  if (!stack->insert(dfg.content_hash()).second) {
+    if (stack == &local) t_in_progress = nullptr;
+    return nullptr;
+  }
+  auto facts =
+      std::make_shared<const DataflowFacts>(analyze_impl(dfg, res, trace));
+  stack->erase(dfg.content_hash());
+  if (stack == &local) t_in_progress = nullptr;
+
+  cache.put(key, facts, facts->bytes());
+  return facts;
+}
+
+}  // namespace
+
+std::shared_ptr<const DataflowFacts> analyze_dfg(const Dfg& dfg,
+                                                 const BehaviorResolver& res) {
+  auto facts = analyze_cached(dfg, res, nullptr);
+  check(facts != nullptr, "analyze_dfg requires a validated, acyclic DFG");
+  return facts;
+}
+
+std::shared_ptr<const DataflowFacts> analyze_dfg(const Dfg& dfg,
+                                                 const BehaviorResolver& res,
+                                                 const Trace& trace) {
+  auto facts = analyze_cached(dfg, res, &trace);
+  check(facts != nullptr, "analyze_dfg requires a validated, acyclic DFG");
+  return facts;
+}
+
+DataflowFacts analyze_dfg_scratch(const Dfg& dfg, const BehaviorResolver& res,
+                                  const Trace* trace) {
+  check(dfg.validated(), "analyze_dfg_scratch requires a validated DFG");
+  return analyze_impl(dfg, res, trace);
+}
+
+}  // namespace hsyn::lint

@@ -1,0 +1,137 @@
+// Forward abstract-interpretation dataflow framework over DFGs.
+//
+// One topological sweep computes, per edge, a product of three value
+// domains plus liveness:
+//   * known-bits: masks of bits provably 0 / provably 1 in the 16-bit
+//     datapath word, pushed through add/sub/mult/shift/logic transfer
+//     functions (three-valued carry simulation for the adders);
+//   * value range: a signed interval within [-32768, 32767];
+//   * constant: derived, an edge is constant when all 16 bits are known;
+//   * liveness: whether the value can influence any primary output
+//     (one backward sweep; hierarchical nodes consult the child's
+//     per-input liveness so a dead child input does not keep its
+//     driver alive).
+// DFGs are acyclic, so no fixpoint iteration is needed: every fact is
+// exact after one pass of its direction.
+//
+// The transfer functions mirror power/trace.h's eval_op bit-for-bit
+// (16-bit two's-complement wraparound, `b & 15` shift amounts,
+// arithmetic right shift, Cmp producing 0/1) -- the soundness contract
+// is that for every input assignment the concrete edge value lies in
+// the abstract fact. tests/test_dataflow.cpp cross-checks this against
+// the replay evaluator on random DFGs.
+//
+// Hierarchical nodes are handled interprocedurally: the child behavior
+// is analyzed once with unconstrained inputs and its output facts are
+// substituted at the call site (a sound context-free summary, shared
+// through the cache between all call sites).
+//
+// Results are cached in the process-wide evaluation engine
+// (eval/engine.h) under Dfg::content_hash -- the eval-cache style --
+// so warm re-analysis of an unchanged graph is a lookup. The four
+// dataflow lint passes (passes_dataflow.cpp) and the equivalence
+// checker (equiv.h) therefore share one analysis per structural
+// novelty.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "power/trace.h"
+
+namespace hsyn::lint {
+
+/// Bits of the 16-bit datapath word proved 0 / proved 1. A bit set in
+/// neither mask is unknown; the masks are disjoint by construction.
+struct KnownBits {
+  std::uint16_t zeros = 0;
+  std::uint16_t ones = 0;
+
+  /// Mask of bits whose value is decided either way.
+  std::uint16_t known() const { return static_cast<std::uint16_t>(zeros | ones); }
+  bool all_known() const { return known() == 0xFFFFu; }
+  int num_known() const { return std::popcount(known()); }
+
+  /// The fully-known word for a constant value (sign handled by mask16).
+  static KnownBits constant(std::int32_t v) {
+    const auto u = static_cast<std::uint16_t>(v & 0xFFFF);
+    return {static_cast<std::uint16_t>(~u), u};
+  }
+  /// Nothing known.
+  static KnownBits top() { return {}; }
+
+  friend bool operator==(const KnownBits&, const KnownBits&) = default;
+};
+
+/// Inclusive signed interval within the 16-bit value space.
+struct ValueRange {
+  std::int32_t lo = -32768;
+  std::int32_t hi = 32767;
+
+  bool is_full() const { return lo == -32768 && hi == 32767; }
+  bool is_constant() const { return lo == hi; }
+  bool contains(std::int32_t v) const { return lo <= v && v <= hi; }
+  /// Inclusive width; 1 for a constant.
+  std::int64_t width() const {
+    return static_cast<std::int64_t>(hi) - lo + 1;
+  }
+
+  friend bool operator==(const ValueRange&, const ValueRange&) = default;
+};
+
+/// Everything the analysis proved about one edge (value / variable).
+struct EdgeFact {
+  KnownBits bits;
+  ValueRange range;
+  bool live = false;  ///< can influence a primary output
+
+  /// Constant iff every bit is decided (the range then collapses too).
+  bool is_constant() const { return bits.all_known(); }
+  /// The constant value; meaningful only when is_constant().
+  std::int32_t constant() const { return mask16(bits.ones); }
+};
+
+/// Immutable analysis result for one DFG, indexed by edge / node /
+/// primary-input id. Shared via the eval cache; treat as read-only.
+struct DataflowFacts {
+  std::uint64_t dfg_hash = 0;          ///< Dfg::content_hash at analysis time
+  std::vector<EdgeFact> edges;         ///< [edge id]
+  std::vector<char> node_live;         ///< [node id] feeds a primary output
+  std::vector<char> input_live;        ///< [primary input] reaches an output
+  /// True when some hierarchical child could not be resolved (facts for
+  /// its outputs degraded to unconstrained -- still sound).
+  bool incomplete = false;
+
+  /// Approximate heap footprint, for the eval-cache byte budget.
+  std::size_t bytes() const {
+    return sizeof(DataflowFacts) + edges.capacity() * sizeof(EdgeFact) +
+           node_live.capacity() + input_live.capacity();
+  }
+};
+
+/// Analyze `dfg` (must be validated) with unconstrained primary inputs.
+/// `res` resolves hierarchical behaviors; null degrades hier outputs to
+/// unconstrained facts. Cached under (content_hash, resolver identity)
+/// in the eval engine; the returned facts are shared and immutable.
+std::shared_ptr<const DataflowFacts> analyze_dfg(
+    const Dfg& dfg, const BehaviorResolver& res = nullptr);
+
+/// Like analyze_dfg, but the primary-input facts are seeded from the
+/// samples of `trace` (per-input range, bits common to every sample,
+/// constants for constant channels). The facts then bound every value
+/// the DFG can take *over that stimulus* -- the form the equivalence
+/// checker uses to disprove equivalence on concrete workloads, and the
+/// only way constants enter an IR whose literals are primary inputs.
+/// Cached under (content_hash, trace_fingerprint, resolver identity).
+std::shared_ptr<const DataflowFacts> analyze_dfg(const Dfg& dfg,
+                                                 const BehaviorResolver& res,
+                                                 const Trace& trace);
+
+/// Uncached single-shot analysis (tests and HSYN_EVAL_VERIFY recompute).
+/// Null `trace` means unconstrained inputs.
+DataflowFacts analyze_dfg_scratch(const Dfg& dfg, const BehaviorResolver& res,
+                                  const Trace* trace = nullptr);
+
+}  // namespace hsyn::lint

@@ -37,6 +37,17 @@ void Report::merge(const Report& other) {
   warnings_ += other.warnings_;
 }
 
+Report Report::filtered(Severity min) const {
+  Report out;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity < min) continue;
+    out.diags_.push_back(d);
+    if (d.severity == Severity::Error) ++out.errors_;
+    if (d.severity == Severity::Warning) ++out.warnings_;
+  }
+  return out;
+}
+
 std::string Report::to_text() const {
   std::ostringstream out;
   for (const Diagnostic& d : diags_) {

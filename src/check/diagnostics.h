@@ -46,6 +46,11 @@ class Report {
   /// Append another report's diagnostics (used when linting several IRs).
   void merge(const Report& other);
 
+  /// Copy holding only the diagnostics at `min` severity or above
+  /// (hsyn-lint --min-severity); counts are recomputed from the kept
+  /// set.
+  Report filtered(Severity min) const;
+
   /// One line per diagnostic: "error[SCHED003] <loc>: <message>".
   std::string to_text() const;
 

@@ -11,6 +11,10 @@ namespace hsyn::lint {
 CheckEngine::CheckEngine() {
   register_pass(make_dfg_wellformed_pass());
   register_pass(make_dfg_hierarchy_pass());
+  register_pass(make_dfg_deadcode_pass());
+  register_pass(make_dfg_const_fold_pass());
+  register_pass(make_dfg_range_overflow_pass());
+  register_pass(make_dfg_width_waste_pass());
   register_pass(make_rtl_binding_pass());
   register_pass(make_sched_legality_pass());
   register_pass(make_ctrl_consistency_pass());
@@ -71,9 +75,10 @@ CheckEngine& CheckEngine::instance() {
   return *engine;
 }
 
-Report lint_design(const Design& design) {
+Report lint_design(const Design& design, const Trace* trace) {
   CheckContext cx;
   cx.design = &design;
+  cx.trace = trace;
   return CheckEngine::instance().run(cx);
 }
 
@@ -91,6 +96,14 @@ Report lint_datapath(const Datapath& dp, const Library& lib, const OpPoint& pt,
 bool env_check_moves() {
   static const bool enabled = [] {
     const char* s = std::getenv("HSYN_CHECK_MOVES");
+    return s != nullptr && s[0] == '1' && s[1] == '\0';
+  }();
+  return enabled;
+}
+
+bool env_verify_rewrites() {
+  static const bool enabled = [] {
+    const char* s = std::getenv("HSYN_VERIFY_REWRITES");
     return s != nullptr && s[0] == '1' && s[1] == '\0';
   }();
   return enabled;

@@ -1,0 +1,57 @@
+// Rewrite validator: proves (or refutes) that two DFGs implement the
+// same behavior -- the translation-validation story behind Move A's
+// "functionally equivalent but anisomorphic" DFG swaps and the future
+// e-graph rewrite engine (ROADMAP item 1).
+//
+// Three stages, cheapest first; the first decisive one wins:
+//   1. canonical-hash: identical canonical DAG hashes (dfg/dfg.h) mean
+//      the graphs are the same circuit up to renumbering -- equivalent.
+//   2. dataflow-facts: both graphs are abstractly interpreted with
+//      input facts seeded from the trace (check/dataflow.h). A provable
+//      disagreement on any primary output -- different constants,
+//      disjoint value ranges, or conflicting known bits -- refutes
+//      equivalence without running a single sample (the fact sets
+//      over-approximate each output's feasible values, so disjoint sets
+//      mean the outputs differ at *every* sample).
+//   3. differential-replay: both graphs are evaluated bitwise over the
+//      trace through the compiled replay kernel (power/replay.h, cached
+//      and thread-deterministic); any mismatch yields a concrete
+//      counterexample, full agreement accepts the rewrite.
+//
+// Stage 3 is trace-exhaustive, not input-exhaustive: a rewrite is
+// accepted when it is bit-identical on the synthesis stimulus, the same
+// standard the power estimates themselves are computed under. The
+// verified-rewrite gate (--verify-rewrites / HSYN_VERIFY_REWRITES=1,
+// synth/search_core.cpp) runs this validator over every accepted
+// Move A/B whose child DFG changed and stamps rejections into the move
+// ledger as MoveStatus::RejectedByVerifier.
+#pragma once
+
+#include <string>
+
+#include "power/trace.h"
+
+namespace hsyn::lint {
+
+/// Outcome of one equivalence query.
+struct EquivResult {
+  bool equivalent = false;
+  /// Stage that decided: "io-signature", "canonical-hash",
+  /// "dataflow-facts", or "differential-replay".
+  std::string method;
+  /// Human-readable evidence: the refuting output/sample or the
+  /// agreement summary.
+  std::string detail;
+};
+
+/// Decide whether `a` and `b` produce identical primary outputs over
+/// `trace` (empty trace: a deterministic built-in stimulus is
+/// generated). Both DFGs must be validated. `res_a` / `res_b` resolve
+/// hierarchical behaviors of the respective graph; by the
+/// BehaviorResolver contract, resolved variants must themselves be
+/// functionally equivalent.
+EquivResult verify_equivalent(const Dfg& a, const Dfg& b, const Trace& trace,
+                              const BehaviorResolver& res_a = nullptr,
+                              const BehaviorResolver& res_b = nullptr);
+
+}  // namespace hsyn::lint

@@ -1,0 +1,258 @@
+// Dataflow-driven lint passes on top of the abstract-interpretation
+// framework (check/dataflow.h).
+//
+// Codes: DC001-DC002 (dfg-deadcode), CF001-CF002 (dfg-const-fold),
+// RO001-RO002 (dfg-range-overflow), WW001-WW002 (dfg-width-waste).
+// All findings are warnings or notes: they flag circuits that waste
+// area/power or depend on wraparound, not illegal IR -- the structural
+// passes (passes_dfg.cpp) own the error severities. `hsyn-lint --werror`
+// promotes the warnings to a failing exit code for CI.
+//
+// Unlike the structural passes these require validated DFGs (the
+// analysis walks topo_order); unvalidated graphs are skipped here and
+// diagnosed by dfg-wellformed instead.
+#include <memory>
+
+#include "check/check.h"
+#include "check/dataflow.h"
+#include "util/fmt.h"
+
+namespace hsyn::lint {
+namespace {
+
+std::string dfg_loc(const Dfg& dfg) { return "dfg '" + dfg.name() + "'"; }
+
+/// Resolver over the context's design (null resolver otherwise: hier
+/// children then analyze as unconstrained, which only costs precision).
+BehaviorResolver context_resolver(const CheckContext& cx) {
+  if (cx.design == nullptr) return nullptr;
+  const Design* design = cx.design;
+  return [design](const std::string& name) -> const Dfg* {
+    return design->has_behavior(name) ? &design->behavior(name) : nullptr;
+  };
+}
+
+/// Facts for one context DFG: trace-seeded for the design's top
+/// behavior when the context carries a stimulus, unconstrained
+/// otherwise. Both forms are cached in the eval engine.
+std::shared_ptr<const DataflowFacts> context_facts(const CheckContext& cx,
+                                                   const Dfg& dfg) {
+  const BehaviorResolver res = context_resolver(cx);
+  const bool is_top = cx.trace != nullptr && cx.design != nullptr &&
+                      cx.design->has_behavior(cx.design->top_name()) &&
+                      &cx.design->top() == &dfg;
+  return is_top ? analyze_dfg(dfg, res, *cx.trace) : analyze_dfg(dfg, res);
+}
+
+/// Shared applicability + per-DFG iteration of the dataflow passes.
+class DataflowPass : public Pass {
+ public:
+  bool applicable(const CheckContext& cx) const override {
+    return cx.dfg != nullptr || cx.design != nullptr || cx.dp != nullptr;
+  }
+  void run(const CheckContext& cx, Report& rep) const override {
+    for (const Dfg* dfg : context_dfgs(cx)) {
+      if (!dfg->validated()) continue;  // dfg-wellformed's territory
+      check_dfg(cx, *dfg, *context_facts(cx, *dfg), rep);
+    }
+  }
+
+ private:
+  virtual void check_dfg(const CheckContext& cx, const Dfg& dfg,
+                         const DataflowFacts& facts, Report& rep) const = 0;
+};
+
+// ---- dfg-deadcode --------------------------------------------------------
+
+class DfgDeadcodePass final : public DataflowPass {
+ public:
+  const char* name() const override { return "dfg-deadcode"; }
+
+ private:
+  void check_dfg(const CheckContext&, const Dfg& dfg,
+                 const DataflowFacts& facts, Report& rep) const override {
+    const std::string at = dfg_loc(dfg);
+    for (const Node& n : dfg.nodes()) {
+      if (facts.node_live[static_cast<std::size_t>(n.id)]) continue;
+      rep.add("DC001", Severity::Warning,
+              strf("%s node %d", at.c_str(), n.id),
+              strf("%s result cannot reach any primary output; the "
+                   "operation is dead hardware",
+                   op_name(n.op)));
+    }
+    for (int i = 0; i < dfg.num_inputs(); ++i) {
+      const int eid = dfg.primary_input_edge(i);
+      // An unconsumed input is DFG007 (dfg-wellformed); this pass flags
+      // the subtler case of an input consumed only by dead code.
+      if (eid < 0 || dfg.edge(eid).dsts.empty()) continue;
+      if (facts.input_live[static_cast<std::size_t>(i)]) continue;
+      rep.add("DC002", Severity::Warning,
+              strf("%s input %d", at.c_str(), i),
+              "primary input feeds only dead operations and can never "
+              "influence an output");
+    }
+  }
+};
+
+// ---- dfg-const-fold ------------------------------------------------------
+
+class DfgConstFoldPass final : public DataflowPass {
+ public:
+  const char* name() const override { return "dfg-const-fold"; }
+
+ private:
+  void check_dfg(const CheckContext&, const Dfg& dfg,
+                 const DataflowFacts& facts, Report& rep) const override {
+    const std::string at = dfg_loc(dfg);
+    for (const Node& n : dfg.nodes()) {
+      if (n.is_hier()) continue;
+      if (!facts.node_live[static_cast<std::size_t>(n.id)]) continue;
+      const int eo = dfg.output_edge(n.id, 0);
+      if (eo < 0) continue;
+      const EdgeFact& f = facts.edges[static_cast<std::size_t>(eo)];
+      const std::vector<int> ins = dfg.node_input_edges(n.id);
+      const bool same_operand = ins.size() == 2 && ins[0] == ins[1];
+      if (f.is_constant()) {
+        rep.add("CF001", Severity::Warning,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("%s always produces %d; fold the constant instead of "
+                     "synthesizing the operation",
+                     op_name(n.op), f.constant()));
+      } else if (same_operand && (n.op == Op::And || n.op == Op::Or)) {
+        rep.add("CF002", Severity::Warning,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("%s of a value with itself is the identity; forward "
+                     "edge %d directly",
+                     op_name(n.op), ins[0]));
+      }
+    }
+  }
+};
+
+// ---- dfg-range-overflow --------------------------------------------------
+
+class DfgRangeOverflowPass final : public DataflowPass {
+ public:
+  const char* name() const override { return "dfg-range-overflow"; }
+
+ private:
+  void check_dfg(const CheckContext&, const Dfg& dfg,
+                 const DataflowFacts& facts, Report& rep) const override {
+    const std::string at = dfg_loc(dfg);
+    for (const Node& n : dfg.nodes()) {
+      if (n.is_hier() || !facts.node_live[static_cast<std::size_t>(n.id)]) {
+        continue;
+      }
+      const int ea = dfg.input_edge(n.id, 0);
+      const int eb = n.num_inputs > 1 ? dfg.input_edge(n.id, 1) : -1;
+      if (ea < 0) continue;
+      const ValueRange a = facts.edges[static_cast<std::size_t>(ea)].range;
+      const ValueRange b = eb >= 0
+                               ? facts.edges[static_cast<std::size_t>(eb)].range
+                               : ValueRange{0, 0};
+      // RO001: the exact (unwrapped) result lies outside the 16-bit
+      // word for *every* input the operands can take -- the node's
+      // output is pure wraparound artifact.
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      bool applies = true;
+      switch (n.op) {
+        case Op::Add:
+          lo = static_cast<std::int64_t>(a.lo) + b.lo;
+          hi = static_cast<std::int64_t>(a.hi) + b.hi;
+          break;
+        case Op::Sub:
+          lo = static_cast<std::int64_t>(a.lo) - b.hi;
+          hi = static_cast<std::int64_t>(a.hi) - b.lo;
+          break;
+        case Op::Mult: {
+          const std::int64_t p[4] = {static_cast<std::int64_t>(a.lo) * b.lo,
+                                     static_cast<std::int64_t>(a.lo) * b.hi,
+                                     static_cast<std::int64_t>(a.hi) * b.lo,
+                                     static_cast<std::int64_t>(a.hi) * b.hi};
+          lo = std::min({p[0], p[1], p[2], p[3]});
+          hi = std::max({p[0], p[1], p[2], p[3]});
+          break;
+        }
+        default:
+          applies = false;
+          break;
+      }
+      if (applies && (hi < -32768 || lo > 32767)) {
+        rep.add("RO001", Severity::Warning,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("%s overflows the 16-bit datapath for every feasible "
+                     "input (exact result in [%lld, %lld])",
+                     op_name(n.op), static_cast<long long>(lo),
+                     static_cast<long long>(hi)));
+      }
+      // RO002: a shift whose amount can never be a valid bit count --
+      // eval_op silently masks it with 15, so the hardware behaves as
+      // `amount & 15`, which is rarely what the designer meant.
+      if ((n.op == Op::ShiftL || n.op == Op::ShiftR) && eb >= 0 &&
+          (b.lo > 15 || b.hi < 0)) {
+        rep.add("RO002", Severity::Warning,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("shift amount is provably outside [0, 15] (range "
+                     "[%d, %d]); the datapath masks it to `amount & 15`",
+                     b.lo, b.hi));
+      }
+    }
+  }
+};
+
+// ---- dfg-width-waste -----------------------------------------------------
+
+class DfgWidthWastePass final : public DataflowPass {
+ public:
+  const char* name() const override { return "dfg-width-waste"; }
+
+ private:
+  /// Known-bits threshold above which a full-width unit is flagged.
+  static constexpr int kKnownBitsWaste = 8;
+
+  void check_dfg(const CheckContext&, const Dfg& dfg,
+                 const DataflowFacts& facts, Report& rep) const override {
+    const std::string at = dfg_loc(dfg);
+    for (const Node& n : dfg.nodes()) {
+      if (n.is_hier() || !facts.node_live[static_cast<std::size_t>(n.id)]) {
+        continue;
+      }
+      const int eo = dfg.output_edge(n.id, 0);
+      if (eo < 0) continue;
+      const EdgeFact& f = facts.edges[static_cast<std::size_t>(eo)];
+      if (f.is_constant()) continue;  // CF001's finding
+      const int known = f.bits.num_known();
+      if (known >= kKnownBitsWaste) {
+        rep.add("WW001", Severity::Note,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("%s output has %d of 16 bits statically determined; "
+                     "a %d-bit unit would suffice",
+                     op_name(n.op), known, 16 - known));
+      } else if (f.range.width() <= 256) {
+        rep.add("WW002", Severity::Note,
+                strf("%s node %d", at.c_str(), n.id),
+                strf("%s output spans only [%d, %d]; the value fits a "
+                     "narrower datapath than 16 bits",
+                     op_name(n.op), f.range.lo, f.range.hi));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dfg_deadcode_pass() {
+  return std::make_unique<DfgDeadcodePass>();
+}
+std::unique_ptr<Pass> make_dfg_const_fold_pass() {
+  return std::make_unique<DfgConstFoldPass>();
+}
+std::unique_ptr<Pass> make_dfg_range_overflow_pass() {
+  return std::make_unique<DfgRangeOverflowPass>();
+}
+std::unique_ptr<Pass> make_dfg_width_waste_pass() {
+  return std::make_unique<DfgWidthWastePass>();
+}
+
+}  // namespace hsyn::lint

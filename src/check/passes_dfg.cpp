@@ -18,7 +18,8 @@ namespace {
 
 std::string dfg_loc(const Dfg& dfg) { return "dfg '" + dfg.name() + "'"; }
 
-/// DFGs referenced by a context, deduplicated in deterministic order.
+}  // namespace
+
 std::vector<const Dfg*> context_dfgs(const CheckContext& cx) {
   std::vector<const Dfg*> out;
   std::set<const Dfg*> seen;
@@ -48,6 +49,8 @@ std::vector<const Dfg*> context_dfgs(const CheckContext& cx) {
   }
   return out;
 }
+
+namespace {
 
 // ---- dfg-wellformed ------------------------------------------------------
 

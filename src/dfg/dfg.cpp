@@ -33,6 +33,19 @@ int op_arity(Op op) {
   }
 }
 
+bool op_commutative(Op op) {
+  switch (op) {
+    case Op::Add:
+    case Op::Mult:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+      return true;
+    default:
+      return false;
+  }
+}
+
 int Dfg::add_node(Op op, std::string label) {
   check(op != Op::Hier, "use add_hier_node for hierarchical nodes");
   Node n;

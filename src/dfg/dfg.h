@@ -43,6 +43,11 @@ const char* op_name(Op op);
 /// nodes the count is carried by the node itself.
 int op_arity(Op op);
 
+/// True when swapping the two operands never changes the result
+/// (add/mult/and/or/xor). Sub, the shifts and Cmp are order-sensitive;
+/// unary and hierarchical nodes have no operand pair to swap.
+bool op_commutative(Op op);
+
 /// Marker node ids used in PortRef: an edge source/sink can be a primary
 /// input/output of the DFG rather than a node terminal.
 inline constexpr int kPrimaryIn = -1;

@@ -135,11 +135,12 @@ EvalEngine& EvalEngine::instance() {
 EvalEngine::EvalEngine()
     : capacity_(env_capacity_bytes()),
       verify_(env_verify()),
-      energy_(capacity_.load() / 5),
-      area_(capacity_.load() / 5),
-      conn_(capacity_.load() / 5),
-      edge_vals_(capacity_.load() / 5),
-      programs_(capacity_.load() / 5) {
+      energy_(capacity_.load() / 6),
+      area_(capacity_.load() / 6),
+      conn_(capacity_.load() / 6),
+      edge_vals_(capacity_.load() / 6),
+      programs_(capacity_.load() / 6),
+      facts_(capacity_.load() / 6) {
   runtime::register_counter_source(
       "eval-energy-cache", [this] { return energy_.counter_map(); });
   runtime::register_counter_source(
@@ -150,6 +151,8 @@ EvalEngine::EvalEngine()
       "eval-edge-vals-cache", [this] { return edge_vals_.counter_map(); });
   runtime::register_counter_source(
       "eval-program-cache", [this] { return programs_.counter_map(); });
+  runtime::register_counter_source(
+      "eval-facts-cache", [this] { return facts_.counter_map(); });
 }
 
 std::shared_ptr<const Connectivity> EvalEngine::connectivity(const Datapath& dp) {
@@ -217,11 +220,12 @@ AreaBreakdown EvalEngine::area(const Datapath& dp, const Library& lib,
 void EvalEngine::set_capacity_mb(std::size_t mb) {
   const std::size_t bytes = mb << 20;
   capacity_.store(bytes, std::memory_order_relaxed);
-  energy_.set_capacity(bytes / 5);
-  area_.set_capacity(bytes / 5);
-  conn_.set_capacity(bytes / 5);
-  edge_vals_.set_capacity(bytes / 5);
-  programs_.set_capacity(bytes / 5);
+  energy_.set_capacity(bytes / 6);
+  area_.set_capacity(bytes / 6);
+  conn_.set_capacity(bytes / 6);
+  edge_vals_.set_capacity(bytes / 6);
+  programs_.set_capacity(bytes / 6);
+  facts_.set_capacity(bytes / 6);
 }
 
 void EvalEngine::clear() {
@@ -230,6 +234,7 @@ void EvalEngine::clear() {
   conn_.clear();
   edge_vals_.clear();
   programs_.clear();
+  facts_.clear();
 }
 
 void EvalEngine::set_job_cache_budget(std::uint64_t job,

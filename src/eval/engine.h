@@ -13,7 +13,7 @@
 //
 // Capacity: HSYN_EVAL_CACHE_MB environment variable or set_capacity_mb()
 // (the hsyn CLI exposes --eval-cache-mb). The budget is split evenly
-// over the five caches.
+// over the six caches.
 //
 // Verification: HSYN_EVAL_VERIFY=1 makes every hit recompute the value
 // and compare -- the cheap way to catch a stale-fingerprint bug in a
@@ -32,6 +32,10 @@ namespace hsyn {
 class EdgeMatrix;      // power/replay.h: edge-major trace values
 struct ReplayProgram;  // power/replay.h: compiled DFG replay program
 }  // namespace hsyn
+
+namespace hsyn::lint {
+struct DataflowFacts;  // check/dataflow.h: abstract-interpretation facts
+}  // namespace hsyn::lint
 
 namespace hsyn::eval {
 
@@ -64,6 +68,12 @@ class EvalEngine {
   ShardedLruCache<std::shared_ptr<const ReplayProgram>>& program_cache() {
     return programs_;
   }
+  /// Dataflow analysis results (check/dataflow.h), keyed by Dfg content
+  /// hash (+ trace fingerprint for trace-seeded analyses): a DFG is
+  /// abstractly interpreted at most once per structural novelty.
+  ShardedLruCache<std::shared_ptr<const lint::DataflowFacts>>& facts_cache() {
+    return facts_;
+  }
 
   // ---- High-level cached evaluations ------------------------------------
   /// This level's connectivity, computed at most once per structural
@@ -95,7 +105,7 @@ class EvalEngine {
 
   // ---- Per-job cache budgets (serve daemon) -------------------------------
   /// Cap the bytes that threads tagged with obs job `job` may insert
-  /// into the shared caches (across all five caches together). Over
+  /// into the shared caches (across all six caches together). Over
   /// budget, puts become no-ops -- a pure cache bypass that slows the
   /// job down but cannot change its results. Job 0 (solo CLI) is never
   /// budgeted. `limit_bytes == 0` removes the cap for `job`.
@@ -115,6 +125,7 @@ class EvalEngine {
   ShardedLruCache<std::shared_ptr<const Connectivity>> conn_;
   ShardedLruCache<std::shared_ptr<const EdgeMatrix>> edge_vals_;
   ShardedLruCache<std::shared_ptr<const ReplayProgram>> programs_;
+  ShardedLruCache<std::shared_ptr<const lint::DataflowFacts>> facts_;
 };
 
 }  // namespace hsyn::eval

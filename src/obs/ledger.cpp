@@ -19,6 +19,7 @@ const char* move_status_name(MoveStatus s) {
     case MoveStatus::Applied: return "applied";
     case MoveStatus::RolledBack: return "rolled-back";
     case MoveStatus::Accepted: return "accepted";
+    case MoveStatus::RejectedByVerifier: return "rejected-equiv";
   }
   return "?";
 }
@@ -287,6 +288,7 @@ std::map<std::string, MoveClassSummary> MoveLedger::summary(
         ++s.accepted;
         s.accepted_gain += r.gain;
         break;
+      case MoveStatus::RejectedByVerifier: ++s.rejected_equiv; break;
       case MoveStatus::Evaluated: break;
     }
   }
@@ -308,6 +310,7 @@ MoveLedger::summary_by_strategy(std::uint64_t job) const {
         ++s.accepted;
         s.accepted_gain += r.gain;
         break;
+      case MoveStatus::RejectedByVerifier: ++s.rejected_equiv; break;
       case MoveStatus::Evaluated: break;
     }
   }
@@ -318,7 +321,7 @@ std::string MoveLedger::summary_table(std::uint64_t job) const {
   const auto sum = summary(job);
   TextTable t;
   t.row({"move class", "attempted", "infeasible", "applied", "accepted",
-         "accept %", "accepted gain"});
+         "rej-equiv", "accept %", "accepted gain"});
   t.rule();
   MoveClassSummary total;
   for (const auto& [kind, s] : sum) {
@@ -332,12 +335,13 @@ std::string MoveLedger::summary_table(std::uint64_t job) const {
     gain.precision(4);
     gain << s.accepted_gain;
     t.row({kind, std::to_string(s.attempted), std::to_string(s.infeasible),
-           std::to_string(s.applied), std::to_string(s.accepted), pct.str(),
-           gain.str()});
+           std::to_string(s.applied), std::to_string(s.accepted),
+           std::to_string(s.rejected_equiv), pct.str(), gain.str()});
     total.attempted += s.attempted;
     total.infeasible += s.infeasible;
     total.applied += s.applied;
     total.accepted += s.accepted;
+    total.rejected_equiv += s.rejected_equiv;
     total.accepted_gain += s.accepted_gain;
   }
   t.rule();
@@ -352,7 +356,8 @@ std::string MoveLedger::summary_table(std::uint64_t job) const {
   gain << total.accepted_gain;
   t.row({"total", std::to_string(total.attempted),
          std::to_string(total.infeasible), std::to_string(total.applied),
-         std::to_string(total.accepted), pct.str(), gain.str()});
+         std::to_string(total.accepted), std::to_string(total.rejected_equiv),
+         pct.str(), gain.str()});
   return t.render();
 }
 

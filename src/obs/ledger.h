@@ -50,6 +50,12 @@ enum class MoveStatus : std::uint8_t {
   Applied = 2,     ///< applied during a pass, prefix selection pending
   RolledBack = 3,  ///< applied then undone by best-prefix selection
   Accepted = 4,    ///< applied and kept in the best prefix
+  /// Chosen by cost but refused by the rewrite-equivalence gate
+  /// (--verify-rewrites, check/equiv.h): the move's DFG was not
+  /// behaviorally equivalent to the one it replaced. Distinct from
+  /// Infeasible/RolledBack so summaries separate "rejected by cost"
+  /// from "rejected by the verifier".
+  RejectedByVerifier = 5,
 };
 
 const char* move_status_name(MoveStatus s);
@@ -81,6 +87,8 @@ struct MoveClassSummary {
   std::uint64_t infeasible = 0;
   std::uint64_t applied = 0;     ///< Applied + RolledBack + Accepted
   std::uint64_t accepted = 0;
+  /// Moves the equivalence gate refused (MoveStatus::RejectedByVerifier).
+  std::uint64_t rejected_equiv = 0;
   double accepted_gain = 0;      ///< cumulative gain of accepted moves
 };
 

@@ -101,6 +101,7 @@ JobOutcome run_job_body(const JobSpec& spec, const JobHooks& hooks) {
     SynthOptions opts;
     opts.seed = spec.seed;
     opts.check_moves = spec.check_moves;
+    opts.verify_rewrites = spec.verify_rewrites;
     opts.cancel = hooks.cancel;
     opts.progress = hooks.progress;
     if (!spec.trace_text.empty()) {

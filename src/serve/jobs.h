@@ -52,6 +52,7 @@ struct JobSpec {
   bool auto_variants = false;
   bool verify = true;
   bool check_moves = false;
+  bool verify_rewrites = false;
   /// Budgets (0 = unlimited). Time cancels the job cooperatively via
   /// its CancelToken deadline; cache caps the bytes the job may insert
   /// into the shared eval caches (a pure slowdown, never a result

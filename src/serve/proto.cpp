@@ -51,6 +51,7 @@ void write_spec(JsonWriter& w, const JobSpec& spec) {
   w.key("auto_variants").value(spec.auto_variants);
   w.key("verify").value(spec.verify);
   w.key("check_moves").value(spec.check_moves);
+  w.key("verify_rewrites").value(spec.verify_rewrites);
   if (spec.time_budget_ms > 0) {
     w.key("time_budget_ms").value(spec.time_budget_ms);
   }
@@ -97,6 +98,7 @@ bool read_spec(const JsonValue& v, JobSpec* spec, std::string* err) {
   spec->auto_variants = v.bool_or("auto_variants", false);
   spec->verify = v.bool_or("verify", true);
   spec->check_moves = v.bool_or("check_moves", false);
+  spec->verify_rewrites = v.bool_or("verify_rewrites", false);
   spec->time_budget_ms = v.int_or("time_budget_ms", 0);
   spec->cache_budget_mb = v.int_or("cache_budget_mb", 0);
   spec->want_progress = v.bool_or("progress", false);

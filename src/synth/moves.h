@@ -91,6 +91,14 @@ struct SynthOptions {
   /// Also enabled by HSYN_CHECK_MOVES=1. Read-only over the IR, so
   /// results are bit-identical with or without it.
   bool check_moves = false;
+  /// Validate every applied Move A/B whose child DFG changed against
+  /// the pre-move DFG with the rewrite-equivalence checker
+  /// (check/equiv.h: canonical hash, dataflow facts, differential
+  /// replay). A refuted rewrite is not applied and is stamped into the
+  /// move ledger as rejected-equiv. Also enabled by
+  /// HSYN_VERIFY_REWRITES=1. Read-only over the IR: genuine moves all
+  /// verify, so gated runs are bit-identical to ungated ones.
+  bool verify_rewrites = false;
   /// Cooperative cancellation: checked at serial control points (per
   /// improvement move, per pass, per operating point). On a cancelled
   /// token the engine throws runtime::Cancelled out of synthesize().

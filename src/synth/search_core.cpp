@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "check/equiv.h"
 #include "dfg/analysis.h"
 #include "dfg/flatten.h"
 #include "obs/ledger.h"
@@ -68,6 +69,49 @@ void fill_metrics(SynthResult& r, const Library& lib, const Trace& trace) {
   r.makespan = r.dp.behaviors[0].makespan;
 }
 
+/// The rewrite-equivalence gate (--verify-rewrites): before a chosen
+/// Move A/B is applied, every top-level child whose behavior DFG was
+/// swapped for a structurally different one must prove equivalent to
+/// the DFG it replaces (check/equiv.h), on the trace that child
+/// actually observes. Returns false with the refutation in `why`.
+/// Moves that merely re-bind units or re-schedule (identical content
+/// hashes) are skipped, so the gate costs one cached analysis/replay
+/// per genuinely rewritten DFG.
+bool rewrite_verified(const Datapath& before, const Move& m,
+                      const SynthContext& cx, std::string* why) {
+  runtime::ScopedPhase phase("verify-rewrites");
+  const Datapath& after = m.result;
+  const std::size_t n =
+      std::min(before.children.size(), after.children.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Datapath* bi = before.children[i].impl.get();
+    const Datapath* ai = after.children[i].impl.get();
+    if (bi == nullptr || ai == nullptr || bi->behaviors.empty() ||
+        ai->behaviors.empty()) {
+      continue;
+    }
+    // A move may retarget a child to a different interface behavior;
+    // only same-behavior DFG swaps are rewrites this gate can judge.
+    if (bi->behaviors[0].behavior != ai->behaviors[0].behavior) continue;
+    const Dfg* bd = bi->behaviors[0].dfg;
+    const Dfg* ad = ai->behaviors[0].dfg;
+    if (bd == nullptr || ad == nullptr || bd == ad) continue;
+    if (!bd->validated() || !ad->validated()) continue;
+    if (bd->content_hash() == ad->content_hash()) continue;
+    Trace t = child_input_trace(before, 0, static_cast<int>(i),
+                                bi->behaviors[0].behavior, cx);
+    const lint::EquivResult r = lint::verify_equivalent(
+        *bd, *ad, t, resolver_of(*bi), resolver_of(*ai));
+    if (!r.equivalent) {
+      *why = strf("child %zu behavior '%s': %s (%s)", i,
+                  bi->behaviors[0].behavior.c_str(), r.detail.c_str(),
+                  r.method.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Top-level class of a recorded move kind ("A:..."/"B:..." -> Replace).
 MoveClass class_of_kind(const std::string& kind) {
   switch (kind.empty() ? 'A' : kind[0]) {
@@ -105,6 +149,11 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
   // first illegal circuit -- a move generator bug is then caught at the
   // move that introduced it instead of surfacing as a bad final netlist.
   const bool gate = cx.opts.check_moves || lint::env_check_moves();
+  // The rewrite-equivalence gate (check/equiv.h): refuse to apply a
+  // chosen Move A/B whose swapped-in DFG is not provably equivalent to
+  // the one it replaces. Genuine moves all verify, so the gate is
+  // read-only and gated runs stay bit-identical to ungated ones.
+  const bool vgate = cx.opts.verify_rewrites || lint::env_verify_rewrites();
   // Tie-jitter stream: a pure function of (seed, offset, strategy index),
   // consumed only when the strategy asks for jitter, so the default
   // strategy draws nothing and matches the legacy engine exactly.
@@ -195,6 +244,20 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
       if (!cx.opts.enable_negative_gain && m.gain <= 1e-9) break;
       log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
                      m.kind.c_str(), m.desc.c_str(), m.gain));
+      if (vgate && !m.kind.empty() && (m.kind[0] == 'A' || m.kind[0] == 'B')) {
+        std::string why;
+        if (!rewrite_verified(cur, m, cx, &why)) {
+          if (ledger.enabled() && m.obs_cand >= 0) {
+            ledger.set_status(m.obs_group, m.obs_cand,
+                              obs::MoveStatus::RejectedByVerifier);
+          }
+          log_warn(strf("pass %d move %d: %s (%s) rejected by the "
+                        "equivalence gate: %s",
+                        pass, mi, m.kind.c_str(), m.desc.c_str(),
+                        why.c_str()));
+          break;  // deterministic: end the pass at the refuted rewrite
+        }
+      }
       cur = m.result;
       if (gate) {
         lint::verify_move(cur, *cx.lib, cx.pt, cx.deadline,

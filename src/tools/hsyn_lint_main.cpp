@@ -1,17 +1,23 @@
 // hsyn-lint: standalone static checker for the textual H-SYN formats.
 //
 //   hsyn-lint [--json] [--library FILE] [--trace FILE] [--benchmarks]
-//             [--metrics-out FILE] [DESIGN.dfg ...]
+//             [--werror] [--min-severity LEVEL] [--metrics-out FILE]
+//             [DESIGN.dfg ...]
 //
 // Each positional file is parsed as a hierarchical-DFG design and run
 // through the full check-pass registry (parse failures surface as
 // error[PARSE] diagnostics with the reader's line-numbered message).
 // --library / --trace validate the other two textio formats the same
-// way; --benchmarks lints every built-in benchmark design.
-// --metrics-out snapshots the unified obs metrics registry (targets
-// linted, diagnostics per severity) as JSON -- the same exporter the
-// hsyn CLI uses. Exit status: 0 when no errors were found, 1 when any
-// lint or parse error fired, 2 on usage errors or unreadable files.
+// way (a valid --trace additionally seeds the dataflow passes' input
+// facts when linting designs); --benchmarks lints every built-in
+// benchmark design. --werror fails (exit 1) on warnings, not just
+// errors; --min-severity note|warning|error drops findings below the
+// level from output and counts. --metrics-out snapshots the unified
+// obs metrics registry (targets linted, diagnostics per severity) as
+// JSON -- the same exporter the hsyn CLI uses. Exit status: 0 when no
+// (counted) errors were found, 1 when any lint or parse error fired
+// (or any warning under --werror), 2 on usage errors or unreadable
+// files.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,13 +43,16 @@ struct Args {
   std::string metrics_out;
   bool benchmarks = false;
   bool json = false;
+  bool werror = false;
+  hsyn::lint::Severity min_severity = hsyn::lint::Severity::Note;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: hsyn-lint [--json] [--library FILE] [--trace FILE]\n"
-               "                 [--benchmarks] [--metrics-out FILE] "
-               "[DESIGN.dfg ...]\n");
+               "                 [--benchmarks] [--werror]\n"
+               "                 [--min-severity note|warning|error]\n"
+               "                 [--metrics-out FILE] [DESIGN.dfg ...]\n");
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -117,6 +126,25 @@ int main(int argc, char** argv) {
       a.json = true;
     } else if (arg == "--benchmarks") {
       a.benchmarks = true;
+    } else if (arg == "--werror") {
+      a.werror = true;
+    } else if (arg == "--min-severity") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      if (std::strcmp(v, "note") == 0) {
+        a.min_severity = lint::Severity::Note;
+      } else if (std::strcmp(v, "warning") == 0) {
+        a.min_severity = lint::Severity::Warning;
+      } else if (std::strcmp(v, "error") == 0) {
+        a.min_severity = lint::Severity::Error;
+      } else {
+        std::fprintf(stderr, "unknown severity: %s\n", v);
+        usage();
+        return 2;
+      }
     } else if (arg == "--library") {
       const char* v = next();
       if (!v) {
@@ -155,9 +183,41 @@ int main(int argc, char** argv) {
   std::vector<Outcome> outcomes;
   bool any_error = false;
   auto record = [&](Outcome o) {
-    any_error = any_error || !o.parse_error.empty() || !o.report.ok();
+    // --min-severity drops findings below the floor before they are
+    // printed or counted; --werror promotes surviving warnings to a
+    // failing exit status (the report itself is untouched, so
+    // warnings still print as warnings).
+    o.report = o.report.filtered(a.min_severity);
+    any_error = any_error || !o.parse_error.empty() || !o.report.ok() ||
+                (a.werror && o.report.warnings() > 0);
     outcomes.push_back(std::move(o));
   };
+
+  // Parse --trace up front: a valid trace seeds the dataflow passes'
+  // input facts for every design linted below.
+  std::optional<Trace> trace;
+  if (!a.trace_file.empty()) {
+    std::string text;
+    if (!read_file(a.trace_file, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", a.trace_file.c_str());
+      return 2;
+    }
+    Outcome o;
+    o.name = a.trace_file;
+    try {
+      const Trace t = trace_from_text(text);
+      if (t.empty()) {
+        o.report.add("TRACE001", lint::Severity::Warning, a.trace_file,
+                     "trace holds no samples");
+      } else {
+        trace = t;
+      }
+    } catch (const std::exception& e) {
+      o.parse_error = e.what();
+    }
+    record(std::move(o));
+  }
+  const Trace* seed = trace ? &*trace : nullptr;
 
   for (const std::string& file : a.design_files) {
     std::string text;
@@ -169,7 +229,7 @@ int main(int argc, char** argv) {
     o.name = file;
     try {
       const Design design = design_from_text(text);
-      o.report = lint::lint_design(design);
+      o.report = lint::lint_design(design, seed);
     } catch (const std::exception& e) {
       o.parse_error = e.what();
     }
@@ -196,26 +256,6 @@ int main(int argc, char** argv) {
     record(std::move(o));
   }
 
-  if (!a.trace_file.empty()) {
-    std::string text;
-    if (!read_file(a.trace_file, &text)) {
-      std::fprintf(stderr, "cannot read %s\n", a.trace_file.c_str());
-      return 2;
-    }
-    Outcome o;
-    o.name = a.trace_file;
-    try {
-      const Trace t = trace_from_text(text);
-      if (t.empty()) {
-        o.report.add("TRACE001", lint::Severity::Warning, a.trace_file,
-                     "trace holds no samples");
-      }
-    } catch (const std::exception& e) {
-      o.parse_error = e.what();
-    }
-    record(std::move(o));
-  }
-
   if (a.benchmarks) {
     const Library lib = default_library();
     for (const std::string& name : benchmark_names()) {
@@ -223,7 +263,7 @@ int main(int argc, char** argv) {
       o.name = "benchmark:" + name;
       try {
         const Benchmark b = make_benchmark(name, lib);
-        o.report = lint::lint_design(b.design);
+        o.report = lint::lint_design(b.design, seed);
       } catch (const std::exception& e) {
         o.parse_error = e.what();
       }

@@ -79,6 +79,7 @@ struct Args {
   bool verify = true;
   /// Re-verify all IR invariants after every accepted move (src/check/).
   bool check_moves = false;
+  bool verify_rewrites = false;
   bool templates = false;
   bool auto_variants = false;
   bool verbose = false;
@@ -121,7 +122,7 @@ void usage() {
                "            [--mode hier|flat] [--laxity F | --period-ns T]\n"
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
-               "            [--no-verify] [--check-moves] [--templates] [--auto-variants] [--seed N] "
+               "            [--no-verify] [--check-moves] [--verify-rewrites] [--templates] [--auto-variants] [--seed N] "
                "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
                "            [--progress] [--job-time-ms N] [--job-cache-mb N]\n"
@@ -224,6 +225,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.verify = false;
     } else if (arg == "--check-moves") {
       a.check_moves = true;
+    } else if (arg == "--verify-rewrites") {
+      a.verify_rewrites = true;
     } else if (arg == "--templates") {
       a.templates = true;
     } else if (arg == "--auto-variants") {
@@ -476,6 +479,7 @@ bool spec_from_args(const Args& args, hsyn::serve::JobSpec* spec) {
   spec->auto_variants = args.auto_variants;
   spec->verify = args.verify;
   spec->check_moves = args.check_moves;
+  spec->verify_rewrites = args.verify_rewrites;
   spec->time_budget_ms = args.job_time_ms;
   spec->cache_budget_mb = args.job_cache_mb;
   spec->want_progress = args.progress;

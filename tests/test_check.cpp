@@ -57,13 +57,17 @@ struct Fixture {
 
 TEST(CheckEngine, RegistersDefaultPassesInOrder) {
   const auto passes = lint::CheckEngine::instance().passes();
-  ASSERT_EQ(passes.size(), 6u);
+  ASSERT_EQ(passes.size(), 10u);
   EXPECT_STREQ(passes[0]->name(), "dfg-wellformed");
   EXPECT_STREQ(passes[1]->name(), "dfg-hierarchy");
-  EXPECT_STREQ(passes[2]->name(), "rtl-binding");
-  EXPECT_STREQ(passes[3]->name(), "sched-legality");
-  EXPECT_STREQ(passes[4]->name(), "ctrl-consistency");
-  EXPECT_STREQ(passes[5]->name(), "oppoint-sanity");
+  EXPECT_STREQ(passes[2]->name(), "dfg-deadcode");
+  EXPECT_STREQ(passes[3]->name(), "dfg-const-fold");
+  EXPECT_STREQ(passes[4]->name(), "dfg-range-overflow");
+  EXPECT_STREQ(passes[5]->name(), "dfg-width-waste");
+  EXPECT_STREQ(passes[6]->name(), "rtl-binding");
+  EXPECT_STREQ(passes[7]->name(), "sched-legality");
+  EXPECT_STREQ(passes[8]->name(), "ctrl-consistency");
+  EXPECT_STREQ(passes[9]->name(), "oppoint-sanity");
 }
 
 TEST(CheckEngine, CheapSubsetExcludesControllerPass) {

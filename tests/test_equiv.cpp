@@ -1,0 +1,390 @@
+// Rewrite validator (check/equiv.h): positive equivalences through each
+// decision stage, and a mutation suite -- one injected semantic
+// miscompile per operation family -- that the validator must catch
+// without exception (the acceptance bar of the --verify-rewrites gate).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/equiv.h"
+#include "dfg/dfg.h"
+#include "power/trace.h"
+#include "random_dfg.h"
+
+namespace hsyn {
+namespace {
+
+using lint::EquivResult;
+using lint::verify_equivalent;
+
+/// Reference graph exercising every binary op family plus Neg:
+///   s  = a - b        (Sub)
+///   l  = a << (b&15)  (ShiftL)
+///   r  = a >> (b&15)  (ShiftR)
+///   c  = a < b        (Cmp)
+///   m  = s * c        (Mult)
+///   n  = -l           (Neg)
+///   x  = (a & b) ^ (a | b)
+///   outs: s+m, n, r, x
+struct OpSoup {
+  Dfg d{"soup", 2, 4};
+  int sub, shl, shr, cmp, mult, neg, band, bor, bxor, add;
+
+  OpSoup() {
+    sub = d.add_node(Op::Sub);
+    shl = d.add_node(Op::ShiftL);
+    shr = d.add_node(Op::ShiftR);
+    cmp = d.add_node(Op::Cmp);
+    mult = d.add_node(Op::Mult);
+    neg = d.add_node(Op::Neg);
+    band = d.add_node(Op::And);
+    bor = d.add_node(Op::Or);
+    bxor = d.add_node(Op::Xor);
+    add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0},
+              {{sub, 0}, {shl, 0}, {shr, 0}, {cmp, 0}, {band, 0}, {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{sub, 1}, {shl, 1}, {shr, 1}, {cmp, 1}, {band, 1}, {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({shl, 0}, {{neg, 0}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({neg, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+  }
+};
+
+Trace stimulus() { return make_trace(2, 48, 0xC0FFEE); }
+
+TEST(Equiv, IdenticalGraphsMatchByCanonicalHash) {
+  OpSoup a, b;
+  const EquivResult r = verify_equivalent(a.d, b.d, stimulus());
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.method, "canonical-hash");
+}
+
+TEST(Equiv, NodeOrderIsIrrelevant) {
+  // Same circuit with the two ops created in the opposite order.
+  Dfg a("v1", 2, 1);
+  {
+    const int add = a.add_node(Op::Add);
+    const int mul = a.add_node(Op::Mult);
+    a.connect({kPrimaryIn, 0}, {{add, 0}, {mul, 1}});
+    a.connect({kPrimaryIn, 1}, {{add, 1}});
+    a.connect({add, 0}, {{mul, 0}});
+    a.connect({mul, 0}, {{kPrimaryOut, 0}});
+    a.validate();
+  }
+  Dfg b("v2", 2, 1);
+  {
+    const int mul = b.add_node(Op::Mult);
+    const int add = b.add_node(Op::Add);
+    b.connect({kPrimaryIn, 0}, {{add, 0}, {mul, 1}});
+    b.connect({kPrimaryIn, 1}, {{add, 1}});
+    b.connect({add, 0}, {{mul, 0}});
+    b.connect({mul, 0}, {{kPrimaryOut, 0}});
+    b.validate();
+  }
+  const EquivResult r = verify_equivalent(a, b, stimulus());
+  EXPECT_TRUE(r.equivalent) << r.method << ": " << r.detail;
+}
+
+TEST(Equiv, CommutedOperandsVerifyThroughReplay) {
+  Dfg a("c1", 2, 1);
+  {
+    const int add = a.add_node(Op::Add);
+    a.connect({kPrimaryIn, 0}, {{add, 0}});
+    a.connect({kPrimaryIn, 1}, {{add, 1}});
+    a.connect({add, 0}, {{kPrimaryOut, 0}});
+    a.validate();
+  }
+  Dfg b("c2", 2, 1);
+  {
+    const int add = b.add_node(Op::Add);
+    b.connect({kPrimaryIn, 0}, {{add, 1}});
+    b.connect({kPrimaryIn, 1}, {{add, 0}});
+    b.connect({add, 0}, {{kPrimaryOut, 0}});
+    b.validate();
+  }
+  const EquivResult r = verify_equivalent(a, b, stimulus());
+  EXPECT_TRUE(r.equivalent) << r.detail;
+}
+
+TEST(Equiv, MismatchedSignaturesAreRejectedUpFront) {
+  Dfg a("w1", 2, 1);
+  {
+    const int add = a.add_node(Op::Add);
+    a.connect({kPrimaryIn, 0}, {{add, 0}});
+    a.connect({kPrimaryIn, 1}, {{add, 1}});
+    a.connect({add, 0}, {{kPrimaryOut, 0}});
+    a.validate();
+  }
+  Dfg b("w2", 1, 1);
+  {
+    const int neg = b.add_node(Op::Neg);
+    b.connect({kPrimaryIn, 0}, {{neg, 0}});
+    b.connect({neg, 0}, {{kPrimaryOut, 0}});
+    b.validate();
+  }
+  const EquivResult r = verify_equivalent(a, b, stimulus());
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.method, "io-signature");
+}
+
+
+// ---- Mutation suite ------------------------------------------------------
+//
+// Each mutator rebuilds OpSoup with exactly one semantic miscompile
+// injected. verify_equivalent must refute every single one -- a missed
+// mutant means the --verify-rewrites gate would wave a miscompiled
+// rewrite through.
+
+struct Mutation {
+  std::string name;
+  Dfg dfg;
+};
+
+std::vector<Mutation> mutations() {
+  std::vector<Mutation> out;
+  // 1. Swapped operands on each non-commutative op.
+  for (const Op victim : {Op::Sub, Op::ShiftL, Op::ShiftR, Op::Cmp}) {
+    Dfg d("soup", 2, 4);
+    const int sub = d.add_node(Op::Sub);
+    const int shl = d.add_node(Op::ShiftL);
+    const int shr = d.add_node(Op::ShiftR);
+    const int cmp = d.add_node(Op::Cmp);
+    const int mult = d.add_node(Op::Mult);
+    const int neg = d.add_node(Op::Neg);
+    const int band = d.add_node(Op::And);
+    const int bor = d.add_node(Op::Or);
+    const int bxor = d.add_node(Op::Xor);
+    const int add = d.add_node(Op::Add);
+    const int victim_node = victim == Op::Sub    ? sub
+                            : victim == Op::ShiftL ? shl
+                            : victim == Op::ShiftR ? shr
+                                                   : cmp;
+    // Port of input 0 / input 1 on the victim is flipped.
+    auto port = [&](int node, int normal) {
+      return node == victim_node ? 1 - normal : normal;
+    };
+    d.connect({kPrimaryIn, 0},
+              {{sub, port(sub, 0)},
+               {shl, port(shl, 0)},
+               {shr, port(shr, 0)},
+               {cmp, port(cmp, 0)},
+               {band, 0},
+               {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{sub, port(sub, 1)},
+               {shl, port(shl, 1)},
+               {shr, port(shr, 1)},
+               {cmp, port(cmp, 1)},
+               {band, 1},
+               {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({shl, 0}, {{neg, 0}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({neg, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+    out.push_back({"swap-" + std::string(op_name(victim)), std::move(d)});
+  }
+  // 2. Op substitutions: one op family replaced by a near-miss sibling.
+  struct Subst {
+    std::string name;
+    Op sub_op = Op::Sub, mult_op = Op::Mult, and_op = Op::And,
+       xor_op = Op::Xor, shr_op = Op::ShiftR;
+  };
+  for (const Subst& s : {Subst{"subst-sub-to-add", Op::Add},
+                         Subst{"subst-mult-to-add", Op::Sub, Op::Add},
+                         Subst{"subst-and-to-or", Op::Sub, Op::Mult, Op::Or},
+                         Subst{"subst-xor-to-and", Op::Sub, Op::Mult, Op::And,
+                               Op::And},
+                         Subst{"subst-shr-to-shl", Op::Sub, Op::Mult, Op::And,
+                               Op::Xor, Op::ShiftL}}) {
+    Dfg d("soup", 2, 4);
+    const int sub = d.add_node(s.sub_op);
+    const int shl = d.add_node(Op::ShiftL);
+    const int shr = d.add_node(s.shr_op);
+    const int cmp = d.add_node(Op::Cmp);
+    const int mult = d.add_node(s.mult_op);
+    const int neg = d.add_node(Op::Neg);
+    const int band = d.add_node(s.and_op);
+    const int bor = d.add_node(Op::Or);
+    const int bxor = d.add_node(s.xor_op);
+    const int add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0},
+              {{sub, 0}, {shl, 0}, {shr, 0}, {cmp, 0}, {band, 0}, {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{sub, 1}, {shl, 1}, {shr, 1}, {cmp, 1}, {band, 1}, {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({shl, 0}, {{neg, 0}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({neg, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+    out.push_back({s.name, std::move(d)});
+  }
+  // 3. Dropped edge: Sub reads input 0 on both ports (b's edge dropped).
+  {
+    Dfg d("soup", 2, 4);
+    const int sub = d.add_node(Op::Sub);
+    const int shl = d.add_node(Op::ShiftL);
+    const int shr = d.add_node(Op::ShiftR);
+    const int cmp = d.add_node(Op::Cmp);
+    const int mult = d.add_node(Op::Mult);
+    const int neg = d.add_node(Op::Neg);
+    const int band = d.add_node(Op::And);
+    const int bor = d.add_node(Op::Or);
+    const int bxor = d.add_node(Op::Xor);
+    const int add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0},
+              {{sub, 0}, {sub, 1}, {shl, 0}, {shr, 0}, {cmp, 0}, {band, 0},
+               {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{shl, 1}, {shr, 1}, {cmp, 1}, {band, 1}, {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({shl, 0}, {{neg, 0}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({neg, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+    out.push_back({"dropped-edge-sub-b", std::move(d)});
+  }
+  // 4. Bypassed Neg: output 1 taps the shift directly.
+  {
+    Dfg d("soup", 2, 4);
+    const int sub = d.add_node(Op::Sub);
+    const int shl = d.add_node(Op::ShiftL);
+    const int shr = d.add_node(Op::ShiftR);
+    const int cmp = d.add_node(Op::Cmp);
+    const int mult = d.add_node(Op::Mult);
+    const int band = d.add_node(Op::And);
+    const int bor = d.add_node(Op::Or);
+    const int bxor = d.add_node(Op::Xor);
+    const int add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0},
+              {{sub, 0}, {shl, 0}, {shr, 0}, {cmp, 0}, {band, 0}, {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{sub, 1}, {shl, 1}, {shr, 1}, {cmp, 1}, {band, 1}, {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({shl, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+    out.push_back({"neg-bypass", std::move(d)});
+  }
+  // 5. Off-by-one input wiring: Cmp reads input 0 on both ports (the
+  //    "wrong constant channel" shape -- stimulus channels differ, so
+  //    the comparison result flips on some sample).
+  {
+    Dfg d("soup", 2, 4);
+    const int sub = d.add_node(Op::Sub);
+    const int shl = d.add_node(Op::ShiftL);
+    const int shr = d.add_node(Op::ShiftR);
+    const int cmp = d.add_node(Op::Cmp);
+    const int mult = d.add_node(Op::Mult);
+    const int neg = d.add_node(Op::Neg);
+    const int band = d.add_node(Op::And);
+    const int bor = d.add_node(Op::Or);
+    const int bxor = d.add_node(Op::Xor);
+    const int add = d.add_node(Op::Add);
+    d.connect({kPrimaryIn, 0},
+              {{sub, 0}, {shl, 0}, {shr, 0}, {cmp, 0}, {cmp, 1}, {band, 0},
+               {bor, 0}});
+    d.connect({kPrimaryIn, 1},
+              {{sub, 1}, {shl, 1}, {shr, 1}, {band, 1}, {bor, 1}});
+    d.connect({sub, 0}, {{mult, 0}, {add, 0}});
+    d.connect({cmp, 0}, {{mult, 1}});
+    d.connect({mult, 0}, {{add, 1}});
+    d.connect({shl, 0}, {{neg, 0}});
+    d.connect({band, 0}, {{bxor, 0}});
+    d.connect({bor, 0}, {{bxor, 1}});
+    d.connect({add, 0}, {{kPrimaryOut, 0}});
+    d.connect({neg, 0}, {{kPrimaryOut, 1}});
+    d.connect({shr, 0}, {{kPrimaryOut, 2}});
+    d.connect({bxor, 0}, {{kPrimaryOut, 3}});
+    d.validate();
+    out.push_back({"rewired-cmp-channel", std::move(d)});
+  }
+  return out;
+}
+
+TEST(EquivMutation, CatchesEveryInjectedMiscompile) {
+  const OpSoup golden;
+  const Trace t = stimulus();
+  int caught = 0, total = 0;
+  for (const Mutation& m : mutations()) {
+    ++total;
+    const EquivResult r = verify_equivalent(golden.d, m.dfg, t);
+    EXPECT_FALSE(r.equivalent)
+        << "mutation '" << m.name << "' slipped past the validator ("
+        << r.method << ")";
+    if (!r.equivalent) {
+      ++caught;
+      EXPECT_FALSE(r.detail.empty()) << m.name;
+    }
+  }
+  EXPECT_EQ(caught, total);  // the gate's acceptance bar: 100%
+  EXPECT_GE(total, 11);
+}
+
+TEST(EquivMutation, RefutationsComeWithEvidence) {
+  // The swapped-Sub mutant must be refuted with a concrete method name.
+  const OpSoup golden;
+  const auto muts = mutations();
+  const EquivResult r = verify_equivalent(golden.d, muts[0].dfg, stimulus());
+  ASSERT_FALSE(r.equivalent);
+  EXPECT_TRUE(r.method == "dataflow-facts" ||
+              r.method == "differential-replay")
+      << r.method;
+}
+
+TEST(EquivMutation, EmptyTraceFallsBackToGeneratedStimulus) {
+  // No stimulus provided: the validator generates a deterministic one,
+  // which must still separate the golden graph from a mutant.
+  const OpSoup golden;
+  const auto muts = mutations();
+  EXPECT_TRUE(verify_equivalent(golden.d, OpSoup().d, {}).equivalent);
+  EXPECT_FALSE(verify_equivalent(golden.d, muts[0].dfg, {}).equivalent);
+}
+
+TEST(EquivMutation, RandomDfgSelfEquivalence) {
+  // Every random DFG is equivalent to itself under a random stimulus --
+  // guards against false positives in the refutation stages.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Dfg d = testing_support::random_dfg(seed, 6 + seed % 9);
+    const Trace t = make_trace(d.num_inputs(), 12, seed + 31);
+    const EquivResult r = verify_equivalent(d, d, t);
+    EXPECT_TRUE(r.equivalent) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace hsyn

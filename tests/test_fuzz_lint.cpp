@@ -1,0 +1,81 @@
+// Fuzz harness: 500 seeded random DFGs (plus the deep-hierarchy
+// benchmarks) through the full lint registry and the dataflow engine.
+// Valid graphs must never crash a pass and must never produce lint
+// *errors* -- warnings are legitimate (a random graph happily builds
+// Sub(e, e), which dfg-const-fold correctly flags).
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.h"
+#include "check/check.h"
+#include "check/dataflow.h"
+#include "check/equiv.h"
+#include "dfg/design.h"
+#include "power/trace.h"
+#include "random_dfg.h"
+
+namespace hsyn {
+namespace {
+
+TEST(FuzzLint, FiveHundredRandomDfgsLintWithoutErrors) {
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const Dfg d = testing_support::random_dfg(seed, 3 + seed % 24);
+    lint::CheckContext cx;
+    cx.dfg = &d;
+    const lint::Report rep = lint::CheckEngine::instance().run(cx);
+    EXPECT_EQ(rep.errors(), 0)
+        << "seed " << seed << ":\n" << rep.to_text();
+  }
+}
+
+TEST(FuzzLint, RandomDfgsAnalyzeUnderTraceSeeding) {
+  // Trace-seeded analysis must hold the same no-crash/no-error bar and
+  // produce in-bounds ranges for every edge.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const Dfg d = testing_support::random_dfg(seed * 7 + 1, 4 + seed % 16);
+    const Trace t = make_trace(d.num_inputs(), 8, seed);
+    const lint::DataflowFacts f = lint::analyze_dfg_scratch(d, nullptr, &t);
+    ASSERT_EQ(f.edges.size(), d.edges().size());
+    for (const lint::EdgeFact& e : f.edges) {
+      EXPECT_LE(e.range.lo, e.range.hi);
+      EXPECT_GE(e.range.lo, -32768);
+      EXPECT_LE(e.range.hi, 32767);
+      EXPECT_EQ(e.bits.zeros & e.bits.ones, 0)  // masks stay disjoint
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FuzzLint, DeepHierarchyDesignsLintClean) {
+  const Library lib = default_library();
+  for (const std::string& name : benchmark_names()) {
+    const Benchmark b = make_benchmark(name, lib);
+    const lint::Report rep = lint::lint_design(b.design);
+    EXPECT_EQ(rep.errors(), 0) << name << ":\n" << rep.to_text();
+    EXPECT_EQ(rep.warnings(), 0) << name << ":\n" << rep.to_text();
+  }
+}
+
+TEST(FuzzLint, DeepHierarchyTraceSeededLintStaysClean) {
+  // dct2d is the depth-2 benchmark; seed its lint with a typical trace
+  // (the hsyn-lint --trace path) and require the same clean result.
+  const Library lib = default_library();
+  const Benchmark b = make_benchmark("dct2d", lib);
+  const Trace t = make_trace(b.design.top().num_inputs(), 16, 11);
+  const lint::Report rep = lint::lint_design(b.design, &t);
+  EXPECT_EQ(rep.errors(), 0) << rep.to_text();
+}
+
+TEST(FuzzLint, RandomPairsNeverFalselyRefuted) {
+  // Structurally different but behavior-identical graphs: a graph and
+  // itself rebuilt from scratch (fresh ids). The validator must accept.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const Dfg a = testing_support::random_dfg(seed, 5 + seed % 10);
+    const Dfg b = testing_support::random_dfg(seed, 5 + seed % 10);
+    const Trace t = make_trace(a.num_inputs(), 8, seed ^ 0xABCD);
+    const lint::EquivResult r = lint::verify_equivalent(a, b, t);
+    EXPECT_TRUE(r.equivalent) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace hsyn
