@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "util/hash.h"
 
 namespace hsyn::eval {
@@ -107,11 +108,13 @@ class ShardedLruCache {
     if (it == s.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       ++detail::t_thread_misses;
+      obs::note_job_cache(/*hit=*/false);
       return std::nullopt;
     }
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     ++detail::t_thread_hits;
+    obs::note_job_cache(/*hit=*/true);
     if (it->second->owner != detail::thread_token()) {
       cross_thread_hits_.fetch_add(1, std::memory_order_relaxed);
     }

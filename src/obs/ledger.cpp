@@ -129,6 +129,17 @@ void MoveLedger::reset() {
   next_group_.store(0, std::memory_order_relaxed);
 }
 
+std::uint64_t MoveLedger::dropped() const {
+  LedgerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t n = 0;
+  for (const auto& buf : s.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
+}
+
 std::uint64_t MoveLedger::begin_group() {
   // Capture the enumerating thread's improvement context here, where it
   // is authoritative (see group_meta).

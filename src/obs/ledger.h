@@ -119,6 +119,10 @@ class MoveLedger {
   /// Drop all records, marks, and the group counter.
   void reset();
 
+  /// Records lost to the per-thread buffer cap since the last reset()
+  /// (summed over every recording thread; safe to call while recording).
+  std::uint64_t dropped() const;
+
   /// Allocate the id of the next enumeration group. Must be called from
   /// strategy-serial code (a generator's enumeration site): outside any
   /// StrategyScope the total order of calls is what makes ledger output

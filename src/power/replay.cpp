@@ -8,6 +8,7 @@
 
 #include "eval/engine.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "power/trace.h"
 #include "runtime/arena.h"
@@ -354,6 +355,7 @@ EdgeMatrix replay_eval_matrix(const Dfg& dfg, const BehaviorResolver& res,
     matrices.add();
     columns.add(static_cast<std::uint64_t>(prog->num_edges));
     samples.add(T);
+    obs::note_job_replay_samples(T);
     arena_bytes.set(static_cast<double>(runtime::Arena::total_reserved()));
   }
   return mat;

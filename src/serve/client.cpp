@@ -104,6 +104,57 @@ bool Client::status(std::vector<JobStatus>* jobs, int* sessions,
   return true;
 }
 
+bool Client::stats(ServerStats* st, TelemetryFrame* frame, std::string* raw,
+                   std::string* err) {
+  if (!send(encode_stats_request(), err)) return false;
+  std::string line;
+  if (!reader_ || !reader_->next(&line)) {
+    if (err) *err = "connection closed by daemon";
+    return false;
+  }
+  Response r;
+  if (!parse_response(line, &r, err)) return false;
+  if (r.type == Response::Type::Error) {
+    if (err) *err = r.message;
+    return false;
+  }
+  if (r.type != Response::Type::Stats) {
+    if (err) *err = "expected a stats response";
+    return false;
+  }
+  if (st) *st = r.stats;
+  if (frame) *frame = std::move(r.telemetry);
+  if (raw) *raw = std::move(line);
+  return true;
+}
+
+bool Client::watch(std::uint64_t job,
+                   const std::function<bool(const TelemetryFrame&)>& on_frame,
+                   std::string* err) {
+  if (!send(encode_watch(job), err)) return false;
+  Response r;
+  if (!recv(&r, err)) return false;
+  if (r.type == Response::Type::Error) {
+    if (err) *err = r.message;
+    return false;
+  }
+  if (r.type != Response::Type::Ack) {
+    if (err) *err = "expected an ack from the daemon";
+    return false;
+  }
+  for (;;) {
+    if (!recv(&r, err)) return false;
+    if (r.type != Response::Type::Telemetry) continue;  // tolerate strays
+    if (on_frame && !on_frame(r.telemetry)) break;
+  }
+  // Unsubscribe; frames already in flight may precede the ack.
+  if (!send(encode_unwatch(), err)) return false;
+  for (;;) {
+    if (!recv(&r, err)) return false;
+    if (r.type == Response::Type::Ack) return true;
+  }
+}
+
 bool Client::shutdown_server(std::string* err) {
   if (!send(encode_shutdown(), err)) return false;
   Response r;

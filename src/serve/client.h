@@ -42,6 +42,18 @@ class Client {
   bool status(std::vector<JobStatus>* jobs, int* sessions,
               std::uint64_t* queued, std::string* err);
 
+  /// One-shot server + per-job telemetry snapshot. `raw` (optional)
+  /// receives the undecoded frame for jq-style consumers.
+  bool stats(ServerStats* st, TelemetryFrame* frame, std::string* raw,
+             std::string* err);
+
+  /// Subscribe to periodic telemetry frames for one job (0 = whole
+  /// server) and invoke `on_frame` per frame until it returns false;
+  /// then unsubscribe and return true. False on transport/daemon error.
+  bool watch(std::uint64_t job,
+             const std::function<bool(const TelemetryFrame&)>& on_frame,
+             std::string* err);
+
   /// Ask the daemon to shut down gracefully (acked before it stops).
   bool shutdown_server(std::string* err);
 

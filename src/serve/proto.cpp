@@ -125,7 +125,151 @@ void write_job_status(JsonWriter& w, const JobStatus& j) {
   w.end_object();
 }
 
+/// TelemetryFrame body shared by `telemetry` and `stats` frames (the
+/// enclosing object and its "type" are the caller's).
+void write_telemetry_body(JsonWriter& w, const TelemetryFrame& f) {
+  w.key("seq").value(f.seq);
+  w.key("t_ms").value(f.t_ms);
+  w.key("uptime_ms").value(f.uptime_ms);
+  w.key("regions").value(f.regions);
+  w.key("tasks").value(f.tasks);
+  w.key("cache_hits").value(f.cache_hits);
+  w.key("cache_misses").value(f.cache_misses);
+  w.key("cache_bytes").value(f.cache_bytes);
+  w.key("spans_dropped").value(f.spans_dropped);
+  w.key("ledger_dropped").value(f.ledger_dropped);
+  w.key("rewrites_refuted").value(f.rewrites_refuted);
+  w.key("jobs").begin_array();
+  for (const JobTelemetry& j : f.jobs) {
+    w.begin_object();
+    w.key("job").value(j.job);
+    if (!j.state.empty()) w.key("state").value(j.state);
+    w.key("passes").value(j.passes);
+    w.key("pass").value(static_cast<int>(j.pass));
+    w.key("depth").value(static_cast<int>(j.depth));
+    w.key("moves_applied").value(j.moves_applied);
+    w.key("moves_accepted").value(j.moves_accepted);
+    w.key("applied_replace").value(j.applied_by_class[0]);
+    w.key("applied_share").value(j.applied_by_class[1]);
+    w.key("applied_split").value(j.applied_by_class[2]);
+    w.key("accepted_replace").value(j.accepted_by_class[0]);
+    w.key("accepted_share").value(j.accepted_by_class[1]);
+    w.key("accepted_split").value(j.accepted_by_class[2]);
+    w.key("rewrites_refuted").value(j.rewrites_refuted);
+    w.key("strategies_done").value(j.strategies_done);
+    w.key("cache_hits").value(j.cache_hits);
+    w.key("cache_misses").value(j.cache_misses);
+    w.key("replay_samples").value(j.replay_samples);
+    w.key("best_cost").value(j.best_cost);
+    w.key("vdd").value(j.vdd);
+    w.key("clock_ns").value(j.clock_ns);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void read_telemetry_body(const JsonValue& v, TelemetryFrame* f) {
+  f->seq = static_cast<std::uint64_t>(v.int_or("seq", 0));
+  f->t_ms = static_cast<std::uint64_t>(v.int_or("t_ms", 0));
+  f->uptime_ms = static_cast<std::uint64_t>(v.int_or("uptime_ms", 0));
+  f->regions = static_cast<std::uint64_t>(v.int_or("regions", 0));
+  f->tasks = static_cast<std::uint64_t>(v.int_or("tasks", 0));
+  f->cache_hits = static_cast<std::uint64_t>(v.int_or("cache_hits", 0));
+  f->cache_misses = static_cast<std::uint64_t>(v.int_or("cache_misses", 0));
+  f->cache_bytes = static_cast<std::uint64_t>(v.int_or("cache_bytes", 0));
+  f->spans_dropped = static_cast<std::uint64_t>(v.int_or("spans_dropped", 0));
+  f->ledger_dropped =
+      static_cast<std::uint64_t>(v.int_or("ledger_dropped", 0));
+  f->rewrites_refuted =
+      static_cast<std::uint64_t>(v.int_or("rewrites_refuted", 0));
+  if (const JsonValue* jobs = v.get("jobs"); jobs && jobs->is_array()) {
+    for (const JsonValue& jv : jobs->items()) {
+      JobTelemetry j;
+      j.job = static_cast<std::uint64_t>(jv.int_or("job", 0));
+      j.state = jv.str_or("state", "");
+      j.passes = static_cast<std::uint64_t>(jv.int_or("passes", 0));
+      j.pass = static_cast<std::int32_t>(jv.int_or("pass", -1));
+      j.depth = static_cast<std::int32_t>(jv.int_or("depth", -1));
+      j.moves_applied =
+          static_cast<std::uint64_t>(jv.int_or("moves_applied", 0));
+      j.moves_accepted =
+          static_cast<std::uint64_t>(jv.int_or("moves_accepted", 0));
+      j.applied_by_class[0] =
+          static_cast<std::uint64_t>(jv.int_or("applied_replace", 0));
+      j.applied_by_class[1] =
+          static_cast<std::uint64_t>(jv.int_or("applied_share", 0));
+      j.applied_by_class[2] =
+          static_cast<std::uint64_t>(jv.int_or("applied_split", 0));
+      j.accepted_by_class[0] =
+          static_cast<std::uint64_t>(jv.int_or("accepted_replace", 0));
+      j.accepted_by_class[1] =
+          static_cast<std::uint64_t>(jv.int_or("accepted_share", 0));
+      j.accepted_by_class[2] =
+          static_cast<std::uint64_t>(jv.int_or("accepted_split", 0));
+      j.rewrites_refuted =
+          static_cast<std::uint64_t>(jv.int_or("rewrites_refuted", 0));
+      j.strategies_done =
+          static_cast<std::uint64_t>(jv.int_or("strategies_done", 0));
+      j.cache_hits = static_cast<std::uint64_t>(jv.int_or("cache_hits", 0));
+      j.cache_misses =
+          static_cast<std::uint64_t>(jv.int_or("cache_misses", 0));
+      j.replay_samples =
+          static_cast<std::uint64_t>(jv.int_or("replay_samples", 0));
+      j.best_cost = jv.num_or("best_cost", 0);
+      j.vdd = jv.num_or("vdd", 0);
+      j.clock_ns = jv.num_or("clock_ns", 0);
+      f->jobs.push_back(std::move(j));
+    }
+  }
+}
+
 }  // namespace
+
+TelemetryFrame make_frame(const obs::TelemetrySample& s,
+                          std::uint64_t job_filter,
+                          const std::vector<JobStatus>& jobs) {
+  TelemetryFrame f;
+  f.seq = s.seq;
+  f.t_ms = s.t_ms;
+  f.uptime_ms = s.uptime_ms;
+  f.regions = s.pool_regions;
+  f.tasks = s.pool_tasks;
+  f.cache_hits = s.cache_hits;
+  f.cache_misses = s.cache_misses;
+  f.cache_bytes = s.cache_bytes;
+  f.spans_dropped = s.spans_dropped;
+  f.ledger_dropped = s.ledger_dropped;
+  f.rewrites_refuted = s.rewrites_refuted;
+  for (const JobStatus& js : jobs) {
+    if (job_filter != 0 && js.id != job_filter) continue;
+    JobTelemetry j;
+    j.job = js.id;
+    j.state = job_state_name(js.state);
+    for (const obs::JobSample& sample : s.jobs) {
+      if (sample.job != js.id) continue;
+      j.passes = sample.passes;
+      j.pass = sample.pass;
+      j.depth = sample.depth;
+      j.moves_applied = sample.moves_applied;
+      j.moves_accepted = sample.moves_accepted;
+      for (int k = 0; k < obs::kTelemetryClasses; ++k) {
+        j.applied_by_class[k] = sample.applied_by_class[k];
+        j.accepted_by_class[k] = sample.accepted_by_class[k];
+      }
+      j.rewrites_refuted = sample.rewrites_refuted;
+      j.strategies_done = sample.strategies_done;
+      j.cache_hits = sample.cache_hits;
+      j.cache_misses = sample.cache_misses;
+      j.replay_samples = sample.replay_samples;
+      j.best_cost = sample.best_cost;
+      j.vdd = sample.vdd;
+      j.clock_ns = sample.clock_ns;
+      break;
+    }
+    f.jobs.push_back(std::move(j));
+  }
+  return f;
+}
 
 const char* job_state_name(JobState s) {
   switch (s) {
@@ -170,6 +314,19 @@ bool parse_request(const std::string& frame, Request* out, std::string* err) {
   }
   if (type == "shutdown") {
     out->type = Request::Type::Shutdown;
+    return true;
+  }
+  if (type == "stats") {
+    out->type = Request::Type::Stats;
+    return true;
+  }
+  if (type == "watch") {
+    out->type = Request::Type::Watch;
+    out->job = static_cast<std::uint64_t>(v.int_or("job", 0));
+    return true;
+  }
+  if (type == "unwatch") {
+    out->type = Request::Type::Unwatch;
     return true;
   }
   if (err) *err = "unknown request type '" + type + "'";
@@ -256,10 +413,38 @@ std::string encode_status(const std::vector<JobStatus>& jobs, int sessions,
   return w.str();
 }
 
-std::string encode_pong() {
+std::string encode_pong(std::uint64_t uptime_ms, std::uint64_t active,
+                        std::uint64_t queued) {
   JsonWriter w;
   w.begin_object();
   w.key("type").value("pong");
+  w.key("uptime_ms").value(uptime_ms);
+  w.key("active").value(active);
+  w.key("queued").value(queued);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_telemetry(const TelemetryFrame& f) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("telemetry");
+  write_telemetry_body(w, f);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_stats(const ServerStats& st, const TelemetryFrame& f) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("stats");
+  w.key("server_uptime_ms").value(st.uptime_ms);
+  w.key("sessions").value(st.sessions);
+  w.key("active").value(st.active);
+  w.key("queued").value(st.queued);
+  w.key("interval_ms").value(st.interval_ms);
+  w.key("sampler").value(st.sampler_running);
+  write_telemetry_body(w, f);
   w.end_object();
   return w.str();
 }
@@ -307,6 +492,31 @@ std::string encode_shutdown() {
   return w.str();
 }
 
+std::string encode_stats_request() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("stats");
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_watch(std::uint64_t job) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("watch");
+  if (job != 0) w.key("job").value(job);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_unwatch() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("unwatch");
+  w.end_object();
+  return w.str();
+}
+
 bool parse_response(const std::string& frame, Response* out, std::string* err) {
   JsonValue v;
   if (!json_parse(frame, &v, err)) return false;
@@ -328,6 +538,28 @@ bool parse_response(const std::string& frame, Response* out, std::string* err) {
   }
   if (type == "pong") {
     out->type = Response::Type::Pong;
+    out->uptime_ms = static_cast<std::uint64_t>(v.int_or("uptime_ms", 0));
+    out->active = static_cast<std::uint64_t>(v.int_or("active", 0));
+    out->queued = static_cast<std::uint64_t>(v.int_or("queued", 0));
+    return true;
+  }
+  if (type == "telemetry") {
+    out->type = Response::Type::Telemetry;
+    read_telemetry_body(v, &out->telemetry);
+    return true;
+  }
+  if (type == "stats") {
+    out->type = Response::Type::Stats;
+    out->stats.uptime_ms =
+        static_cast<std::uint64_t>(v.int_or("server_uptime_ms", 0));
+    out->stats.sessions = static_cast<int>(v.int_or("sessions", 0));
+    out->stats.active = static_cast<std::uint64_t>(v.int_or("active", 0));
+    out->stats.queued = static_cast<std::uint64_t>(v.int_or("queued", 0));
+    out->stats.interval_ms = static_cast<int>(v.int_or("interval_ms", 0));
+    out->stats.sampler_running = v.bool_or("sampler", false);
+    out->sessions = out->stats.sessions;
+    out->queued = out->stats.queued;
+    read_telemetry_body(v, &out->telemetry);
     return true;
   }
   if (type == "progress") {

@@ -5,14 +5,17 @@
 // responses are emitted with JsonWriter, so escaping is correct in both
 // directions and multi-line report text travels inside one frame.
 //
-// Request types:   submit, cancel, status, ping, shutdown
-// Response types:  ack, progress, result, status, pong, error
+// Request types:   submit, cancel, status, ping, shutdown,
+//                  stats, watch, unwatch
+// Response types:  ack, progress, result, status, pong, error,
+//                  stats, telemetry
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "serve/jobs.h"
 #include "synth/moves.h"
 
@@ -20,10 +23,11 @@ namespace hsyn::serve {
 
 /// A decoded client request.
 struct Request {
-  enum class Type { Submit, Cancel, Status, Ping, Shutdown };
+  enum class Type { Submit, Cancel, Status, Ping, Shutdown, Stats, Watch,
+                    Unwatch };
   Type type = Type::Ping;
   std::string tag;        ///< client correlation tag, echoed in the ack
-  std::uint64_t job = 0;  ///< cancel: which job
+  std::uint64_t job = 0;  ///< cancel: which job; watch: job filter (0 = all)
   JobSpec spec;           ///< submit: the job
 };
 
@@ -48,6 +52,62 @@ struct JobStatus {
   std::string error;  ///< failure/cancellation reason once finished
 };
 
+/// One job's live search counters inside a `stats`/`telemetry` frame
+/// (the wire mirror of obs::JobSample, plus the engine's job state).
+struct JobTelemetry {
+  std::uint64_t job = 0;
+  std::string state;  ///< job_state_name(); empty outside the daemon
+  std::uint64_t passes = 0;
+  std::int32_t pass = -1;   ///< last finished pass (-1 = none yet)
+  std::int32_t depth = -1;  ///< moves kept in that pass
+  std::uint64_t moves_applied = 0;
+  std::uint64_t moves_accepted = 0;
+  std::uint64_t applied_by_class[obs::kTelemetryClasses] = {0, 0, 0};
+  std::uint64_t accepted_by_class[obs::kTelemetryClasses] = {0, 0, 0};
+  std::uint64_t rewrites_refuted = 0;
+  std::uint64_t strategies_done = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t replay_samples = 0;
+  double best_cost = 0;  ///< 0 = no cost recorded yet
+  double vdd = 0;
+  double clock_ns = 0;
+};
+
+/// One process-wide telemetry sample on the wire (`telemetry` frames
+/// streamed to watchers; also the payload half of `stats`).
+struct TelemetryFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ms = 0;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t regions = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t ledger_dropped = 0;
+  std::uint64_t rewrites_refuted = 0;
+  std::vector<JobTelemetry> jobs;  ///< ascending by job id
+};
+
+/// Server-level half of the `stats` reply.
+struct ServerStats {
+  std::uint64_t uptime_ms = 0;
+  int sessions = 0;
+  std::uint64_t active = 0;  ///< jobs currently running
+  std::uint64_t queued = 0;
+  int interval_ms = 0;       ///< sampler interval
+  bool sampler_running = false;
+};
+
+/// Join one obs sample with the engine's job table: every status row
+/// (filtered to `job_filter` when nonzero) becomes a JobTelemetry, with
+/// counters merged in from the sample's matching per-job slot.
+TelemetryFrame make_frame(const obs::TelemetrySample& s,
+                          std::uint64_t job_filter,
+                          const std::vector<JobStatus>& jobs);
+
 // ---- Response encoders (each returns one full frame, no newline) --------
 
 std::string encode_ack(const std::string& tag, std::uint64_t job);
@@ -56,7 +116,10 @@ std::string encode_progress(std::uint64_t job, const SynthProgress& ev);
 std::string encode_result(std::uint64_t job, const JobOutcome& outcome);
 std::string encode_status(const std::vector<JobStatus>& jobs, int sessions,
                           std::size_t queued);
-std::string encode_pong();
+std::string encode_pong(std::uint64_t uptime_ms = 0, std::uint64_t active = 0,
+                        std::uint64_t queued = 0);
+std::string encode_telemetry(const TelemetryFrame& f);
+std::string encode_stats(const ServerStats& st, const TelemetryFrame& f);
 
 // ---- Client-side encode/decode ------------------------------------------
 
@@ -65,11 +128,15 @@ std::string encode_cancel(std::uint64_t job);
 std::string encode_ping();
 std::string encode_status_request();
 std::string encode_shutdown();
+std::string encode_stats_request();
+std::string encode_watch(std::uint64_t job);  ///< 0 = whole server
+std::string encode_unwatch();
 
 /// A decoded server response (the union of all response payloads; check
 /// `type` before reading type-specific fields).
 struct Response {
-  enum class Type { Ack, Error, Progress, Result, Status, Pong };
+  enum class Type { Ack, Error, Progress, Result, Status, Pong, Stats,
+                    Telemetry };
   Type type = Type::Pong;
   std::string tag;
   std::uint64_t job = 0;
@@ -79,6 +146,10 @@ struct Response {
   std::vector<JobStatus> jobs;
   int sessions = 0;
   std::uint64_t queued = 0;
+  std::uint64_t uptime_ms = 0;  ///< pong
+  std::uint64_t active = 0;     ///< pong
+  ServerStats stats;            ///< stats
+  TelemetryFrame telemetry;     ///< stats + telemetry
 };
 
 bool parse_response(const std::string& frame, Response* out, std::string* err);

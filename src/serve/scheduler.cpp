@@ -86,6 +86,15 @@ std::vector<JobStatus> JobEngine::status() const {
   return out;
 }
 
+std::size_t JobEngine::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.state == JobState::Running) ++n;
+  }
+  return n;
+}
+
 void JobEngine::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -57,6 +57,9 @@ class JobEngine {
   int sessions() const { return static_cast<int>(threads_.size()); }
   std::size_t queued() const { return queue_.size(); }
 
+  /// Jobs currently running on a session thread.
+  std::size_t active() const;
+
   /// Stop accepting, drop queued jobs (their `done` fires cancelled),
   /// cancel running jobs, and join the session threads. Idempotent.
   void shutdown();

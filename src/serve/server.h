@@ -27,6 +27,9 @@ struct ServerOptions {
   std::string unix_path;  ///< listen on a unix socket...
   int tcp_port = 0;       ///< ...or a loopback TCP port (exactly one)
   int sessions = 2;       ///< concurrent jobs (clamped to >= 1)
+  /// Optional Prometheus text endpoint: plain HTTP GET /metrics on this
+  /// loopback port (0 = off).
+  int metrics_port = 0;
 };
 
 class Server {
@@ -50,6 +53,8 @@ class Server {
  private:
   ServerOptions opts_;
   Listener listener_;
+  Listener metrics_listener_;
+  std::thread metrics_thread_;
   std::unique_ptr<JobEngine> engine_;
   std::atomic<bool> stopping_{false};
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/telemetry.h"
 #include "serve/framing.h"
 #include "serve/proto.h"
 #include "serve/scheduler.h"
@@ -79,6 +80,14 @@ void serve_connection(const std::shared_ptr<ClientConn>& conn,
                       const std::function<void()>& request_shutdown) {
   FrameReader reader(conn->fd());
   std::string frame;
+  // At most one watch subscription per connection (a new watch replaces
+  // the old one). The listener lambda captures &engine: the Server
+  // joins connection threads (which remove the listener on the way out)
+  // before the engine is destroyed, and Telemetry invokes listeners
+  // under its listener lock, so remove_listener() never returns while
+  // the lambda is mid-call.
+  std::uint64_t watch_id = 0;
+  obs::Telemetry& tel = obs::Telemetry::instance();
   while (conn->alive() && reader.next(&frame)) {
     Request req;
     std::string err;
@@ -102,7 +111,39 @@ void serve_connection(const std::shared_ptr<ClientConn>& conn,
             encode_status(engine.status(), engine.sessions(), engine.queued()));
         break;
       case Request::Type::Ping:
-        conn->send(encode_pong());
+        conn->send(encode_pong(obs::process_uptime_ms(), engine.active(),
+                               engine.queued()));
+        break;
+      case Request::Type::Stats: {
+        ServerStats st;
+        st.uptime_ms = obs::process_uptime_ms();
+        st.sessions = engine.sessions();
+        st.active = engine.active();
+        st.queued = engine.queued();
+        st.interval_ms = tel.interval_ms();
+        st.sampler_running = tel.running();
+        conn->send(encode_stats(
+            st, make_frame(tel.sample_now(), 0, engine.status())));
+        break;
+      }
+      case Request::Type::Watch: {
+        tel.start();  // idempotent; the daemon normally started it already
+        if (watch_id != 0) tel.remove_listener(watch_id);
+        const std::uint64_t job = req.job;
+        JobEngine* eng = &engine;
+        watch_id = tel.add_listener(
+            [conn, eng, job](const obs::TelemetrySample& s) {
+              conn->send(encode_telemetry(make_frame(s, job, eng->status())));
+            });
+        conn->send(encode_ack(req.tag, job));
+        break;
+      }
+      case Request::Type::Unwatch:
+        if (watch_id != 0) {
+          tel.remove_listener(watch_id);
+          watch_id = 0;
+        }
+        conn->send(encode_ack(req.tag, 0));
         break;
       case Request::Type::Shutdown:
         conn->send(encode_ack(req.tag, 0));
@@ -110,6 +151,7 @@ void serve_connection(const std::shared_ptr<ClientConn>& conn,
         break;
     }
   }
+  if (watch_id != 0) tel.remove_listener(watch_id);
 }
 
 }  // namespace hsyn::serve

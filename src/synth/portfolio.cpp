@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/ledger.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
@@ -82,7 +83,12 @@ PortfolioResult portfolio_synthesize(const Design& design, const Library& lib,
     const std::vector<SearchOutcome> outcomes =
         runtime::parallel_map(n, [&](int i) {
           obs::StrategyScope scope(round * n + i);
-          return core.run(cohort[static_cast<std::size_t>(i)]);
+          SearchOutcome oc = core.run(cohort[static_cast<std::size_t>(i)]);
+          // Telemetry only (relaxed, never read back): the lane carries
+          // the job tag, so the count lands on the right job.
+          obs::current_job_state().strategies_done.fetch_add(
+              1, std::memory_order_relaxed);
+          return oc;
         });
 
     for (int i = 0; i < n; ++i) {

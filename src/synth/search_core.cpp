@@ -11,6 +11,8 @@
 #include "dfg/analysis.h"
 #include "dfg/flatten.h"
 #include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "power/estimator.h"
 #include "rtl/cost.h"
@@ -138,6 +140,15 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
                         const SearchStrategy& strat, ImproveStats* stats) {
   obs::Span improve_span("improve");
   obs::MoveLedger& ledger = obs::MoveLedger::instance();
+  // Live-telemetry slot for the thread's current job. The engine only
+  // ever *writes* it (relaxed atomics, nothing read back into
+  // decisions), so the sampler being on or off cannot change results.
+  // Nested resynthesis (move B) skips publication: only top-level
+  // passes describe the job's visible progress.
+  obs::JobSearchState& js = obs::current_job_state();
+  const bool publish = obs::ResynthScope::current_depth() == 0;
+  static obs::Counter& refuted_ctr =
+      obs::Registry::instance().counter("synth.rewrites_refuted");
   const int max_passes =
       strat.max_passes > 0 ? strat.max_passes : cx.opts.max_passes;
   const int max_moves = strat.max_moves_per_pass > 0 ? strat.max_moves_per_pass
@@ -211,22 +222,27 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
         std::rotate(order.begin(), order.begin() + static_cast<long>(r),
                     order.end());
       }
-      // Fold the generators in strategy order; keep_better's first-wins
-      // tie-break makes the fold equal to the legacy better_move chain
-      // for the default order.
-      Move best_m;
+      // Collect each generator's best candidate in strategy order. The
+      // selection loop below reproduces keep_better's semantics exactly
+      // (strict gain >, earlier generator wins ties), so when nothing is
+      // refuted the chosen move is identical to the legacy fold; keeping
+      // the runners-up lets the equivalence gate fall back to the
+      // next-best candidate instead of ending the pass.
+      std::vector<Move> cands;
       bool share_ran = false;
       bool share_lost = true;
       for (const MoveClass mc : order) {
         switch (mc) {
-          case MoveClass::Replace:
-            keep_better(best_m, best_replace_move(cur, move_cx));
+          case MoveClass::Replace: {
+            Move c = best_replace_move(cur, move_cx);
+            if (c.valid) cands.push_back(std::move(c));
             break;
+          }
           case MoveClass::Share: {
-            Move m = best_sharing_move(cur, pass_cx);
+            Move c = best_sharing_move(cur, pass_cx);
             share_ran = true;
-            share_lost = !m.valid || m.gain < 0;
-            keep_better(best_m, std::move(m));
+            share_lost = !c.valid || c.gain < 0;
+            if (c.valid) cands.push_back(std::move(c));
             break;
           }
           case MoveClass::Split:
@@ -234,31 +250,52 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
             // consider splitting instead. (Strategies may force it, or
             // order split before share -- then it always runs.)
             if (strat.always_split || !share_ran || share_lost) {
-              keep_better(best_m, best_splitting_move(cur, pass_cx));
+              Move c = best_splitting_move(cur, pass_cx);
+              if (c.valid) cands.push_back(std::move(c));
             }
             break;
         }
       }
-      const Move& m = best_m;
-      if (!m.valid) break;
-      if (!cx.opts.enable_negative_gain && m.gain <= 1e-9) break;
-      log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
-                     m.kind.c_str(), m.desc.c_str(), m.gain));
-      if (vgate && !m.kind.empty() && (m.kind[0] == 'A' || m.kind[0] == 'B')) {
-        std::string why;
-        if (!rewrite_verified(cur, m, cx, &why)) {
-          if (ledger.enabled() && m.obs_cand >= 0) {
-            ledger.set_status(m.obs_group, m.obs_cand,
-                              obs::MoveStatus::RejectedByVerifier);
+      std::vector<char> refuted(cands.size(), 0);
+      int picked = -1;
+      for (;;) {
+        int sel = -1;
+        for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+          if (refuted[ci]) continue;
+          if (sel < 0 ||
+              cands[ci].gain > cands[static_cast<std::size_t>(sel)].gain) {
+            sel = static_cast<int>(ci);
           }
-          log_warn(strf("pass %d move %d: %s (%s) rejected by the "
-                        "equivalence gate: %s",
-                        pass, mi, m.kind.c_str(), m.desc.c_str(),
-                        why.c_str()));
-          break;  // deterministic: end the pass at the refuted rewrite
         }
+        if (sel < 0) break;
+        const Move& c = cands[static_cast<std::size_t>(sel)];
+        if (!cx.opts.enable_negative_gain && c.gain <= 1e-9) break;
+        log_debug(strf("pass %d move %d: %s (%s) gain %.3f", pass, mi,
+                       c.kind.c_str(), c.desc.c_str(), c.gain));
+        if (vgate && !c.kind.empty() && (c.kind[0] == 'A' || c.kind[0] == 'B')) {
+          std::string why;
+          if (!rewrite_verified(cur, c, cx, &why)) {
+            if (ledger.enabled() && c.obs_cand >= 0) {
+              ledger.set_status(c.obs_group, c.obs_cand,
+                                obs::MoveStatus::RejectedByVerifier);
+            }
+            refuted_ctr.add();
+            js.rewrites_refuted.fetch_add(1, std::memory_order_relaxed);
+            log_warn(strf("pass %d move %d: %s (%s) rejected by the "
+                          "equivalence gate: %s -- trying the next-best "
+                          "candidate",
+                          pass, mi, c.kind.c_str(), c.desc.c_str(),
+                          why.c_str()));
+            refuted[static_cast<std::size_t>(sel)] = 1;
+            continue;  // deterministic fallback, pass continues
+          }
+        }
+        picked = sel;
+        break;
       }
-      cur = m.result;
+      if (picked < 0) break;
+      Move& m = cands[static_cast<std::size_t>(picked)];
+      cur = std::move(m.result);
       if (gate) {
         lint::verify_move(cur, *cx.lib, cx.pt, cx.deadline,
                           strf("pass %d move %d: %s (%s)", pass, mi,
@@ -305,6 +342,22 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
         stats->by_class[static_cast<std::size_t>(mc)].accepted_gain += gain;
       }
     }
+    if (publish) {
+      js.passes.fetch_add(1, std::memory_order_relaxed);
+      js.pass.store(pass, std::memory_order_relaxed);
+      js.depth.store(best_k + 1, std::memory_order_relaxed);
+      js.moves_applied.fetch_add(applied_class.size(),
+                                 std::memory_order_relaxed);
+      js.moves_accepted.fetch_add(static_cast<std::uint64_t>(best_k + 1),
+                                  std::memory_order_relaxed);
+      for (std::size_t k = 0; k < applied_class.size(); ++k) {
+        const auto mc = static_cast<std::size_t>(applied_class[k].first);
+        js.applied_by_class[mc].fetch_add(1, std::memory_order_relaxed);
+        if (static_cast<int>(k) <= best_k) {
+          js.accepted_by_class[mc].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
     if (cx.opts.progress && at_search_top()) {
       SynthProgress ev;
       ev.stage = SynthProgress::Stage::Pass;
@@ -327,6 +380,7 @@ Datapath search_improve(Datapath dp, const SynthContext& cx,
     }
     dp = std::move(snapshots[static_cast<std::size_t>(best_k)]);
     cur_cost = cost_of(dp, cx);
+    if (publish) js.note_best(cur_cost);
     if (stats) stats->moves_kept += best_k + 1;
     log_info(strf("pass %d kept %d moves, gain %.3f, cost %.3f", pass,
                   best_k + 1, best_gain, cur_cost));
@@ -498,6 +552,11 @@ SearchOutcome SearchCore::run(const SearchStrategy& strat) const {
         cx.obj = obj_;
         cx.opts = opts;
 
+        {
+          obs::JobSearchState& js = obs::current_job_state();
+          js.vdd.store(vdd, std::memory_order_relaxed);
+          js.clock_ns.store(clk, std::memory_order_relaxed);
+        }
         ImproveStats stats;
         Datapath improved = search_improve(std::move(probe.init), cx, strat,
                                            &stats);
@@ -532,6 +591,7 @@ SearchOutcome SearchCore::run(const SearchStrategy& strat) const {
         // a designer means by area-optimized, and it stops the area
         // objective from picking needlessly hot fine-grained clocks.
         const double v = objective_value(cand, obj_);
+        obs::current_job_state().note_best(v);
         const bool better =
             v < best_obj * (1.0 - 1e-9) ||
             (best.ok && v <= best_obj * 1.08 && cand.power < best.power);

@@ -35,6 +35,15 @@
 // --metrics-out writes the unified metrics registry snapshot. None of
 // them change synthesis results. A SIGINT/SIGTERM cancels the in-flight
 // run cooperatively and the exports are still flushed on the way out.
+//
+// Live telemetry (src/obs/telemetry.h): --telemetry-out FILE samples
+// the runtime/cache/search state on a background thread (HSYN_TELEMETRY_MS,
+// default 250 ms) and writes the ring as JSONL on exit; --metrics-listen
+// PORT (serve mode) exposes the metrics registry as Prometheus text on
+// GET /metrics; --connect plus --stats prints a one-shot daemon
+// snapshot, --watch[=JOB] streams live per-job telemetry lines until
+// interrupted (or until the watched job finishes). Sampling is strictly
+// read-only: results stay bit-identical with telemetry on or off.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +57,7 @@
 #include "eval/engine.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "power/replay.h"
 #include "rtl/controller.h"
@@ -99,6 +109,14 @@ struct Args {
   std::string trace_out;    ///< Chrome trace-event JSON (or HSYN_TRACE env)
   std::string move_log;     ///< move ledger JSONL (.csv for CSV)
   std::string metrics_out;  ///< metrics registry JSON snapshot
+  /// --telemetry-out FILE: run the background sampler and dump its ring
+  /// as JSONL on exit (direct and serve modes).
+  std::string telemetry_out;
+  /// --metrics-listen PORT (serve mode): Prometheus text on /metrics.
+  int metrics_listen = 0;
+  bool stats = false;             ///< --connect + --stats: one-shot snapshot
+  bool watch = false;             ///< --connect + --watch[=JOB]: live stream
+  std::uint64_t watch_job = 0;    ///< 0 = whole server
   // Server mode.
   int serve_port = 0;        ///< --serve PORT: daemon on loopback TCP
   std::string serve_unix;    ///< --serve-unix PATH: daemon on a unix socket
@@ -125,10 +143,13 @@ void usage() {
                "            [--no-verify] [--check-moves] [--verify-rewrites] [--templates] [--auto-variants] [--seed N] "
                "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
+               "            [--telemetry-out FILE]\n"
                "            [--progress] [--job-time-ms N] [--job-cache-mb N]\n"
                "            [--portfolio N] [--portfolio-rounds N] [--strategies SPEC]\n"
-               "       hsyn (--serve PORT | --serve-unix PATH) [--sessions N] [runtime flags]\n"
-               "       hsyn --connect ADDR (design flags | --ping | --shutdown)\n"
+               "       hsyn (--serve PORT | --serve-unix PATH) [--sessions N]\n"
+               "            [--metrics-listen PORT] [runtime flags]\n"
+               "       hsyn --connect ADDR (design flags | --ping | --shutdown |\n"
+               "            --stats | --watch[=JOB])\n"
                "(each flag also accepts the --flag=VALUE form)\n");
 }
 
@@ -169,6 +190,26 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.metrics_out = v;
+    } else if (arg == "--telemetry-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.telemetry_out = v;
+    } else if (arg == "--metrics-listen") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.metrics_listen = std::atoi(v);
+      if (a.metrics_listen <= 0 || a.metrics_listen > 65535) {
+        return std::nullopt;
+      }
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--watch") {
+      // Bare --watch watches the whole server; only the --watch=N
+      // spelling names a job (a bare flag never consumes the next arg).
+      a.watch = true;
+      if (inline_val) {
+        a.watch_job = static_cast<std::uint64_t>(std::atoll(inline_val->c_str()));
+      }
     } else if (arg == "--objective") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -320,7 +361,12 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   if (serving && !a.connect.empty()) return std::nullopt;
   if ((a.ping || a.shutdown) && a.connect.empty()) return std::nullopt;
-  const bool needs_design = !serving && !a.ping && !a.shutdown;
+  // --stats/--watch interrogate a running daemon; --metrics-listen is
+  // part of the daemon itself.
+  if ((a.stats || a.watch) && a.connect.empty()) return std::nullopt;
+  if (a.metrics_listen != 0 && !serving) return std::nullopt;
+  const bool needs_design =
+      !serving && !a.ping && !a.shutdown && !a.stats && !a.watch;
   if (needs_design && a.design_file.empty() == a.benchmark.empty()) {
     return std::nullopt;  // exactly one of --design / --benchmark
   }
@@ -420,6 +466,12 @@ std::string setup_obs(const Args& args) {
   if (!args.move_log.empty()) {
     hsyn::obs::MoveLedger::instance().set_enabled(true);
   }
+  // The sampler only reads; serve mode starts it unconditionally (in
+  // Server::run) because stats/watch/metrics-listen read live samples.
+  if (!args.telemetry_out.empty()) {
+    hsyn::obs::process_uptime_ms();  // anchor uptime at startup
+    hsyn::obs::Telemetry::instance().start();
+  }
   return trace_out;
 }
 
@@ -443,11 +495,36 @@ bool flush_obs(const Args& args, const std::string& trace_out) {
                   obs::Tracer::instance().events().size(), trace_out.c_str());
     }
   }
+  // Dropped-record accounting: surface any span/ledger loss both in the
+  // metrics snapshot (gauges) and as a one-line warning, so a truncated
+  // export is never mistaken for a complete one.
+  const std::uint64_t spans_dropped = obs::Tracer::instance().dropped();
+  const std::uint64_t ledger_dropped = obs::MoveLedger::instance().dropped();
+  obs::Registry::instance().gauge("obs.spans_dropped").set(
+      static_cast<double>(spans_dropped));
+  obs::Registry::instance().gauge("obs.ledger_dropped").set(
+      static_cast<double>(ledger_dropped));
   if (!args.metrics_out.empty()) {
     // runtime counters reach the snapshot through the sources the
     // runtime registered in the obs registry (see runtime/stats.cpp).
     if (!obs::Registry::instance().write_json(args.metrics_out)) {
       std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      ok = false;
+    }
+  }
+  if (spans_dropped != 0 || ledger_dropped != 0) {
+    std::fprintf(stderr,
+                 "hsyn: warning: observability buffers overflowed "
+                 "(%llu span(s), %llu move record(s) dropped)\n",
+                 static_cast<unsigned long long>(spans_dropped),
+                 static_cast<unsigned long long>(ledger_dropped));
+  }
+  // The telemetry ring outlives the sampler thread: stop it (idempotent;
+  // serve mode already did) and dump whatever was recorded.
+  if (!args.telemetry_out.empty()) {
+    obs::Telemetry::instance().stop();
+    if (!obs::Telemetry::instance().write_jsonl(args.telemetry_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.telemetry_out.c_str());
       ok = false;
     }
   }
@@ -574,6 +651,7 @@ int run_serve(const Args& args) {
   opts.unix_path = args.serve_unix;
   opts.tcp_port = args.serve_port;
   opts.sessions = args.sessions;
+  opts.metrics_port = args.metrics_listen;
   serve::Server server(std::move(opts));
   std::string err;
   if (!server.start(&err)) {
@@ -587,6 +665,10 @@ int run_serve(const Args& args) {
     std::fprintf(stderr,
                  "hsyn: serving on 127.0.0.1:%d (%d session(s), %d thread(s))\n",
                  args.serve_port, args.sessions, runtime::threads());
+  }
+  if (args.metrics_listen > 0) {
+    std::fprintf(stderr, "hsyn: metrics on http://127.0.0.1:%d/metrics\n",
+                 args.metrics_listen);
   }
   const int rc = server.run();
   std::fprintf(stderr, "hsyn: daemon stopped\n");
@@ -607,10 +689,12 @@ int run_connect(const Args& args) {
                  "require a direct run, not --connect\n");
     return 2;
   }
-  if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+  if (!args.trace_out.empty() || !args.metrics_out.empty() ||
+      !args.telemetry_out.empty()) {
     std::fprintf(stderr,
-                 "hsyn: --trace-out/--metrics-out describe the daemon "
-                 "process; pass them to --serve instead of --connect\n");
+                 "hsyn: --trace-out/--metrics-out/--telemetry-out describe "
+                 "the daemon process; pass them to --serve instead of "
+                 "--connect\n");
     return 2;
   }
   if (args.threads != 0 || args.eval_cache_mb != 0 || !args.replay.empty()) {
@@ -636,6 +720,59 @@ int run_connect(const Args& args) {
   }
   if (args.shutdown) {
     if (!client.shutdown_server(&err)) {
+      std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (args.stats) {
+    // The raw frame goes to stdout verbatim: jq-friendly, and immune to
+    // any lossiness in the client-side decode.
+    std::string raw;
+    if (!client.stats(nullptr, nullptr, &raw, &err)) {
+      std::fprintf(stderr, "hsyn: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", raw.c_str());
+    return 0;
+  }
+  if (args.watch) {
+    const std::uint64_t want = args.watch_job;
+    const bool ok = client.watch(
+        want,
+        [&](const serve::TelemetryFrame& f) {
+          bool keep = true;
+          if (f.jobs.empty()) {
+            std::printf("t=%llums jobs=0 tasks=%llu cache=%llu/%llu\n",
+                        static_cast<unsigned long long>(f.uptime_ms),
+                        static_cast<unsigned long long>(f.tasks),
+                        static_cast<unsigned long long>(f.cache_hits),
+                        static_cast<unsigned long long>(f.cache_misses));
+          }
+          for (const serve::JobTelemetry& j : f.jobs) {
+            std::printf(
+                "t=%llums job=%llu state=%s pass=%d applied=%llu "
+                "accepted=%llu refuted=%llu best=%.6g cache=%llu/%llu\n",
+                static_cast<unsigned long long>(f.uptime_ms),
+                static_cast<unsigned long long>(j.job), j.state.c_str(),
+                j.pass, static_cast<unsigned long long>(j.moves_applied),
+                static_cast<unsigned long long>(j.moves_accepted),
+                static_cast<unsigned long long>(j.rewrites_refuted),
+                j.best_cost,
+                static_cast<unsigned long long>(j.cache_hits),
+                static_cast<unsigned long long>(j.cache_misses));
+            // Watching one job ends when that job reaches a final state;
+            // a whole-server watch streams until interrupted.
+            if (want != 0 && j.job == want && j.state != "queued" &&
+                j.state != "running") {
+              keep = false;
+            }
+          }
+          std::fflush(stdout);
+          return keep;
+        },
+        &err);
+    if (!ok) {
       std::fprintf(stderr, "hsyn: %s\n", err.c_str());
       return 1;
     }

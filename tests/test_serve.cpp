@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/telemetry.h"
 #include "serve/client.h"
 #include "serve/framing.h"
 #include "serve/jobs.h"
@@ -399,6 +401,243 @@ TEST(ServeEndToEnd, UnixSocketDaemonRoundTrip) {
   daemon.join();
   // The socket file is gone after a clean shutdown.
   EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServeProto, StatsWatchRequestRoundTrip) {
+  Request req;
+  std::string err;
+  ASSERT_TRUE(parse_request(encode_stats_request(), &req, &err)) << err;
+  EXPECT_EQ(req.type, Request::Type::Stats);
+  ASSERT_TRUE(parse_request(encode_watch(7), &req, &err)) << err;
+  EXPECT_EQ(req.type, Request::Type::Watch);
+  EXPECT_EQ(req.job, 7u);
+  ASSERT_TRUE(parse_request(encode_watch(0), &req, &err)) << err;
+  EXPECT_EQ(req.type, Request::Type::Watch);
+  EXPECT_EQ(req.job, 0u);  // whole-server watch omits the job key
+  ASSERT_TRUE(parse_request(encode_unwatch(), &req, &err)) << err;
+  EXPECT_EQ(req.type, Request::Type::Unwatch);
+}
+
+TelemetryFrame sample_frame() {
+  TelemetryFrame f;
+  f.seq = 12;
+  f.t_ms = 3456;
+  f.uptime_ms = 789;
+  f.regions = 4;
+  f.tasks = 99;
+  f.cache_hits = 1000;
+  f.cache_misses = 50;
+  f.cache_bytes = 1 << 20;
+  f.spans_dropped = 1;
+  f.ledger_dropped = 2;
+  f.rewrites_refuted = 3;
+  JobTelemetry j;
+  j.job = 5;
+  j.state = "running";
+  j.passes = 8;
+  j.pass = 2;
+  j.depth = 4;
+  j.moves_applied = 70;
+  j.moves_accepted = 12;
+  j.applied_by_class[0] = 40;
+  j.applied_by_class[1] = 20;
+  j.applied_by_class[2] = 10;
+  j.accepted_by_class[0] = 6;
+  j.accepted_by_class[1] = 4;
+  j.accepted_by_class[2] = 2;
+  j.rewrites_refuted = 1;
+  j.strategies_done = 3;
+  j.cache_hits = 500;
+  j.cache_misses = 25;
+  j.replay_samples = 64;
+  j.best_cost = 123.5;
+  j.vdd = 3.3;
+  j.clock_ns = 20.0;
+  f.jobs.push_back(j);
+  return f;
+}
+
+TEST(ServeProto, TelemetryFrameRoundTrip) {
+  const TelemetryFrame f = sample_frame();
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(parse_response(encode_telemetry(f), &resp, &err)) << err;
+  EXPECT_EQ(resp.type, Response::Type::Telemetry);
+  const TelemetryFrame& g = resp.telemetry;
+  EXPECT_EQ(g.seq, 12u);
+  EXPECT_EQ(g.uptime_ms, 789u);
+  EXPECT_EQ(g.tasks, 99u);
+  EXPECT_EQ(g.cache_hits, 1000u);
+  EXPECT_EQ(g.spans_dropped, 1u);
+  EXPECT_EQ(g.ledger_dropped, 2u);
+  EXPECT_EQ(g.rewrites_refuted, 3u);
+  ASSERT_EQ(g.jobs.size(), 1u);
+  const JobTelemetry& j = g.jobs[0];
+  EXPECT_EQ(j.job, 5u);
+  EXPECT_EQ(j.state, "running");
+  EXPECT_EQ(j.passes, 8u);
+  EXPECT_EQ(j.pass, 2);
+  EXPECT_EQ(j.depth, 4);
+  EXPECT_EQ(j.moves_applied, 70u);
+  EXPECT_EQ(j.moves_accepted, 12u);
+  EXPECT_EQ(j.applied_by_class[1], 20u);
+  EXPECT_EQ(j.accepted_by_class[2], 2u);
+  EXPECT_EQ(j.rewrites_refuted, 1u);
+  EXPECT_EQ(j.strategies_done, 3u);
+  EXPECT_EQ(j.cache_hits, 500u);
+  EXPECT_EQ(j.replay_samples, 64u);
+  EXPECT_DOUBLE_EQ(j.best_cost, 123.5);
+  EXPECT_DOUBLE_EQ(j.vdd, 3.3);
+  EXPECT_DOUBLE_EQ(j.clock_ns, 20.0);
+}
+
+TEST(ServeProto, StatsResponseRoundTrip) {
+  ServerStats st;
+  st.uptime_ms = 60000;
+  st.sessions = 4;
+  st.active = 2;
+  st.queued = 9;
+  st.interval_ms = 250;
+  st.sampler_running = true;
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(parse_response(encode_stats(st, sample_frame()), &resp, &err))
+      << err;
+  EXPECT_EQ(resp.type, Response::Type::Stats);
+  EXPECT_EQ(resp.stats.uptime_ms, 60000u);
+  EXPECT_EQ(resp.stats.sessions, 4);
+  EXPECT_EQ(resp.stats.active, 2u);
+  EXPECT_EQ(resp.stats.queued, 9u);
+  EXPECT_EQ(resp.stats.interval_ms, 250);
+  EXPECT_TRUE(resp.stats.sampler_running);
+  // The embedded telemetry body rides along.
+  EXPECT_EQ(resp.telemetry.seq, 12u);
+  ASSERT_EQ(resp.telemetry.jobs.size(), 1u);
+  EXPECT_EQ(resp.telemetry.jobs[0].job, 5u);
+}
+
+TEST(ServeProto, PongCarriesUptimeAndLoad) {
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(parse_response(encode_pong(1234, 2, 5), &resp, &err)) << err;
+  EXPECT_EQ(resp.type, Response::Type::Pong);
+  EXPECT_EQ(resp.uptime_ms, 1234u);
+  EXPECT_EQ(resp.active, 2u);
+  EXPECT_EQ(resp.queued, 5u);
+  // The legacy shape (no load fields) still parses.
+  ASSERT_TRUE(parse_response("{\"type\":\"pong\"}", &resp, &err)) << err;
+  EXPECT_EQ(resp.type, Response::Type::Pong);
+  EXPECT_EQ(resp.uptime_ms, 0u);
+}
+
+TEST(ServeEndToEnd, StatsAndWatchAgainstLiveDaemon) {
+  // A fast sampler so the watch sees frames promptly; the daemon's
+  // Telemetry::start resolves HSYN_TELEMETRY_MS when (re)starting.
+  obs::Telemetry::instance().stop();
+  ::setenv("HSYN_TELEMETRY_MS", "20", 1);
+  const std::string path =
+      "/tmp/hsyn_test_tel_" + std::to_string(::getpid()) + ".sock";
+  Server server(ServerOptions{path, 0, 2});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  std::thread daemon([&] { server.run(); });
+
+  Client client;
+  ASSERT_TRUE(client.connect(path, &err)) << err;
+  JobOutcome out;
+  ASSERT_TRUE(client.run_job(bench_spec("test1", 42), nullptr, &out, &err))
+      << err;
+  EXPECT_TRUE(out.ok) << out.error;
+
+  // One-shot stats: server block + embedded telemetry with the job row.
+  ServerStats st;
+  TelemetryFrame frame;
+  std::string raw;
+  ASSERT_TRUE(client.stats(&st, &frame, &raw, &err)) << err;
+  EXPECT_EQ(st.sessions, 2);
+  EXPECT_TRUE(st.sampler_running);
+  EXPECT_GT(st.interval_ms, 0);
+  ASSERT_EQ(frame.jobs.size(), 1u);
+  EXPECT_EQ(frame.jobs[0].state, "done");
+  EXPECT_GT(frame.jobs[0].passes, 0u);
+  EXPECT_FALSE(raw.empty());
+  EXPECT_NE(raw.find("\"type\":\"stats\""), std::string::npos);
+
+  // Live watch on a second connection: frames arrive on the sampler's
+  // cadence with increasing seq; the finished job reports state done.
+  Client watcher;
+  ASSERT_TRUE(watcher.connect(path, &err)) << err;
+  int frames = 0;
+  std::uint64_t prev_seq = 0;
+  ASSERT_TRUE(watcher.watch(
+      0,
+      [&](const TelemetryFrame& f) {
+        if (frames > 0) {
+          EXPECT_GT(f.seq, prev_seq);
+        }
+        prev_seq = f.seq;
+        ++frames;
+        return frames < 3;
+      },
+      &err))
+      << err;
+  EXPECT_EQ(frames, 3);
+
+  ASSERT_TRUE(client.shutdown_server(&err)) << err;
+  daemon.join();
+  ::unsetenv("HSYN_TELEMETRY_MS");
+}
+
+// TSan stress (the CI thread-sanitizer job filters on ServeStress.*):
+// concurrent jobs mutate the per-job search state while the sampler and
+// a watch subscriber read it.
+TEST(ServeStress, WatchWhileConcurrentJobsRun) {
+  obs::Telemetry::instance().stop();
+  ::setenv("HSYN_TELEMETRY_MS", "5", 1);
+  const std::string path =
+      "/tmp/hsyn_test_watch_" + std::to_string(::getpid()) + ".sock";
+  Server server(ServerOptions{path, 0, 4});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  std::thread daemon([&] { server.run(); });
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 4; ++i) {
+    submitters.emplace_back([&, i] {
+      Client c;
+      std::string e;
+      JobOutcome out;
+      if (c.connect(path, &e) &&
+          c.run_job(bench_spec(i % 2 ? "test1" : "lat",
+                               static_cast<std::uint64_t>(11 + i)),
+                    nullptr, &out, &e) &&
+          out.ok) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+
+  Client watcher;
+  std::string werr;
+  ASSERT_TRUE(watcher.connect(path, &werr)) << werr;
+  const bool watched = watcher.watch(
+      0,
+      [&](const TelemetryFrame& f) {
+        std::size_t finished = 0;
+        for (const JobTelemetry& j : f.jobs) {
+          if (j.state != "queued" && j.state != "running") ++finished;
+        }
+        return !(f.jobs.size() >= 4 && finished >= 4);
+      },
+      &werr);
+  EXPECT_TRUE(watched) << werr;
+
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(ok.load(), 4);
+  ASSERT_TRUE(watcher.shutdown_server(&werr)) << werr;
+  daemon.join();
+  ::unsetenv("HSYN_TELEMETRY_MS");
 }
 
 TEST(ServeEndToEnd, SecondDaemonRefusesBusySocket) {
