@@ -1,6 +1,7 @@
 // Trace-replay kernel benchmark: compiled batched replay (power/replay.h)
 // vs the per-time-step reference interpreter, on the hierarchical Paulin
-// benchmark and the largest bundled design (dct2d).
+// benchmark and the largest bundled design (dct2d), plus the SIMD kernel
+// table vs the portable scalar table.
 //
 // For each design x backend x thread count the harness evaluates the full
 // edge matrix of the top behavior over fresh input traces (a new seed per
@@ -9,22 +10,35 @@
 //   * cold: evaluation caches cleared first, so the compiled backend pays
 //     program compilation (interp has no compile step; cold ~ warm),
 //   * warm: replay programs already memoized, traces still fresh.
+// The compiled backend is swept twice when a SIMD table is available:
+// once forced scalar ("compiled-scalar") and once under the best table
+// ("compiled") -- the end-to-end view of the ISA dispatch.
 //
-// Also times the packed popcount toggle kernel (toggle_count) against the
-// scalar hamming16 loop it replaced.
+// Microbenchmarks:
+//   * opcode_kernels: every per-opcode column kernel of the best table
+//     against the scalar table on dense 64k columns -- the noise-robust
+//     basis of the simd_speedup gate (outputs bitwise-compared too),
+//   * toggle_kernel: the dispatched toggle_count against the scalar
+//     hamming16 loop it replaced,
+//   * fused_toggle: toggle_count_gather against the buffered interleave
+//     path the estimator ran before the fused rewrite.
 //
 // Emits BENCH_power.json (and the same object on stdout):
 //   * per design/backend/threads: cold and warm wall seconds and
 //     vectors/sec (trace samples evaluated per second, warm),
 //   * speedup_ok: warm compiled >= 3x warm interp at every thread count,
-//   * equivalent: compiled and interp matrices are bit-identical,
+//   * equivalent: compiled and interp matrices are bit-identical, and
+//     every kernel-table output matches the scalar reference,
 //   * monotone_ok: warm compiled replay never slows down when threads
-//     grow 1 -> 2 -> 8 (min over reps, with generous tolerance). This
-//     gates the replay serial-cutoff fix: sub-threshold batches must run
-//     serially instead of paying the pool handshake.
-// The exit code gates equivalence and thread-scaling monotonicity;
-// speedup vs interp is reported, not gated, so a loaded CI box cannot
-// turn a correctness job red over absolute throughput.
+//     grow 1 -> 2 -> 8 (min over reps, with generous tolerance),
+//   * simd_ok: on SIMD-capable hardware the best table's per-opcode
+//     throughput is >= 1.5x the scalar table at 1 thread (trivially true
+//     when only the scalar table exists).
+// The exit code gates equivalence, thread-scaling monotonicity, and the
+// SIMD per-opcode speedup; speedup vs interp is reported, not gated, so
+// a loaded CI box cannot turn a correctness job red over absolute
+// end-to-end throughput (the per-opcode microbenchmark is dense compute
+// on one thread -- far less scheduler-sensitive).
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -33,6 +47,7 @@
 #include "benchmarks/benchmarks.h"
 #include "eval/engine.h"
 #include "power/replay.h"
+#include "power/replay_kernels.h"
 #include "power/trace.h"
 #include "runtime/thread_pool.h"
 #include "util/json.h"
@@ -73,25 +88,49 @@ int scalar_toggles(const std::int32_t* v, std::size_t n) {
   return total;
 }
 
+std::vector<std::int32_t> random_column(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = mask16(static_cast<std::int64_t>(rng.next()));
+  return v;
+}
+
 }  // namespace
 
 int main() {
   using namespace hsyn;
   const Library lib = default_library();
 
+  // The best table this build + CPU can select ("native" resolution).
+  set_replay_isa(ReplayIsa::Native);
+  const ReplayIsa best_isa = replay_isa();
+  const bool has_simd = best_isa != ReplayIsa::Scalar;
+
   JsonWriter w;
   w.begin_object();
   w.key("bench").value("trace_replay");
   w.key("trace_samples").value(kTraceSamples);
   w.key("reps").value(kReps);
+  w.key("isa").begin_object();
+  w.key("best").value(replay_isa_name(best_isa));
+  w.key("available_avx2").value(replay_isa_available(ReplayIsa::Avx2));
+  w.key("available_neon").value(replay_isa_available(ReplayIsa::Neon));
+  w.end_object();
 
   bool equivalent = true;
   bool speedup_ok = true;
   bool monotone_ok = true;
+  bool simd_ok = true;
   // min-over-reps still jitters on a loaded box; only flag real
   // regressions like the pre-cutoff 8-thread cliff, not scheduler noise.
   constexpr double kMonotoneTol = 1.35;
   eval::EvalEngine& eng = eval::EvalEngine::instance();
+
+  // End-to-end sweep backends. "compiled" runs under the best table;
+  // the forced-scalar lane is added only when it differs.
+  std::vector<std::string> backends = {"interp"};
+  if (has_simd) backends.push_back("compiled-scalar");
+  backends.push_back("compiled");
 
   w.key("designs").begin_array();
   for (const std::string name : {"hier_paulin", "dct2d"}) {
@@ -99,24 +138,35 @@ int main() {
     const Dfg& top = bench.design.top();
     const BehaviorResolver res = design_resolver(bench.design);
 
-    // Equivalence gate, independent of timing: both backends over one
-    // trace, bitwise-compared.
+    // Equivalence gate, independent of timing: every backend (and every
+    // available kernel table) over one trace, bitwise-compared.
     {
       const Trace tr = make_trace(top.num_inputs(), kTraceSamples, 999);
       eng.clear();
-      set_replay_mode(ReplayMode::Compiled);
-      const EdgeMatrix compiled = *eval_dfg_edges_shared(top, res, tr);
-      eng.clear();
       set_replay_mode(ReplayMode::Interp);
       const EdgeMatrix interp = *eval_dfg_edges_shared(top, res, tr);
-      equivalent = equivalent && compiled == interp;
+      set_replay_mode(ReplayMode::Compiled);
+      for (const ReplayIsa isa :
+           {ReplayIsa::Scalar, ReplayIsa::Avx2, ReplayIsa::Neon}) {
+        if (!replay_isa_available(isa)) continue;
+        eng.clear();
+        set_replay_isa(isa);
+        const EdgeMatrix compiled = *eval_dfg_edges_shared(top, res, tr);
+        equivalent = equivalent && compiled == interp;
+      }
+      set_replay_isa(ReplayIsa::Native);
     }
 
     std::vector<Row> rows;
-    for (const std::string backend : {"interp", "compiled"}) {
-      ReplayMode mode = ReplayMode::Compiled;
-      parse_replay_mode(backend, &mode);
-      set_replay_mode(mode);
+    for (const std::string& backend : backends) {
+      if (backend == "interp") {
+        set_replay_mode(ReplayMode::Interp);
+        set_replay_isa(ReplayIsa::Native);
+      } else {
+        set_replay_mode(ReplayMode::Compiled);
+        set_replay_isa(backend == "compiled-scalar" ? ReplayIsa::Scalar
+                                                    : ReplayIsa::Native);
+      }
       for (const int threads : {1, 2, 8}) {
         runtime::set_threads(threads);
         Row row;
@@ -147,6 +197,7 @@ int main() {
       }
     }
     runtime::set_threads(1);
+    set_replay_isa(ReplayIsa::Native);
 
     w.begin_object();
     w.key("design").value(name);
@@ -163,16 +214,21 @@ int main() {
       w.end_object();
     }
     w.end_array();
-    // Speedup per thread count: warm compiled vs warm interp.
+    // Speedup per thread count: warm compiled (best table) vs warm
+    // interp. The interp rows are first, the best-table compiled rows
+    // last; both blocks sweep the same thread counts in order.
     w.key("speedup").begin_array();
-    const std::size_t half = rows.size() / 2;  // interp rows, then compiled
-    for (std::size_t i = 0; i < half; ++i) {
-      const double s = rows[i + half].warm_s > 0
-                           ? rows[i].warm_s / rows[i + half].warm_s
+    const std::size_t per_backend = 3;  // thread counts per backend
+    const std::size_t compiled_at = rows.size() - per_backend;
+    for (std::size_t i = 0; i < per_backend; ++i) {
+      const Row& interp_row = rows[i];
+      const Row& compiled_row = rows[compiled_at + i];
+      const double s = compiled_row.warm_s > 0
+                           ? interp_row.warm_s / compiled_row.warm_s
                            : 0;
       speedup_ok = speedup_ok && s >= 3.0;
       w.begin_object();
-      w.key("threads").value(rows[i].threads);
+      w.key("threads").value(interp_row.threads);
       w.key("compiled_vs_interp").value(s);
       w.end_object();
     }
@@ -181,7 +237,7 @@ int main() {
     // pool must never make warm replay slower (the serial cutoff eats
     // the handshake overhead on sub-threshold batches).
     bool design_monotone = true;
-    for (std::size_t i = half + 1; i < rows.size(); ++i) {
+    for (std::size_t i = compiled_at + 1; i < rows.size(); ++i) {
       design_monotone = design_monotone &&
                         rows[i].warm_min_s <=
                             rows[i - 1].warm_min_s * kMonotoneTol;
@@ -191,14 +247,61 @@ int main() {
     w.end_object();
   }
   w.end_array();
+  set_replay_mode(ReplayMode::Compiled);
+
+  // Per-opcode column kernels: best table vs the scalar table on dense
+  // 64k columns, one thread. This is the simd_speedup gate's basis --
+  // pure kernel throughput, no scheduling, no cache effects beyond the
+  // streamed columns themselves.
+  {
+    constexpr std::size_t kN = 1 << 16;
+    constexpr int kOpReps = 40;
+    const std::vector<std::int32_t> a = random_column(kN, 7);
+    const std::vector<std::int32_t> b = random_column(kN, 8);
+    std::vector<std::int32_t> out_best(kN), out_scalar(kN);
+    const detail::ReplayKernelTable& scalar = detail::scalar_kernel_table();
+    set_replay_isa(ReplayIsa::Native);
+    const detail::ReplayKernelTable& best = detail::active_kernel_table();
+
+    double scalar_total_s = 0, best_total_s = 0;
+    w.key("opcode_kernels").begin_array();
+    for (int op = 0; op < detail::kNumOpKernels; ++op) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kOpReps; ++r) {
+        scalar.op[op](a.data(), b.data(), out_scalar.data(), kN);
+      }
+      const double scalar_s = now_minus(t0);
+      const auto t1 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kOpReps; ++r) {
+        best.op[op](a.data(), b.data(), out_best.data(), kN);
+      }
+      const double best_s = now_minus(t1);
+      equivalent = equivalent && out_best == out_scalar;
+      scalar_total_s += scalar_s;
+      best_total_s += best_s;
+      const double total = static_cast<double>(kN) * kOpReps;
+      w.begin_object();
+      w.key("op").value(op);
+      w.key("scalar_ns_per_element").value(scalar_s * 1e9 / total);
+      w.key("best_ns_per_element").value(best_s * 1e9 / total);
+      w.key("speedup").value(best_s > 0 ? scalar_s / best_s : 0);
+      w.end_object();
+    }
+    w.end_array();
+    const double simd_speedup =
+        best_total_s > 0 ? scalar_total_s / best_total_s : 0;
+    // The acceptance gate: on SIMD hardware the vector table must beat
+    // the (auto-vectorizer-optimized) scalar loops by >= 1.5x overall.
+    simd_ok = !has_simd || simd_speedup >= 1.5;
+    w.key("simd_isa").value(best.name);
+    w.key("simd_speedup").value(simd_speedup);
+  }
 
   // Packed popcount toggle kernel vs the scalar loop it replaced.
   {
     constexpr std::size_t kN = 1 << 16;
     constexpr int kToggleReps = 200;
-    std::vector<std::int32_t> col(kN);
-    Rng rng(42);
-    for (auto& x : col) x = mask16(static_cast<std::int64_t>(rng.next()));
+    const std::vector<std::int32_t> col = random_column(kN, 42);
     long long sink = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (int r = 0; r < kToggleReps; ++r) {
@@ -221,8 +324,49 @@ int main() {
     w.end_object();
   }
 
+  // Fused toggle gather vs the buffered interleave the estimator ran
+  // before the rewrite (fill an interleave buffer, count it).
+  {
+    constexpr std::size_t kCols = 4;
+    constexpr std::size_t kT = 1 << 14;
+    constexpr int kGatherReps = 100;
+    std::vector<std::vector<std::int32_t>> cols;
+    std::vector<const std::int32_t*> ptrs;
+    for (std::size_t c = 0; c < kCols; ++c) {
+      cols.push_back(random_column(kT, 100 + c));
+      ptrs.push_back(cols.back().data());
+    }
+    long long sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kGatherReps; ++r) {
+      sink += toggle_count_gather(ptrs.data(), kCols, kT);
+    }
+    const double fused_s = now_minus(t0);
+    std::vector<std::int32_t> buf(kCols * kT);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kGatherReps; ++r) {
+      std::size_t iw = 0;
+      for (std::size_t t = 0; t < kT; ++t) {
+        for (std::size_t c = 0; c < kCols; ++c) buf[iw++] = cols[c][t];
+      }
+      sink -= toggle_count(buf.data(), buf.size());
+    }
+    const double buffered_s = now_minus(t1);
+    equivalent = equivalent && sink == 0;  // fused == buffered, and a sink
+
+    const double total = static_cast<double>(kCols) * kT * kGatherReps;
+    w.key("fused_toggle").begin_object();
+    w.key("cols").value(static_cast<int>(kCols));
+    w.key("samples").value(static_cast<int>(kT));
+    w.key("fused_ns_per_element").value(fused_s * 1e9 / total);
+    w.key("buffered_ns_per_element").value(buffered_s * 1e9 / total);
+    w.key("fused_speedup").value(fused_s > 0 ? buffered_s / fused_s : 0);
+    w.end_object();
+  }
+
   w.key("speedup_ok").value(speedup_ok);
   w.key("monotone_ok").value(monotone_ok);
+  w.key("simd_ok").value(simd_ok);
   w.key("equivalent").value(equivalent);
   w.end_object();
   const std::string json = w.str() + "\n";
@@ -235,5 +379,5 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_power.json\n");
     return 1;
   }
-  return equivalent && monotone_ok ? 0 : 1;
+  return equivalent && monotone_ok && simd_ok ? 0 : 1;
 }

@@ -11,7 +11,6 @@
 #include "power/replay.h"
 #include "rtl/cost.h"
 #include "rtl/fingerprint.h"
-#include "runtime/arena.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/hash.h"
@@ -111,8 +110,6 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
     bucket.push_back(i);
   }
 
-  runtime::Arena& arena = runtime::Arena::local();
-
   // ---- Functional-unit activity streams. ---------------------------------
   // One pass down the unit's invocation stream: consecutive operand
   // tuples on the same unit toggle its inputs; an op change (chained
@@ -161,9 +158,11 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
 
   // ---- Mux and wire delivery streams. ------------------------------------
   // Per (unit, input port): the delivered-value stream is the port's
-  // operand across the unit's invocations, sample-major. Its toggle sum
-  // is one packed popcount pass; the first delivery primes the port and
-  // never toggles (toggle_count's convention).
+  // operand across the unit's invocations, sample-major. The fused
+  // gather counts the interleaved stream's toggles directly from the
+  // edge columns -- no arena buffer fill per stream -- and the first
+  // delivery primes the port and never toggles (toggle_count's
+  // convention, which the gather preserves).
   const auto port_streams =
       [&](const std::vector<std::vector<int>>& unit_invs,
           const std::vector<std::vector<std::set<int>>>& port_srcs) {
@@ -183,18 +182,7 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
               const std::vector<int>& ins = inv_ins[static_cast<std::size_t>(i)];
               if (p < ins.size()) src.push_back(mat.col(ins[p]));
             }
-            int toggles = 0;
-            if (src.size() == 1) {
-              toggles = toggle_count(src[0], T);
-            } else {
-              runtime::Arena::Frame frame(arena);
-              std::int32_t* buf = arena.alloc_i32(src.size() * T);
-              std::size_t w = 0;
-              for (std::size_t t = 0; t < T; ++t) {
-                for (const std::int32_t* c : src) buf[w++] = c[t];
-              }
-              toggles = toggle_count(buf, w);
-            }
+            const int toggles = toggle_count_gather(src.data(), src.size(), T);
             const double act = toggles / 16.0;
             const bool muxed = p < ports.size() && ports[p].size() > 1;
             eb.wire += wire_cap * act * escale;
@@ -235,18 +223,10 @@ EnergyBreakdown energy_of(const Datapath& dp, int b, const Trace& trace,
       const int tc = dp.edge_ready_time(b, c, lib, pt);
       return ta != tc ? ta < tc : a < c;
     });
-    int toggles = 0;
-    if (eids.size() == 1) {
-      toggles = toggle_count(mat.col(eids.front()), T);
-    } else {
-      runtime::Arena::Frame frame(arena);
-      std::int32_t* buf = arena.alloc_i32(eids.size() * T);
-      std::size_t w = 0;
-      for (std::size_t t = 0; t < T; ++t) {
-        for (const int e : eids) buf[w++] = mat.at(e, t);
-      }
-      toggles = toggle_count(buf, w);
-    }
+    std::vector<const std::int32_t*> cols;
+    cols.reserve(eids.size());
+    for (const int e : eids) cols.push_back(mat.col(e));
+    const int toggles = toggle_count_gather(cols.data(), cols.size(), T);
     // First write is a half-activity startup; every later write toggles.
     eb.reg += lib.reg().cap_sw * (0.5 + toggles / 16.0) * escale;
   }

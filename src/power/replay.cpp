@@ -1,15 +1,17 @@
 #include "power/replay.h"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
-#include <unordered_map>
+#include <map>
 
 #include "eval/engine.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "power/replay_kernels.h"
 #include "power/trace.h"
 #include "runtime/arena.h"
 #include "runtime/parallel.h"
@@ -28,10 +30,21 @@ std::atomic<int> g_mode{-1};
 std::vector<std::vector<std::int32_t>> EdgeMatrix::rows() const {
   std::vector<std::vector<std::int32_t>> out(
       samples_, std::vector<std::int32_t>(static_cast<std::size_t>(num_edges_)));
-  for (int e = 0; e < num_edges_; ++e) {
-    const std::int32_t* c = col(e);
-    for (std::size_t t = 0; t < samples_; ++t) {
-      out[t][static_cast<std::size_t>(e)] = c[t];
+  // Blocked transpose: 64x64 tiles keep one stripe of destination rows
+  // cache-resident while a stripe of source columns streams through --
+  // the element-by-element sweep re-touched every row once per column,
+  // which is quadratic cache traffic on the interp-compare path
+  // (HSYN_EVAL_VERIFY calls rows() on every matrix).
+  constexpr std::size_t kTile = 64;
+  const std::size_t E = static_cast<std::size_t>(num_edges_);
+  for (std::size_t t0 = 0; t0 < samples_; t0 += kTile) {
+    const std::size_t t1 = std::min(t0 + kTile, samples_);
+    for (std::size_t e0 = 0; e0 < E; e0 += kTile) {
+      const std::size_t e1 = std::min(e0 + kTile, E);
+      for (std::size_t e = e0; e < e1; ++e) {
+        const std::int32_t* c = col(static_cast<int>(e));
+        for (std::size_t t = t0; t < t1; ++t) out[t][e] = c[t];
+      }
     }
   }
   return out;
@@ -78,6 +91,233 @@ bool parse_replay_mode(const std::string& s, ReplayMode* out) {
     return true;
   }
   return false;
+}
+
+// ---- Scalar kernel table and ISA dispatch --------------------------------
+//
+// The portable reference loops. Each is one tight per-opcode sweep down
+// a column; the SIMD tables (replay_simd_avx2.cpp / replay_simd_neon.cpp)
+// reproduce exactly these values 8 or 4 lanes at a time and run these
+// loops for sub-width tails.
+
+namespace {
+
+// The kernel tables index ops by their enum ordinal; a reorder of Op
+// would silently misdispatch without this pin.
+static_assert(static_cast<int>(Op::Add) == 0 && static_cast<int>(Op::Sub) == 1 &&
+                  static_cast<int>(Op::Mult) == 2 &&
+                  static_cast<int>(Op::ShiftL) == 3 &&
+                  static_cast<int>(Op::ShiftR) == 4 &&
+                  static_cast<int>(Op::Cmp) == 5 &&
+                  static_cast<int>(Op::And) == 6 &&
+                  static_cast<int>(Op::Or) == 7 &&
+                  static_cast<int>(Op::Xor) == 8 &&
+                  static_cast<int>(Op::Neg) == 9 &&
+                  static_cast<int>(Op::Hier) == detail::kNumOpKernels,
+              "kernel tables are indexed by Op ordinal");
+
+void scalar_add(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) {
+    o[t] = mask16(static_cast<std::int64_t>(a[t]) + b[t]);
+  }
+}
+void scalar_sub(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) {
+    o[t] = mask16(static_cast<std::int64_t>(a[t]) - b[t]);
+  }
+}
+void scalar_mult(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                 std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) {
+    o[t] = mask16(static_cast<std::int64_t>(a[t]) * b[t]);
+  }
+}
+void scalar_shiftl(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* o, std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) {
+    o[t] = mask16(static_cast<std::int64_t>(a[t]) << (b[t] & 15));
+  }
+}
+void scalar_shiftr(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* o, std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] >> (b[t] & 15));
+}
+void scalar_cmp(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) o[t] = a[t] < b[t] ? 1 : 0;
+}
+void scalar_and(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] & b[t]);
+}
+void scalar_or(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+               std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] | b[t]);
+}
+void scalar_xor(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] ^ b[t]);
+}
+void scalar_neg(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                std::size_t len) {
+  (void)b;  // unary: the compiled step wires the pooled constant 0 here
+  for (std::size_t t = 0; t < len; ++t) {
+    o[t] = mask16(-static_cast<std::int64_t>(a[t]));
+  }
+}
+
+int scalar_toggle_count(const std::int32_t* v, std::size_t n) {
+  if (n < 2) return 0;
+  int total = 0;
+  std::uint64_t packed = 0;
+  int lanes = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint64_t d = (static_cast<std::uint32_t>(v[i - 1]) ^
+                             static_cast<std::uint32_t>(v[i])) & 0xFFFFu;
+    packed |= d << (16 * lanes);
+    if (++lanes == 4) {
+      total += std::popcount(packed);
+      packed = 0;
+      lanes = 0;
+    }
+  }
+  return total + std::popcount(packed);
+}
+
+int scalar_hamming_pair(const std::int32_t* a, const std::int32_t* b,
+                        std::size_t n) {
+  int total = 0;
+  std::uint64_t packed = 0;
+  int lanes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t d = (static_cast<std::uint32_t>(a[i]) ^
+                             static_cast<std::uint32_t>(b[i])) & 0xFFFFu;
+    packed |= d << (16 * lanes);
+    if (++lanes == 4) {
+      total += std::popcount(packed);
+      packed = 0;
+      lanes = 0;
+    }
+  }
+  return total + std::popcount(packed);
+}
+
+/// Active table; nullptr until the first resolution (from HSYN_REPLAY_ISA
+/// or set_replay_isa).
+std::atomic<const detail::ReplayKernelTable*> g_isa_table{nullptr};
+
+const detail::ReplayKernelTable* table_for(ReplayIsa isa) {
+  switch (isa) {
+    case ReplayIsa::Scalar:
+      return &detail::scalar_kernel_table();
+    case ReplayIsa::Avx2:
+      return detail::avx2_kernel_table();
+    case ReplayIsa::Neon:
+      return detail::neon_kernel_table();
+    case ReplayIsa::Native:
+      if (const auto* t = detail::avx2_kernel_table()) return t;
+      if (const auto* t = detail::neon_kernel_table()) return t;
+      return &detail::scalar_kernel_table();
+  }
+  return &detail::scalar_kernel_table();
+}
+
+/// Publish the selection to obs: the `replay.isa` gauge holds the
+/// selected ordinal + 1 (0 = replay has not resolved yet), and the
+/// `replay-isa` source names the selected and available tables.
+void publish_isa(const detail::ReplayKernelTable& t) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.gauge("replay.isa").set(static_cast<double>(static_cast<int>(t.isa) + 1));
+  static const bool registered = [&reg] {
+    reg.register_source("replay-isa", [] {
+      std::map<std::string, std::uint64_t> m;
+      m["available_scalar"] = 1;
+      m["available_avx2"] = detail::avx2_kernel_table() != nullptr ? 1 : 0;
+      m["available_neon"] = detail::neon_kernel_table() != nullptr ? 1 : 0;
+      m[std::string("selected_") + detail::active_kernel_table().name] = 1;
+      return m;
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+namespace detail {
+
+const ReplayKernelTable& scalar_kernel_table() {
+  static const ReplayKernelTable t = {
+      ReplayIsa::Scalar,
+      "scalar",
+      {scalar_add, scalar_sub, scalar_mult, scalar_shiftl, scalar_shiftr,
+       scalar_cmp, scalar_and, scalar_or, scalar_xor, scalar_neg},
+      scalar_toggle_count,
+      scalar_hamming_pair,
+  };
+  return t;
+}
+
+const ReplayKernelTable& active_kernel_table() {
+  const ReplayKernelTable* t = g_isa_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    ReplayIsa isa = ReplayIsa::Native;
+    if (const char* s = std::getenv("HSYN_REPLAY_ISA")) {
+      check(parse_replay_isa(s, &isa),
+            std::string("HSYN_REPLAY_ISA must be 'scalar', 'avx2', 'neon' or "
+                        "'native', got '") + s + "'");
+    }
+    set_replay_isa(isa);  // races resolve to the same table: benign
+    t = g_isa_table.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+}  // namespace detail
+
+ReplayIsa replay_isa() { return detail::active_kernel_table().isa; }
+
+void set_replay_isa(ReplayIsa isa) {
+  const detail::ReplayKernelTable* t = table_for(isa);
+  check(t != nullptr,
+        std::string("replay ISA '") + replay_isa_name(isa) +
+            "' is not available on this build/CPU; use 'scalar' or 'native'");
+  g_isa_table.store(t, std::memory_order_release);
+  publish_isa(*t);
+}
+
+bool parse_replay_isa(const std::string& s, ReplayIsa* out) {
+  if (s == "scalar") {
+    *out = ReplayIsa::Scalar;
+    return true;
+  }
+  if (s == "avx2") {
+    *out = ReplayIsa::Avx2;
+    return true;
+  }
+  if (s == "neon") {
+    *out = ReplayIsa::Neon;
+    return true;
+  }
+  if (s == "native") {
+    *out = ReplayIsa::Native;
+    return true;
+  }
+  return false;
+}
+
+bool replay_isa_available(ReplayIsa isa) { return table_for(isa) != nullptr; }
+
+const char* replay_isa_name(ReplayIsa isa) {
+  switch (isa) {
+    case ReplayIsa::Scalar: return "scalar";
+    case ReplayIsa::Avx2: return "avx2";
+    case ReplayIsa::Neon: return "neon";
+    case ReplayIsa::Native: return "native";
+  }
+  return "scalar";
 }
 
 ReplayProgram compile_replay(const Dfg& dfg) {
@@ -162,6 +402,9 @@ namespace {
 void exec_program(const ReplayProgram& p, const BehaviorResolver& res,
                   std::int32_t** cols, std::size_t len,
                   runtime::Arena& arena) {
+  // Resolve the kernel table once per batch, not once per step: the
+  // atomic load is cheap but not free down a hot program.
+  const detail::ReplayKernelTable& kt = detail::active_kernel_table();
   for (const ReplayStep& s : p.steps) {
     if (s.op == Op::Hier) {
       const ReplayHierCall& h =
@@ -200,57 +443,10 @@ void exec_program(const ReplayProgram& p, const BehaviorResolver& res,
       }
       continue;
     }
-    const std::int32_t* a = cols[s.a];
-    const std::int32_t* b = cols[s.b];
-    std::int32_t* o = cols[s.out];
-    // One tight loop per opcode: all per-step decisions were made at
-    // compile time, the body is branch-free down the column.
-    switch (s.op) {
-      case Op::Add:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(static_cast<std::int64_t>(a[t]) + b[t]);
-        }
-        break;
-      case Op::Sub:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(static_cast<std::int64_t>(a[t]) - b[t]);
-        }
-        break;
-      case Op::Mult:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(static_cast<std::int64_t>(a[t]) * b[t]);
-        }
-        break;
-      case Op::ShiftL:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(static_cast<std::int64_t>(a[t]) << (b[t] & 15));
-        }
-        break;
-      case Op::ShiftR:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(a[t] >> (b[t] & 15));
-        }
-        break;
-      case Op::Cmp:
-        for (std::size_t t = 0; t < len; ++t) o[t] = a[t] < b[t] ? 1 : 0;
-        break;
-      case Op::And:
-        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] & b[t]);
-        break;
-      case Op::Or:
-        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] | b[t]);
-        break;
-      case Op::Xor:
-        for (std::size_t t = 0; t < len; ++t) o[t] = mask16(a[t] ^ b[t]);
-        break;
-      case Op::Neg:
-        for (std::size_t t = 0; t < len; ++t) {
-          o[t] = mask16(-static_cast<std::int64_t>(a[t]));
-        }
-        break;
-      case Op::Hier:
-        break;  // handled above
-    }
+    // One kernel-table call per step: all per-step decisions were made
+    // at compile time, the selected ISA's loop is branch-free down the
+    // column (SIMD body + scalar tail, or the pure scalar reference).
+    kt.op[static_cast<int>(s.op)](cols[s.a], cols[s.b], cols[s.out], len);
   }
 }
 
@@ -273,17 +469,15 @@ std::size_t serial_cutoff() {
 }
 
 /// Steps per sample of `p` with hierarchical calls resolved recursively
-/// (plus the per-call port copies). Memoized by dfg_hash: the estimate
-/// is a pure function of the program tree and is consulted on every
-/// replay batch.
+/// (plus the per-call port copies). Memoized inside the program itself
+/// (ReplayProgram::weight_memo): programs are shared process-wide via the
+/// eval-engine cache, so the memo rides along with them and the hot-path
+/// lookup is one relaxed atomic load -- no global mutexed map. Concurrent
+/// first calls race benignly: both compute the same pure function of the
+/// program tree and store the same value.
 std::size_t program_weight(const ReplayProgram& p, const BehaviorResolver& res) {
-  static std::mutex mu;
-  static std::unordered_map<std::uint64_t, std::size_t>* memo =
-      new std::unordered_map<std::uint64_t, std::size_t>();
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    const auto it = memo->find(p.dfg_hash);
-    if (it != memo->end()) return it->second;
+  if (const std::size_t memo = p.weight_memo.load(std::memory_order_relaxed)) {
+    return memo - 1;
   }
   std::size_t w = p.steps.size();
   for (const ReplayHierCall& h : p.hier_calls) {
@@ -292,8 +486,7 @@ std::size_t program_weight(const ReplayProgram& p, const BehaviorResolver& res) 
     w += h.in_slots.size() + h.out_slots.size();
     w += program_weight(*replay_program_of(*child), res);
   }
-  std::lock_guard<std::mutex> lock(mu);
-  memo->emplace(p.dfg_hash, w);
+  p.weight_memo.store(w + 1, std::memory_order_relaxed);
   return w;
 }
 

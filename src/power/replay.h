@@ -15,10 +15,14 @@
 //
 //   2. Programs execute over a structure-of-arrays EdgeMatrix: one dense
 //      int32 column per edge spanning the whole trace. The executor runs
-//      a tight per-opcode loop down each column -- no per-step control
-//      flow, no per-step allocation. Hierarchical calls expand the child
-//      program over the same batch with child columns carved out of the
-//      calling worker's scratch Arena (runtime/arena.h).
+//      one kernel-table call per step down each column -- no per-step
+//      control flow, no per-step allocation. The kernel table
+//      (power/replay_kernels.h) is selected once per process from
+//      HSYN_REPLAY_ISA: explicit SIMD loops (AVX2 8xint32, NEON 4xint32)
+//      with scalar tails, or the portable scalar reference -- all
+//      bitwise-equal by construction. Hierarchical calls expand the
+//      child program over the same batch with child columns carved out
+//      of the calling worker's scratch Arena (runtime/arena.h).
 //
 //   3. The trace batch is chunked over the deterministic runtime exactly
 //      like the interpreter (runtime/parallel.h static chunking). Every
@@ -28,6 +32,7 @@
 //      reference implementation for equivalence tests and CI diffs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -116,9 +121,47 @@ struct ReplayProgram {
   std::vector<ReplayStep> steps;           ///< topological order
   std::vector<ReplayHierCall> hier_calls;
 
+  /// Lazily computed replay weight (resolved steps per sample,
+  /// program_weight in replay.cpp), stored as weight + 1 so 0 means
+  /// "unset". Lives inside the program -- shared process-wide via the
+  /// eval-engine program cache -- so the hot-path serial-cutoff lookup
+  /// is one relaxed atomic load, not a global mutexed map. Not part of
+  /// the program's value: equality and bytes() ignore it.
+  mutable std::atomic<std::size_t> weight_memo{0};
+
+  ReplayProgram() = default;
+  ReplayProgram(const ReplayProgram& o)
+      : dfg_hash(o.dfg_hash),
+        num_inputs(o.num_inputs),
+        num_outputs(o.num_outputs),
+        num_edges(o.num_edges),
+        input_slots(o.input_slots),
+        output_slots(o.output_slots),
+        consts(o.consts),
+        steps(o.steps),
+        hier_calls(o.hier_calls),
+        weight_memo(o.weight_memo.load(std::memory_order_relaxed)) {}
+  ReplayProgram(ReplayProgram&& o) noexcept
+      : dfg_hash(o.dfg_hash),
+        num_inputs(o.num_inputs),
+        num_outputs(o.num_outputs),
+        num_edges(o.num_edges),
+        input_slots(std::move(o.input_slots)),
+        output_slots(std::move(o.output_slots)),
+        consts(std::move(o.consts)),
+        steps(std::move(o.steps)),
+        hier_calls(std::move(o.hier_calls)),
+        weight_memo(o.weight_memo.load(std::memory_order_relaxed)) {}
+
   [[nodiscard]] std::size_t bytes() const;
 
-  friend bool operator==(const ReplayProgram&, const ReplayProgram&) = default;
+  friend bool operator==(const ReplayProgram& a, const ReplayProgram& b) {
+    return a.dfg_hash == b.dfg_hash && a.num_inputs == b.num_inputs &&
+           a.num_outputs == b.num_outputs && a.num_edges == b.num_edges &&
+           a.input_slots == b.input_slots && a.output_slots == b.output_slots &&
+           a.consts == b.consts && a.steps == b.steps &&
+           a.hier_calls == b.hier_calls;
+  }
 };
 
 /// Compile `dfg` (validated) into a replay program.
@@ -147,5 +190,36 @@ void set_replay_mode(ReplayMode mode);
 
 /// Parse "interp" / "compiled"; returns false on anything else.
 bool parse_replay_mode(const std::string& s, ReplayMode* out);
+
+/// Instruction set backing the compiled kernel's per-opcode column loops
+/// and the fused toggle kernels (power/trace.h). All kernels are
+/// bitwise-equal to the scalar reference by construction (16-bit-masked
+/// lane-wise maps), so the selection changes only speed, never results.
+enum class ReplayIsa {
+  Scalar,  ///< portable reference loops (always available)
+  Avx2,    ///< x86-64 AVX2, 8 int32 lanes
+  Neon,    ///< aarch64 NEON, 4 int32 lanes
+  Native,  ///< resolve to the best ISA available at runtime
+};
+
+/// The resolved selection (never Native), initialized from
+/// HSYN_REPLAY_ISA (scalar|avx2|neon|native; default native) on first
+/// use. Also published as the `replay.isa` gauge (ordinal + 1) and the
+/// `replay-isa` counter source in the obs metrics registry.
+ReplayIsa replay_isa();
+
+/// Select the kernel table. Native resolves to the best available ISA;
+/// explicitly requesting an ISA that is not compiled in or not supported
+/// by this CPU is a hard error (scalar and native always succeed).
+void set_replay_isa(ReplayIsa isa);
+
+/// Parse "scalar" / "avx2" / "neon" / "native"; false on anything else.
+bool parse_replay_isa(const std::string& s, ReplayIsa* out);
+
+/// Whether `isa` can be selected on this build + CPU.
+bool replay_isa_available(ReplayIsa isa);
+
+/// Lower-case name ("scalar", "avx2", "neon", "native").
+const char* replay_isa_name(ReplayIsa isa);
 
 }  // namespace hsyn

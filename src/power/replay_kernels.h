@@ -1,0 +1,69 @@
+// Runtime-dispatched kernel tables for the compiled replay executor and
+// the toggle-count accumulators.
+//
+// Every DFG operation is a 16-bit-masked lane-wise map over int32
+// columns (power/trace.h eval_op), so a vector kernel applying the same
+// modular arithmetic per lane is bitwise-equal to the scalar loop *by
+// construction*: 32-bit wraparound agrees with the interpreter's int64
+// arithmetic in the low 16 bits, and mask16 is a shift-left-16 /
+// arithmetic-shift-right-16 pair in any ISA. Chunk lengths that are not
+// a multiple of the vector width fall back to the scalar reference for
+// the tail elements.
+//
+// Three tables exist:
+//   * scalar  -- the portable reference loops (always compiled in),
+//   * avx2    -- x86-64, 8 int32 lanes (compiled when the toolchain
+//                accepts -mavx2; used when the CPU reports AVX2),
+//   * neon    -- aarch64, 4 int32 lanes (NEON is baseline there).
+// HSYN_REPLAY_ISA / set_replay_isa (power/replay.h) select the active
+// table once per process; "native" resolves to the best available.
+//
+// Internal header: consumed by the replay executor (power/replay.cpp),
+// the toggle-count dispatch (power/trace.cpp), the ISA-forced
+// equivalence tests, and bench_power's per-opcode microbenchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "power/replay.h"
+
+namespace hsyn::detail {
+
+/// Number of per-opcode column kernels: Op::Add .. Op::Neg. Op::Hier is
+/// not a column map (the executor expands it structurally).
+inline constexpr int kNumOpKernels = 10;
+
+/// One opcode down a column: o[t] = op(a[t], b[t]) for t in [0, len).
+using OpColumnFn = void (*)(const std::int32_t* a, const std::int32_t* b,
+                            std::int32_t* o, std::size_t len);
+
+/// Toggles between consecutive elements (toggle_count's contract).
+using ToggleCountFn = int (*)(const std::int32_t* v, std::size_t n);
+
+/// Sum over i in [0, n) of hamming16(a[i], b[i]).
+using HammingPairFn = int (*)(const std::int32_t* a, const std::int32_t* b,
+                              std::size_t n);
+
+struct ReplayKernelTable {
+  ReplayIsa isa = ReplayIsa::Scalar;
+  const char* name = "scalar";      ///< replay_isa_name(isa)
+  OpColumnFn op[kNumOpKernels] = {};  ///< indexed by static_cast<int>(Op)
+  ToggleCountFn toggle_count = nullptr;
+  HammingPairFn hamming_pair = nullptr;
+};
+
+/// The portable reference table (always available).
+const ReplayKernelTable& scalar_kernel_table();
+
+/// AVX2 table, or nullptr when not compiled in or the CPU lacks AVX2.
+const ReplayKernelTable* avx2_kernel_table();
+
+/// NEON table, or nullptr when not compiled for aarch64.
+const ReplayKernelTable* neon_kernel_table();
+
+/// The HSYN_REPLAY_ISA-selected table, resolved once on first use
+/// (power/replay.cpp owns the dispatch state; set_replay_isa respins it).
+const ReplayKernelTable& active_kernel_table();
+
+}  // namespace hsyn::detail

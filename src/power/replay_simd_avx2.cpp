@@ -1,0 +1,237 @@
+// AVX2 kernel table: 8 int32 lanes per iteration.
+//
+// Compiled with -mavx2 for this translation unit only (src/CMakeLists.txt
+// sets the per-file flag when the toolchain accepts it); the rest of the
+// library stays at the baseline ISA. The table is handed out only when
+// the *running* CPU reports AVX2, so linking this TU into a portable
+// binary is safe -- no AVX2 instruction executes unless selected.
+//
+// Bitwise equivalence to the scalar reference (replay.cpp) is by
+// construction: every op is a 16-bit-masked lane-wise map, 32-bit
+// wrapping vector arithmetic agrees with the interpreter's int64
+// arithmetic in the low 16 bits, and mask16 is the
+// shift-left-16 / arithmetic-shift-right-16 pair in any ISA. Chunk
+// lengths that are not a multiple of 8 finish with the scalar
+// expressions on the tail elements.
+#include "power/replay_kernels.h"
+
+#if defined(HSYN_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "power/trace.h"
+
+namespace hsyn::detail {
+namespace {
+
+/// Sign-extend the low 16 bits of each lane (vector mask16).
+inline __m256i mask16_v(__m256i x) {
+  return _mm256_srai_epi32(_mm256_slli_epi32(x, 16), 16);
+}
+
+/// o[t] = scal(a[t], b[t]) with the vectorized body `vec` over full
+/// 8-lane groups and the scalar expression on the tail.
+template <class VecFn, class ScalFn>
+inline void map_columns(const std::int32_t* a, const std::int32_t* b,
+                        std::int32_t* o, std::size_t len, VecFn vec,
+                        ScalFn scal) {
+  std::size_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + t));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + t), vec(va, vb));
+  }
+  for (; t < len; ++t) o[t] = scal(a[t], b[t]);
+}
+
+void avx2_add(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_add_epi32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) + y);
+              });
+}
+void avx2_sub(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_sub_epi32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) - y);
+              });
+}
+void avx2_mult(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+               std::size_t len) {
+  // mullo keeps the low 32 product bits; mask16 only reads the low 16,
+  // which agree with the interpreter's int64 product.
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_mullo_epi32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) * y);
+              });
+}
+void avx2_shiftl(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                 std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                const __m256i s =
+                    _mm256_and_si256(y, _mm256_set1_epi32(15));
+                return mask16_v(_mm256_sllv_epi32(x, s));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) << (y & 15));
+              });
+}
+void avx2_shiftr(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                 std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                const __m256i s =
+                    _mm256_and_si256(y, _mm256_set1_epi32(15));
+                return mask16_v(_mm256_srav_epi32(x, s));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(x >> (y & 15));
+              });
+}
+void avx2_cmp(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                // a < b  <=>  b > a; the all-ones lane mask AND 1 yields
+                // the interpreter's 0/1 (no mask16 -- Cmp is already
+                // canonical).
+                return _mm256_and_si256(_mm256_cmpgt_epi32(y, x),
+                                        _mm256_set1_epi32(1));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return std::int32_t{x < y ? 1 : 0};
+              });
+}
+void avx2_and(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_and_si256(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x & y); });
+}
+void avx2_or(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+             std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_or_si256(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x | y); });
+}
+void avx2_xor(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i y) {
+                return mask16_v(_mm256_xor_si256(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x ^ y); });
+}
+void avx2_neg(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](__m256i x, __m256i) {
+                return mask16_v(_mm256_sub_epi32(_mm256_setzero_si256(), x));
+              },
+              [](std::int32_t x, std::int32_t) {
+                return mask16(-static_cast<std::int64_t>(x));
+              });
+}
+
+// ---- Toggle counting: XOR + per-byte nibble-LUT popcount ----------------
+
+/// Per-byte popcount of `d` summed into four u64 partials via sad_epu8.
+/// The srli_epi16 by 4 smears bits across nibbles *within* a 16-bit
+/// lane, but the AND with 0x0F first discards exactly the smeared bits,
+/// so each byte indexes the LUT with its own high nibble.
+inline __m256i byte_popcount_sad(__m256i d) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(d, low4);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(d, 4), low4);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::uint64_t hsum_epi64(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Sum of hamming16(a[i], b[i]) over 8-lane groups, scalar tail.
+int avx2_hamming_pair(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t n) {
+  const __m256i m16 = _mm256_set1_epi32(0xFFFF);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i d = _mm256_and_si256(_mm256_xor_si256(va, vb), m16);
+    acc = _mm256_add_epi64(acc, byte_popcount_sad(d));
+  }
+  int total = static_cast<int>(hsum_epi64(acc));
+  for (; i < n; ++i) total += hamming16(a[i], b[i]);
+  return total;
+}
+
+/// Toggles between consecutive elements: the pair stream is the column
+/// against itself shifted by one, so the vector body reads two unaligned
+/// windows of the same column.
+int avx2_toggle_count(const std::int32_t* v, std::size_t n) {
+  if (n < 2) return 0;
+  return avx2_hamming_pair(v, v + 1, n - 1);
+}
+
+}  // namespace
+
+const ReplayKernelTable* avx2_kernel_table() {
+  static const ReplayKernelTable* resolved = []() -> const ReplayKernelTable* {
+    if (!__builtin_cpu_supports("avx2")) return nullptr;
+    static const ReplayKernelTable table = {
+        ReplayIsa::Avx2,
+        "avx2",
+        {avx2_add, avx2_sub, avx2_mult, avx2_shiftl, avx2_shiftr, avx2_cmp,
+         avx2_and, avx2_or, avx2_xor, avx2_neg},
+        avx2_toggle_count,
+        avx2_hamming_pair,
+    };
+    return &table;
+  }();
+  return resolved;
+}
+
+}  // namespace hsyn::detail
+
+#else  // !HSYN_HAVE_AVX2
+
+namespace hsyn::detail {
+
+const ReplayKernelTable* avx2_kernel_table() { return nullptr; }
+
+}  // namespace hsyn::detail
+
+#endif

@@ -1,0 +1,186 @@
+// NEON kernel table: 4 int32 lanes per iteration.
+//
+// NEON is baseline on aarch64, so this TU needs no special compile flags
+// there -- src/CMakeLists.txt defines HSYN_HAVE_NEON when targeting
+// aarch64 and the table is unconditionally available at runtime. On
+// every other architecture this file compiles to the nullptr stub.
+//
+// The bitwise-equivalence argument is the same as the AVX2 table's
+// (replay_simd_avx2.cpp): 16-bit-masked lane-wise maps over 32-bit
+// wrapping arithmetic, scalar tails for sub-width lengths.
+#include "power/replay_kernels.h"
+
+#if defined(HSYN_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "power/trace.h"
+
+namespace hsyn::detail {
+namespace {
+
+/// Sign-extend the low 16 bits of each lane (vector mask16).
+inline int32x4_t mask16_v(int32x4_t x) {
+  return vshrq_n_s32(vshlq_n_s32(x, 16), 16);
+}
+
+template <class VecFn, class ScalFn>
+inline void map_columns(const std::int32_t* a, const std::int32_t* b,
+                        std::int32_t* o, std::size_t len, VecFn vec,
+                        ScalFn scal) {
+  std::size_t t = 0;
+  for (; t + 4 <= len; t += 4) {
+    vst1q_s32(o + t, vec(vld1q_s32(a + t), vld1q_s32(b + t)));
+  }
+  for (; t < len; ++t) o[t] = scal(a[t], b[t]);
+}
+
+void neon_add(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(vaddq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) + y);
+              });
+}
+void neon_sub(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(vsubq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) - y);
+              });
+}
+void neon_mult(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+               std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(vmulq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) * y);
+              });
+}
+void neon_shiftl(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                 std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                const int32x4_t s = vandq_s32(y, vdupq_n_s32(15));
+                return mask16_v(vshlq_s32(x, s));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(static_cast<std::int64_t>(x) << (y & 15));
+              });
+}
+void neon_shiftr(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+                 std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                // NEON has no variable right shift; shift left by the
+                // negated count (vshlq with negative counts shifts
+                // right, arithmetically for signed lanes).
+                const int32x4_t s = vandq_s32(y, vdupq_n_s32(15));
+                return mask16_v(vshlq_s32(x, vnegq_s32(s)));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return mask16(x >> (y & 15));
+              });
+}
+void neon_cmp(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return vandq_s32(vreinterpretq_s32_u32(vcltq_s32(x, y)),
+                                 vdupq_n_s32(1));
+              },
+              [](std::int32_t x, std::int32_t y) {
+                return std::int32_t{x < y ? 1 : 0};
+              });
+}
+void neon_and(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(vandq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x & y); });
+}
+void neon_or(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+             std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(vorrq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x | y); });
+}
+void neon_xor(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t y) {
+                return mask16_v(veorq_s32(x, y));
+              },
+              [](std::int32_t x, std::int32_t y) { return mask16(x ^ y); });
+}
+void neon_neg(const std::int32_t* a, const std::int32_t* b, std::int32_t* o,
+              std::size_t len) {
+  map_columns(a, b, o, len,
+              [](int32x4_t x, int32x4_t) { return mask16_v(vnegq_s32(x)); },
+              [](std::int32_t x, std::int32_t) {
+                return mask16(-static_cast<std::int64_t>(x));
+              });
+}
+
+/// Sum of hamming16(a[i], b[i]) over 4-lane groups, scalar tail. The
+/// masked XOR has at most 16 set bits per lane (64 per vector), so the
+/// per-vector vaddvq_u8 byte-sum fits its uint8->unsigned return with
+/// room to spare.
+int neon_hamming_pair(const std::int32_t* a, const std::int32_t* b,
+                      std::size_t n) {
+  const int32x4_t m16 = vdupq_n_s32(0xFFFF);
+  int total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t d =
+        vandq_s32(veorq_s32(vld1q_s32(a + i), vld1q_s32(b + i)), m16);
+    total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_s32(d)));
+  }
+  for (; i < n; ++i) total += hamming16(a[i], b[i]);
+  return total;
+}
+
+int neon_toggle_count(const std::int32_t* v, std::size_t n) {
+  if (n < 2) return 0;
+  return neon_hamming_pair(v, v + 1, n - 1);
+}
+
+}  // namespace
+
+const ReplayKernelTable* neon_kernel_table() {
+  static const ReplayKernelTable table = {
+      ReplayIsa::Neon,
+      "neon",
+      {neon_add, neon_sub, neon_mult, neon_shiftl, neon_shiftr, neon_cmp,
+       neon_and, neon_or, neon_xor, neon_neg},
+      neon_toggle_count,
+      neon_hamming_pair,
+  };
+  return &table;
+}
+
+}  // namespace hsyn::detail
+
+#else  // !HSYN_HAVE_NEON
+
+namespace hsyn::detail {
+
+const ReplayKernelTable* neon_kernel_table() { return nullptr; }
+
+}  // namespace hsyn::detail
+
+#endif

@@ -6,6 +6,7 @@
 #include "eval/engine.h"
 #include "obs/trace.h"
 #include "power/replay.h"
+#include "power/replay_kernels.h"
 #include "runtime/parallel.h"
 #include "util/fmt.h"
 #include "util/hash.h"
@@ -14,21 +15,30 @@
 namespace hsyn {
 
 int toggle_count(const std::int32_t* v, std::size_t n) {
-  if (n < 2) return 0;
+  return detail::active_kernel_table().toggle_count(v, n);
+}
+
+int hamming_pair(const std::int32_t* a, const std::int32_t* b, std::size_t n) {
+  return detail::active_kernel_table().hamming_pair(a, b, n);
+}
+
+int toggle_count_gather(const std::int32_t* const* cols, std::size_t n_cols,
+                        std::size_t T) {
+  if (n_cols == 0 || T == 0) return 0;
+  if (n_cols == 1) return toggle_count(cols[0], T);
+  // The interleaved stream's consecutive pairs split into n_cols groups:
+  // within one sample, (cols[c-1][t], cols[c][t]) for each adjacent
+  // column pair; across the sample boundary, (cols[n_cols-1][t],
+  // cols[0][t+1]). Each group is one dense vectorized hamming_pair sweep;
+  // integer addition in any grouping matches the buffered toggle_count
+  // bit-for-bit.
+  const detail::ReplayKernelTable& kt = detail::active_kernel_table();
   int total = 0;
-  std::uint64_t packed = 0;
-  int lanes = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::uint64_t d = (static_cast<std::uint32_t>(v[i - 1]) ^
-                             static_cast<std::uint32_t>(v[i])) & 0xFFFFu;
-    packed |= d << (16 * lanes);
-    if (++lanes == 4) {
-      total += std::popcount(packed);
-      packed = 0;
-      lanes = 0;
-    }
+  for (std::size_t c = 1; c < n_cols; ++c) {
+    total += kt.hamming_pair(cols[c - 1], cols[c], T);
   }
-  return total + std::popcount(packed);
+  total += kt.hamming_pair(cols[n_cols - 1], cols[0] + 1, T - 1);
+  return total;
 }
 
 int hamming_tuple(const std::int32_t* a, std::size_t na,

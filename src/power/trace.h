@@ -66,16 +66,30 @@ inline std::int32_t eval_op(Op op, std::int32_t a, std::int32_t b) {
   return 0;
 }
 
-// ---- Packed toggle counting ----------------------------------------------
-// Values are 16 bits wide, so four XOR lanes fit one uint64_t: pack four
-// lane differences, popcount once. One popcount per four events replaces
-// one per event -- the scalar hamming16 accumulation the power estimator
-// used to run per delivery.
+// ---- Vectorized toggle counting ------------------------------------------
+// XOR + popcount over whole streams, dispatched through the replay
+// kernel table (power/replay_kernels.h): AVX2/NEON count 8/4 events per
+// iteration, the scalar reference packs four 16-bit XOR lanes per
+// uint64_t popcount. Integer sums in any grouping are equal, so every
+// path returns the same count bit-for-bit.
 
 /// Total toggles between consecutive elements of `v`:
 /// sum over i in [1, n) of hamming16(v[i-1], v[i]). Zero when n < 2
 /// (the first event of a stream primes it, it never toggles).
 int toggle_count(const std::int32_t* v, std::size_t n);
+
+/// Sum over i in [0, n) of hamming16(a[i], b[i]) -- the elementwise
+/// Hamming distance between two equal-length columns.
+int hamming_pair(const std::int32_t* a, const std::int32_t* b, std::size_t n);
+
+/// Total toggles of the *interleaved* stream
+///   cols[0][0], cols[1][0], ..., cols[n_cols-1][0], cols[0][1], ...
+/// without materializing it: equals toggle_count of the sample-major
+/// interleave buffer the estimator used to fill per stream. Decomposes
+/// into one vectorized hamming_pair per adjacent column pair plus the
+/// wraparound pair (cols[n_cols-1][t] vs cols[0][t+1]).
+int toggle_count_gather(const std::int32_t* const* cols, std::size_t n_cols,
+                        std::size_t T);
 
 /// Hamming distance between two operand tuples in bits, padding the
 /// shorter tuple with zeros (the estimator's tuple activity measure).

@@ -105,6 +105,9 @@ struct Args {
   /// Trace-replay backend override (power/replay.h); empty = HSYN_REPLAY
   /// env, else the compiled kernel. Both backends are bit-identical.
   std::string replay;
+  /// Replay kernel ISA override (power/replay.h); empty = HSYN_REPLAY_ISA
+  /// env, else native. Every ISA produces bit-identical results.
+  std::string replay_isa;
   // Observability exports (empty = off).
   std::string trace_out;    ///< Chrome trace-event JSON (or HSYN_TRACE env)
   std::string move_log;     ///< move ledger JSONL (.csv for CSV)
@@ -141,7 +144,8 @@ void usage() {
                "            [--library FILE] [--trace FILE]\n"
                "            [--netlist FILE] [--verilog FILE] [--fsm FILE] [--dot FILE]\n"
                "            [--no-verify] [--check-moves] [--verify-rewrites] [--templates] [--auto-variants] [--seed N] "
-               "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] [--verbose]\n"
+               "[--threads N] [--eval-cache-mb N] [--replay interp|compiled] "
+               "[--replay-isa scalar|avx2|neon|native] [--verbose]\n"
                "            [--trace-out FILE] [--move-log FILE] [--metrics-out FILE]\n"
                "            [--telemetry-out FILE]\n"
                "            [--progress] [--job-time-ms N] [--job-cache-mb N]\n"
@@ -300,6 +304,12 @@ std::optional<Args> parse(int argc, char** argv) {
       a.replay = v;
       hsyn::ReplayMode mode;
       if (!hsyn::parse_replay_mode(a.replay, &mode)) return std::nullopt;
+    } else if (arg == "--replay-isa") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.replay_isa = v;
+      hsyn::ReplayIsa isa;
+      if (!hsyn::parse_replay_isa(a.replay_isa, &isa)) return std::nullopt;
     } else if (arg == "--serve") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -443,6 +453,11 @@ void setup_runtime(const Args& args) {
     parse_replay_mode(args.replay, &mode);  // validated by parse()
     set_replay_mode(mode);
   }
+  if (!args.replay_isa.empty()) {
+    ReplayIsa isa = ReplayIsa::Native;
+    parse_replay_isa(args.replay_isa, &isa);  // validated by parse()
+    set_replay_isa(isa);  // hard error if explicitly unavailable
+  }
   if (args.verbose) {
     std::printf("runtime: %d thread(s)\n", runtime::threads());
     std::printf("eval cache: %zu MB\n",
@@ -450,6 +465,7 @@ void setup_runtime(const Args& args) {
     std::printf("trace replay: %s\n",
                 replay_mode() == ReplayMode::Interp ? "interpreter"
                                                     : "compiled kernel");
+    std::printf("replay isa: %s\n", replay_isa_name(replay_isa()));
   }
 }
 
@@ -697,10 +713,11 @@ int run_connect(const Args& args) {
                  "--connect\n");
     return 2;
   }
-  if (args.threads != 0 || args.eval_cache_mb != 0 || !args.replay.empty()) {
+  if (args.threads != 0 || args.eval_cache_mb != 0 || !args.replay.empty() ||
+      !args.replay_isa.empty()) {
     std::fprintf(stderr,
-                 "hsyn: --threads/--eval-cache-mb/--replay are fixed by "
-                 "the daemon; pass them to --serve\n");
+                 "hsyn: --threads/--eval-cache-mb/--replay/--replay-isa are "
+                 "fixed by the daemon; pass them to --serve\n");
     return 2;
   }
 

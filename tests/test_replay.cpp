@@ -13,8 +13,10 @@
 
 #include "benchmarks/benchmarks.h"
 #include "eval/engine.h"
+#include "obs/metrics.h"
 #include "power/estimator.h"
 #include "power/replay.h"
+#include "power/replay_kernels.h"
 #include "power/trace.h"
 #include "random_dfg.h"
 #include "runtime/arena.h"
@@ -60,6 +62,36 @@ EdgeMatrix matrix_under(ReplayMode m, const Dfg& dfg,
                         const BehaviorResolver& res, const Trace& tr) {
   ReplayModeScope scope(m);
   return *eval_dfg_edges_shared(dfg, res, tr);
+}
+
+/// Forces a kernel-table ISA for one scope; restores the previous
+/// selection. The eval cache is dropped on both transitions so every
+/// evaluation inside the scope actually runs the forced kernels (a warm
+/// cache would serve bit-identical results without executing anything).
+class ReplayIsaScope {
+ public:
+  explicit ReplayIsaScope(ReplayIsa isa) : prev_(replay_isa()) {
+    eval::EvalEngine::instance().clear();
+    set_replay_isa(isa);
+  }
+  ~ReplayIsaScope() {
+    eval::EvalEngine::instance().clear();
+    set_replay_isa(prev_);
+  }
+
+ private:
+  ReplayIsa prev_;
+};
+
+/// Every concrete ISA selectable on this build + CPU (always includes
+/// Scalar; Native is a resolution rule, not a table).
+std::vector<ReplayIsa> available_isas() {
+  std::vector<ReplayIsa> out;
+  for (const ReplayIsa isa :
+       {ReplayIsa::Scalar, ReplayIsa::Avx2, ReplayIsa::Neon}) {
+    if (replay_isa_available(isa)) out.push_back(isa);
+  }
+  return out;
 }
 
 // ---- Packed toggle counting ---------------------------------------------
@@ -307,6 +339,266 @@ TEST(ReplaySynthesisIdentity, BitIdenticalAcrossModesAndThreadCounts) {
       EXPECT_EQ(got, golden)
           << (mode == ReplayMode::Compiled ? "compiled" : "interp") << " @ "
           << threads << " threads";
+    }
+  }
+}
+
+TEST(ReplaySynthesisIdentity, BitIdenticalAcrossIsas) {
+  // Full synthesis (schedule + moves + power estimation + report) must
+  // not move by a single bit when the kernel ISA changes -- the
+  // acceptance gate behind HSYN_REPLAY_ISA.
+  const SynthSnapshot golden = run_synthesis(ReplayMode::Interp, 1);
+  for (const ReplayIsa isa : available_isas()) {
+    ReplayIsaScope scope(isa);
+    for (const int threads : {1, 2, 8}) {
+      const SynthSnapshot got = run_synthesis(ReplayMode::Compiled, threads);
+      EXPECT_EQ(got, golden)
+          << replay_isa_name(isa) << " @ " << threads << " threads";
+    }
+  }
+}
+
+// ---- ISA dispatch plumbing ----------------------------------------------
+
+TEST(ReplayIsaTest, ParseAcceptsOnlyKnownNames) {
+  ReplayIsa isa;
+  EXPECT_TRUE(parse_replay_isa("scalar", &isa));
+  EXPECT_EQ(isa, ReplayIsa::Scalar);
+  EXPECT_TRUE(parse_replay_isa("avx2", &isa));
+  EXPECT_EQ(isa, ReplayIsa::Avx2);
+  EXPECT_TRUE(parse_replay_isa("neon", &isa));
+  EXPECT_EQ(isa, ReplayIsa::Neon);
+  EXPECT_TRUE(parse_replay_isa("native", &isa));
+  EXPECT_EQ(isa, ReplayIsa::Native);
+  EXPECT_FALSE(parse_replay_isa("", &isa));
+  EXPECT_FALSE(parse_replay_isa("sse2", &isa));
+  EXPECT_FALSE(parse_replay_isa("AVX2", &isa));
+}
+
+TEST(ReplayIsaTest, ScalarAndNativeAlwaysAvailable) {
+  EXPECT_TRUE(replay_isa_available(ReplayIsa::Scalar));
+  EXPECT_TRUE(replay_isa_available(ReplayIsa::Native));
+  // The resolved selection is always a concrete table.
+  ReplayIsaScope scope(ReplayIsa::Native);
+  EXPECT_NE(replay_isa(), ReplayIsa::Native);
+  EXPECT_TRUE(replay_isa_available(replay_isa()));
+}
+
+TEST(ReplayIsaTest, NamesRoundTrip) {
+  for (const ReplayIsa isa : {ReplayIsa::Scalar, ReplayIsa::Avx2,
+                              ReplayIsa::Neon, ReplayIsa::Native}) {
+    ReplayIsa parsed;
+    ASSERT_TRUE(parse_replay_isa(replay_isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+}
+
+TEST(ReplayIsaTest, GaugeTracksSelection) {
+  obs::Registry& reg = obs::Registry::instance();
+  for (const ReplayIsa isa : available_isas()) {
+    ReplayIsaScope scope(isa);
+    EXPECT_EQ(reg.gauge("replay.isa").value(),
+              static_cast<double>(static_cast<int>(isa) + 1))
+        << replay_isa_name(isa);
+    const auto sources = reg.poll_sources();
+    const auto it = sources.find("replay-isa");
+    ASSERT_NE(it, sources.end());
+    EXPECT_EQ(it->second.at("available_scalar"), 1u);
+    EXPECT_EQ(it->second.at(std::string("selected_") + replay_isa_name(isa)),
+              1u);
+  }
+}
+
+// ---- Kernel tables: every available ISA vs the scalar reference ---------
+
+/// Random 16-bit operand columns; the second also doubles as a shift
+/// count (the kernels mask with & 15, so any int32 is a legal operand).
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>>
+random_operands(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> a(n), b(n);
+  for (auto& x : a) x = mask16(static_cast<std::int64_t>(rng.next()));
+  for (auto& x : b) x = mask16(static_cast<std::int64_t>(rng.next()));
+  return {std::move(a), std::move(b)};
+}
+
+TEST(ReplayKernelTable, OpKernelsMatchScalarAtOddLengths) {
+  const detail::ReplayKernelTable& ref = detail::scalar_kernel_table();
+  for (const ReplayIsa isa : available_isas()) {
+    if (isa == ReplayIsa::Scalar) continue;
+    ReplayIsaScope scope(isa);
+    const detail::ReplayKernelTable& kt = detail::active_kernel_table();
+    ASSERT_EQ(kt.isa, isa);
+    // Lengths straddle the 4- and 8-lane widths to exercise full vector
+    // bodies, pure tails, and mixed body+tail sweeps.
+    for (const std::size_t n :
+         {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 257u}) {
+      const auto [a, b] = random_operands(n, 1000 + n);
+      for (int op = 0; op < detail::kNumOpKernels; ++op) {
+        std::vector<std::int32_t> got(n, -12345), want(n, -12345);
+        kt.op[op](a.data(), b.data(), got.data(), n);
+        ref.op[op](a.data(), b.data(), want.data(), n);
+        EXPECT_EQ(got, want) << kt.name << " op " << op << " len " << n;
+      }
+    }
+  }
+}
+
+TEST(ReplayKernelTable, OpKernelsMatchEvalOp) {
+  // The scalar table itself must agree with the interpreter's eval_op
+  // element by element (the SIMD tables then inherit the property via
+  // OpKernelsMatchScalarAtOddLengths).
+  const detail::ReplayKernelTable& ref = detail::scalar_kernel_table();
+  const std::size_t n = 64;
+  const auto [a, b] = random_operands(n, 77);
+  for (int op = 0; op < detail::kNumOpKernels; ++op) {
+    std::vector<std::int32_t> got(n);
+    ref.op[op](a.data(), b.data(), got.data(), n);
+    for (std::size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(got[t], eval_op(static_cast<Op>(op), a[t], b[t]))
+          << "op " << op << " at " << t;
+    }
+  }
+}
+
+TEST(ReplayKernelTable, ToggleKernelsMatchScalarAtOddLengths) {
+  for (const ReplayIsa isa : available_isas()) {
+    ReplayIsaScope scope(isa);
+    const detail::ReplayKernelTable& kt = detail::active_kernel_table();
+    for (const std::size_t n :
+         {0u, 1u, 2u, 3u, 5u, 8u, 9u, 16u, 17u, 33u, 257u}) {
+      const auto [a, b] = random_operands(n, 2000 + n);
+      int want_tc = 0;
+      for (std::size_t i = 1; i < n; ++i) want_tc += hamming16(a[i - 1], a[i]);
+      EXPECT_EQ(kt.toggle_count(a.data(), n), want_tc)
+          << kt.name << " toggle_count len " << n;
+      int want_hp = 0;
+      for (std::size_t i = 0; i < n; ++i) want_hp += hamming16(a[i], b[i]);
+      EXPECT_EQ(kt.hamming_pair(a.data(), b.data(), n), want_hp)
+          << kt.name << " hamming_pair len " << n;
+    }
+  }
+}
+
+// ---- Fused toggle gather -------------------------------------------------
+
+TEST(FusedToggle, GatherMatchesBufferedInterleave) {
+  for (const ReplayIsa isa : available_isas()) {
+    ReplayIsaScope scope(isa);
+    Rng rng(31);
+    for (const std::size_t n_cols : {1u, 2u, 3u, 4u, 5u}) {
+      for (const std::size_t T : {0u, 1u, 2u, 3u, 8u, 33u, 257u}) {
+        std::vector<std::vector<std::int32_t>> cols(
+            n_cols, std::vector<std::int32_t>(T));
+        std::vector<const std::int32_t*> ptrs;
+        for (auto& c : cols) {
+          for (auto& x : c) x = mask16(static_cast<std::int64_t>(rng.next()));
+          ptrs.push_back(c.data());
+        }
+        // The reference: materialize the sample-major interleave the
+        // estimator used to build in its arena, count that.
+        std::vector<std::int32_t> buf;
+        buf.reserve(n_cols * T);
+        for (std::size_t t = 0; t < T; ++t) {
+          for (std::size_t c = 0; c < n_cols; ++c) buf.push_back(cols[c][t]);
+        }
+        EXPECT_EQ(toggle_count_gather(ptrs.data(), n_cols, T),
+                  toggle_count(buf.data(), buf.size()))
+            << replay_isa_name(isa) << " n_cols " << n_cols << " T " << T;
+      }
+    }
+  }
+}
+
+TEST(FusedToggle, EmptyShapesAreZero) {
+  const std::int32_t v = 42;
+  const std::int32_t* col = &v;
+  EXPECT_EQ(toggle_count_gather(nullptr, 0, 5), 0);
+  EXPECT_EQ(toggle_count_gather(&col, 1, 0), 0);
+  EXPECT_EQ(toggle_count_gather(&col, 1, 1), 0);  // one event never toggles
+}
+
+TEST(FusedToggle, HammingPairMatchesScalar) {
+  Rng rng(41);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 129u}) {
+    std::vector<std::int32_t> a(n), b(n);
+    for (auto& x : a) x = mask16(static_cast<std::int64_t>(rng.next()));
+    for (auto& x : b) x = mask16(static_cast<std::int64_t>(rng.next()));
+    int want = 0;
+    for (std::size_t i = 0; i < n; ++i) want += hamming16(a[i], b[i]);
+    EXPECT_EQ(hamming_pair(a.data(), b.data(), n), want) << "length " << n;
+  }
+}
+
+// ---- EdgeMatrix transpose ------------------------------------------------
+
+TEST(EdgeMatrixTest, RowsMatchesAt) {
+  // 37 x 129 straddles the 64-wide transpose tiles in both dimensions.
+  Rng rng(53);
+  EdgeMatrix m(37, 129);
+  for (int e = 0; e < m.num_edges(); ++e) {
+    std::int32_t* c = m.col_mut(e);
+    for (std::size_t t = 0; t < m.samples(); ++t) {
+      c[t] = mask16(static_cast<std::int64_t>(rng.next()));
+    }
+  }
+  const auto rows = m.rows();
+  ASSERT_EQ(rows.size(), m.samples());
+  for (std::size_t t = 0; t < m.samples(); ++t) {
+    ASSERT_EQ(rows[t].size(), static_cast<std::size_t>(m.num_edges()));
+    for (int e = 0; e < m.num_edges(); ++e) {
+      ASSERT_EQ(rows[t][static_cast<std::size_t>(e)], m.at(e, t))
+          << "edge " << e << " sample " << t;
+    }
+  }
+}
+
+// ---- ISA-forced equivalence: benchmarks, random DFGs, threads ------------
+
+class ReplayIsaEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReplayIsaEquivalence, MatchesInterpreterAtEveryThreadCount) {
+  const Library lib = default_library();
+  const Benchmark bench = make_benchmark(GetParam(), lib);
+  const Dfg& top = bench.design.top();
+  const BehaviorResolver res = design_resolver(bench.design);
+  const Trace tr = make_trace(top.num_inputs(), 33, 98);  // odd: ragged tails
+  const EdgeMatrix golden = matrix_under(ReplayMode::Interp, top, res, tr);
+  const int before = runtime::threads();
+  for (const ReplayIsa isa : available_isas()) {
+    ReplayIsaScope scope(isa);
+    for (const int threads : {1, 2, 8}) {
+      runtime::set_threads(threads);
+      const EdgeMatrix got = matrix_under(ReplayMode::Compiled, top, res, tr);
+      EXPECT_EQ(got, golden)
+          << replay_isa_name(isa) << " @ " << threads << " threads";
+    }
+  }
+  runtime::set_threads(before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ReplayIsaEquivalence,
+                         ::testing::Values("avenhaus_cascade", "lat", "dct",
+                                           "iir", "hier_paulin", "test1",
+                                           "fir16", "dct2d"));
+
+TEST(ReplayIsaEquivalenceRandom, RandomDfgsAtOddLengths) {
+  // Trace lengths straddling the vector widths: full bodies, pure tails,
+  // and mixed sweeps through the compiled kernel's chunked columns.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Dfg d =
+        testing_support::random_dfg(seed, 6 + 4 * static_cast<int>(seed));
+    for (const int T : {1, 3, 7, 8, 9, 17, 33}) {
+      const Trace tr = make_trace(d.num_inputs(), T, 300 + seed);
+      const EdgeMatrix golden =
+          matrix_under(ReplayMode::Interp, d, kNoHier, tr);
+      for (const ReplayIsa isa : available_isas()) {
+        ReplayIsaScope scope(isa);
+        const EdgeMatrix got =
+            matrix_under(ReplayMode::Compiled, d, kNoHier, tr);
+        EXPECT_EQ(got, golden)
+            << replay_isa_name(isa) << " seed " << seed << " T " << T;
+      }
     }
   }
 }
